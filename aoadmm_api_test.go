@@ -1,0 +1,71 @@
+package aoadmm
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestPublicBinaryTensorRoundTrip(t *testing.T) {
+	x, err := GenerateUniform(GenOptions{Dims: []int{8, 9}, NNZ: 40, Seed: 330})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "x.aotn")
+	if err := SaveTensorBinary(path, x); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTensorBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != x.NNZ() {
+		t.Fatalf("nnz %d vs %d", back.NNZ(), x.NNZ())
+	}
+}
+
+func TestPublicMultiStart(t *testing.T) {
+	x, err := Dataset("patents", ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, seed, err := MultiStart(x, Options{
+		Rank: 4, MaxOuterIters: 8,
+		Constraints: []Constraint{NonNegative()},
+	}, []int64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != 10 && seed != 20 {
+		t.Fatalf("winning seed %d", seed)
+	}
+	if res.RelErr <= 0 || res.RelErr >= 1 {
+		t.Fatalf("rel err %v", res.RelErr)
+	}
+}
+
+func TestPublicFactorPersistenceAndFMS(t *testing.T) {
+	x, err := Dataset("reddit", ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Factorize(x, Options{Rank: 4, MaxOuterIters: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "factors")
+	if err := SaveFactors(dir, res.Factors); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFactors(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, err := FactorMatchScore(res.Factors, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(score-1) > 1e-9 {
+		t.Fatalf("round-tripped factors FMS = %v, want 1", score)
+	}
+}

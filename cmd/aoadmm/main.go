@@ -1,0 +1,256 @@
+// Command aoadmm factorizes a sparse tensor with constrained AO-ADMM.
+//
+// Usage:
+//
+//	aoadmm -input X.tns -rank 50 -constraint nonneg [flags]
+//	aoadmm -dataset amazon -scale small -rank 16 -constraint nonneg+l1:0.1
+//
+// The input is either a FROSTT ".tns" file (-input) or a built-in dataset
+// proxy (-dataset). Factors are optionally written as one text matrix per
+// mode (-output prefix).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aoadmm"
+	"aoadmm/internal/stats"
+)
+
+func main() {
+	var (
+		input      = flag.String("input", "", "path to a FROSTT .tns tensor")
+		dataset    = flag.String("dataset", "", "built-in dataset proxy: reddit|nell|amazon|patents")
+		scale      = flag.String("scale", "small", "proxy scale: small|medium|large")
+		rank       = flag.Int("rank", 16, "CPD rank F")
+		constraint = flag.String("constraint", "nonneg", "constraint spec: none|nonneg|l1:L|nonneg+l1:L|l2:L|simplex|box:LO,HI (comma-separate for per-mode)")
+		variant    = flag.String("variant", "blocked", "inner ADMM variant: blocked|base")
+		structure  = flag.String("structure", "csr", "sparse factor structure: dense|csr|hybrid")
+		sparsity   = flag.Bool("exploit-sparsity", true, "exploit dynamic factor sparsity during MTTKRP")
+		threads    = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		maxOuter   = flag.Int("max-outer", 200, "maximum outer iterations")
+		tol        = flag.Float64("tol", 1e-6, "relative-error improvement tolerance")
+		blockSize  = flag.Int("block-size", 50, "blocked ADMM rows per block")
+		seed       = flag.Int64("seed", 1, "random seed for factor initialization")
+		singleCSF  = flag.Bool("single-csf", false, "use one CSF tree for all modes (lower memory)")
+		autoBlock  = flag.Bool("auto-block", false, "choose block size from the analytical model")
+		autoStruct = flag.Bool("auto-structure", false, "choose DENSE/CSR/CSR-H from the cost model")
+		algo       = flag.String("algo", "aoadmm", "solver: aoadmm|hals|als")
+		adaptive   = flag.Bool("adaptive-rho", false, "per-block ADMM penalty rebalancing")
+		output     = flag.String("output", "", "prefix for writing factor matrices (prefix_mode0.txt, ...)")
+		quiet      = flag.Bool("quiet", false, "suppress per-iteration progress")
+	)
+	flag.Parse()
+
+	if err := run(runConfig{
+		input: *input, dataset: *dataset, scale: *scale, rank: *rank,
+		constraint: *constraint, variant: *variant, structure: *structure,
+		sparsity: *sparsity, threads: *threads, maxOuter: *maxOuter,
+		tol: *tol, blockSize: *blockSize, seed: *seed, output: *output,
+		quiet: *quiet, singleCSF: *singleCSF, autoBlock: *autoBlock,
+		autoStruct: *autoStruct, algo: *algo, adaptiveRho: *adaptive,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "aoadmm:", err)
+		os.Exit(1)
+	}
+}
+
+// runConfig carries the resolved CLI flags.
+type runConfig struct {
+	input, dataset, scale            string
+	rank                             int
+	constraint, variant, structure   string
+	sparsity                         bool
+	threads, maxOuter                int
+	tol                              float64
+	blockSize                        int
+	seed                             int64
+	output                           string
+	quiet                            bool
+	singleCSF, autoBlock, autoStruct bool
+	adaptiveRho                      bool
+	algo                             string
+}
+
+func run(c runConfig) error {
+	input, dataset, scale := c.input, c.dataset, c.scale
+	rank, constraint, variant, structure := c.rank, c.constraint, c.variant, c.structure
+	sparsity, threads, maxOuter := c.sparsity, c.threads, c.maxOuter
+	tol, blockSize, seed, output, quiet := c.tol, c.blockSize, c.seed, c.output, c.quiet
+
+	x, err := loadTensor(input, dataset, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tensor: %v\n", x)
+
+	constraints, err := parseConstraints(constraint, x.Order())
+	if err != nil {
+		return err
+	}
+
+	opts := aoadmm.Options{
+		Rank:            rank,
+		Constraints:     constraints,
+		MaxOuterIters:   maxOuter,
+		Tol:             tol,
+		Threads:         threads,
+		BlockSize:       blockSize,
+		ExploitSparsity: sparsity,
+		Seed:            seed,
+	}
+	switch variant {
+	case "blocked":
+		opts.Variant = aoadmm.Blocked
+	case "base", "baseline":
+		opts.Variant = aoadmm.Baseline
+	default:
+		return fmt.Errorf("unknown variant %q", variant)
+	}
+	switch structure {
+	case "dense":
+		opts.Structure = aoadmm.StructDense
+	case "csr":
+		opts.Structure = aoadmm.StructCSR
+	case "hybrid", "csr-h":
+		opts.Structure = aoadmm.StructHybrid
+	default:
+		return fmt.Errorf("unknown structure %q", structure)
+	}
+	opts.SingleCSF = c.singleCSF
+	opts.AutoBlockSize = c.autoBlock
+	opts.AdaptiveRho = c.adaptiveRho
+	if c.autoStruct {
+		opts.ExploitSparsity = true
+		opts.StructureSelector = aoadmm.AutoStructureSelector()
+	}
+	if !quiet {
+		opts.OnIteration = func(p aoadmm.TracePoint) bool {
+			fmt.Printf("outer %3d  relerr %.6f  %.2fs\n", p.Iteration, p.RelErr, p.Elapsed.Seconds())
+			return true
+		}
+	}
+
+	var res *aoadmm.Result
+	switch c.algo {
+	case "", "aoadmm":
+		res, err = aoadmm.Factorize(x, opts)
+	case "hals":
+		res, err = aoadmm.FactorizeHALS(x, aoadmm.HALSOptions{
+			Rank: rank, MaxOuterIters: maxOuter, Tol: tol, Threads: threads, Seed: seed,
+		})
+	case "als":
+		res, err = aoadmm.FactorizeALS(x, aoadmm.ALSOptions{
+			Rank: rank, MaxOuterIters: maxOuter, Tol: tol, Threads: threads, Seed: seed, Ridge: 1e-10,
+		})
+	default:
+		return fmt.Errorf("unknown algo %q (want aoadmm|hals|als)", c.algo)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("done: relerr=%.6f outer=%d converged=%v\n", res.RelErr, res.OuterIters, res.Converged)
+	if !quiet && len(res.Trace.Points) > 1 {
+		_ = stats.PlotTrace(os.Stdout, res.Trace, 60, 10)
+	}
+	fmt.Printf("time: %s\n", res.Breakdown)
+	fmt.Printf("factor densities: %v\n", formatDensities(res.FactorDensities))
+
+	if output != "" {
+		for m, f := range res.Factors.Factors {
+			path := fmt.Sprintf("%s_mode%d.txt", output, m)
+			if err := writeMatrix(path, f.Rows, f.Cols, f.At); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%dx%d)\n", path, f.Rows, f.Cols)
+		}
+	}
+	return nil
+}
+
+func loadTensor(input, dataset, scale string) (*aoadmm.Tensor, error) {
+	switch {
+	case input != "" && dataset != "":
+		return nil, fmt.Errorf("pass -input or -dataset, not both")
+	case input != "":
+		if strings.HasSuffix(input, ".aotn") {
+			return aoadmm.LoadTensorBinary(input)
+		}
+		return aoadmm.LoadTensor(input)
+	case dataset != "":
+		s, err := parseScale(scale)
+		if err != nil {
+			return nil, err
+		}
+		return aoadmm.Dataset(dataset, s)
+	default:
+		return nil, fmt.Errorf("need -input or -dataset")
+	}
+}
+
+func parseScale(s string) (aoadmm.Scale, error) {
+	switch s {
+	case "small":
+		return aoadmm.ScaleSmall, nil
+	case "medium":
+		return aoadmm.ScaleMedium, nil
+	case "large":
+		return aoadmm.ScaleLarge, nil
+	default:
+		return aoadmm.ScaleSmall, fmt.Errorf("unknown scale %q", s)
+	}
+}
+
+// parseConstraints accepts either one spec for all modes or a comma-list
+// with one spec per mode (specs containing commas, like box:0,1, must be the
+// single-spec form).
+func parseConstraints(spec string, order int) ([]aoadmm.Constraint, error) {
+	if !strings.Contains(spec, ";") {
+		c, err := aoadmm.ParseConstraint(spec)
+		if err != nil {
+			return nil, err
+		}
+		return []aoadmm.Constraint{c}, nil
+	}
+	parts := strings.Split(spec, ";")
+	if len(parts) != order {
+		return nil, fmt.Errorf("%d constraint specs for an order-%d tensor", len(parts), order)
+	}
+	out := make([]aoadmm.Constraint, order)
+	for m, p := range parts {
+		c, err := aoadmm.ParseConstraint(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("mode %d: %w", m, err)
+		}
+		out[m] = c
+	}
+	return out, nil
+}
+
+func formatDensities(ds []float64) string {
+	parts := make([]string, len(ds))
+	for i, d := range ds {
+		parts[i] = fmt.Sprintf("%.3f", d)
+	}
+	return strings.Join(parts, " ")
+}
+
+func writeMatrix(path string, rows, cols int, at func(i, j int) float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j > 0 {
+				fmt.Fprint(f, " ")
+			}
+			fmt.Fprintf(f, "%g", at(i, j))
+		}
+		fmt.Fprintln(f)
+	}
+	return f.Close()
+}

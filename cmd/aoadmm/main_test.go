@@ -1,0 +1,143 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aoadmm"
+)
+
+func TestParseConstraintsSingleBroadcast(t *testing.T) {
+	cs, err := parseConstraints("nonneg", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 || cs[0].Name() != "nonneg" {
+		t.Fatalf("parseConstraints = %v", cs)
+	}
+}
+
+func TestParseConstraintsPerMode(t *testing.T) {
+	cs, err := parseConstraints("nonneg; l1:0.1; simplex", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 3 {
+		t.Fatalf("%d constraints", len(cs))
+	}
+	if cs[1].Name() != "l1(0.1)" || cs[2].Name() != "simplex(1)" {
+		t.Fatalf("names: %s %s %s", cs[0].Name(), cs[1].Name(), cs[2].Name())
+	}
+	if _, err := parseConstraints("nonneg;l1:0.1", 3); err == nil {
+		t.Error("count mismatch accepted")
+	}
+	if _, err := parseConstraints("nonneg;bogus;none", 3); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for _, s := range []string{"small", "medium", "large"} {
+		if _, err := parseScale(s); err != nil {
+			t.Errorf("parseScale(%q): %v", s, err)
+		}
+	}
+	if _, err := parseScale("huge"); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestLoadTensorValidation(t *testing.T) {
+	if _, err := loadTensor("a.tns", "reddit", "small"); err == nil {
+		t.Error("both sources accepted")
+	}
+	if _, err := loadTensor("", "", "small"); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := loadTensor("", "reddit", "small"); err != nil {
+		t.Errorf("dataset source: %v", err)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	// Write a tiny tensor and factorize it through the CLI path.
+	x, _, err := aoadmm.GeneratePlanted(aoadmm.GenOptions{
+		Dims: []int{10, 12, 14}, NNZ: 300, Rank: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(dir, "in.tns")
+	if err := aoadmm.SaveTensor(in, x); err != nil {
+		t.Fatal(err)
+	}
+	prefix := filepath.Join(dir, "out")
+	if err := run(runConfig{
+		input: in, scale: "small", rank: 3, constraint: "nonneg",
+		variant: "blocked", structure: "csr", sparsity: true, threads: 1,
+		maxOuter: 5, tol: 1e-6, blockSize: 4, seed: 1, output: prefix, quiet: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 3; m++ {
+		data, err := os.ReadFile(prefix + "_mode" + string(rune('0'+m)) + ".txt")
+		if err != nil {
+			t.Fatalf("mode %d output: %v", m, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) != x.Dims[m] {
+			t.Fatalf("mode %d: %d rows, want %d", m, len(lines), x.Dims[m])
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	base := runConfig{
+		dataset: "reddit", scale: "small", rank: 4, constraint: "nonneg",
+		variant: "base", structure: "csr", maxOuter: 2, tol: 1e-6,
+		blockSize: 4, seed: 1, quiet: true,
+	}
+	bad := base
+	bad.variant = "warp"
+	if err := run(bad); err == nil {
+		t.Error("bad variant accepted")
+	}
+	bad = base
+	bad.structure = "columnar"
+	if err := run(bad); err == nil {
+		t.Error("bad structure accepted")
+	}
+	bad = base
+	bad.algo = "quantum"
+	if err := run(bad); err == nil {
+		t.Error("bad algo accepted")
+	}
+}
+
+func TestRunAlternativeSolvers(t *testing.T) {
+	for _, algo := range []string{"hals", "als"} {
+		c := runConfig{
+			dataset: "patents", scale: "small", rank: 3, constraint: "nonneg",
+			variant: "blocked", structure: "csr", maxOuter: 3, tol: 1e-6,
+			blockSize: 16, seed: 1, quiet: true, algo: algo,
+		}
+		if err := run(c); err != nil {
+			t.Errorf("algo %s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunAutoFeatures(t *testing.T) {
+	c := runConfig{
+		dataset: "reddit", scale: "small", rank: 4, constraint: "nonneg+l1:0.1",
+		variant: "blocked", structure: "csr", maxOuter: 3, tol: 1e-6,
+		blockSize: 16, seed: 1, quiet: true,
+		singleCSF: true, autoBlock: true, autoStruct: true,
+	}
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+}

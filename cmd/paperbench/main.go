@@ -1,0 +1,128 @@
+// Command paperbench regenerates the tables and figures of the paper's
+// evaluation (§V) on the built-in dataset proxies.
+//
+// Usage:
+//
+//	paperbench all                        # every experiment, small scale
+//	paperbench -scale medium fig3 fig6    # selected experiments
+//	paperbench -csv out/ table2           # also write CSV series
+//
+// Experiments: table1, fig3, fig4, fig5, fig6, table2, dist, solvers, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aoadmm/internal/datasets"
+	"aoadmm/internal/experiments"
+)
+
+func main() {
+	var (
+		scale    = flag.String("scale", "small", "proxy scale: small|medium|large")
+		rank     = flag.Int("rank", 0, "CPD rank (0 = scale default: 16 small / 50 medium+)")
+		threads  = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		maxOuter = flag.Int("max-outer", 0, "outer iteration cap (0 = scale default)")
+		csvDir   = flag.String("csv", "", "directory for CSV output (optional)")
+		only     = flag.String("datasets", "", "comma-separated dataset subset (default all)")
+	)
+	flag.Parse()
+
+	if err := run(*scale, *rank, *threads, *maxOuter, *csvDir, *only, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale string, rank, threads, maxOuter int, csvDir, only string, args []string) error {
+	cfg := experiments.Config{
+		Rank:     rank,
+		Threads:  threads,
+		MaxOuter: maxOuter,
+		CSVDir:   csvDir,
+		Out:      os.Stdout,
+	}
+	switch scale {
+	case "small":
+		cfg.Scale = datasets.Small
+	case "medium":
+		cfg.Scale = datasets.Medium
+	case "large":
+		cfg.Scale = datasets.Large
+	default:
+		return fmt.Errorf("unknown scale %q", scale)
+	}
+	if only != "" {
+		cfg.Datasets = splitCommas(only)
+	}
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	for _, exp := range args {
+		switch exp {
+		case "all":
+			if err := experiments.RunAll(cfg); err != nil {
+				return err
+			}
+		case "table1":
+			if err := experiments.Table1(cfg); err != nil {
+				return err
+			}
+		case "fig3":
+			if _, err := experiments.Fig3(cfg); err != nil {
+				return err
+			}
+		case "fig4":
+			if err := experiments.Fig4(cfg, nil); err != nil {
+				return err
+			}
+		case "fig5":
+			if err := experiments.Fig5(cfg, nil); err != nil {
+				return err
+			}
+		case "fig6":
+			if _, err := experiments.Fig6(cfg); err != nil {
+				return err
+			}
+		case "table2":
+			if _, err := experiments.Table2(cfg, nil); err != nil {
+				return err
+			}
+		case "dist":
+			if err := experiments.DistComm(cfg); err != nil {
+				return err
+			}
+		case "solvers":
+			if err := experiments.Solvers(cfg); err != nil {
+				return err
+			}
+		case "blocksize":
+			if err := experiments.BlockSize(cfg); err != nil {
+				return err
+			}
+		case "recovery":
+			if err := experiments.Recovery(cfg); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q (want table1|fig3|fig4|fig5|fig6|table2|dist|solvers|blocksize|recovery|all)", exp)
+		}
+	}
+	return nil
+}
+
+func splitCommas(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

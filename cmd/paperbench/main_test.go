@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestSplitCommas(t *testing.T) {
+	cases := map[string][]string{
+		"a,b,c": {"a", "b", "c"},
+		"a":     {"a"},
+		"":      nil,
+		"a,,b":  {"a", "b"},
+		",a,":   {"a"},
+	}
+	for in, want := range cases {
+		got := splitCommas(in)
+		if len(got) != len(want) {
+			t.Errorf("splitCommas(%q) = %v, want %v", in, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("splitCommas(%q)[%d] = %q", in, i, got[i])
+			}
+		}
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	if err := run("warp", 0, 0, 0, "", "", nil); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := run("small", 0, 0, 0, "", "", []string{"figure9"}); err == nil {
+		t.Error("bad experiment accepted")
+	}
+}
+
+func TestRunDispatchesExperiments(t *testing.T) {
+	// Exercise the cheap experiment paths end to end at small scale.
+	if err := run("small", 4, 1, 3, t.TempDir(), "patents", []string{"table1", "fig4", "fig5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDatasetSubset(t *testing.T) {
+	if err := run("small", 4, 1, 2, "", "patents,reddit", []string{"table1"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+// Command tengen generates synthetic sparse tensors in FROSTT ".tns" format.
+//
+// Usage:
+//
+//	tengen -dims 1000x800x600 -nnz 100000 -out x.tns                  # uniform
+//	tengen -dims 1000x800x600 -nnz 100000 -rank 8 -out x.tns          # planted low-rank
+//	tengen -dataset reddit -scale medium -out reddit.tns              # paper proxy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"aoadmm"
+)
+
+func main() {
+	var (
+		dims     = flag.String("dims", "", "mode lengths, e.g. 1000x800x600")
+		nnz      = flag.Int("nnz", 0, "number of non-zero samples")
+		rank     = flag.Int("rank", 0, "planted model rank (0 = uniform values)")
+		density  = flag.Float64("factor-density", 1, "planted factor density in (0,1]")
+		noise    = flag.Float64("noise", 0, "additive Gaussian noise std")
+		skew     = flag.String("skew", "", "per-mode Zipf exponents, e.g. 1.3x0x1.1 (empty = uniform)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		dataset  = flag.String("dataset", "", "built-in proxy: reddit|nell|amazon|patents")
+		scale    = flag.String("scale", "small", "proxy scale: small|medium|large")
+		out      = flag.String("out", "", "output .tns path (required)")
+		describe = flag.Bool("describe", true, "print a summary of the generated tensor")
+	)
+	flag.Parse()
+
+	if err := run(*dims, *nnz, *rank, *density, *noise, *skew, *seed, *dataset, *scale, *out, *describe); err != nil {
+		fmt.Fprintln(os.Stderr, "tengen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dims string, nnz, rank int, density, noise float64, skew string, seed int64,
+	dataset, scale, out string, describe bool) error {
+	if out == "" {
+		return fmt.Errorf("-out is required")
+	}
+
+	var x *aoadmm.Tensor
+	var err error
+	switch {
+	case dataset != "":
+		var s aoadmm.Scale
+		switch scale {
+		case "small":
+			s = aoadmm.ScaleSmall
+		case "medium":
+			s = aoadmm.ScaleMedium
+		case "large":
+			s = aoadmm.ScaleLarge
+		default:
+			return fmt.Errorf("unknown scale %q", scale)
+		}
+		x, err = aoadmm.Dataset(dataset, s)
+	case dims != "":
+		var d []int
+		d, err = parseDims(dims)
+		if err != nil {
+			return err
+		}
+		var sk []float64
+		if skew != "" {
+			sk, err = parseSkew(skew, len(d))
+			if err != nil {
+				return err
+			}
+		}
+		opts := aoadmm.GenOptions{
+			Dims: d, NNZ: nnz, Rank: rank, Skew: sk,
+			FactorDensity: density, NoiseStd: noise, Seed: seed,
+		}
+		if rank > 0 {
+			x, _, err = aoadmm.GeneratePlanted(opts)
+		} else {
+			x, err = aoadmm.GenerateUniform(opts)
+		}
+	default:
+		return fmt.Errorf("need -dims or -dataset")
+	}
+	if err != nil {
+		return err
+	}
+
+	if strings.HasSuffix(out, ".aotn") {
+		err = aoadmm.SaveTensorBinary(out, x)
+	} else {
+		err = aoadmm.SaveTensor(out, x)
+	}
+	if err != nil {
+		return err
+	}
+	if describe {
+		fmt.Printf("wrote %s: %v\n", out, x)
+	}
+	return nil
+}
+
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(s, "x")
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("need at least 2 dims in %q", s)
+	}
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad dim %q", p)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}
+
+func parseSkew(s string, order int) ([]float64, error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != order {
+		return nil, fmt.Errorf("%d skew values for order %d", len(parts), order)
+	}
+	skew := make([]float64, order)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad skew %q", p)
+		}
+		skew[i] = v
+	}
+	return skew, nil
+}

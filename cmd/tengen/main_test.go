@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aoadmm"
+)
+
+func TestParseDims(t *testing.T) {
+	d, err := parseDims("10x20x30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 3 || d[0] != 10 || d[2] != 30 {
+		t.Fatalf("parseDims = %v", d)
+	}
+	for _, bad := range []string{"10", "10x", "10xax20", "0x5", "-1x5"} {
+		if _, err := parseDims(bad); err == nil {
+			t.Errorf("parseDims(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseSkew(t *testing.T) {
+	s, err := parseSkew("1.3x0x1.1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0] != 1.3 || s[1] != 0 || s[2] != 1.1 {
+		t.Fatalf("parseSkew = %v", s)
+	}
+	if _, err := parseSkew("1x2", 3); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := parseSkew("1xbad", 2); err == nil {
+		t.Error("non-numeric accepted")
+	}
+	if _, err := parseSkew("1x-2", 2); err == nil {
+		t.Error("negative accepted")
+	}
+}
+
+func TestRunGeneratesPlantedFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.tns")
+	if err := run("8x9x10", 200, 2, 1, 0, "", 1, "", "small", out, false); err != nil {
+		t.Fatal(err)
+	}
+	x, err := aoadmm.LoadTensor(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NNZ() == 0 || x.Order() != 3 {
+		t.Fatalf("bad generated tensor %v", x)
+	}
+}
+
+func TestRunGeneratesUniformAndDataset(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("5x6", 50, 0, 1, 0, "1.2x0", 2, "", "small", filepath.Join(dir, "u.tns"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 0, 0, 1, 0, "", 1, "patents", "small", filepath.Join(dir, "p.tns"), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "p.tns")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"no out", func() error { return run("5x5", 10, 0, 1, 0, "", 1, "", "small", "", false) }},
+		{"no source", func() error { return run("", 0, 0, 1, 0, "", 1, "", "small", filepath.Join(dir, "x.tns"), false) }},
+		{"bad scale", func() error { return run("", 0, 0, 1, 0, "", 1, "reddit", "bogus", filepath.Join(dir, "x.tns"), false) }},
+		{"bad dims", func() error { return run("abc", 10, 0, 1, 0, "", 1, "", "small", filepath.Join(dir, "x.tns"), false) }},
+		{"bad skew", func() error { return run("5x5", 10, 0, 1, 0, "1", 1, "", "small", filepath.Join(dir, "x.tns"), false) }},
+	}
+	for _, c := range cases {
+		if c.err() == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

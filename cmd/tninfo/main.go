@@ -1,0 +1,94 @@
+// Command tninfo inspects a sparse tensor: dimensions, non-zero counts,
+// density, per-mode slice statistics, and power-law skew indicators — the
+// properties that decide which of the paper's optimizations apply.
+//
+// Usage:
+//
+//	tninfo x.tns
+//	tninfo -dataset nell -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"aoadmm"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "built-in proxy instead of a file")
+		scale   = flag.String("scale", "small", "proxy scale: small|medium|large")
+	)
+	flag.Parse()
+
+	if err := run(flag.Arg(0), *dataset, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "tninfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, dataset, scale string) error {
+	var x *aoadmm.Tensor
+	var err error
+	switch {
+	case dataset != "":
+		var s aoadmm.Scale
+		switch scale {
+		case "small":
+			s = aoadmm.ScaleSmall
+		case "medium":
+			s = aoadmm.ScaleMedium
+		case "large":
+			s = aoadmm.ScaleLarge
+		default:
+			return fmt.Errorf("unknown scale %q", scale)
+		}
+		x, err = aoadmm.Dataset(dataset, s)
+	case path != "":
+		if strings.HasSuffix(path, ".aotn") {
+			x, err = aoadmm.LoadTensorBinary(path)
+		} else {
+			x, err = aoadmm.LoadTensor(path)
+		}
+	default:
+		return fmt.Errorf("usage: tninfo <file.tns> | tninfo -dataset <name>")
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("order:    %d\n", x.Order())
+	fmt.Printf("dims:     %v\n", x.Dims)
+	fmt.Printf("nnz:      %d\n", x.NNZ())
+	fmt.Printf("density:  %.3e\n", x.Density())
+	fmt.Printf("norm:     %.6g\n", x.Norm())
+
+	for m := 0; m < x.Order(); m++ {
+		counts := x.SliceCounts(m)
+		nonEmpty := 0
+		maxC := 0
+		for _, c := range counts {
+			if c > 0 {
+				nonEmpty++
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		sorted := append([]int(nil), counts...)
+		sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+		topShare := 0
+		topN := len(sorted)/100 + 1
+		for i := 0; i < topN; i++ {
+			topShare += sorted[i]
+		}
+		mean := float64(x.NNZ()) / float64(max(nonEmpty, 1))
+		fmt.Printf("mode %d:   len=%d nonempty=%d mean-nnz/slice=%.1f max-nnz/slice=%d top-1%%-share=%.1f%%\n",
+			m, x.Dims[m], nonEmpty, mean, maxC, 100*float64(topShare)/float64(x.NNZ()))
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"aoadmm"
+)
+
+func TestRunOnFile(t *testing.T) {
+	x, err := aoadmm.GenerateUniform(aoadmm.GenOptions{Dims: []int{6, 7, 8}, NNZ: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "x.tns")
+	if err := aoadmm.SaveTensor(path, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "", "small"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOnDataset(t *testing.T) {
+	if err := run("", "nell", "small"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "small"); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run("", "reddit", "galactic"); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := run("/nonexistent/file.tns", "", "small"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

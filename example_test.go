@@ -1,0 +1,86 @@
+package aoadmm_test
+
+import (
+	"fmt"
+	"log"
+
+	"aoadmm"
+)
+
+// The basic flow: build (or load) a sparse tensor and factorize it under a
+// non-negativity constraint.
+func Example() {
+	// A tiny 3x3x3 tensor with four non-zeros.
+	x := aoadmm.NewTensor([]int{3, 3, 3}, 4)
+	x.Append([]int{0, 0, 0}, 1.0)
+	x.Append([]int{1, 1, 1}, 2.0)
+	x.Append([]int{2, 2, 2}, 3.0)
+	x.Append([]int{0, 1, 2}, 0.5)
+
+	res, err := aoadmm.Factorize(x, aoadmm.Options{
+		Rank:        2,
+		Constraints: []aoadmm.Constraint{aoadmm.NonNegative()},
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("order:", res.Factors.Order(), "rank:", res.Factors.Rank())
+	// Output:
+	// order: 3 rank: 2
+}
+
+// Different constraints per mode: non-negative users, simplex-constrained
+// topics, unconstrained time dynamics.
+func ExampleFactorize_perModeConstraints() {
+	x, _, err := aoadmm.GeneratePlanted(aoadmm.GenOptions{
+		Dims: []int{30, 40, 12}, NNZ: 2000, Rank: 3, Seed: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := aoadmm.Factorize(x, aoadmm.Options{
+		Rank: 4,
+		Constraints: []aoadmm.Constraint{
+			aoadmm.NonNegative(),
+			aoadmm.Simplex(1),
+			aoadmm.Unconstrained(),
+		},
+		MaxOuterIters: 10,
+		Seed:          1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Every row of the mode-1 factor sums to 1.
+	row := res.Factors.Factors[1].Row(0)
+	var sum float64
+	for _, v := range row {
+		sum += v
+	}
+	fmt.Printf("mode-1 row sum: %.3f\n", sum)
+	// Output:
+	// mode-1 row sum: 1.000
+}
+
+// Parsing constraints from CLI-style specifications.
+func ExampleParseConstraint() {
+	c, err := aoadmm.ParseConstraint("nonneg+l1:0.1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(c.Name())
+	// Output:
+	// nonneg+l1(0.1)
+}
+
+// The built-in proxies of the paper's datasets.
+func ExampleDataset() {
+	x, err := aoadmm.Dataset("patents", aoadmm.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("order:", x.Order(), "modes:", len(x.Dims))
+	// Output:
+	// order: 3 modes: 3
+}

@@ -1,0 +1,69 @@
+// Blocked-vs-baseline: reproduce the paper's §IV-B comparison on one
+// dataset — run the same non-negative factorization with the baseline
+// kernel-parallel ADMM and with the blocked reformulation, and compare
+// convergence trajectories, inner-iteration work, and time.
+//
+// Run with:
+//
+//	go run ./examples/blockedspeed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aoadmm"
+)
+
+func main() {
+	x, err := aoadmm.Dataset("reddit", aoadmm.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tensor:", x)
+
+	run := func(v aoadmm.Variant) *aoadmm.Result {
+		res, err := aoadmm.Factorize(x, aoadmm.Options{
+			Rank:          16,
+			Constraints:   []aoadmm.Constraint{aoadmm.NonNegative()},
+			Variant:       v,
+			MaxOuterIters: 40,
+			Seed:          1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	base := run(aoadmm.Baseline)
+	blocked := run(aoadmm.Blocked)
+
+	fmt.Printf("\n%-10s %12s %12s %14s %12s\n", "variant", "final err", "outer iters", "row-iter work", "seconds")
+	for _, r := range []struct {
+		name string
+		res  *aoadmm.Result
+	}{{"base", base}, {"blocked", blocked}} {
+		final := r.res.Trace.Final()
+		fmt.Printf("%-10s %12.4f %12d %14d %12.2f\n",
+			r.name, final.RelErr, final.Iteration, r.res.RowIters, final.Elapsed.Seconds())
+	}
+
+	// Convergence trajectory comparison at matched iterations (Fig. 6 right
+	// column: error vs outer iteration).
+	fmt.Println("\nerror by outer iteration (base vs blocked):")
+	n := min(len(base.Trace.Points), len(blocked.Trace.Points))
+	for i := 0; i < n; i += 5 {
+		fmt.Printf("  iter %3d: %.4f  %.4f\n",
+			base.Trace.Points[i].Iteration,
+			base.Trace.Points[i].RelErr,
+			blocked.Trace.Points[i].RelErr)
+	}
+
+	if blocked.RelErr <= base.RelErr {
+		fmt.Println("\nblocked reached an equal-or-lower error — the paper's Fig. 6 behaviour.")
+	} else {
+		fmt.Printf("\nblocked finished %.2f%% above baseline error (paper observed <1%% on two datasets).\n",
+			100*(blocked.RelErr-base.RelErr)/base.RelErr)
+	}
+}

@@ -1,0 +1,49 @@
+// Distributed: run the distributed-memory AO-ADMM simulation and watch the
+// communication profile — the paper's §IV-B observation that blocked ADMM
+// needs no communication beyond the MTTKRP exchange.
+//
+// Run with:
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aoadmm"
+	"aoadmm/internal/dist"
+	"aoadmm/internal/prox"
+)
+
+func main() {
+	x, err := aoadmm.Dataset("nell", aoadmm.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tensor:", x)
+
+	fmt.Printf("\n%-6s %10s %12s %12s %12s %16s\n",
+		"nodes", "rel err", "mttkrp MB", "factor MB", "admm bytes", "baseline admm KB")
+	for _, nodes := range []int{1, 2, 4, 8, 16} {
+		res, err := dist.Run(x.Clone(), dist.Options{
+			Nodes:         nodes,
+			Rank:          8,
+			Constraints:   []prox.Operator{prox.NonNegative{}},
+			MaxOuterIters: 10,
+			Seed:          1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseline := dist.BaselineADMMCommBytes(nodes, x.Order(), res.OuterIters, 10)
+		fmt.Printf("%-6d %10.4f %12.2f %12.2f %12d %16.1f\n",
+			nodes, res.RelErr,
+			float64(res.Comm.MTTKRPBytes)/1e6,
+			float64(res.Comm.FactorBytes)/1e6,
+			res.Comm.ADMMBytes,
+			float64(baseline)/1e3)
+	}
+	fmt.Println("\nblocked ADMM moves zero bytes during the inner iterations at every node")
+	fmt.Println("count; only the MTTKRP reduce-scatter and the factor allgather communicate.")
+}

@@ -1,0 +1,93 @@
+// Topic model: factor a source x term x time tensor (the paper's NELL /
+// Reddit style text data) under a row-simplex constraint, so that every
+// term's factor row is a probability distribution over topics — a
+// tensor-factorization analogue of probabilistic topic models.
+//
+// Row-simplex constraints are one of the row-separable constraints §IV-A
+// calls out; this example demonstrates mixing constraints across modes:
+// non-negative sources, simplex terms, unconstrained time dynamics.
+//
+// Run with:
+//
+//	go run ./examples/topicmodel
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"aoadmm"
+)
+
+func main() {
+	// source x term x week co-occurrence counts from a planted model.
+	x, _, err := aoadmm.GeneratePlanted(aoadmm.GenOptions{
+		Dims:          []int{300, 800, 52},
+		NNZ:           30000,
+		Rank:          6,
+		Skew:          []float64{1.2, 1.3, 0}, // bursty sources, Zipf vocabulary
+		FactorDensity: 0.4,
+		NoiseStd:      0.02,
+		Seed:          11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("co-occurrence tensor:", x)
+
+	const topics = 8
+	res, err := aoadmm.Factorize(x, aoadmm.Options{
+		Rank: topics,
+		Constraints: []aoadmm.Constraint{
+			aoadmm.NonNegative(),   // sources: additive topic intensities
+			aoadmm.Simplex(1),      // terms: each term is a distribution over topics
+			aoadmm.Unconstrained(), // time: free dynamics
+		},
+		MaxOuterIters: 80,
+		Seed:          3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("relative error %.4f after %d iterations\n", res.RelErr, res.OuterIters)
+
+	terms := res.Factors.Factors[1]
+	// Verify the simplex constraint: every term row sums to one.
+	var worst float64
+	for i := 0; i < terms.Rows; i++ {
+		var s float64
+		for f := 0; f < topics; f++ {
+			s += terms.At(i, f)
+		}
+		if d := math.Abs(s - 1); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("max |row sum - 1| over term rows: %.2e\n", worst)
+
+	// Topic sharpness: the average maximum topic probability per term.
+	var sharp float64
+	for i := 0; i < terms.Rows; i++ {
+		best := 0.0
+		for f := 0; f < topics; f++ {
+			if v := terms.At(i, f); v > best {
+				best = v
+			}
+		}
+		sharp += best
+	}
+	fmt.Printf("mean max-topic probability per term: %.3f (1.0 = fully hard assignment)\n",
+		sharp/float64(terms.Rows))
+
+	// Time dynamics of each topic: norm of the time factor's columns.
+	times := res.Factors.Factors[2]
+	fmt.Println("topic activity over the year (column norms of the time factor):")
+	for f := 0; f < topics; f++ {
+		var s float64
+		for w := 0; w < times.Rows; w++ {
+			s += times.At(w, f) * times.At(w, f)
+		}
+		fmt.Printf("  topic %d: %.3f\n", f, math.Sqrt(s))
+	}
+}

@@ -1,0 +1,3 @@
+module aoadmm
+
+go 1.22

@@ -1,0 +1,373 @@
+// Package admm implements the inner solver of AO-ADMM (Algorithm 1 of the
+// paper) in two forms:
+//
+//   - Run: the baseline kernel-parallel formulation (§IV-A). Every inner
+//     iteration performs one row-parallel pass (solve, prox, dual update)
+//     followed by a global reduction of the primal/dual residuals — one
+//     fork-join barrier per iteration, and a single convergence decision
+//     shared by all rows.
+//   - RunBlocked: the blockwise reformulation (§IV-B). Rows are split into
+//     blocks that each run Algorithm 1 independently until their own
+//     residuals converge, dispatched to threads with dynamic load balancing.
+//     High-signal blocks may take many more iterations than average without
+//     holding the rest of the matrix hostage, and a block's working set
+//     stays cache resident across its iterations.
+//
+// Both operate on the mode-m subproblem
+//
+//	min ½‖X(m) − H̃ᵀ(⊙ₙAₙ)ᵀ‖² + r(H)  s.t.  H = H̃ᵀ
+//
+// given K = MTTKRP(X, m) and the Gram matrix G = ∗_{n≠m} AₙᵀAₙ.
+package admm
+
+import (
+	"fmt"
+
+	"aoadmm/internal/dense"
+	"aoadmm/internal/par"
+	"aoadmm/internal/prox"
+)
+
+// DefaultEps is the inner-iteration convergence tolerance on the relative
+// primal and dual residuals.
+const DefaultEps = 1e-2
+
+// DefaultMaxIters caps the inner iterations of one ADMM solve.
+const DefaultMaxIters = 50
+
+// DefaultBlockSize is the paper's empirically chosen block of 50 rows —
+// "a good trade-off between convergence and execution" (§IV-B).
+const DefaultBlockSize = 50
+
+// Config parameterizes one ADMM solve.
+type Config struct {
+	// Prox is the constraint/regularization operator (nil = unconstrained).
+	Prox prox.Operator
+	// Eps is the residual tolerance (<= 0 means DefaultEps).
+	Eps float64
+	// MaxIters caps inner iterations (<= 0 means DefaultMaxIters).
+	MaxIters int
+	// Threads is the worker count (<= 0 means GOMAXPROCS).
+	Threads int
+	// BlockSize is the rows per block for RunBlocked (<= 0 means
+	// DefaultBlockSize).
+	BlockSize int
+	// AdaptiveRho enables per-block residual balancing (Boyd et al.,
+	// §3.4.1) in RunBlocked: when a block's primal residual dominates its
+	// dual residual by RhoRatio the block's penalty doubles (and vice
+	// versa), with the dual variable rescaled and the block's own
+	// (G + ρI) Cholesky refactored. The blockwise formulation makes this
+	// affordable — each refactorization is one F x F Cholesky amortized
+	// over a whole block — where the monolithic solver would have to
+	// refactor for all rows at once. Ignored by Run.
+	AdaptiveRho bool
+	// RhoRatio is the imbalance ratio that triggers adaptation (<= 0 means
+	// 10, Boyd's suggestion).
+	RhoRatio float64
+}
+
+func (c Config) eps() float64 {
+	if c.Eps <= 0 {
+		return DefaultEps
+	}
+	return c.Eps
+}
+
+func (c Config) maxIters() int {
+	if c.MaxIters <= 0 {
+		return DefaultMaxIters
+	}
+	return c.MaxIters
+}
+
+func (c Config) blockSize() int {
+	if c.BlockSize <= 0 {
+		return DefaultBlockSize
+	}
+	return c.BlockSize
+}
+
+func (c Config) prox() prox.Operator {
+	if c.Prox == nil {
+		return prox.Unconstrained{}
+	}
+	return c.Prox
+}
+
+// Stats reports what one ADMM solve did.
+type Stats struct {
+	// Iterations is the global iteration count (baseline) or the maximum
+	// block iteration count (blocked).
+	Iterations int
+	// MinIterations is the minimum block iteration count (blocked; equals
+	// Iterations for the baseline).
+	MinIterations int
+	// RowIterations is Σ over rows of the iterations applied to that row —
+	// the true convergence work measure that lets baseline and blocked runs
+	// be compared fairly.
+	RowIterations int64
+	// Blocks is the number of row blocks processed (1 for the baseline).
+	Blocks int
+	// RhoAdaptations counts per-block penalty rescalings (AdaptiveRho only).
+	RhoAdaptations int64
+	// Converged is false when MaxIters was hit (by any block).
+	Converged bool
+}
+
+// Workspace holds the per-solve scratch matrices so repeated ADMM calls (one
+// per mode per outer iteration) do not reallocate. Zero value is ready; it
+// grows on demand.
+type Workspace struct {
+	ht, h0 *dense.Matrix
+}
+
+func (w *Workspace) ensure(rows, cols int) (ht, h0 *dense.Matrix) {
+	if w.ht == nil || w.ht.Rows < rows || w.ht.Cols != cols {
+		w.ht = dense.New(rows, cols)
+		w.h0 = dense.New(rows, cols)
+	}
+	return w.ht.RowBlock(0, rows), w.h0.RowBlock(0, rows)
+}
+
+// prepare computes the shared per-solve quantities: ρ = trace(G)/F and the
+// Cholesky factor of (G + ρI) (Algorithm 1, lines 3-4).
+func prepare(g *dense.Matrix) (float64, *dense.Cholesky, error) {
+	f := g.Rows
+	if f == 0 {
+		return 0, nil, fmt.Errorf("admm: empty Gram matrix")
+	}
+	rho := dense.Trace(g) / float64(f)
+	if rho <= 0 {
+		rho = 1e-12
+	}
+	ch, _, err := dense.NewCholeskyJitter(dense.AddScaledIdentity(g, rho), 0, 30)
+	if err != nil {
+		return 0, nil, fmt.Errorf("admm: factorizing G + rho*I: %w", err)
+	}
+	return rho, ch, nil
+}
+
+// iterate performs Algorithm 1's lines 6-11 once over rows [0, n) of the
+// given views, returning the squared residual pieces:
+// primal num ‖H−H̃ᵀ‖², ‖H‖², dual num ‖H−H₀‖², ‖U‖².
+func iterate(h, u, k, ht, h0 *dense.Matrix, op prox.Operator, rho float64, ch *dense.Cholesky) (pNum, pDen, dNum, dDen float64) {
+	n := h.Rows
+	f := h.Cols
+	for i := 0; i < n; i++ {
+		hRow, uRow, kRow := h.Row(i), u.Row(i), k.Row(i)
+		htRow, h0Row := ht.Row(i), h0.Row(i)
+		// Line 6: H̃ᵀ(i,:) = (G+ρI)⁻¹ (K + ρ(H+U))(i,:).
+		for j := 0; j < f; j++ {
+			htRow[j] = kRow[j] + rho*(hRow[j]+uRow[j])
+		}
+		ch.SolveVec(htRow)
+		// Line 7: H₀ = H.
+		copy(h0Row, hRow)
+		// Line 8: H = prox(H̃ᵀ − U).
+		for j := 0; j < f; j++ {
+			hRow[j] = htRow[j] - uRow[j]
+		}
+		op.ApplyRow(hRow, rho)
+		// Line 9: U = U + H − H̃ᵀ.
+		for j := 0; j < f; j++ {
+			uRow[j] += hRow[j] - htRow[j]
+			// Lines 10-11 numerators/denominators.
+			dp := hRow[j] - htRow[j]
+			pNum += dp * dp
+			pDen += hRow[j] * hRow[j]
+			dd := hRow[j] - h0Row[j]
+			dNum += dd * dd
+			dDen += uRow[j] * uRow[j]
+		}
+	}
+	return pNum, pDen, dNum, dDen
+}
+
+// AbsTol is the per-element absolute residual floor combined with the
+// paper's relative criterion. Blocks whose optimal primal (or dual) state is
+// zero have vanishing denominators in r = ‖H−H̃ᵀ‖²/‖H‖² and
+// s = ‖H−H₀‖²/‖U‖²; the absolute floor (Boyd et al., §3.3.1) lets such
+// blocks terminate once their residuals are negligible in absolute terms.
+const AbsTol = 1e-9
+
+// converged applies the stopping rule r < ε and s < ε, where each squared
+// residual is accepted when it falls below eps·denominator plus the absolute
+// floor AbsTol²·count (count = rows·rank of the block).
+func converged(pNum, pDen, dNum, dDen, eps float64, count int) bool {
+	floor := AbsTol * AbsTol * float64(count)
+	return pNum <= eps*pDen+floor && dNum <= eps*dDen+floor
+}
+
+// Run executes the baseline kernel-parallel ADMM (Algorithm 1, §IV-A):
+// rows are statically partitioned across threads inside every iteration and
+// the residuals are reduced globally, so all rows share one iteration count.
+// h and u are updated in place; k and g are read-only.
+func Run(h, u, k, g *dense.Matrix, ws *Workspace, cfg Config) (Stats, error) {
+	if err := checkShapes(h, u, k, g); err != nil {
+		return Stats{}, err
+	}
+	rho, ch, err := prepare(g)
+	if err != nil {
+		return Stats{}, err
+	}
+	op := cfg.prox()
+	eps := cfg.eps()
+	maxIters := cfg.maxIters()
+	threads := par.Threads(cfg.Threads)
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	ht, h0 := ws.ensure(h.Rows, h.Cols)
+
+	st := Stats{Blocks: 1}
+	for it := 1; it <= maxIters; it++ {
+		// One fused row pass per iteration; the join plus the residual
+		// aggregation below is the per-iteration synchronization the blocked
+		// variant eliminates.
+		type quad struct{ pn, pd, dn, dd float64 }
+		partial := make([]quad, threads)
+		par.Static(h.Rows, threads, func(tid, begin, end int) {
+			pn, pd, dn, dd := iterate(
+				h.RowBlock(begin, end), u.RowBlock(begin, end),
+				k.RowBlock(begin, end), ht.RowBlock(begin, end),
+				h0.RowBlock(begin, end), op, rho, ch)
+			partial[tid] = quad{pn, pd, dn, dd}
+		})
+		var pn, pd, dn, dd float64
+		for _, q := range partial {
+			pn += q.pn
+			pd += q.pd
+			dn += q.dn
+			dd += q.dd
+		}
+		st.Iterations = it
+		st.MinIterations = it
+		st.RowIterations += int64(h.Rows)
+		if converged(pn, pd, dn, dd, eps, h.Rows*h.Cols) {
+			st.Converged = true
+			break
+		}
+	}
+	return st, nil
+}
+
+// RunBlocked executes the blockwise reformulation (§IV-B): rows are split
+// into blocks of cfg.BlockSize, each block iterates Algorithm 1 on its own
+// rows until its own residuals converge, and blocks are dispatched to
+// threads dynamically (block-granular load balancing). h and u are updated
+// in place; k and g are read-only.
+func RunBlocked(h, u, k, g *dense.Matrix, ws *Workspace, cfg Config) (Stats, error) {
+	if err := checkShapes(h, u, k, g); err != nil {
+		return Stats{}, err
+	}
+	rho, ch, err := prepare(g)
+	if err != nil {
+		return Stats{}, err
+	}
+	op := cfg.prox()
+	eps := cfg.eps()
+	maxIters := cfg.maxIters()
+	threads := par.Threads(cfg.Threads)
+	bs := cfg.blockSize()
+
+	nBlocks := (h.Rows + bs - 1) / bs
+	if nBlocks == 0 {
+		return Stats{Blocks: 0, Converged: true}, nil
+	}
+	iters := make([]int, nBlocks)
+	convergedFlags := make([]bool, nBlocks)
+	rowIters := make([]int64, nBlocks)
+
+	// Per-thread scratch reused across all blocks a worker claims; its size
+	// (2·BlockSize·F) is the cache-resident working set §IV-B relies on.
+	scratchHt := make([]*dense.Matrix, threads)
+	scratchH0 := make([]*dense.Matrix, threads)
+	for t := 0; t < threads; t++ {
+		scratchHt[t] = dense.New(bs, h.Cols)
+		scratchH0[t] = dense.New(bs, h.Cols)
+	}
+
+	ratio := cfg.RhoRatio
+	if ratio <= 0 {
+		ratio = 10
+	}
+	ratioSq := ratio * ratio // residual pieces are squared norms
+	adaptations := make([]int64, nBlocks)
+
+	par.DynamicItems(nBlocks, threads, func(tid, b int) {
+		begin := b * bs
+		end := min(begin+bs, h.Rows)
+		hb := h.RowBlock(begin, end)
+		ub := u.RowBlock(begin, end)
+		kb := k.RowBlock(begin, end)
+		rows := end - begin
+		ht := scratchHt[tid].RowBlock(0, rows)
+		h0 := scratchH0[tid].RowBlock(0, rows)
+		// Per-block penalty state; the shared factorization is used until a
+		// block adapts, after which it owns a private one.
+		bRho, bCh := rho, ch
+		for it := 1; it <= maxIters; it++ {
+			pn, pd, dn, dd := iterate(hb, ub, kb, ht, h0, op, bRho, bCh)
+			iters[b] = it
+			rowIters[b] += int64(rows)
+			if converged(pn, pd, dn, dd, eps, rows*h.Cols) {
+				convergedFlags[b] = true
+				break
+			}
+			if cfg.AdaptiveRho && it < maxIters {
+				// Residual balancing (Boyd §3.4.1): grow ρ when the primal
+				// residual dominates, shrink when the dual does. The scaled
+				// dual U = Y/ρ is rescaled inversely.
+				var scale float64
+				switch {
+				case pn > ratioSq*dn && dn >= 0:
+					scale = 2
+				case dn > ratioSq*pn && pn >= 0:
+					scale = 0.5
+				default:
+					continue
+				}
+				newRho := bRho * scale
+				newCh, _, err := dense.NewCholeskyJitter(dense.AddScaledIdentity(g, newRho), 0, 30)
+				if err != nil {
+					continue // keep the old penalty; adaptation is best-effort
+				}
+				bRho, bCh = newRho, newCh
+				dense.Scale(ub, 1/scale)
+				adaptations[b]++
+			}
+		}
+	})
+
+	st := Stats{Blocks: nBlocks, Converged: true, MinIterations: iters[0]}
+	for _, a := range adaptations {
+		st.RhoAdaptations += a
+	}
+	for b := 0; b < nBlocks; b++ {
+		if iters[b] > st.Iterations {
+			st.Iterations = iters[b]
+		}
+		if iters[b] < st.MinIterations {
+			st.MinIterations = iters[b]
+		}
+		st.RowIterations += rowIters[b]
+		if !convergedFlags[b] {
+			st.Converged = false
+		}
+	}
+	return st, nil
+}
+
+func checkShapes(h, u, k, g *dense.Matrix) error {
+	f := h.Cols
+	if u.Rows != h.Rows || u.Cols != f {
+		return fmt.Errorf("admm: dual shape %dx%d != primal %dx%d", u.Rows, u.Cols, h.Rows, f)
+	}
+	if k.Rows != h.Rows || k.Cols != f {
+		return fmt.Errorf("admm: MTTKRP shape %dx%d != primal %dx%d", k.Rows, k.Cols, h.Rows, f)
+	}
+	if g.Rows != f || g.Cols != f {
+		return fmt.Errorf("admm: Gram shape %dx%d != rank %d", g.Rows, g.Cols, f)
+	}
+	return nil
+}

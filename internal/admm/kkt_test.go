@@ -1,0 +1,123 @@
+package admm
+
+import (
+	"math/rand"
+	"testing"
+
+	"aoadmm/internal/dense"
+	"aoadmm/internal/prox"
+)
+
+// TestNonNegativeKKTConditions verifies the solver against first-order
+// optimality for min ½ hᵀGh − kᵀh s.t. h ≥ 0, rowwise:
+//
+//	H(i,f) > 0  ⇒  (HG − K)(i,f) ≈ 0   (stationarity on the support)
+//	H(i,f) = 0  ⇒  (HG − K)(i,f) ≥ -tol (dual feasibility)
+//
+// This is a solution-quality property no trajectory comparison can fake.
+func TestNonNegativeKKTConditions(t *testing.T) {
+	for name, run := range map[string]func(h, u, k, g *dense.Matrix, ws *Workspace, cfg Config) (Stats, error){
+		"baseline": Run, "blocked": RunBlocked,
+	} {
+		rng := rand.New(rand.NewSource(460))
+		rows, rank := 150, 6
+		b := dense.Random(rank*3, rank, rng)
+		g := dense.AddScaledIdentity(dense.Gram(b, 1), 0.5)
+		k := dense.Random(rows, rank, rng)
+		// Mix of signs so part of the constraint binds.
+		for i := 0; i < rows; i++ {
+			row := k.Row(i)
+			for j := range row {
+				row[j] = (row[j] - 0.5) * 10
+			}
+		}
+		h := dense.Random(rows, rank, rng)
+		u := dense.New(rows, rank)
+		st, err := run(h, u, k, g, nil, Config{
+			Prox: prox.NonNegative{}, Eps: 1e-10, MaxIters: 2000, BlockSize: 25,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !st.Converged {
+			t.Fatalf("%s: not converged", name)
+		}
+
+		// Gradient = H·G − K.
+		grad := dense.MatMul(h, g)
+		dense.AXPY(grad, -1, k)
+		const tol = 1e-3
+		var activeCount, boundCount int
+		for i := 0; i < rows; i++ {
+			for f := 0; f < rank; f++ {
+				hv, gv := h.At(i, f), grad.At(i, f)
+				if hv > tol {
+					activeCount++
+					if gv > tol || gv < -tol {
+						t.Fatalf("%s: stationarity violated at (%d,%d): h=%v grad=%v", name, i, f, hv, gv)
+					}
+				} else {
+					boundCount++
+					if gv < -tol {
+						t.Fatalf("%s: dual feasibility violated at (%d,%d): grad=%v", name, i, f, gv)
+					}
+				}
+			}
+		}
+		if activeCount == 0 || boundCount == 0 {
+			t.Fatalf("%s: degenerate test (active=%d bound=%d)", name, activeCount, boundCount)
+		}
+	}
+}
+
+// TestL1KKTConditions verifies the soft-threshold solution's subgradient
+// optimality: on the support, (HG − K)(i,f) = −λ·sign(H(i,f)); off the
+// support, |(HG − K)(i,f)| ≤ λ.
+func TestL1KKTConditions(t *testing.T) {
+	rng := rand.New(rand.NewSource(461))
+	rows, rank := 100, 5
+	lambda := 2.0
+	b := dense.Random(rank*3, rank, rng)
+	g := dense.AddScaledIdentity(dense.Gram(b, 1), 0.5)
+	k := dense.Random(rows, rank, rng)
+	dense.Scale(k, 8)
+	h := dense.Random(rows, rank, rng)
+	u := dense.New(rows, rank)
+	st, err := RunBlocked(h, u, k, g, nil, Config{
+		Prox: prox.L1{Lambda: lambda}, Eps: 1e-10, MaxIters: 3000, BlockSize: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatal("not converged")
+	}
+	grad := dense.MatMul(h, g)
+	dense.AXPY(grad, -1, k)
+	const tol = 5e-3
+	var support int
+	for i := 0; i < rows; i++ {
+		for f := 0; f < rank; f++ {
+			hv, gv := h.At(i, f), grad.At(i, f)
+			switch {
+			case hv > tol:
+				support++
+				if gv > -lambda+tol*lambda || gv < -lambda-tol*lambda {
+					t.Fatalf("subgradient violated at (%d,%d): h=%v grad=%v want≈%v", i, f, hv, gv, -lambda)
+				}
+			case hv < -tol:
+				support++
+				if gv < lambda-tol*lambda || gv > lambda+tol*lambda {
+					t.Fatalf("subgradient violated at (%d,%d): h=%v grad=%v want≈%v", i, f, hv, gv, lambda)
+				}
+			default:
+				if gv > lambda+tol*lambda || gv < -lambda-tol*lambda {
+					t.Fatalf("off-support bound violated at (%d,%d): grad=%v, |.|<=%v", i, f, gv, lambda)
+				}
+			}
+		}
+	}
+	if support == 0 {
+		t.Fatal("degenerate: empty support")
+	}
+}

@@ -1,0 +1,110 @@
+// Package blockmodel implements the paper's second future-work item (§VI):
+// an analytical model of the blocked ADMM algorithm that chooses the block
+// size, instead of the empirically fixed 50 rows.
+//
+// The model balances four forces (§IV-B's discussion):
+//
+//   - Cache residency: one block's working set is five rank-width row
+//     panels (H, U, K, H̃ᵀ, H₀), 5·8·F bytes per row. The block must fit in
+//     the per-core cache budget or the temporal-locality benefit of
+//     iterating a block to convergence evaporates. This caps the block size
+//     from above and shrinks it as the rank grows.
+//   - Per-block overhead: each block pays fixed costs per iteration
+//     (function calls, scheduling, instruction-cache effects — the paper's
+//     reason not to use B = I). The block must be large enough that this
+//     overhead is a small fraction of its per-iteration row work. This
+//     bounds the block size from below.
+//   - Load balance: dynamic scheduling needs several blocks per thread to
+//     absorb iteration-count variance, capping block size at
+//     rows/(threads·MinBlocksPerThread) when the matrix is small.
+//   - Convergence localization improves as blocks shrink, with diminishing
+//     returns; it is served by whichever of the previous bounds binds.
+//
+// With the default constants and F = 50 the model lands near the paper's
+// empirical 50-row choice on large mode lengths.
+package blockmodel
+
+// Model holds the block-size model constants. Zero value is unusable; use
+// DefaultModel.
+type Model struct {
+	// CacheBudgetBytes is the per-core cache available to one block's
+	// working set (a fraction of L2, leaving room for the Cholesky factor
+	// and code).
+	CacheBudgetBytes int
+	// OverheadRows is the per-block fixed cost expressed in equivalent row
+	// updates; the block must have at least OverheadRows/MaxOverheadFrac
+	// rows for the fixed cost to stay below MaxOverheadFrac.
+	OverheadRows float64
+	// MaxOverheadFrac is the tolerated fixed-cost share (e.g. 0.05 = 5%).
+	MaxOverheadFrac float64
+	// MinBlocksPerThread is the number of blocks each thread should have
+	// available for dynamic load balancing.
+	MinBlocksPerThread int
+	// MinRows is a hard floor on the block size.
+	MinRows int
+}
+
+// DefaultModel returns constants calibrated so that F = 50 on a large mode
+// yields a block size close to the paper's empirical 50.
+func DefaultModel() Model {
+	return Model{
+		CacheBudgetBytes:   100 * 1024, // ~40% of a 256 KiB L2
+		OverheadRows:       2.0,
+		MaxOverheadFrac:    0.05,
+		MinBlocksPerThread: 8,
+		MinRows:            8,
+	}
+}
+
+// workingSetBytesPerRow is the per-row footprint of a block: five F-width
+// float64 panels (primal, dual, MTTKRP, solve buffer, previous iterate).
+func workingSetBytesPerRow(rank int) int { return 5 * 8 * rank }
+
+// CacheCap returns the largest block size whose working set fits the cache
+// budget.
+func (m Model) CacheCap(rank int) int {
+	if rank <= 0 {
+		return m.MinRows
+	}
+	return max(m.MinRows, m.CacheBudgetBytes/workingSetBytesPerRow(rank))
+}
+
+// OverheadFloor returns the smallest block size keeping fixed per-block
+// costs below MaxOverheadFrac.
+func (m Model) OverheadFloor() int {
+	if m.MaxOverheadFrac <= 0 {
+		return m.MinRows
+	}
+	return max(m.MinRows, int(m.OverheadRows/m.MaxOverheadFrac+0.5))
+}
+
+// Choose returns the block size for a mode update with the given matrix
+// height (rows), rank, and thread count.
+func (m Model) Choose(rows, rank, threads int) int {
+	if rows <= 0 {
+		return m.MinRows
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	bs := m.CacheCap(rank)
+	// Load balance: keep at least MinBlocksPerThread blocks per thread.
+	if lbCap := rows / (threads * m.MinBlocksPerThread); lbCap > 0 && bs > lbCap {
+		bs = lbCap
+	}
+	// Overhead floor wins over the load-balance cap (tiny blocks thrash),
+	// but never exceeds the cache cap or the matrix itself.
+	if floor := m.OverheadFloor(); bs < floor {
+		bs = floor
+	}
+	if cap := m.CacheCap(rank); bs > cap {
+		bs = cap
+	}
+	if bs > rows {
+		bs = rows
+	}
+	if bs < 1 {
+		bs = 1
+	}
+	return bs
+}

@@ -1,0 +1,98 @@
+package blockmodel
+
+import "testing"
+
+func TestRank50LandsNearPaperChoice(t *testing.T) {
+	// §IV-B: "blocks of 50 rows offered a good trade-off". The model's
+	// answer for F = 50 on a long mode must land in the same neighborhood.
+	m := DefaultModel()
+	bs := m.Choose(1_000_000, 50, 20)
+	if bs < 30 || bs > 80 {
+		t.Fatalf("F=50 block size %d outside the paper's neighborhood [30, 80]", bs)
+	}
+}
+
+func TestBlockSizeShrinksWithRank(t *testing.T) {
+	m := DefaultModel()
+	prev := 1 << 30
+	for _, rank := range []int{10, 25, 50, 100, 200} {
+		bs := m.Choose(1_000_000, rank, 20)
+		if bs > prev {
+			t.Fatalf("block size grew with rank at F=%d: %d > %d", rank, bs, prev)
+		}
+		prev = bs
+	}
+}
+
+func TestCacheCap(t *testing.T) {
+	m := DefaultModel()
+	// 100 KiB / (5*8*50) = 51 rows.
+	if cap := m.CacheCap(50); cap != 51 {
+		t.Fatalf("CacheCap(50) = %d", cap)
+	}
+	// Huge rank clamps at the floor.
+	if cap := m.CacheCap(100_000); cap != m.MinRows {
+		t.Fatalf("CacheCap(huge) = %d", cap)
+	}
+	if cap := m.CacheCap(0); cap != m.MinRows {
+		t.Fatalf("CacheCap(0) = %d", cap)
+	}
+}
+
+func TestOverheadFloor(t *testing.T) {
+	m := DefaultModel()
+	// 2.0 / 0.05 = 40 rows.
+	if f := m.OverheadFloor(); f != 40 {
+		t.Fatalf("OverheadFloor = %d", f)
+	}
+	m.MaxOverheadFrac = 0
+	if f := m.OverheadFloor(); f != m.MinRows {
+		t.Fatalf("disabled floor = %d", f)
+	}
+}
+
+func TestLoadBalanceCapOnSmallMatrices(t *testing.T) {
+	m := DefaultModel()
+	// 2000 rows, 20 threads, 8 blocks/thread => cap at 12 rows... which is
+	// below the overhead floor (40); floor wins but never exceeds rows.
+	bs := m.Choose(2000, 50, 20)
+	if bs != m.OverheadFloor() {
+		t.Fatalf("small-matrix block size %d, want overhead floor %d", bs, m.OverheadFloor())
+	}
+	// With 1 thread there is no load-balance pressure: cache cap rules.
+	bs1 := m.Choose(2000, 50, 1)
+	if bs1 != 51 {
+		t.Fatalf("single-thread block size %d, want cache cap 51", bs1)
+	}
+}
+
+func TestTinyMatrixClamps(t *testing.T) {
+	m := DefaultModel()
+	if bs := m.Choose(10, 50, 4); bs != 10 {
+		t.Fatalf("block size %d for 10-row matrix", bs)
+	}
+	if bs := m.Choose(0, 50, 4); bs != m.MinRows {
+		t.Fatalf("block size %d for empty matrix", bs)
+	}
+	if bs := m.Choose(100, 50, 0); bs < 1 {
+		t.Fatalf("block size %d with zero threads", bs)
+	}
+}
+
+func TestNeverExceedsCacheCap(t *testing.T) {
+	m := DefaultModel()
+	for _, rank := range []int{8, 50, 200} {
+		for _, rows := range []int{100, 10_000, 1_000_000} {
+			for _, threads := range []int{1, 4, 20} {
+				bs := m.Choose(rows, rank, threads)
+				if bs > m.CacheCap(rank) && bs > m.MinRows {
+					t.Fatalf("rows=%d rank=%d threads=%d: bs %d exceeds cache cap %d",
+						rows, rank, threads, bs, m.CacheCap(rank))
+				}
+				if bs < 1 || bs > max(rows, m.MinRows) {
+					t.Fatalf("bs %d out of range for rows=%d", bs, rows)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"aoadmm/internal/kruskal"
+	"aoadmm/internal/prox"
+)
+
+func TestCheckpointing(t *testing.T) {
+	x := testTensor(t, 450)
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	res, err := Factorize(x, Options{
+		Rank: 4, Seed: 1, MaxOuterIters: 7,
+		Constraints:     []prox.Operator{prox.NonNegative{}},
+		CheckpointDir:   dir,
+		CheckpointEvery: 3,
+		Tol:             1e-300, // run all 7 iterations
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OuterIters != 7 {
+		t.Fatalf("ran %d iterations", res.OuterIters)
+	}
+	// A checkpoint from iteration 6 must be loadable with the right shape.
+	back, err := kruskal.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Order() != 3 || back.Rank() != 4 {
+		t.Fatalf("checkpoint shape %d/%d", back.Order(), back.Rank())
+	}
+}
+
+func TestResumeFromCheckpoint(t *testing.T) {
+	x := testTensor(t, 451)
+	first, err := Factorize(x, Options{
+		Rank: 4, Seed: 1, MaxOuterIters: 10, Tol: 1e-300,
+		Constraints: []prox.Operator{prox.NonNegative{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Factorize(x, Options{
+		Rank: 4, MaxOuterIters: 10, Tol: 1e-300,
+		Constraints: []prox.Operator{prox.NonNegative{}},
+		InitFactors: first.Factors,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-started run must not regress (note duals restart at zero, so it
+	// may briefly plateau, but never end worse than it began).
+	if resumed.RelErr > first.RelErr+1e-6 {
+		t.Fatalf("resume regressed: %v -> %v", first.RelErr, resumed.RelErr)
+	}
+}
+
+func TestInitFactorsShapeValidation(t *testing.T) {
+	x := testTensor(t, 452)
+	bad := kruskal.New([]int{2, 2, 2}, 4)
+	if _, err := Factorize(x, Options{Rank: 4, InitFactors: bad}); err == nil {
+		t.Fatal("mismatched init accepted")
+	}
+	badRank := kruskal.New(x.Dims, 3)
+	if _, err := Factorize(x, Options{Rank: 4, InitFactors: badRank}); err == nil {
+		t.Fatal("rank-mismatched init accepted")
+	}
+}

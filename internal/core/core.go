@@ -1,0 +1,548 @@
+// Package core implements the outer AO-ADMM loop (Algorithm 2 of the paper):
+// cyclic per-mode updates, each consisting of a Gram product, an MTTKRP, and
+// an inner ADMM solve, plus the convergence bookkeeping of §V-A and the
+// dynamic factor-sparsity management of §IV-C.
+//
+// The package also contains an unconstrained CPD-ALS solver used as a
+// correctness cross-check: with no constraints, AO-ADMM and ALS minimize the
+// same objective and must reach comparable fits.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"aoadmm/internal/admm"
+	"aoadmm/internal/blockmodel"
+	"aoadmm/internal/csf"
+	"aoadmm/internal/dense"
+	"aoadmm/internal/kruskal"
+	"aoadmm/internal/mttkrp"
+	"aoadmm/internal/par"
+	"aoadmm/internal/prox"
+	"aoadmm/internal/sparse"
+	"aoadmm/internal/stats"
+	"aoadmm/internal/tensor"
+)
+
+// Variant selects the inner ADMM formulation.
+type Variant int
+
+// Inner ADMM variants.
+const (
+	// Blocked is the paper's accelerated blockwise ADMM (§IV-B), the
+	// default.
+	Blocked Variant = iota
+	// Baseline is the kernel-parallel ADMM with global convergence (§IV-A).
+	Baseline
+)
+
+// String names the variant for logs and experiment output.
+func (v Variant) String() string {
+	if v == Baseline {
+		return "base"
+	}
+	return "blocked"
+}
+
+// Structure selects the leaf-factor representation used during MTTKRP when a
+// factor has gone sparse (§IV-C / Table II).
+type Structure int
+
+// MTTKRP leaf-factor structures.
+const (
+	// StructDense never compresses factors (Table II's DENSE row).
+	StructDense Structure = iota
+	// StructCSR stores sparse factors in CSR (Table II's CSR row).
+	StructCSR
+	// StructHybrid stores sparse factors in the hybrid dense+CSR form
+	// (Table II's CSR-H row).
+	StructHybrid
+)
+
+// String names the structure for logs and experiment output.
+func (s Structure) String() string {
+	switch s {
+	case StructCSR:
+		return "CSR"
+	case StructHybrid:
+		return "CSR-H"
+	default:
+		return "DENSE"
+	}
+}
+
+// DefaultMaxOuterIters matches the paper's cap of 200 outer iterations.
+const DefaultMaxOuterIters = 200
+
+// DefaultTol matches the paper's stopping rule: stop when the relative
+// error improves by less than 1e-6.
+const DefaultTol = 1e-6
+
+// DefaultSparseThreshold is the density below which a factor "can be
+// gainfully treated as sparse" (§V-E: 20%).
+const DefaultSparseThreshold = 0.20
+
+// Options configures a factorization.
+type Options struct {
+	// Rank is the CPD rank F (required, > 0).
+	Rank int
+	// Constraints holds one proximity operator per mode; a single-element
+	// slice is broadcast to all modes; nil means unconstrained.
+	Constraints []prox.Operator
+	// Variant selects baseline or blocked inner ADMM.
+	Variant Variant
+	// MaxOuterIters caps outer iterations (<= 0 means 200, the paper's cap).
+	MaxOuterIters int
+	// Tol is the relative-error improvement threshold (<= 0 means 1e-6).
+	Tol float64
+	// Threads is the worker count (<= 0 means GOMAXPROCS).
+	Threads int
+	// BlockSize is the blocked-ADMM rows per block (<= 0 means 50).
+	BlockSize int
+	// InnerEps is the ADMM residual tolerance (<= 0 means 1e-2).
+	InnerEps float64
+	// InnerMaxIters caps ADMM inner iterations (<= 0 means 50).
+	InnerMaxIters int
+	// AdaptiveRho enables per-block penalty residual balancing in the
+	// blocked inner solver (Boyd §3.4.1), accelerating blocks whose fixed
+	// rho = trace(G)/F is poorly matched to their conditioning.
+	AdaptiveRho bool
+	// ExploitSparsity enables the dynamic factor-sparsity machinery of
+	// §IV-C: factors whose density drops below SparseThreshold are imaged
+	// into the chosen Structure before MTTKRP.
+	ExploitSparsity bool
+	// Structure selects the compressed representation (CSR by default).
+	Structure Structure
+	// SparseThreshold overrides the 20% density threshold (<= 0 means 0.20).
+	SparseThreshold float64
+	// SingleCSF, when set, builds ONE CSF tree (rooted at the shortest
+	// mode, maximizing compression) and computes every mode's MTTKRP from
+	// it with privatized accumulation — SPLATT's memory-efficient operating
+	// point, roughly one third of the default one-tree-per-mode footprint
+	// at the cost of extra reduction work on non-root modes.
+	SingleCSF bool
+	// AutoBlockSize, when set, chooses the blocked-ADMM block size per mode
+	// from the analytical model of internal/blockmodel (the paper's §VI
+	// future-work item) instead of the fixed BlockSize.
+	AutoBlockSize bool
+	// StructureSelector, when non-nil and ExploitSparsity is set, picks the
+	// leaf-factor structure per MTTKRP call from the factor's current
+	// sparsity profile, overriding Structure (the paper's other §VI
+	// future-work item; see internal/autoselect). It receives the leaf
+	// factor's row count, the rank, the MTTKRP access count, the factor
+	// density, and the share of factor non-zeros in denser-than-average
+	// columns.
+	StructureSelector func(leafRows, rank int, accesses int64, density, denseColumnShare float64) Structure
+	// InitFactors, when non-nil, seeds the factorization from the given
+	// Kruskal tensor (deep-copied) instead of random factors — e.g. a
+	// checkpoint written by CheckpointDir, or an ALS warm start. Shapes
+	// must match the tensor and Rank.
+	InitFactors *kruskal.Tensor
+	// Seed drives factor initialization (ignored with InitFactors).
+	Seed int64
+	// MaxTime stops the factorization after the given wall time (0 = no
+	// limit). The current iterate is returned; Converged reports false.
+	MaxTime time.Duration
+	// OnIteration, when non-nil, is invoked after every outer iteration
+	// with the current trace point. Returning false stops the run.
+	OnIteration func(stats.TracePoint) bool
+	// CheckpointDir, when non-empty, saves the current factors under this
+	// directory every CheckpointEvery outer iterations (overwriting the
+	// previous checkpoint). A failed save is retried on the next interval
+	// rather than aborting the run.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint interval in outer iterations
+	// (<= 0 means 10).
+	CheckpointEvery int
+}
+
+func (o *Options) fill(order int) error {
+	if o.Rank <= 0 {
+		return fmt.Errorf("core: Rank must be positive, got %d", o.Rank)
+	}
+	switch len(o.Constraints) {
+	case 0:
+		o.Constraints = make([]prox.Operator, order)
+		for m := range o.Constraints {
+			o.Constraints[m] = prox.Unconstrained{}
+		}
+	case 1:
+		c := o.Constraints[0]
+		o.Constraints = make([]prox.Operator, order)
+		for m := range o.Constraints {
+			o.Constraints[m] = c
+		}
+	case order:
+		for m, c := range o.Constraints {
+			if c == nil {
+				o.Constraints[m] = prox.Unconstrained{}
+			}
+		}
+	default:
+		return fmt.Errorf("core: %d constraints for order-%d tensor", len(o.Constraints), order)
+	}
+	if o.MaxOuterIters <= 0 {
+		o.MaxOuterIters = DefaultMaxOuterIters
+	}
+	if o.Tol <= 0 {
+		o.Tol = DefaultTol
+	}
+	if o.SparseThreshold <= 0 {
+		o.SparseThreshold = DefaultSparseThreshold
+	}
+	return nil
+}
+
+// Result reports a completed factorization.
+type Result struct {
+	// Factors is the fitted Kruskal tensor.
+	Factors *kruskal.Tensor
+	// RelErr is the final relative error ‖X−M‖/‖X‖.
+	RelErr float64
+	// OuterIters is the number of outer iterations executed.
+	OuterIters int
+	// Converged reports whether the improvement tolerance was met before
+	// the iteration cap or time budget.
+	Converged bool
+	// InnerIters is the total ADMM inner-iteration count across modes and
+	// outer iterations (maximum block count for blocked runs).
+	InnerIters int
+	// RowIters is the total per-row inner-iteration work (Σ rows·iters).
+	RowIters int64
+	// Breakdown is the per-kernel wall-time split (Fig. 3).
+	Breakdown *stats.Breakdown
+	// Trace is the convergence trajectory (Fig. 6).
+	Trace *stats.Trace
+	// FactorDensities is the final per-mode factor density (Table II).
+	FactorDensities []float64
+	// SparseMTTKRPs counts MTTKRP invocations that used a compressed leaf
+	// factor.
+	SparseMTTKRPs int
+}
+
+// sparseImage caches one mode's compressed factor representation together
+// with the factor version it was built from, so images are rebuilt only
+// after the factor changes (§IV-C: construction costs O(I·F) and must be
+// balanced against its MTTKRP savings).
+type sparseImage struct {
+	version int
+	leaf    mttkrp.LeafFactor
+	density float64
+}
+
+// Factorize runs AO-ADMM (Algorithm 2) on x.
+func Factorize(x *tensor.COO, opts Options) (*Result, error) {
+	order := x.Order()
+	if order < 2 {
+		return nil, fmt.Errorf("core: tensor must have >= 2 modes")
+	}
+	if x.NNZ() == 0 {
+		return nil, fmt.Errorf("core: empty tensor")
+	}
+	if err := x.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid tensor: %w", err)
+	}
+	if err := opts.fill(order); err != nil {
+		return nil, err
+	}
+
+	bd := stats.NewBreakdown()
+	start := time.Now()
+
+	// Compile the tensor into CSF: one tree per mode by default, or a
+	// single tree rooted at the shortest mode in the memory-efficient
+	// SingleCSF configuration.
+	var trees *csf.Set
+	var soloTree *csf.Tensor
+	bd.Time(stats.PhaseSetup, func() {
+		if opts.SingleCSF {
+			shortest := 0
+			for m, d := range x.Dims {
+				if d < x.Dims[shortest] {
+					shortest = m
+				}
+			}
+			soloTree = csf.Build(x.Clone(), csf.DefaultPerm(order, shortest))
+		} else {
+			trees = csf.BuildSet(x.Clone())
+		}
+	})
+
+	var model *kruskal.Tensor
+	xNormSq := x.NormSq()
+	if opts.InitFactors != nil {
+		if err := checkInitShape(opts.InitFactors, x.Dims, opts.Rank); err != nil {
+			return nil, err
+		}
+		model = opts.InitFactors.Clone()
+	} else {
+		rng := rand.New(rand.NewSource(opts.Seed))
+		model = kruskal.Random(x.Dims, opts.Rank, rng)
+		scaleInit(model, xNormSq, opts.Threads)
+	}
+	duals := make([]*dense.Matrix, order)
+	grams := make([]*dense.Matrix, order)
+	versions := make([]int, order)
+	images := make([]sparseImage, order)
+	for m := 0; m < order; m++ {
+		duals[m] = dense.New(x.Dims[m], opts.Rank)
+		grams[m] = dense.Gram(model.Factors[m], opts.Threads)
+	}
+	ws := &admm.Workspace{}
+	kmat := dense.New(maxDim(x.Dims), opts.Rank)
+
+	res := &Result{
+		Factors:   model,
+		Breakdown: bd,
+		Trace:     &stats.Trace{},
+		RelErr:    1,
+	}
+
+	admmCfg := admm.Config{
+		Eps:         opts.InnerEps,
+		MaxIters:    opts.InnerMaxIters,
+		Threads:     opts.Threads,
+		BlockSize:   opts.BlockSize,
+		AdaptiveRho: opts.AdaptiveRho,
+	}
+
+	prevErr := math.Inf(1)
+	for outer := 1; outer <= opts.MaxOuterIters; outer++ {
+		res.OuterIters = outer
+		iterInner := 0
+		var lastK *dense.Matrix
+		var lastMode int
+		for m := 0; m < order; m++ {
+			tree := soloTree
+			if trees != nil {
+				tree = trees.Tree(m)
+			}
+
+			// G = ∗_{n≠m} AₙᵀAₙ (Algorithm 2, lines 4/8/12).
+			var g *dense.Matrix
+			bd.Time(stats.PhaseOther, func() {
+				g = gramProduct(grams, m)
+			})
+
+			// K = MTTKRP (lines 5/9/13), with the leaf factor possibly in a
+			// compressed structure. Image construction is charged to the
+			// MTTKRP phase: it exists only to serve this kernel, and the
+			// paper's Table II times include the conversion overhead.
+			k := kmat.RowBlock(0, x.Dims[m])
+			var leaf mttkrp.LeafFactor
+			bd.Time(stats.PhaseMTTKRP, func() {
+				leaf = leafFor(opts, tree, model, versions, images, res)
+				if opts.SingleCSF {
+					mttkrp.ComputeMode(tree, m, model.Factors, k, leaf, mttkrp.Options{Threads: opts.Threads})
+				} else {
+					mttkrp.Compute(tree, model.Factors, k, leaf, mttkrp.Options{Threads: opts.Threads})
+				}
+			})
+
+			// Inner ADMM (lines 6/10/14).
+			admmCfg.Prox = opts.Constraints[m]
+			if opts.AutoBlockSize && opts.Variant != Baseline {
+				admmCfg.BlockSize = blockmodel.DefaultModel().Choose(
+					x.Dims[m], opts.Rank, par.Threads(opts.Threads))
+			}
+			var st admm.Stats
+			var err error
+			bd.Time(stats.PhaseADMM, func() {
+				if opts.Variant == Baseline {
+					st, err = admm.Run(model.Factors[m], duals[m], k, g, ws, admmCfg)
+				} else {
+					st, err = admm.RunBlocked(model.Factors[m], duals[m], k, g, ws, admmCfg)
+				}
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: mode %d outer %d: %w", m, outer, err)
+			}
+			versions[m]++
+			iterInner += st.Iterations
+			res.RowIters += st.RowIterations
+
+			bd.Time(stats.PhaseOther, func() {
+				grams[m] = dense.Gram(model.Factors[m], opts.Threads)
+			})
+			lastK, lastMode = k, m
+		}
+		res.InnerIters += iterInner
+
+		// Relative error from the last mode's MTTKRP: K is independent of
+		// that mode's factor, so ⟨X, M⟩ = Σ K∘A_m holds for the updated
+		// factor (§V-A, computed without another tensor pass).
+		var relErr float64
+		bd.Time(stats.PhaseOther, func() {
+			inner := kruskal.InnerWithMTTKRP(lastK, model.Factors[lastMode])
+			mNormSq := kruskal.NormSqFromGrams(grams)
+			relErr = kruskal.RelErr(xNormSq, inner, mNormSq)
+		})
+		res.RelErr = relErr
+
+		point := stats.TracePoint{
+			Iteration:  outer,
+			Elapsed:    time.Since(start),
+			RelErr:     relErr,
+			InnerIters: iterInner,
+		}
+		res.Trace.Append(point)
+		if opts.CheckpointDir != "" {
+			every := opts.CheckpointEvery
+			if every <= 0 {
+				every = 10
+			}
+			if outer%every == 0 {
+				_ = model.Save(opts.CheckpointDir)
+			}
+		}
+		if opts.OnIteration != nil && !opts.OnIteration(point) {
+			break
+		}
+		if math.Abs(prevErr-relErr) < opts.Tol {
+			res.Converged = true
+			break
+		}
+		prevErr = relErr
+		if opts.MaxTime > 0 && time.Since(start) > opts.MaxTime {
+			break
+		}
+	}
+
+	res.FactorDensities = make([]float64, order)
+	for m := 0; m < order; m++ {
+		res.FactorDensities[m] = dense.Density(model.Factors[m], 0)
+	}
+	return res, nil
+}
+
+// leafFor decides the leaf-factor representation for one MTTKRP call: the
+// tree's leaf-level factor is compressed when sparsity exploitation is on
+// and its density is below the threshold; otherwise the dense matrix is
+// used directly (nil → dense inside mttkrp.Compute).
+func leafFor(opts Options, tree *csf.Tensor, model *kruskal.Tensor, versions []int, images []sparseImage, res *Result) mttkrp.LeafFactor {
+	if !opts.ExploitSparsity {
+		return nil
+	}
+	if opts.StructureSelector == nil && opts.Structure == StructDense {
+		return nil
+	}
+	leafMode := tree.Perm[tree.Order()-1]
+	img := &images[leafMode]
+	if img.leaf == nil || img.version != versions[leafMode] {
+		f := model.Factors[leafMode]
+		density := dense.Density(f, 0)
+		img.version = versions[leafMode]
+		img.density = density
+
+		structure := opts.Structure
+		useSparse := density < opts.SparseThreshold
+		if opts.StructureSelector != nil {
+			structure = opts.StructureSelector(f.Rows, f.Cols, int64(tree.NNZ()),
+				density, denseColumnShare(f))
+			useSparse = structure != StructDense
+		}
+		switch {
+		case !useSparse || structure == StructDense:
+			img.leaf = nil
+		case structure == StructHybrid:
+			img.leaf = sparse.FromDenseHybrid(f, 0)
+		default:
+			img.leaf = sparse.FromDense(f, 0)
+		}
+	}
+	if img.leaf != nil {
+		res.SparseMTTKRPs++
+	}
+	return img.leaf
+}
+
+// denseColumnShare returns the fraction of a factor's non-zeros that live
+// in columns denser than the column average — the quantity the structure
+// selector uses to judge the CSR-H panel's usefulness.
+func denseColumnShare(f *dense.Matrix) float64 {
+	colNNZ := make([]int, f.Cols)
+	total := 0
+	for i := 0; i < f.Rows; i++ {
+		row := f.Row(i)
+		for j, v := range row {
+			if v != 0 {
+				colNNZ[j]++
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(f.Cols)
+	inDense := 0
+	for _, c := range colNNZ {
+		if float64(c) > mean {
+			inDense += c
+		}
+	}
+	return float64(inDense) / float64(total)
+}
+
+// scaleInit rescales the random initial factors so the initial model norm
+// matches the data norm, ‖M₀‖ ≈ ‖X‖. Without this, a non-negative run whose
+// data values dwarf the O(rank) initial model spends its first outer
+// iterations in a flat relerr ≈ 1 transient that can falsely trip the
+// improvement-based stopping rule.
+func scaleInit(model *kruskal.Tensor, xNormSq float64, threads int) {
+	if xNormSq <= 0 {
+		return
+	}
+	mNormSq := model.NormSq(threads)
+	if mNormSq <= 0 {
+		return
+	}
+	s := math.Pow(xNormSq/mNormSq, 0.5/float64(model.Order()))
+	for _, f := range model.Factors {
+		dense.Scale(f, s)
+	}
+}
+
+// checkInitShape validates a user-provided initialization.
+func checkInitShape(k *kruskal.Tensor, dims []int, rank int) error {
+	if k.Order() != len(dims) {
+		return fmt.Errorf("core: InitFactors order %d != tensor order %d", k.Order(), len(dims))
+	}
+	if k.Rank() != rank {
+		return fmt.Errorf("core: InitFactors rank %d != Rank %d", k.Rank(), rank)
+	}
+	for m, f := range k.Factors {
+		if f.Rows != dims[m] {
+			return fmt.Errorf("core: InitFactors mode %d has %d rows, tensor needs %d", m, f.Rows, dims[m])
+		}
+	}
+	return nil
+}
+
+func gramProduct(grams []*dense.Matrix, skip int) *dense.Matrix {
+	var out *dense.Matrix
+	for m, g := range grams {
+		if m == skip {
+			continue
+		}
+		if out == nil {
+			out = g.Clone()
+		} else {
+			dense.Hadamard(out, out, g)
+		}
+	}
+	return out
+}
+
+func maxDim(dims []int) int {
+	m := 0
+	for _, d := range dims {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"aoadmm/internal/dense"
+	"aoadmm/internal/prox"
+	"aoadmm/internal/tensor"
+)
+
+func TestAutoBlockSizeRuns(t *testing.T) {
+	x := testTensor(t, 130)
+	auto, err := Factorize(x, Options{
+		Rank: 5, Seed: 1, MaxOuterIters: 10,
+		Constraints:   []prox.Operator{prox.NonNegative{}},
+		AutoBlockSize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := Factorize(x, Options{
+		Rank: 5, Seed: 1, MaxOuterIters: 10,
+		Constraints: []prox.Operator{prox.NonNegative{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Auto block sizing changes scheduling, not the math materially: the
+	// two runs must land at comparable errors.
+	if math.Abs(auto.RelErr-fixed.RelErr) > 0.05 {
+		t.Fatalf("auto %v vs fixed %v diverged", auto.RelErr, fixed.RelErr)
+	}
+}
+
+func TestStructureSelectorIsConsulted(t *testing.T) {
+	x, _, err := tensor.PlantedLowRank(tensor.GenOptions{
+		Dims: []int{50, 55, 60}, NNZ: 5000, Rank: 3, Seed: 131,
+		FactorDensity: 0.2, NoiseStd: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	res, err := Factorize(x, Options{
+		Rank: 6, Seed: 1, MaxOuterIters: 10,
+		Constraints:     []prox.Operator{prox.NonNegL1{Lambda: 0.3}},
+		ExploitSparsity: true,
+		StructureSelector: func(leafRows, rank int, accesses int64, density, share float64) Structure {
+			calls++
+			if leafRows <= 0 || rank != 6 || accesses <= 0 {
+				t.Errorf("bad selector inputs: rows=%d rank=%d acc=%d", leafRows, rank, accesses)
+			}
+			if density < 0 || density > 1 || share < 0 || share > 1 {
+				t.Errorf("bad selector fractions: density=%v share=%v", density, share)
+			}
+			return StructCSR
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("selector never consulted")
+	}
+	if res.SparseMTTKRPs == 0 {
+		t.Fatal("selector chose CSR but no sparse MTTKRPs ran")
+	}
+}
+
+func TestStructureSelectorCanForceDense(t *testing.T) {
+	x, _, err := tensor.PlantedLowRank(tensor.GenOptions{
+		Dims: []int{40, 40, 40}, NNZ: 3000, Rank: 3, Seed: 132,
+		FactorDensity: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Factorize(x, Options{
+		Rank: 5, Seed: 1, MaxOuterIters: 8,
+		Constraints:     []prox.Operator{prox.NonNegL1{Lambda: 0.5}},
+		ExploitSparsity: true,
+		StructureSelector: func(int, int, int64, float64, float64) Structure {
+			return StructDense
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SparseMTTKRPs != 0 {
+		t.Fatalf("selector forced DENSE but %d sparse MTTKRPs ran", res.SparseMTTKRPs)
+	}
+}
+
+func TestStructureSelectorMatchesFixedTrajectory(t *testing.T) {
+	// A selector that always answers CSR must reproduce the fixed-CSR run
+	// exactly (selection changes representation, never values).
+	x, _, err := tensor.PlantedLowRank(tensor.GenOptions{
+		Dims: []int{45, 50, 55}, NNZ: 4000, Rank: 3, Seed: 133,
+		FactorDensity: 0.15, NoiseStd: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Options{
+		Rank: 6, Seed: 2, MaxOuterIters: 12,
+		Constraints:     []prox.Operator{prox.NonNegL1{Lambda: 0.3}},
+		ExploitSparsity: true,
+		Structure:       StructCSR,
+	}
+	fixed, err := Factorize(x, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := base
+	sel.StructureSelector = func(leafRows, rank int, acc int64, density, share float64) Structure {
+		if density < DefaultSparseThreshold {
+			return StructCSR
+		}
+		return StructDense
+	}
+	selected, err := Factorize(x, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.RelErr != selected.RelErr {
+		t.Fatalf("trajectories differ: %v vs %v", fixed.RelErr, selected.RelErr)
+	}
+}
+
+func TestDenseColumnShare(t *testing.T) {
+	// 10x4 matrix: column 0 fully dense (10 nnz), column 1 has 2, others 0.
+	// Mean column count = 3; only column 0 exceeds it => share = 10/12.
+	f := dense.New(10, 4)
+	for i := 0; i < 10; i++ {
+		f.Set(i, 0, 1)
+	}
+	f.Set(0, 1, 1)
+	f.Set(1, 1, 1)
+	got := denseColumnShare(f)
+	want := 10.0 / 12.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("denseColumnShare = %v, want %v", got, want)
+	}
+	if denseColumnShare(dense.New(5, 3)) != 0 {
+		t.Fatal("empty matrix share must be 0")
+	}
+}
+
+func TestAdaptiveRhoOption(t *testing.T) {
+	x := testTensor(t, 493)
+	fixed, err := Factorize(x, Options{
+		Rank: 4, Seed: 1, MaxOuterIters: 10,
+		Constraints: []prox.Operator{prox.NonNegative{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := Factorize(x, Options{
+		Rank: 4, Seed: 1, MaxOuterIters: 10,
+		Constraints: []prox.Operator{prox.NonNegative{}},
+		AdaptiveRho: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fixed.RelErr-adaptive.RelErr) > 0.05 {
+		t.Fatalf("adaptive rho diverged: %v vs %v", adaptive.RelErr, fixed.RelErr)
+	}
+}

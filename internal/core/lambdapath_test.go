@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"aoadmm/internal/tensor"
+)
+
+func TestLambdaPathDensityMonotone(t *testing.T) {
+	x, _, err := tensor.PlantedLowRank(tensor.GenOptions{
+		Dims: []int{50, 50, 50}, NNZ: 5000, Rank: 4, Seed: 500,
+		FactorDensity: 0.3, NoiseStd: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambdas := []float64{0.01, 0.1, 1.0}
+	points, err := LambdaPath(x, Options{Rank: 6, Seed: 1, MaxOuterIters: 25}, lambdas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	// Results are in the caller's order.
+	for i, l := range lambdas {
+		if points[i].Lambda != l {
+			t.Fatalf("point %d lambda %v, want %v", i, points[i].Lambda, l)
+		}
+		if points[i].OuterIters == 0 || len(points[i].Densities) != 3 {
+			t.Fatalf("degenerate point %+v", points[i])
+		}
+	}
+	// Heavier regularization must not produce denser factors or lower error.
+	d := func(p PathPoint) float64 {
+		var s float64
+		for _, v := range p.Densities {
+			s += v
+		}
+		return s
+	}
+	if d(points[2]) > d(points[0])+1e-9 {
+		t.Fatalf("density not decreasing with lambda: %v vs %v", d(points[2]), d(points[0]))
+	}
+	if points[2].RelErr < points[0].RelErr-1e-9 {
+		t.Fatalf("error decreasing with heavier regularization: %v vs %v",
+			points[2].RelErr, points[0].RelErr)
+	}
+}
+
+func TestLambdaPathValidation(t *testing.T) {
+	x := testTensor(t, 501)
+	if _, err := LambdaPath(x, Options{Rank: 3}, nil); err == nil {
+		t.Fatal("empty lambdas accepted")
+	}
+	if _, err := LambdaPath(x, Options{Rank: 3}, []float64{0.1, -1}); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+}

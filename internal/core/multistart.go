@@ -1,0 +1,31 @@
+package core
+
+import (
+	"fmt"
+
+	"aoadmm/internal/tensor"
+)
+
+// MultiStart runs Factorize once per seed and returns the result with the
+// lowest relative error, along with the winning seed. CPD is non-convex
+// (Eq. 1 of the paper), so random restarts are the standard defense against
+// bad local minima; the runs share every other option.
+func MultiStart(x *tensor.COO, opts Options, seeds []int64) (*Result, int64, error) {
+	if len(seeds) == 0 {
+		return nil, 0, fmt.Errorf("core: MultiStart needs at least one seed")
+	}
+	var best *Result
+	var bestSeed int64
+	for _, seed := range seeds {
+		o := opts
+		o.Seed = seed
+		res, err := Factorize(x, o)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: seed %d: %w", seed, err)
+		}
+		if best == nil || res.RelErr < best.RelErr {
+			best, bestSeed = res, seed
+		}
+	}
+	return best, bestSeed, nil
+}

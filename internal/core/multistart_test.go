@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"aoadmm/internal/prox"
+)
+
+func TestMultiStartPicksBestSeed(t *testing.T) {
+	x := testTensor(t, 320)
+	opts := Options{
+		Rank: 4, MaxOuterIters: 15,
+		Constraints: []prox.Operator{prox.NonNegative{}},
+	}
+	seeds := []int64{1, 2, 3}
+	best, bestSeed, err := MultiStart(x, opts, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range seeds {
+		o := opts
+		o.Seed = s
+		res, err := Factorize(x, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RelErr < best.RelErr-1e-12 {
+			t.Fatalf("seed %d beats reported best: %v < %v", s, res.RelErr, best.RelErr)
+		}
+		if s == bestSeed {
+			found = true
+			if res.RelErr != best.RelErr {
+				t.Fatalf("winning seed %d rerun gives %v, reported %v", s, res.RelErr, best.RelErr)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("winning seed %d not among inputs", bestSeed)
+	}
+}
+
+func TestMultiStartValidation(t *testing.T) {
+	x := testTensor(t, 321)
+	if _, _, err := MultiStart(x, Options{Rank: 3}, nil); err == nil {
+		t.Fatal("no seeds accepted")
+	}
+	if _, _, err := MultiStart(x, Options{Rank: 0}, []int64{1}); err == nil {
+		t.Fatal("bad options accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"aoadmm/internal/prox"
+)
+
+func TestSingleCSFMatchesMultiTreeTrajectory(t *testing.T) {
+	x := testTensor(t, 410)
+	base := Options{
+		Rank: 5, Seed: 1, MaxOuterIters: 12,
+		Constraints: []prox.Operator{prox.NonNegative{}},
+	}
+	multi, err := Factorize(x, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := base
+	solo.SingleCSF = true
+	single, err := Factorize(x, solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same arithmetic up to MTTKRP summation order: trajectories must agree
+	// tightly.
+	if math.Abs(multi.RelErr-single.RelErr) > 1e-6 {
+		t.Fatalf("single-CSF relerr %v != multi-tree %v", single.RelErr, multi.RelErr)
+	}
+	if single.OuterIters == 0 {
+		t.Fatal("no iterations")
+	}
+}
+
+func TestSingleCSFWithSparsityExploitation(t *testing.T) {
+	x := testTensor(t, 411)
+	res, err := Factorize(x, Options{
+		Rank: 4, Seed: 2, MaxOuterIters: 8,
+		Constraints:     []prox.Operator{prox.NonNegL1{Lambda: 0.2}},
+		SingleCSF:       true,
+		ExploitSparsity: true,
+		Structure:       StructCSR,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelErr <= 0 || res.RelErr >= 1 {
+		t.Fatalf("relerr %v", res.RelErr)
+	}
+}
+
+func TestSingleCSFParallelConsistent(t *testing.T) {
+	x := testTensor(t, 412)
+	var ref float64
+	for i, threads := range []int{1, 3} {
+		res, err := Factorize(x, Options{
+			Rank: 4, Seed: 3, MaxOuterIters: 6, Threads: threads,
+			SingleCSF:   true,
+			Constraints: []prox.Operator{prox.NonNegative{}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = res.RelErr
+			continue
+		}
+		if math.Abs(res.RelErr-ref) > 1e-6 {
+			t.Fatalf("threads=%d relerr %v != %v", threads, res.RelErr, ref)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package datasets
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestNamesAndGet(t *testing.T) {
+	for _, name := range Names() {
+		spec, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		if spec.Name != name {
+			t.Fatalf("spec name %q != %q", spec.Name, name)
+		}
+		if len(spec.Dims) != 3 || spec.NNZ <= 0 || spec.Rank <= 0 {
+			t.Fatalf("degenerate spec: %+v", spec)
+		}
+	}
+	if _, err := Get("bogus"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestScaling(t *testing.T) {
+	spec, _ := Get("reddit")
+	small := spec.At(Small)
+	large := spec.At(Large)
+	if small.NNZ >= spec.NNZ || large.NNZ <= spec.NNZ {
+		t.Fatalf("scaling wrong: small=%d medium=%d large=%d", small.NNZ, spec.NNZ, large.NNZ)
+	}
+	for m := range spec.Dims {
+		if small.Dims[m] >= spec.Dims[m] || large.Dims[m] <= spec.Dims[m] {
+			t.Fatalf("dim scaling wrong at mode %d", m)
+		}
+	}
+	// At must not mutate the registry's spec.
+	again, _ := Get("reddit")
+	if again.Dims[0] != spec.Dims[0] {
+		t.Fatal("At mutated the registered spec")
+	}
+}
+
+func TestGenerateSmallProxies(t *testing.T) {
+	for _, name := range Names() {
+		x, err := Generate(name, Small)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if x.NNZ() == 0 {
+			t.Fatalf("%s: empty proxy", name)
+		}
+		if x.Order() != 3 {
+			t.Fatalf("%s: order %d", name, x.Order())
+		}
+		spec, _ := Get(name)
+		small := spec.At(Small)
+		for m, d := range x.Dims {
+			if d != small.Dims[m] {
+				t.Fatalf("%s: dims %v != %v", name, x.Dims, small.Dims)
+			}
+		}
+	}
+	if _, err := Generate("bogus", Small); err == nil {
+		t.Fatal("unknown dataset generated")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate("patents", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("patents", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != b.NNZ() || a.Vals[0] != b.Vals[0] {
+		t.Fatal("proxy generation must be deterministic")
+	}
+}
+
+func TestSkewedProxiesHavePowerLawSlices(t *testing.T) {
+	x, err := Generate("reddit", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := x.SliceCounts(0)
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	top := 0
+	for i := 0; i < len(counts)/100+1; i++ {
+		top += counts[i]
+	}
+	if frac := float64(top) / float64(x.NNZ()); frac < 0.1 {
+		t.Fatalf("top-1%% slice share %v too uniform for a power-law proxy", frac)
+	}
+}
+
+func TestCharacterContrasts(t *testing.T) {
+	// nell must be far sparser (nnz / Σdims) than amazon & patents — the
+	// driver of the Fig. 3 ADMM/MTTKRP balance.
+	ratio := func(name string) float64 {
+		spec, _ := Get(name)
+		sum := 0
+		for _, d := range spec.Dims {
+			sum += d
+		}
+		return float64(spec.NNZ) / float64(sum)
+	}
+	if !(ratio("nell") < ratio("reddit") && ratio("reddit") < ratio("amazon") && ratio("amazon") < ratio("patents")) {
+		t.Fatalf("nnz-per-row ordering broken: nell=%v reddit=%v amazon=%v patents=%v",
+			ratio("nell"), ratio("reddit"), ratio("amazon"), ratio("patents"))
+	}
+}
+
+func TestPaperTable1(t *testing.T) {
+	rows := PaperTable1()
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.NNZ <= 0 || len(r.Dims) != 3 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Small.String() != "small" || Medium.String() != "medium" || Large.String() != "large" {
+		t.Fatal("scale names")
+	}
+}

@@ -1,0 +1,195 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randSPD returns a random symmetric positive definite n x n matrix.
+func randSPD(n int, rng *rand.Rand) *Matrix {
+	a := Random(n+3, n, rng) // more rows than cols => full column rank a.s.
+	g := Gram(a, 1)
+	return AddScaledIdentity(g, 0.1)
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{1, 2, 5, 20, 50} {
+		m := randSPD(n, rng)
+		ch, err := NewCholesky(m)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := MaxAbsDiff(ch.Reconstruct(), m); d > 1e-9 {
+			t.Fatalf("n=%d: reconstruction error %v", n, d)
+		}
+	}
+}
+
+func TestCholeskyLowerTriangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	m := randSPD(6, rng)
+	ch, err := NewCholesky(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := ch.L()
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			if l.At(i, j) != 0 {
+				t.Fatalf("upper triangle non-zero at (%d,%d)", i, j)
+			}
+		}
+		if l.At(i, i) <= 0 {
+			t.Fatalf("non-positive diagonal at %d", i)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := NewCholesky(m); err == nil {
+		t.Fatal("expected ErrNotPositiveDefinite")
+	}
+	if _, err := NewCholesky(New(3, 3)); err == nil {
+		t.Fatal("zero matrix must be rejected")
+	}
+	if _, err := NewCholesky(New(2, 3)); err == nil {
+		t.Fatal("non-square must be rejected")
+	}
+}
+
+func TestCholeskyJitterRecovers(t *testing.T) {
+	// Singular PSD matrix: rank-1 Gram. Jitter must make it factorizable.
+	a := FromRows([][]float64{{1, 2, 3}})
+	g := Gram(a, 1) // rank 1, 3x3
+	ch, jitter, err := NewCholeskyJitter(g, 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jitter <= 0 {
+		t.Fatalf("expected positive jitter, got %v", jitter)
+	}
+	if ch == nil {
+		t.Fatal("nil factorization")
+	}
+}
+
+func TestCholeskyJitterNoopOnSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := randSPD(4, rng)
+	_, jitter, err := NewCholeskyJitter(m, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jitter != 0 {
+		t.Fatalf("SPD input must need no jitter, got %v", jitter)
+	}
+}
+
+func TestSolveVecKnownSystem(t *testing.T) {
+	// M = [[4,2],[2,3]], solve M x = b with known answer.
+	m := FromRows([][]float64{{4, 2}, {2, 3}})
+	ch, err := NewCholesky(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{10, 9} // x = (1.5, 2)
+	ch.SolveVec(b)
+	if math.Abs(b[0]-1.5) > 1e-12 || math.Abs(b[1]-2) > 1e-12 {
+		t.Fatalf("SolveVec = %v", b)
+	}
+}
+
+func TestSolveVecResidualProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		m := randSPD(n, rng)
+		ch, err := NewCholesky(m)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		// b = M x, solve, must recover x.
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b[i] += m.At(i, j) * x[j]
+			}
+		}
+		ch.SolveVec(b)
+		for i := range x {
+			if math.Abs(b[i]-x[i]) > 1e-7*(1+math.Abs(x[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveRowsMatchesPerRowSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	m := randSPD(5, rng)
+	ch, err := NewCholesky(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Random(40, 5, rng)
+	want := b.Clone()
+	for i := 0; i < want.Rows; i++ {
+		ch.SolveVec(want.Row(i))
+	}
+	got := b.Clone()
+	ch.SolveRows(got)
+	if MaxAbsDiff(got, want) > 1e-12 {
+		t.Fatal("SolveRows differs from per-row SolveVec")
+	}
+}
+
+func TestSolveRowsOnRowBlockView(t *testing.T) {
+	// Solving a block view must update only that block of the parent.
+	rng := rand.New(rand.NewSource(25))
+	m := randSPD(4, rng)
+	ch, err := NewCholesky(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Random(10, 4, rng)
+	orig := full.Clone()
+	ch.SolveRows(full.RowBlock(3, 7))
+	for i := 0; i < 10; i++ {
+		inside := i >= 3 && i < 7
+		same := true
+		for j := 0; j < 4; j++ {
+			if full.At(i, j) != orig.At(i, j) {
+				same = false
+			}
+		}
+		if inside && same {
+			t.Fatalf("row %d inside block unchanged", i)
+		}
+		if !inside && !same {
+			t.Fatalf("row %d outside block modified", i)
+		}
+	}
+}
+
+func TestSolveVecLengthPanics(t *testing.T) {
+	m := FromRows([][]float64{{2}})
+	ch, _ := NewCholesky(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ch.SolveVec([]float64{1, 2})
+}

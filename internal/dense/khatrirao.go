@@ -1,0 +1,43 @@
+package dense
+
+// KhatriRao computes the Khatri-Rao (columnwise Kronecker) product of two
+// matrices with equal column counts: for B (J x F) and C (K x F), the result
+// is (J·K) x F with row (j·K + k) equal to B(j,:) ∗ C(k,:).
+//
+// This is the dense operation MTTKRP avoids materializing (§II-A); it exists
+// for validation, where small problems verify that the CSF kernels equal the
+// matricized definition K = X(m)·(⊙ₙ Aₙ).
+func KhatriRao(b, c *Matrix) *Matrix {
+	if b.Cols != c.Cols {
+		panic("dense: KhatriRao column mismatch")
+	}
+	f := b.Cols
+	out := New(b.Rows*c.Rows, f)
+	for j := 0; j < b.Rows; j++ {
+		bRow := b.Row(j)
+		for k := 0; k < c.Rows; k++ {
+			cRow := c.Row(k)
+			oRow := out.Row(j*c.Rows + k)
+			for q := 0; q < f; q++ {
+				oRow[q] = bRow[q] * cRow[q]
+			}
+		}
+	}
+	return out
+}
+
+// KhatriRaoAll folds KhatriRao over a list of matrices left to right:
+// KhatriRaoAll(A, B, C) = A ⊙ B ⊙ C.
+func KhatriRaoAll(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		panic("dense: KhatriRaoAll of nothing")
+	}
+	out := ms[0]
+	for _, m := range ms[1:] {
+		out = KhatriRao(out, m)
+	}
+	if out == ms[0] {
+		out = out.Clone()
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package dense
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKhatriRaoKnown(t *testing.T) {
+	b := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := FromRows([][]float64{{5, 6}, {7, 8}, {9, 10}})
+	out := KhatriRao(b, c)
+	if out.Rows != 6 || out.Cols != 2 {
+		t.Fatalf("shape %dx%d", out.Rows, out.Cols)
+	}
+	// Row (j=0,k=0) = (1*5, 2*6); row (j=1,k=2) = (3*9, 4*10).
+	if out.At(0, 0) != 5 || out.At(0, 1) != 12 {
+		t.Fatalf("row 0 = %v", out.Row(0))
+	}
+	if out.At(5, 0) != 27 || out.At(5, 1) != 40 {
+		t.Fatalf("row 5 = %v", out.Row(5))
+	}
+}
+
+func TestKhatriRaoColumnMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KhatriRao(New(2, 2), New(2, 3))
+}
+
+func TestKhatriRaoGramIdentity(t *testing.T) {
+	// (B ⊙ C)ᵀ(B ⊙ C) = BᵀB ∗ CᵀC — the identity Algorithm 2 relies on to
+	// form G without materializing the KRP.
+	rng := rand.New(rand.NewSource(91))
+	b := Random(7, 4, rng)
+	c := Random(5, 4, rng)
+	krp := KhatriRao(b, c)
+	left := Gram(krp, 1)
+	right := HadamardAll(Gram(b, 1), Gram(c, 1))
+	if d := MaxAbsDiff(left, right); d > 1e-9 {
+		t.Fatalf("Gram identity violated by %v", d)
+	}
+}
+
+func TestKhatriRaoAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	a := Random(2, 3, rng)
+	b := Random(3, 3, rng)
+	c := Random(4, 3, rng)
+	all := KhatriRaoAll(a, b, c)
+	if all.Rows != 24 || all.Cols != 3 {
+		t.Fatalf("shape %dx%d", all.Rows, all.Cols)
+	}
+	step := KhatriRao(KhatriRao(a, b), c)
+	if !Equal(all, step, 1e-12) {
+		t.Fatal("KhatriRaoAll must equal left fold")
+	}
+	// Single argument must clone, not alias.
+	single := KhatriRaoAll(a)
+	single.Set(0, 0, 1e9)
+	if a.At(0, 0) == 1e9 {
+		t.Fatal("KhatriRaoAll(single) aliased input")
+	}
+}

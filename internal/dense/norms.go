@@ -1,0 +1,103 @@
+package dense
+
+import (
+	"math"
+
+	"aoadmm/internal/par"
+)
+
+// FrobSq returns the squared Frobenius norm ‖m‖²_F.
+func FrobSq(m *Matrix) float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for _, v := range row {
+			s += v * v
+		}
+	}
+	return s
+}
+
+// Frob returns the Frobenius norm ‖m‖_F.
+func Frob(m *Matrix) float64 { return math.Sqrt(FrobSq(m)) }
+
+// FrobSqParallel is FrobSq with the row loop split over nThreads.
+func FrobSqParallel(m *Matrix, nThreads int) float64 {
+	return par.ReduceFloat64(m.Rows, nThreads, func(tid, begin, end int) float64 {
+		var s float64
+		for i := begin; i < end; i++ {
+			row := m.Row(i)
+			for _, v := range row {
+				s += v * v
+			}
+		}
+		return s
+	})
+}
+
+// DiffFrobSq returns ‖a − b‖²_F without materializing the difference.
+func DiffFrobSq(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("dense: DiffFrobSq shape mismatch")
+	}
+	var s float64
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			d := ra[j] - rb[j]
+			s += d * d
+		}
+	}
+	return s
+}
+
+// NormalizeColumns rescales each column of m to unit 2-norm and returns the
+// original column norms (the Kruskal weights λ). Zero columns are left
+// untouched and report weight 0.
+func NormalizeColumns(m *Matrix) []float64 {
+	f := m.Cols
+	norms := make([]float64, f)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			norms[j] += v * v
+		}
+	}
+	for j := range norms {
+		norms[j] = math.Sqrt(norms[j])
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			if norms[j] > 0 {
+				row[j] /= norms[j]
+			}
+		}
+	}
+	return norms
+}
+
+// NNZ counts entries with absolute value strictly greater than tol.
+func NNZ(m *Matrix, tol float64) int {
+	var n int
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for _, v := range row {
+			if math.Abs(v) > tol {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Density returns NNZ/(Rows·Cols), the fraction of entries above tol in
+// magnitude. The paper's dynamic-sparsity machinery switches MTTKRP data
+// structures when this falls below a threshold (20% by default).
+func Density(m *Matrix, tol float64) float64 {
+	total := m.Rows * m.Cols
+	if total == 0 {
+		return 0
+	}
+	return float64(NNZ(m, tol)) / float64(total)
+}

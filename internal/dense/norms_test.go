@@ -1,0 +1,113 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrobSqKnown(t *testing.T) {
+	m := FromRows([][]float64{{3, 4}})
+	if FrobSq(m) != 25 {
+		t.Fatalf("FrobSq = %v", FrobSq(m))
+	}
+	if Frob(m) != 5 {
+		t.Fatalf("Frob = %v", Frob(m))
+	}
+}
+
+func TestFrobSqParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	m := Random(333, 7, rng)
+	want := FrobSq(m)
+	for _, p := range []int{1, 2, 5, 64} {
+		got := FrobSqParallel(m, p)
+		if math.Abs(got-want) > 1e-9*want {
+			t.Fatalf("threads=%d: %v != %v", p, got, want)
+		}
+	}
+}
+
+func TestDiffFrobSq(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{0, 2}, {3, 2}})
+	if d := DiffFrobSq(a, b); d != 5 {
+		t.Fatalf("DiffFrobSq = %v", d)
+	}
+	if DiffFrobSq(a, a) != 0 {
+		t.Fatal("self diff must be zero")
+	}
+}
+
+func TestDiffFrobSqTriangleProperty(t *testing.T) {
+	// Property: sqrt(DiffFrobSq) is a metric — triangle inequality.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(10), 1+rng.Intn(5)
+		a, b, cm := Random(r, c, rng), Random(r, c, rng), Random(r, c, rng)
+		ab := math.Sqrt(DiffFrobSq(a, b))
+		bc := math.Sqrt(DiffFrobSq(b, cm))
+		ac := math.Sqrt(DiffFrobSq(a, cm))
+		return ac <= ab+bc+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeColumns(t *testing.T) {
+	m := FromRows([][]float64{{3, 0}, {4, 0}})
+	norms := NormalizeColumns(m)
+	if math.Abs(norms[0]-5) > 1e-12 || norms[1] != 0 {
+		t.Fatalf("norms = %v", norms)
+	}
+	if math.Abs(m.At(0, 0)-0.6) > 1e-12 || math.Abs(m.At(1, 0)-0.8) > 1e-12 {
+		t.Fatalf("normalized col 0 = (%v, %v)", m.At(0, 0), m.At(1, 0))
+	}
+	// Zero column untouched.
+	if m.At(0, 1) != 0 || m.At(1, 1) != 0 {
+		t.Fatal("zero column must be untouched")
+	}
+}
+
+func TestNormalizeColumnsUnitNormProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := Random(2+rng.Intn(30), 1+rng.Intn(8), rng)
+		orig := m.Clone()
+		norms := NormalizeColumns(m)
+		for j := 0; j < m.Cols; j++ {
+			var s float64
+			for i := 0; i < m.Rows; i++ {
+				s += m.At(i, j) * m.At(i, j)
+			}
+			if math.Abs(math.Sqrt(s)-1) > 1e-9 {
+				return false
+			}
+			// Rescaling must recover the original.
+			for i := 0; i < m.Rows; i++ {
+				if math.Abs(m.At(i, j)*norms[j]-orig.At(i, j)) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNNZAndDensity(t *testing.T) {
+	m := FromRows([][]float64{{0, 1e-12, 0.5}, {0, -2, 0}})
+	if n := NNZ(m, 1e-9); n != 2 {
+		t.Fatalf("NNZ = %d", n)
+	}
+	if d := Density(m, 1e-9); math.Abs(d-2.0/6) > 1e-12 {
+		t.Fatalf("Density = %v", d)
+	}
+	if Density(New(0, 5), 0) != 0 {
+		t.Fatal("empty density must be 0")
+	}
+}

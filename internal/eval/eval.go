@@ -1,0 +1,87 @@
+// Package eval provides held-out evaluation for factorization models: split
+// a tensor's observed entries into train/test sets and score a fitted
+// Kruskal model on the unseen entries — the standard protocol for
+// recommender-style applications of sparse CPD (the paper's motivating
+// domain, §I).
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"aoadmm/internal/kruskal"
+	"aoadmm/internal/tensor"
+)
+
+// Split partitions a tensor's non-zeros into train and test tensors: each
+// non-zero lands in test with probability testFrac (deterministic per
+// seed). Both outputs share x's dimensions.
+func Split(x *tensor.COO, testFrac float64, seed int64) (train, test *tensor.COO, err error) {
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, fmt.Errorf("eval: testFrac must be in (0,1), got %v", testFrac)
+	}
+	if x.NNZ() < 2 {
+		return nil, nil, fmt.Errorf("eval: need at least 2 non-zeros to split")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	train = tensor.NewCOO(x.Dims, x.NNZ())
+	test = tensor.NewCOO(x.Dims, int(float64(x.NNZ())*testFrac)+1)
+	coord := make([]int, x.Order())
+	for p := 0; p < x.NNZ(); p++ {
+		for m := range coord {
+			coord[m] = int(x.Inds[m][p])
+		}
+		if rng.Float64() < testFrac {
+			test.Append(coord, x.Vals[p])
+		} else {
+			train.Append(coord, x.Vals[p])
+		}
+	}
+	if train.NNZ() == 0 || test.NNZ() == 0 {
+		return nil, nil, fmt.Errorf("eval: degenerate split (train %d / test %d)", train.NNZ(), test.NNZ())
+	}
+	return train, test, nil
+}
+
+// Metrics summarizes a model's accuracy on held-out entries.
+type Metrics struct {
+	// RMSE is the root mean squared error over held-out entries.
+	RMSE float64
+	// MAE is the mean absolute error.
+	MAE float64
+	// Count is the number of entries scored.
+	Count int
+}
+
+// Holdout scores the model at every held-out coordinate.
+func Holdout(model *kruskal.Tensor, test *tensor.COO) (Metrics, error) {
+	if test.NNZ() == 0 {
+		return Metrics{}, fmt.Errorf("eval: empty test set")
+	}
+	if model.Order() != test.Order() {
+		return Metrics{}, fmt.Errorf("eval: model order %d != test order %d", model.Order(), test.Order())
+	}
+	dims := model.Dims()
+	for m, d := range dims {
+		if d != test.Dims[m] {
+			return Metrics{}, fmt.Errorf("eval: mode %d length %d != test %d", m, d, test.Dims[m])
+		}
+	}
+	var se, ae float64
+	coord := make([]int, test.Order())
+	for p := 0; p < test.NNZ(); p++ {
+		for m := range coord {
+			coord[m] = int(test.Inds[m][p])
+		}
+		diff := model.At(coord) - test.Vals[p]
+		se += diff * diff
+		ae += math.Abs(diff)
+	}
+	n := float64(test.NNZ())
+	return Metrics{
+		RMSE:  math.Sqrt(se / n),
+		MAE:   ae / n,
+		Count: test.NNZ(),
+	}, nil
+}

@@ -1,0 +1,143 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aoadmm/internal/core"
+	"aoadmm/internal/kruskal"
+	"aoadmm/internal/prox"
+	"aoadmm/internal/tensor"
+)
+
+func TestSplitPartitions(t *testing.T) {
+	x, err := tensor.Uniform(tensor.GenOptions{Dims: []int{30, 30, 30}, NNZ: 2000, Seed: 470})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := Split(x, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.NNZ()+test.NNZ() != x.NNZ() {
+		t.Fatalf("split lost non-zeros: %d + %d != %d", train.NNZ(), test.NNZ(), x.NNZ())
+	}
+	frac := float64(test.NNZ()) / float64(x.NNZ())
+	if frac < 0.1 || frac > 0.3 {
+		t.Fatalf("test fraction %v far from requested 0.2", frac)
+	}
+	// Deterministic per seed.
+	train2, test2, err := Split(x, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train2.NNZ() != train.NNZ() || test2.NNZ() != test.NNZ() {
+		t.Fatal("split must be deterministic per seed")
+	}
+	if _, t3, _ := Split(x, 0.2, 99); t3.NNZ() == test.NNZ() && t3.Vals[0] == test.Vals[0] && t3.Inds[0][0] == test.Inds[0][0] {
+		t.Log("different seed produced same first element (possible, unlikely)")
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	x, _ := tensor.Uniform(tensor.GenOptions{Dims: []int{5, 5}, NNZ: 20, Seed: 471})
+	for _, frac := range []float64{0, 1, -0.5, 1.5} {
+		if _, _, err := Split(x, frac, 1); err == nil {
+			t.Errorf("frac %v accepted", frac)
+		}
+	}
+	tiny := tensor.NewCOO([]int{2, 2}, 1)
+	tiny.Append([]int{0, 0}, 1)
+	if _, _, err := Split(tiny, 0.5, 1); err == nil {
+		t.Error("1-nnz tensor accepted")
+	}
+}
+
+func TestHoldoutExactModelIsZeroError(t *testing.T) {
+	rng := rand.New(rand.NewSource(472))
+	k := kruskal.Random([]int{10, 12, 14}, 3, rng)
+	// Test set whose values ARE the model's predictions.
+	test := tensor.NewCOO([]int{10, 12, 14}, 50)
+	for p := 0; p < 50; p++ {
+		coord := []int{rng.Intn(10), rng.Intn(12), rng.Intn(14)}
+		test.Append(coord, k.At(coord))
+	}
+	m, err := Holdout(k, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RMSE > 1e-12 || m.MAE > 1e-12 {
+		t.Fatalf("exact model scored RMSE=%v MAE=%v", m.RMSE, m.MAE)
+	}
+	if m.Count != 50 {
+		t.Fatalf("count %d", m.Count)
+	}
+}
+
+func TestHoldoutKnownErrors(t *testing.T) {
+	k := kruskal.New([]int{2, 2}, 1) // all-zero model
+	test := tensor.NewCOO([]int{2, 2}, 2)
+	test.Append([]int{0, 0}, 3)
+	test.Append([]int{1, 1}, 4)
+	m, err := Holdout(k, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.RMSE-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMSE = %v", m.RMSE)
+	}
+	if math.Abs(m.MAE-3.5) > 1e-12 {
+		t.Fatalf("MAE = %v", m.MAE)
+	}
+}
+
+func TestHoldoutValidation(t *testing.T) {
+	k := kruskal.New([]int{2, 2}, 1)
+	if _, err := Holdout(k, tensor.NewCOO([]int{2, 2}, 0)); err == nil {
+		t.Error("empty test set accepted")
+	}
+	bad := tensor.NewCOO([]int{3, 2}, 1)
+	bad.Append([]int{0, 0}, 1)
+	if _, err := Holdout(k, bad); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	bad3 := tensor.NewCOO([]int{2, 2, 2}, 1)
+	bad3.Append([]int{0, 0, 0}, 1)
+	if _, err := Holdout(k, bad3); err == nil {
+		t.Error("order mismatch accepted")
+	}
+}
+
+func TestEndToEndHoldoutImprovesWithTraining(t *testing.T) {
+	// Train on 85% of a planted tensor; the fitted model must beat the
+	// trivial zero model on the held-out 15%.
+	x, _, err := tensor.PlantedLowRank(tensor.GenOptions{
+		Dims: []int{25, 25, 25}, NNZ: 8000, Rank: 3, Seed: 473, NoiseStd: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := Split(x, 0.15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Factorize(train, core.Options{
+		Rank: 5, Seed: 1, MaxOuterIters: 60,
+		Constraints: []prox.Operator{prox.NonNegative{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitted, err := Holdout(res.Factors, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := Holdout(kruskal.New(x.Dims, 1), test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fitted.RMSE >= zero.RMSE {
+		t.Fatalf("fitted RMSE %v not below zero-model RMSE %v", fitted.RMSE, zero.RMSE)
+	}
+}

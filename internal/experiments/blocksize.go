@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aoadmm/internal/blockmodel"
+	"aoadmm/internal/core"
+	"aoadmm/internal/datasets"
+	"aoadmm/internal/par"
+	"aoadmm/internal/prox"
+	"aoadmm/internal/stats"
+)
+
+// BlockSize sweeps the blocked-ADMM block size per dataset (the §IV-B
+// trade-off the paper settled empirically at 50 rows) and reports final
+// error, inner-iteration work, and wall time, plus the analytical model's
+// recommendation (the §VI future-work item) for comparison.
+func BlockSize(cfg Config) error {
+	cfg.fill()
+	sizes := []int{1, 10, 50, 200, 1000}
+	tbl := &stats.Table{Headers: []string{
+		"dataset", "block_size", "rel_err", "row_iters", "seconds",
+	}}
+	model := blockmodel.DefaultModel()
+	for _, name := range cfg.Datasets {
+		x, err := datasets.Generate(name, cfg.Scale)
+		if err != nil {
+			return err
+		}
+		rec := model.Choose(maxIntSlice(x.Dims), cfg.Rank, par.Threads(cfg.Threads))
+		for _, bs := range sizes {
+			res, err := core.Factorize(x, core.Options{
+				Rank:          cfg.Rank,
+				Constraints:   []prox.Operator{prox.NonNegative{}},
+				MaxOuterIters: min(cfg.MaxOuter, 15),
+				InnerMaxIters: cfg.InnerMaxIters,
+				Threads:       cfg.Threads,
+				BlockSize:     bs,
+				Seed:          1,
+			})
+			if err != nil {
+				return fmt.Errorf("blocksize %s bs=%d: %w", name, bs, err)
+			}
+			label := fmt.Sprintf("%d", bs)
+			if bs == rec {
+				label += " (model pick)"
+			}
+			final := res.Trace.Final()
+			tbl.AddRow(name, label,
+				fmt.Sprintf("%.4f", res.RelErr),
+				fmt.Sprintf("%d", res.RowIters),
+				fmt.Sprintf("%.2f", final.Elapsed.Seconds()))
+		}
+		tbl.AddRow(name, fmt.Sprintf("model recommends %d", rec), "", "", "")
+	}
+	fmt.Fprintf(cfg.Out, "\n== Block-size sweep (§IV-B trade-off; model of §VI for comparison) ==\n")
+	if err := tbl.Render(cfg.Out); err != nil {
+		return err
+	}
+	return cfg.writeCSV("blocksize.csv", tbl.WriteCSV)
+}
+
+func maxIntSlice(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

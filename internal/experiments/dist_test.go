@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDistComm(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	cfg.Datasets = []string{"patents"}
+	if err := DistComm(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Distributed-memory") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	// Four node counts must appear; blocked ADMM bytes must be zero.
+	for _, want := range []string{"patents", "8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	dataRows := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "patents") {
+			dataRows++
+			fields := strings.Fields(l)
+			// blocked_admm_B is the second-to-last column and must be "0".
+			if fields[len(fields)-2] != "0" {
+				t.Fatalf("blocked ADMM communicated: %q", l)
+			}
+		}
+	}
+	if dataRows != 4 {
+		t.Fatalf("%d data rows, want 4", dataRows)
+	}
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aoadmm/internal/datasets"
+)
+
+// quickCfg keeps runs fast: two datasets, small scale, tiny rank.
+func quickCfg(buf *bytes.Buffer) Config {
+	return Config{
+		Scale:    datasets.Small,
+		Rank:     4,
+		MaxOuter: 4,
+		Out:      buf,
+		Datasets: []string{"reddit", "patents"},
+	}
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(quickCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table I", "reddit", "patents", "3500000000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig3ReturnsFractions(t *testing.T) {
+	var buf bytes.Buffer
+	fr, err := Fig3(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr) != 2 {
+		t.Fatalf("fractions for %d datasets", len(fr))
+	}
+	for name, f := range fr {
+		if err := f.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if !strings.Contains(buf.String(), "Fig. 3") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestFig4AndFig5(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	fr, err := Fig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig4(cfg, fr); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig5(cfg, fr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Fig. 4") || !strings.Contains(out, "Fig. 5") {
+		t.Fatalf("missing scaling sections:\n%s", out)
+	}
+	if !strings.Contains(out, "p=20") {
+		t.Fatal("missing 20-thread column")
+	}
+}
+
+func TestFig4ComputesFractionsWhenNil(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	cfg.Datasets = []string{"patents"}
+	if err := Fig4(cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "patents") {
+		t.Fatal("missing dataset row")
+	}
+}
+
+func TestFig6ProducesTraces(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	cfg.Datasets = []string{"reddit"}
+	results, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("%d results", len(results))
+	}
+	r := results[0]
+	if r.BaseTrace == nil || r.BlockedTrace == nil {
+		t.Fatal("missing traces")
+	}
+	if len(r.BaseTrace.Points) == 0 || len(r.BlockedTrace.Points) == 0 {
+		t.Fatal("empty traces")
+	}
+	if r.BaseErr <= 0 || r.BlockedErr <= 0 {
+		t.Fatalf("degenerate errors: %+v", r)
+	}
+	if !strings.Contains(buf.String(), "blocked") {
+		t.Fatal("missing blocked rows")
+	}
+}
+
+func TestTable2Rows(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	cfg.Datasets = []string{"reddit"}
+	rows, err := Table2(cfg, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // one dataset x one rank x three structures
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Seconds <= 0 {
+			t.Fatalf("non-positive time: %+v", r)
+		}
+		if r.Density < 0 || r.Density > 1 {
+			t.Fatalf("density out of range: %+v", r)
+		}
+	}
+	if !strings.Contains(buf.String(), "Table II") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	cfg.CSVDir = t.TempDir()
+	cfg.Datasets = []string{"patents"}
+	if err := Table1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fig6(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"table1.csv", "fig6_summary.csv", "fig6_patents_base.csv", "fig6_patents_blocked.csv"} {
+		data, err := os.ReadFile(filepath.Join(cfg.CSVDir, f))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s empty", f)
+		}
+	}
+}
+
+func TestRunAllSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	cfg.Datasets = []string{"patents"}
+	if err := RunAll(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, section := range []string{"Table I", "Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6", "Table II"} {
+		if !strings.Contains(out, section) {
+			t.Fatalf("RunAll missing %s", section)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aoadmm/internal/core"
+	"aoadmm/internal/kruskal"
+	"aoadmm/internal/prox"
+	"aoadmm/internal/stats"
+	"aoadmm/internal/tensor"
+)
+
+// Recovery sweeps the noise level on a densely observed planted
+// non-negative model and reports the factor match score (FMS) of the
+// recovered factors — an extension experiment certifying that the solver
+// finds the *right* factors, not merely a low residual.
+func Recovery(cfg Config) error {
+	cfg.fill()
+	dims := []int{30, 25, 20}
+	const plantRank = 3
+	tbl := &stats.Table{Headers: []string{
+		"noise_std", "rel_err", "fms", "outer_iters",
+	}}
+	for _, noise := range []float64{0, 0.05, 0.2, 0.5} {
+		x, flat, err := tensor.PlantedLowRank(tensor.GenOptions{
+			Dims: dims, NNZ: 60000, Rank: plantRank, Seed: 77, NoiseStd: noise,
+		})
+		if err != nil {
+			return err
+		}
+		truth := kruskal.New(dims, plantRank)
+		for m, f := range flat {
+			for i := 0; i < dims[m]; i++ {
+				copy(truth.Factors[m].Row(i), f[i*plantRank:(i+1)*plantRank])
+			}
+		}
+		// Replace merged-duplicate values with exact model evaluations plus
+		// the configured noise already baked in by the generator for
+		// distinct cells; for merged cells use the model value directly so
+		// the ground truth stays rank-plantRank.
+		if noise == 0 {
+			for p := 0; p < x.NNZ(); p++ {
+				x.Vals[p] = truth.At(x.At(p))
+			}
+		}
+		res, err := core.Factorize(x, core.Options{
+			Rank:          plantRank,
+			Constraints:   []prox.Operator{prox.NonNegative{}},
+			MaxOuterIters: 300,
+			Tol:           1e-9,
+			InnerMaxIters: cfg.InnerMaxIters,
+			Threads:       cfg.Threads,
+			Seed:          7,
+		})
+		if err != nil {
+			return fmt.Errorf("recovery noise=%v: %w", noise, err)
+		}
+		fms, err := kruskal.FMS(truth, res.Factors)
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(fmt.Sprintf("%.2f", noise),
+			fmt.Sprintf("%.4f", res.RelErr),
+			fmt.Sprintf("%.3f", fms),
+			fmt.Sprintf("%d", res.OuterIters))
+	}
+	fmt.Fprintf(cfg.Out, "\n== Planted-factor recovery (extension): FMS vs noise ==\n")
+	if err := tbl.Render(cfg.Out); err != nil {
+		return err
+	}
+	return cfg.writeCSV("recovery.csv", tbl.WriteCSV)
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRecovery(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	if err := Recovery(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Planted-factor recovery") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	// The noiseless row must recover with high FMS.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "0.00 ") || strings.HasPrefix(line, "0.00\t") {
+			fields := strings.Fields(line)
+			if len(fields) >= 3 && fields[2] < "0.8" {
+				t.Fatalf("noiseless FMS too low: %q", line)
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aoadmm/internal/core"
+	"aoadmm/internal/datasets"
+	"aoadmm/internal/prox"
+	"aoadmm/internal/stats"
+)
+
+// Solvers compares the non-negative solvers built on the same MTTKRP/Gram
+// substrate — blocked AO-ADMM (the paper's method), CP-HALS (related work
+// [5]), and unconstrained CPD-ALS as the fit ceiling — at a matched
+// outer-iteration budget. This is an extension experiment: the paper cites
+// these methods (§III-A) but compares only against its own baseline.
+func Solvers(cfg Config) error {
+	cfg.fill()
+	tbl := &stats.Table{Headers: []string{
+		"dataset", "solver", "rel_err", "outer_iters", "seconds",
+	}}
+	for _, name := range cfg.Datasets {
+		x, err := datasets.Generate(name, cfg.Scale)
+		if err != nil {
+			return err
+		}
+		type runout struct {
+			name string
+			res  *core.Result
+		}
+		var runs []runout
+
+		ao, err := core.Factorize(x, core.Options{
+			Rank:          cfg.Rank,
+			Constraints:   []prox.Operator{prox.NonNegative{}},
+			MaxOuterIters: cfg.MaxOuter,
+			InnerMaxIters: cfg.InnerMaxIters,
+			Threads:       cfg.Threads,
+			Seed:          1,
+		})
+		if err != nil {
+			return fmt.Errorf("solvers %s aoadmm: %w", name, err)
+		}
+		runs = append(runs, runout{"aoadmm-blocked", ao})
+
+		hals, err := core.FactorizeHALS(x, core.HALSOptions{
+			Rank: cfg.Rank, MaxOuterIters: cfg.MaxOuter, Threads: cfg.Threads, Seed: 1,
+		})
+		if err != nil {
+			return fmt.Errorf("solvers %s hals: %w", name, err)
+		}
+		runs = append(runs, runout{"hals", hals})
+
+		als, err := core.FactorizeALS(x, core.ALSOptions{
+			Rank: cfg.Rank, MaxOuterIters: cfg.MaxOuter, Threads: cfg.Threads, Seed: 1, Ridge: 1e-10,
+		})
+		if err != nil {
+			return fmt.Errorf("solvers %s als: %w", name, err)
+		}
+		runs = append(runs, runout{"als-unconstrained", als})
+
+		for _, r := range runs {
+			final := r.res.Trace.Final()
+			tbl.AddRow(name, r.name,
+				fmt.Sprintf("%.4f", r.res.RelErr),
+				fmt.Sprintf("%d", r.res.OuterIters),
+				fmt.Sprintf("%.2f", final.Elapsed.Seconds()))
+		}
+	}
+	fmt.Fprintf(cfg.Out, "\n== Solver comparison (extension): non-negative CPD at rank %d ==\n", cfg.Rank)
+	if err := tbl.Render(cfg.Out); err != nil {
+		return err
+	}
+	return cfg.writeCSV("solvers.csv", tbl.WriteCSV)
+}

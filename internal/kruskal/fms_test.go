@@ -1,0 +1,118 @@
+package kruskal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aoadmm/internal/dense"
+)
+
+func TestFMSIdenticalIsOne(t *testing.T) {
+	k := Random([]int{5, 6, 7}, 3, rand.New(rand.NewSource(120)))
+	s, err := FMS(k, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Fatalf("self FMS = %v", s)
+	}
+}
+
+func TestFMSPermutationAndScaleInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	a := Random([]int{5, 6, 7}, 3, rng)
+	// b = a with components permuted (0,1,2)->(2,0,1) and rescaled per mode.
+	b := a.Clone()
+	perm := []int{2, 0, 1}
+	for m, f := range a.Factors {
+		for i := 0; i < f.Rows; i++ {
+			for c := 0; c < 3; c++ {
+				scale := float64(m+1) * 0.5
+				b.Factors[m].Set(i, c, f.At(i, perm[c])*scale)
+			}
+		}
+	}
+	s, err := FMS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("FMS under permutation+scale = %v, want 1", s)
+	}
+}
+
+func TestFMSSignInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	a := Random([]int{4, 4}, 2, rng)
+	b := a.Clone()
+	// Flip the sign of one component in one mode (|cos| absorbs it).
+	for i := 0; i < 4; i++ {
+		b.Factors[0].Set(i, 1, -b.Factors[0].At(i, 1))
+	}
+	s, err := FMS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("FMS under sign flip = %v", s)
+	}
+}
+
+func TestFMSUnrelatedIsLow(t *testing.T) {
+	// High-dimensional random factors are near-orthogonal.
+	a := Random([]int{500, 500, 500}, 4, rand.New(rand.NewSource(123)))
+	b := Random([]int{500, 500, 500}, 4, rand.New(rand.NewSource(999)))
+	// Center the columns so cosines hover near zero.
+	for _, k := range []*Tensor{a, b} {
+		for _, f := range k.Factors {
+			for c := 0; c < f.Cols; c++ {
+				var mean float64
+				for i := 0; i < f.Rows; i++ {
+					mean += f.At(i, c)
+				}
+				mean /= float64(f.Rows)
+				for i := 0; i < f.Rows; i++ {
+					f.Set(i, c, f.At(i, c)-mean)
+				}
+			}
+		}
+	}
+	s, err := FMS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s > 0.2 {
+		t.Fatalf("unrelated FMS = %v, want near 0", s)
+	}
+}
+
+func TestFMSZeroColumn(t *testing.T) {
+	a := New([]int{3, 3}, 2)
+	b := Random([]int{3, 3}, 2, rand.New(rand.NewSource(124)))
+	s, err := FMS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0 {
+		t.Fatalf("zero-factor FMS = %v", s)
+	}
+}
+
+func TestFMSShapeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(125))
+	a := Random([]int{4, 5}, 2, rng)
+	cases := []*Tensor{
+		Random([]int{4, 5, 6}, 2, rng), // order mismatch
+		Random([]int{4, 5}, 3, rng),    // rank mismatch
+		Random([]int{4, 6}, 2, rng),    // mode length mismatch
+	}
+	for i, b := range cases {
+		if _, err := FMS(a, b); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := FMS(&Tensor{Factors: []*dense.Matrix{}}, &Tensor{Factors: []*dense.Matrix{}}); err == nil {
+		t.Error("empty tensors accepted")
+	}
+}

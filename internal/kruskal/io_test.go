@@ -1,0 +1,105 @@
+package kruskal
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aoadmm/internal/dense"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	k := Random([]int{6, 7, 8}, 3, rand.New(rand.NewSource(310)))
+	k.Lambda = []float64{1.5, 2.5, 3.5}
+	dir := filepath.Join(t.TempDir(), "factors")
+	if err := k.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Order() != 3 || back.Rank() != 3 {
+		t.Fatalf("shape %d/%d", back.Order(), back.Rank())
+	}
+	for m := range k.Factors {
+		if !dense.Equal(k.Factors[m], back.Factors[m], 1e-15) {
+			t.Fatalf("mode %d differs by %v", m, dense.MaxAbsDiff(k.Factors[m], back.Factors[m]))
+		}
+	}
+	for f := range k.Lambda {
+		if k.Lambda[f] != back.Lambda[f] {
+			t.Fatalf("lambda %d: %v vs %v", f, back.Lambda[f], k.Lambda[f])
+		}
+	}
+}
+
+func TestSaveLoadWithoutLambda(t *testing.T) {
+	k := Random([]int{4, 5}, 2, rand.New(rand.NewSource(311)))
+	dir := t.TempDir()
+	if err := k.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Lambda != nil {
+		t.Fatal("unexpected lambda")
+	}
+	if back.Order() != 2 {
+		t.Fatalf("order %d", back.Order())
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	// Rank mismatch across modes.
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "mode0.txt"), []byte("1 2\n3 4\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "mode1.txt"), []byte("1 2 3\n"), 0o644)
+	if _, err := Load(dir); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+	// Corrupt lambda.
+	dir2 := t.TempDir()
+	os.WriteFile(filepath.Join(dir2, "mode0.txt"), []byte("1 2\n"), 0o644)
+	os.WriteFile(filepath.Join(dir2, "lambda.txt"), []byte("1\n"), 0o644)
+	if _, err := Load(dir2); err == nil {
+		t.Fatal("lambda length mismatch accepted")
+	}
+}
+
+func TestReadMatrixText(t *testing.T) {
+	m, err := ReadMatrixText(strings.NewReader("1 2\n\n3.5 -4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 2 || m.Cols != 2 || m.At(1, 0) != 3.5 {
+		t.Fatalf("parsed %v", m)
+	}
+	for _, bad := range []string{"", "1 2\n3\n", "a b\n"} {
+		if _, err := ReadMatrixText(strings.NewReader(bad)); err == nil {
+			t.Errorf("input %q accepted", bad)
+		}
+	}
+}
+
+func TestWriteMatrixTextPrecision(t *testing.T) {
+	m := dense.FromRows([][]float64{{1.0 / 3.0}})
+	var sb strings.Builder
+	if err := WriteMatrixText(&sb, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.At(0, 0) != m.At(0, 0) {
+		t.Fatalf("precision lost: %v vs %v", back.At(0, 0), m.At(0, 0))
+	}
+}

@@ -1,0 +1,177 @@
+// Package kruskal represents the output of a CPD — a Kruskal tensor, the sum
+// of F rank-one outer products (paper Fig. 1) — and computes the relative
+// error metric used for convergence (§V-A):
+//
+//	relative error = ‖X − M‖_F / ‖X‖_F
+//
+// The residual norm is computed without a second pass over the tensor using
+// ‖X − M‖² = ‖X‖² − 2⟨X, M⟩ + ‖M‖², where ⟨X, M⟩ falls out of the last
+// MTTKRP (⟨X, M⟩ = Σᵢf K(i,f)·A_m(i,f)) and ‖M‖² = 1ᵀ(∗ₙ AₙᵀAₙ)1.
+package kruskal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"aoadmm/internal/dense"
+)
+
+// Tensor is a Kruskal (factored) tensor: one I_m x F factor per mode.
+// Lambda holds per-component weights (nil or all-ones when folded into the
+// factors, which is how AO-ADMM maintains them).
+type Tensor struct {
+	Factors []*dense.Matrix
+	Lambda  []float64
+}
+
+// New allocates zero factors of the given shape.
+func New(dims []int, rank int) *Tensor {
+	fs := make([]*dense.Matrix, len(dims))
+	for m, d := range dims {
+		fs[m] = dense.New(d, rank)
+	}
+	return &Tensor{Factors: fs}
+}
+
+// Random allocates factors with uniform [0, 1) entries, the AO-ADMM
+// initialization (Algorithm 2, line 1).
+func Random(dims []int, rank int, rng *rand.Rand) *Tensor {
+	fs := make([]*dense.Matrix, len(dims))
+	for m, d := range dims {
+		fs[m] = dense.Random(d, rank, rng)
+	}
+	return &Tensor{Factors: fs}
+}
+
+// Order returns the number of modes.
+func (k *Tensor) Order() int { return len(k.Factors) }
+
+// Rank returns the decomposition rank F.
+func (k *Tensor) Rank() int {
+	if len(k.Factors) == 0 {
+		return 0
+	}
+	return k.Factors[0].Cols
+}
+
+// Dims returns the mode lengths.
+func (k *Tensor) Dims() []int {
+	dims := make([]int, k.Order())
+	for m, f := range k.Factors {
+		dims[m] = f.Rows
+	}
+	return dims
+}
+
+// Clone deep-copies the Kruskal tensor.
+func (k *Tensor) Clone() *Tensor {
+	fs := make([]*dense.Matrix, len(k.Factors))
+	for m, f := range k.Factors {
+		fs[m] = f.Clone()
+	}
+	var lam []float64
+	if k.Lambda != nil {
+		lam = append([]float64(nil), k.Lambda...)
+	}
+	return &Tensor{Factors: fs, Lambda: lam}
+}
+
+// At evaluates the model at one coordinate: Σ_f λ_f Π_m A_m(i_m, f).
+func (k *Tensor) At(coord []int) float64 {
+	if len(coord) != k.Order() {
+		panic(fmt.Sprintf("kruskal: coordinate length %d for order %d", len(coord), k.Order()))
+	}
+	rank := k.Rank()
+	var val float64
+	for f := 0; f < rank; f++ {
+		prod := 1.0
+		if k.Lambda != nil {
+			prod = k.Lambda[f]
+		}
+		for m, fm := range k.Factors {
+			prod *= fm.At(coord[m], f)
+		}
+		val += prod
+	}
+	return val
+}
+
+// NormSq returns ‖M‖²_F = λᵀ(∗ₙ AₙᵀAₙ)λ, computed from the F x F Gram
+// matrices — no pass over any dense tensor.
+func (k *Tensor) NormSq(nThreads int) float64 {
+	rank := k.Rank()
+	grams := make([]*dense.Matrix, k.Order())
+	for m, f := range k.Factors {
+		grams[m] = dense.Gram(f, nThreads)
+	}
+	prod := dense.HadamardAll(grams...)
+	lam := k.Lambda
+	var s float64
+	for i := 0; i < rank; i++ {
+		li := 1.0
+		if lam != nil {
+			li = lam[i]
+		}
+		for j := 0; j < rank; j++ {
+			lj := 1.0
+			if lam != nil {
+				lj = lam[j]
+			}
+			s += li * lj * prod.At(i, j)
+		}
+	}
+	return s
+}
+
+// NormSqFromGrams is NormSq when the per-mode Gram matrices are already
+// available (the AO-ADMM loop maintains them), assuming unit lambda.
+func NormSqFromGrams(grams []*dense.Matrix) float64 {
+	prod := dense.HadamardAll(grams...)
+	var s float64
+	for i := range prod.Data {
+		s += prod.Data[i]
+	}
+	return s
+}
+
+// InnerWithMTTKRP returns ⟨X, M⟩ given K = MTTKRP(X, mode) and the mode's
+// factor: ⟨X, M⟩ = Σ_{i,f} K(i,f)·A(i,f) (unit lambda).
+func InnerWithMTTKRP(k, factor *dense.Matrix) float64 {
+	return dense.Dot(k, factor)
+}
+
+// RelErr computes ‖X − M‖/‖X‖ from the three scalar pieces. Tiny negative
+// residuals from floating-point cancellation are clamped to zero.
+func RelErr(xNormSq, innerXM, mNormSq float64) float64 {
+	if xNormSq <= 0 {
+		return 0
+	}
+	resid := xNormSq - 2*innerXM + mNormSq
+	if resid < 0 {
+		resid = 0
+	}
+	return math.Sqrt(resid) / math.Sqrt(xNormSq)
+}
+
+// Normalize scales each factor's columns to unit norm, accumulating the
+// weights into Lambda. Useful for presenting or comparing solutions.
+func (k *Tensor) Normalize() {
+	rank := k.Rank()
+	if k.Lambda == nil {
+		k.Lambda = make([]float64, rank)
+		for f := range k.Lambda {
+			k.Lambda[f] = 1
+		}
+	}
+	for _, fm := range k.Factors {
+		norms := dense.NormalizeColumns(fm)
+		for f, n := range norms {
+			if n > 0 {
+				k.Lambda[f] *= n
+			} else {
+				k.Lambda[f] = 0
+			}
+		}
+	}
+}

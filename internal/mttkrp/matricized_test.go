@@ -1,0 +1,88 @@
+package mttkrp
+
+import (
+	"math/rand"
+	"testing"
+
+	"aoadmm/internal/csf"
+	"aoadmm/internal/dense"
+	"aoadmm/internal/tensor"
+)
+
+// TestComputeMatchesMatricizedDefinition validates the CSF kernel against
+// the textbook definition K = X(m)·(⊙_{n≠m} Aₙ) with the matricization and
+// Khatri-Rao product materialized explicitly (§II-A of the paper).
+func TestComputeMatchesMatricizedDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	coo, _, err := tensor.PlantedLowRank(tensor.GenOptions{
+		Dims: []int{6, 7, 8}, NNZ: 80, Rank: 2, Seed: 93, NoiseStd: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := 4
+	factors := make([]*dense.Matrix, 3)
+	for m, d := range coo.Dims {
+		factors[m] = dense.Random(d, rank, rng)
+	}
+
+	for mode := 0; mode < 3; mode++ {
+		// Explicit: X(m) (dense) times the KRP of the remaining factors in
+		// ascending mode order (first remaining mode varies slowest —
+		// matching MatricizeDense's column convention).
+		flat := tensor.MatricizeDense(coo, mode)
+		xm := dense.FromRows(flat)
+		var rest []*dense.Matrix
+		for n := 0; n < 3; n++ {
+			if n != mode {
+				rest = append(rest, factors[n])
+			}
+		}
+		krp := dense.KhatriRaoAll(rest...)
+		want := dense.MatMul(xm, krp)
+
+		tree := csf.Build(coo.Clone(), csf.DefaultPerm(3, mode))
+		got := dense.New(coo.Dims[mode], rank)
+		Compute(tree, factors, got, nil, Options{Threads: 1})
+
+		if d := dense.MaxAbsDiff(got, want); d > 1e-9 {
+			t.Fatalf("mode %d: CSF MTTKRP differs from matricized definition by %v", mode, d)
+		}
+	}
+}
+
+// TestComputeMatchesMatricizedFourMode repeats the validation at order 4.
+func TestComputeMatchesMatricizedFourMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	dims := []int{3, 4, 5, 6}
+	coo := tensor.NewCOO(dims, 50)
+	for p := 0; p < 50; p++ {
+		coord := make([]int, 4)
+		for m := range coord {
+			coord[m] = rng.Intn(dims[m])
+		}
+		coo.Append(coord, rng.NormFloat64())
+	}
+	coo.Dedup()
+	rank := 3
+	factors := make([]*dense.Matrix, 4)
+	for m, d := range dims {
+		factors[m] = dense.Random(d, rank, rng)
+	}
+	for mode := 0; mode < 4; mode++ {
+		xm := dense.FromRows(tensor.MatricizeDense(coo, mode))
+		var rest []*dense.Matrix
+		for n := 0; n < 4; n++ {
+			if n != mode {
+				rest = append(rest, factors[n])
+			}
+		}
+		want := dense.MatMul(xm, dense.KhatriRaoAll(rest...))
+		tree := csf.Build(coo.Clone(), csf.DefaultPerm(4, mode))
+		got := dense.New(dims[mode], rank)
+		Compute(tree, factors, got, nil, Options{Threads: 2})
+		if d := dense.MaxAbsDiff(got, want); d > 1e-9 {
+			t.Fatalf("mode %d: diff %v", mode, d)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package mttkrp
+
+import (
+	"fmt"
+
+	"aoadmm/internal/csf"
+	"aoadmm/internal/dense"
+)
+
+// ComputeTiled evaluates the root-mode MTTKRP over leaf-mode tiles produced
+// by csf.SplitLeafTiles (all tiles must share the same permutation and
+// dims). Tiles are processed one after another — each with the usual
+// slice-parallel owner-computes traversal — and their contributions
+// accumulate into out. While a tile is in flight every leaf-factor access
+// falls inside that tile's leaf-index window, which is the cache-residency
+// property SPLATT's tiling buys for bandwidth-bound MTTKRPs on long modes.
+func ComputeTiled(tiles []*csf.Tensor, factors []*dense.Matrix, out *dense.Matrix, leaf LeafFactor, opts Options) {
+	if len(tiles) == 0 {
+		out.Zero()
+		return
+	}
+	root := tiles[0].RootMode()
+	for i, tile := range tiles[1:] {
+		if tile.RootMode() != root {
+			panic(fmt.Sprintf("mttkrp: tile %d rooted at %d, tile 0 at %d", i+1, tile.RootMode(), root))
+		}
+	}
+	out.Zero()
+	// Accumulate tile by tile into a scratch buffer, adding into out —
+	// Compute zeroes its output, so we sum outside it.
+	scratch := dense.New(out.Rows, out.Cols)
+	for _, tile := range tiles {
+		Compute(tile, factors, scratch, leaf, opts)
+		for i := 0; i < out.Rows; i++ {
+			dst := out.Row(i)
+			src := scratch.Row(i)
+			for j := range dst {
+				dst[j] += src[j]
+			}
+		}
+	}
+}

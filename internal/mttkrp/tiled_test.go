@@ -1,0 +1,123 @@
+package mttkrp
+
+import (
+	"math/rand"
+	"testing"
+
+	"aoadmm/internal/csf"
+	"aoadmm/internal/dense"
+	"aoadmm/internal/sparse"
+	"aoadmm/internal/tensor"
+)
+
+func TestTiledMatchesUntiled(t *testing.T) {
+	rng := rand.New(rand.NewSource(440))
+	coo, err := tensor.Uniform(tensor.GenOptions{
+		Dims: []int{40, 30, 200}, NNZ: 3000, Seed: 440, Skew: []float64{0, 0, 1.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := 5
+	factors := randFactors(coo.Dims, rank, rng)
+	perm := csf.DefaultPerm(3, 0)
+	want := dense.New(coo.Dims[0], rank)
+	Compute(csf.Build(coo.Clone(), perm), factors, want, nil, Options{Threads: 1})
+
+	for _, tileRows := range []int{1, 7, 50, 200, 1000} {
+		tiles := csf.SplitLeafTiles(coo, perm, tileRows)
+		got := dense.New(coo.Dims[0], rank)
+		ComputeTiled(tiles, factors, got, nil, Options{Threads: 2})
+		if d := dense.MaxAbsDiff(got, want); d > 1e-9 {
+			t.Fatalf("tileRows=%d: diff %v", tileRows, d)
+		}
+	}
+}
+
+func TestSplitLeafTilesPartition(t *testing.T) {
+	coo, err := tensor.Uniform(tensor.GenOptions{Dims: []int{10, 10, 97}, NNZ: 500, Seed: 441})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := csf.DefaultPerm(3, 0)
+	tiles := csf.SplitLeafTiles(coo, perm, 25)
+	totalNNZ := 0
+	leafMode := perm[2]
+	for k, tile := range tiles {
+		totalNNZ += tile.NNZ()
+		// Every leaf index in the tile must fall in one 25-wide window.
+		lo, hi := 1<<30, -1
+		tile.Walk(func(coord []int, val float64) {
+			if coord[leafMode] < lo {
+				lo = coord[leafMode]
+			}
+			if coord[leafMode] > hi {
+				hi = coord[leafMode]
+			}
+		})
+		if hi-lo >= 25 || lo/25 != hi/25 {
+			t.Fatalf("tile %d spans leaf indices [%d, %d], beyond one window", k, lo, hi)
+		}
+	}
+	if totalNNZ != coo.NNZ() {
+		t.Fatalf("tiles hold %d nnz, want %d", totalNNZ, coo.NNZ())
+	}
+}
+
+func TestSplitLeafTilesSingleTileShortcut(t *testing.T) {
+	coo, _ := tensor.Uniform(tensor.GenOptions{Dims: []int{5, 5, 8}, NNZ: 40, Seed: 442})
+	tiles := csf.SplitLeafTiles(coo, csf.DefaultPerm(3, 0), 100)
+	if len(tiles) != 1 {
+		t.Fatalf("%d tiles for tileRows > dim", len(tiles))
+	}
+}
+
+func TestTiledWithSparseLeaf(t *testing.T) {
+	rng := rand.New(rand.NewSource(443))
+	coo, err := tensor.Uniform(tensor.GenOptions{Dims: []int{15, 15, 60}, NNZ: 700, Seed: 443})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := 4
+	factors := randFactors(coo.Dims, rank, rng)
+	perm := csf.DefaultPerm(3, 0)
+	leafMode := perm[2]
+	lf := factors[leafMode]
+	for i := range lf.Data {
+		if rng.Float64() < 0.7 {
+			lf.Data[i] = 0
+		}
+	}
+	csr := sparse.FromDense(lf, 0)
+	want := dense.New(coo.Dims[0], rank)
+	Compute(csf.Build(coo.Clone(), perm), factors, want, csr, Options{Threads: 1})
+	tiles := csf.SplitLeafTiles(coo, perm, 20)
+	got := dense.New(coo.Dims[0], rank)
+	ComputeTiled(tiles, factors, got, csr, Options{Threads: 1})
+	if d := dense.MaxAbsDiff(got, want); d > 1e-12 {
+		t.Fatalf("sparse-leaf tiled diff %v", d)
+	}
+}
+
+func TestComputeTiledEmptyAndMismatch(t *testing.T) {
+	out := dense.New(3, 2)
+	out.Fill(9)
+	ComputeTiled(nil, nil, out, nil, Options{})
+	for _, v := range out.Data {
+		if v != 0 {
+			t.Fatal("empty tile set must zero output")
+		}
+	}
+	// Mismatched roots panic.
+	coo, _ := tensor.Uniform(tensor.GenOptions{Dims: []int{4, 4, 4}, NNZ: 20, Seed: 444})
+	a := csf.Build(coo.Clone(), csf.DefaultPerm(3, 0))
+	b := csf.Build(coo.Clone(), csf.DefaultPerm(3, 1))
+	rng := rand.New(rand.NewSource(444))
+	factors := randFactors(coo.Dims, 2, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mixed roots")
+		}
+	}()
+	ComputeTiled([]*csf.Tensor{a, b}, factors, dense.New(4, 2), nil, Options{})
+}

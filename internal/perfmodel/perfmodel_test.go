@@ -1,0 +1,194 @@
+package perfmodel
+
+import (
+	"testing"
+	"time"
+
+	"aoadmm/internal/stats"
+)
+
+func TestKernelCurvesMonotoneNonDecreasing(t *testing.T) {
+	m := Default()
+	curves := map[string]func(int) float64{
+		"mttkrp":  m.MTTKRPSpeedup,
+		"blocked": m.BlockedADMMSpeedup,
+		"other":   m.OtherSpeedup,
+	}
+	for name, fn := range curves {
+		prev := 0.0
+		for p := 1; p <= 32; p++ {
+			s := fn(p)
+			if s < prev {
+				t.Fatalf("%s speedup decreased at p=%d: %v < %v", name, p, s, prev)
+			}
+			prev = s
+		}
+		if fn(1) != 1 {
+			t.Fatalf("%s speedup at p=1 is %v, want 1", name, fn(1))
+		}
+	}
+}
+
+func TestBaselineADMMSaturates(t *testing.T) {
+	m := Default()
+	if m.BaselineADMMSpeedup(1) != 1 {
+		t.Fatalf("p=1 speedup %v", m.BaselineADMMSpeedup(1))
+	}
+	// Bandwidth-bound: must flatten (and slightly degrade) past saturation.
+	s6 := m.BaselineADMMSpeedup(6)
+	s20 := m.BaselineADMMSpeedup(20)
+	if s20 >= s6 {
+		t.Fatalf("baseline ADMM must degrade past saturation: S(6)=%v S(20)=%v", s6, s20)
+	}
+	if s20 < 3 || s20 > 6 {
+		t.Fatalf("baseline ADMM S(20)=%v outside plausible band", s20)
+	}
+}
+
+func TestBlockedBeatsBaselineADMM(t *testing.T) {
+	// Below bandwidth saturation the two ADMM curves are comparable; from
+	// saturation onward the blocked kernel must pull ahead, and the gap must
+	// widen with p.
+	m := Default()
+	prevGap := 0.0
+	for p := 6; p <= 32; p++ {
+		blocked, base := m.BlockedADMMSpeedup(p), m.BaselineADMMSpeedup(p)
+		if blocked <= base {
+			t.Fatalf("blocked ADMM must scale better at p=%d: %v vs %v", p, blocked, base)
+		}
+		gap := blocked - base
+		if gap < prevGap {
+			t.Fatalf("gap must widen with p, shrank at p=%d", p)
+		}
+		prevGap = gap
+	}
+}
+
+func TestPaperEndpointBands(t *testing.T) {
+	// Paper §V-C: baseline 5.4x (NELL) to 12.7x (Patents);
+	// blocked 12.7x (Patents) to 14.6x (NELL), at 20 threads.
+	m := Default()
+	cases := []struct {
+		dataset string
+		variant Variant
+		lo, hi  float64
+	}{
+		{"nell", Baseline, 4.3, 6.5},
+		{"patents", Baseline, 9.0, 14.0},
+		{"nell", Blocked, 13.0, 16.5},
+		{"patents", Blocked, 11.0, 14.0},
+	}
+	for _, c := range cases {
+		fr, err := PaperFractions(c.dataset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := m.AppSpeedup(fr, c.variant, 20)
+		if s < c.lo || s > c.hi {
+			t.Errorf("%s/%v: S(20)=%v outside [%v, %v]", c.dataset, c.variant, s, c.lo, c.hi)
+		}
+	}
+}
+
+func TestBaselineOrderingFollowsMTTKRPFraction(t *testing.T) {
+	// Fig. 4's observation: datasets dominated by MTTKRP scale best under
+	// the baseline.
+	m := Default()
+	var prev float64 = -1
+	for _, name := range []string{"nell", "reddit", "amazon", "patents"} {
+		fr, _ := PaperFractions(name)
+		s := m.AppSpeedup(fr, Baseline, 20)
+		if s <= prev {
+			t.Fatalf("baseline ordering broken at %s: %v <= %v", name, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestBlockedReversesTrend(t *testing.T) {
+	// Fig. 5's observation: with blocking, ADMM-dominated datasets scale
+	// best — NELL must beat Patents.
+	m := Default()
+	nell, _ := PaperFractions("nell")
+	patents, _ := PaperFractions("patents")
+	if m.AppSpeedup(nell, Blocked, 20) <= m.AppSpeedup(patents, Blocked, 20) {
+		t.Fatal("blocked NELL must outscale blocked Patents")
+	}
+	// And blocked must beat baseline on every dataset.
+	for _, name := range []string{"nell", "reddit", "amazon", "patents"} {
+		fr, _ := PaperFractions(name)
+		if m.AppSpeedup(fr, Blocked, 20) < m.AppSpeedup(fr, Baseline, 20) {
+			t.Fatalf("%s: blocked slower than baseline", name)
+		}
+	}
+}
+
+func TestCurveAndThreadCounts(t *testing.T) {
+	m := Default()
+	fr, _ := PaperFractions("reddit")
+	threads := PaperThreadCounts()
+	if threads[0] != 1 || threads[len(threads)-1] != 20 {
+		t.Fatalf("thread counts %v", threads)
+	}
+	curve := m.Curve(fr, Blocked, threads)
+	if len(curve) != len(threads) {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] <= curve[i-1] {
+			t.Fatalf("curve not increasing at %d: %v", i, curve)
+		}
+	}
+}
+
+func TestFractionsValidate(t *testing.T) {
+	good := Fractions{MTTKRP: 0.5, ADMM: 0.4, Other: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Fractions{
+		{MTTKRP: 0.5, ADMM: 0.1, Other: 0.1},  // sums to 0.7
+		{MTTKRP: -0.1, ADMM: 1.0, Other: 0.1}, // negative
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestFromBreakdown(t *testing.T) {
+	b := stats.NewBreakdown()
+	b.Add(stats.PhaseMTTKRP, 6*time.Second)
+	b.Add(stats.PhaseADMM, 3*time.Second)
+	b.Add(stats.PhaseOther, time.Second)
+	fr := FromBreakdown(b)
+	if fr.MTTKRP != 0.6 || fr.ADMM != 0.3 || fr.Other != 0.1 {
+		t.Fatalf("FromBreakdown = %+v", fr)
+	}
+	if err := fr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperFractionsUnknown(t *testing.T) {
+	if _, err := PaperFractions("bogus"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	for _, name := range []string{"reddit", "nell", "amazon", "patents"} {
+		fr, err := PaperFractions(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fr.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestAppSpeedupDegenerateFractions(t *testing.T) {
+	m := Default()
+	if s := m.AppSpeedup(Fractions{}, Baseline, 8); s != 1 {
+		t.Fatalf("zero fractions => speedup %v, want 1 fallback", s)
+	}
+}

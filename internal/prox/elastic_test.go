@@ -1,0 +1,75 @@
+package prox
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestElasticNetKnown(t *testing.T) {
+	// L1=1, L2=1, rho=1: threshold 1, shrink 1/2.
+	row := []float64{3, -3, 0.5}
+	(ElasticNet{L1: 1, L2: 1}).ApplyRow(row, 1)
+	want := []float64{1, -1, 0}
+	for i := range row {
+		if math.Abs(row[i]-want[i]) > 1e-12 {
+			t.Fatalf("ApplyRow = %v, want %v", row, want)
+		}
+	}
+	if p := (ElasticNet{L1: 2, L2: 4}).Penalty([]float64{1, -1}); p != 8 {
+		t.Fatalf("Penalty = %v", p) // 2*2 + 2*2
+	}
+}
+
+func TestElasticNetDegeneratesToL1AndL2(t *testing.T) {
+	rng := rand.New(rand.NewSource(340))
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rho := 0.5 + r.Float64()*3
+		n := 1 + r.Intn(8)
+		row := make([]float64, n)
+		for i := range row {
+			row[i] = rng.NormFloat64() * 3
+		}
+		// L2=0 must match pure L1.
+		a := append([]float64(nil), row...)
+		b := append([]float64(nil), row...)
+		(ElasticNet{L1: 0.7}).ApplyRow(a, rho)
+		(L1{Lambda: 0.7}).ApplyRow(b, rho)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-12 {
+				return false
+			}
+		}
+		// L1=0 must match pure L2.
+		a = append(a[:0], row...)
+		b = append(b[:0], row...)
+		(ElasticNet{L2: 1.3}).ApplyRow(a, rho)
+		(L2{Lambda: 1.3}).ApplyRow(b, rho)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElasticNetParse(t *testing.T) {
+	op, err := Parse("elastic:0.1,0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Name() != "elastic(0.1,0.5)" {
+		t.Fatalf("Name = %q", op.Name())
+	}
+	for _, bad := range []string{"elastic", "elastic:1", "elastic:a,b", "elastic:-1,1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}

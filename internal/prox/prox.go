@@ -1,0 +1,335 @@
+// Package prox implements the proximity operators that plug constraints and
+// regularizations into ADMM (Algorithm 1, line 8 of the paper).
+//
+// A proximity operator for penalty r(·) evaluated at scale 1/ρ maps a row v
+// to argmin_h r(h) + (ρ/2)·‖h − v‖². Constraints are indicator penalties
+// (projections); regularizations are finite penalties (shrinkage). All
+// operators here are row separable — the property the blocked ADMM
+// reformulation (§IV-B) requires — so the interface operates on one row at a
+// time and the ADMM block loop applies it to its own rows only.
+package prox
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Operator applies a proximity operator row by row.
+//
+// ApplyRow overwrites row with prox_{r, 1/rho}(row). Penalty reports the
+// value of r on a row (used for objective bookkeeping; indicator penalties
+// return 0 for feasible rows and +Inf otherwise). Name identifies the
+// operator in logs and experiment output.
+type Operator interface {
+	ApplyRow(row []float64, rho float64)
+	Penalty(row []float64) float64
+	Name() string
+}
+
+// Unconstrained is the identity operator: r(·) = 0. With it, AO-ADMM solves
+// the same subproblems as unconstrained ALS (useful for validation).
+type Unconstrained struct{}
+
+// ApplyRow implements Operator (identity).
+func (Unconstrained) ApplyRow(row []float64, rho float64) {}
+
+// Penalty implements Operator (always zero).
+func (Unconstrained) Penalty(row []float64) float64 { return 0 }
+
+// Name implements Operator.
+func (Unconstrained) Name() string { return "none" }
+
+// NonNegative projects onto the non-negative orthant: entries below zero are
+// zeroed ("zero out negative entries", §II-C). This is the constraint used
+// for every non-negative CPD experiment in the paper.
+type NonNegative struct{}
+
+// ApplyRow implements Operator.
+func (NonNegative) ApplyRow(row []float64, rho float64) {
+	for i, v := range row {
+		if v < 0 {
+			row[i] = 0
+		}
+	}
+}
+
+// Penalty implements Operator: 0 if feasible, +Inf otherwise.
+func (NonNegative) Penalty(row []float64) float64 {
+	for _, v := range row {
+		if v < 0 {
+			return math.Inf(1)
+		}
+	}
+	return 0
+}
+
+// Name implements Operator.
+func (NonNegative) Name() string { return "nonneg" }
+
+// L1 is the sparsity-inducing regularizer r(h) = λ‖h‖₁ whose proximity
+// operator is soft-thresholding at λ/ρ. The paper uses λ = 0.1 in Table II.
+type L1 struct{ Lambda float64 }
+
+// ApplyRow implements Operator (soft threshold).
+func (o L1) ApplyRow(row []float64, rho float64) {
+	t := o.Lambda / rho
+	for i, v := range row {
+		switch {
+		case v > t:
+			row[i] = v - t
+		case v < -t:
+			row[i] = v + t
+		default:
+			row[i] = 0
+		}
+	}
+}
+
+// Penalty implements Operator.
+func (o L1) Penalty(row []float64) float64 {
+	var s float64
+	for _, v := range row {
+		s += math.Abs(v)
+	}
+	return o.Lambda * s
+}
+
+// Name implements Operator.
+func (o L1) Name() string { return fmt.Sprintf("l1(%g)", o.Lambda) }
+
+// NonNegL1 combines non-negativity with ℓ₁ regularization: the prox is a
+// one-sided soft threshold. This is the natural way to get sparse
+// non-negative factors.
+type NonNegL1 struct{ Lambda float64 }
+
+// ApplyRow implements Operator.
+func (o NonNegL1) ApplyRow(row []float64, rho float64) {
+	t := o.Lambda / rho
+	for i, v := range row {
+		if v > t {
+			row[i] = v - t
+		} else {
+			row[i] = 0
+		}
+	}
+}
+
+// Penalty implements Operator.
+func (o NonNegL1) Penalty(row []float64) float64 {
+	var s float64
+	for _, v := range row {
+		if v < 0 {
+			return math.Inf(1)
+		}
+		s += v
+	}
+	return o.Lambda * s
+}
+
+// Name implements Operator.
+func (o NonNegL1) Name() string { return fmt.Sprintf("nonneg+l1(%g)", o.Lambda) }
+
+// L2 is ridge regularization r(h) = (λ/2)‖h‖₂², whose prox is uniform
+// shrinkage by ρ/(ρ+λ).
+type L2 struct{ Lambda float64 }
+
+// ApplyRow implements Operator.
+func (o L2) ApplyRow(row []float64, rho float64) {
+	c := rho / (rho + o.Lambda)
+	for i := range row {
+		row[i] *= c
+	}
+}
+
+// Penalty implements Operator.
+func (o L2) Penalty(row []float64) float64 {
+	var s float64
+	for _, v := range row {
+		s += v * v
+	}
+	return 0.5 * o.Lambda * s
+}
+
+// Name implements Operator.
+func (o L2) Name() string { return fmt.Sprintf("l2(%g)", o.Lambda) }
+
+// ElasticNet combines ℓ₁ and ℓ₂ regularization,
+// r(h) = L1·‖h‖₁ + (L2/2)·‖h‖₂², whose prox is soft-thresholding followed
+// by uniform shrinkage. It selects like the lasso while spreading weight
+// across correlated components like ridge.
+type ElasticNet struct{ L1, L2 float64 }
+
+// ApplyRow implements Operator.
+func (o ElasticNet) ApplyRow(row []float64, rho float64) {
+	t := o.L1 / rho
+	c := rho / (rho + o.L2)
+	for i, v := range row {
+		switch {
+		case v > t:
+			row[i] = (v - t) * c
+		case v < -t:
+			row[i] = (v + t) * c
+		default:
+			row[i] = 0
+		}
+	}
+}
+
+// Penalty implements Operator.
+func (o ElasticNet) Penalty(row []float64) float64 {
+	var l1, l2 float64
+	for _, v := range row {
+		l1 += math.Abs(v)
+		l2 += v * v
+	}
+	return o.L1*l1 + 0.5*o.L2*l2
+}
+
+// Name implements Operator.
+func (o ElasticNet) Name() string { return fmt.Sprintf("elastic(%g,%g)", o.L1, o.L2) }
+
+// Simplex projects each row onto the probability simplex
+// {h : h ≥ 0, Σh = Radius}. Row-simplex constraints are called out in §IV-A
+// as a row-separable constraint the framework supports. Radius <= 0 is
+// treated as 1.
+type Simplex struct{ Radius float64 }
+
+// ApplyRow implements Operator using the O(F log F) sort-based projection of
+// Held, Wolfe & Crowder.
+func (o Simplex) ApplyRow(row []float64, rho float64) {
+	z := o.Radius
+	if z <= 0 {
+		z = 1
+	}
+	n := len(row)
+	if n == 0 {
+		return
+	}
+	sorted := append([]float64(nil), row...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	var cumsum, theta float64
+	k := 0
+	for i := 0; i < n; i++ {
+		cumsum += sorted[i]
+		t := (cumsum - z) / float64(i+1)
+		if sorted[i]-t > 0 {
+			k = i + 1
+			theta = t
+		}
+	}
+	_ = k
+	for i, v := range row {
+		if w := v - theta; w > 0 {
+			row[i] = w
+		} else {
+			row[i] = 0
+		}
+	}
+}
+
+// Penalty implements Operator: 0 on the simplex, +Inf off it (up to 1e-8
+// slack on the sum to absorb floating-point drift).
+func (o Simplex) Penalty(row []float64) float64 {
+	z := o.Radius
+	if z <= 0 {
+		z = 1
+	}
+	var s float64
+	for _, v := range row {
+		if v < 0 {
+			return math.Inf(1)
+		}
+		s += v
+	}
+	if math.Abs(s-z) > 1e-8*(1+z) {
+		return math.Inf(1)
+	}
+	return 0
+}
+
+// Name implements Operator.
+func (o Simplex) Name() string { return fmt.Sprintf("simplex(%g)", o.effRadius()) }
+
+func (o Simplex) effRadius() float64 {
+	if o.Radius <= 0 {
+		return 1
+	}
+	return o.Radius
+}
+
+// Box clamps every entry to [Lo, Hi].
+type Box struct{ Lo, Hi float64 }
+
+// ApplyRow implements Operator.
+func (o Box) ApplyRow(row []float64, rho float64) {
+	for i, v := range row {
+		if v < o.Lo {
+			row[i] = o.Lo
+		} else if v > o.Hi {
+			row[i] = o.Hi
+		}
+	}
+}
+
+// Penalty implements Operator.
+func (o Box) Penalty(row []float64) float64 {
+	for _, v := range row {
+		if v < o.Lo || v > o.Hi {
+			return math.Inf(1)
+		}
+	}
+	return 0
+}
+
+// Name implements Operator.
+func (o Box) Name() string { return fmt.Sprintf("box[%g,%g]", o.Lo, o.Hi) }
+
+// L2Ball projects each row onto the Euclidean ball of the given radius
+// (radius <= 0 treated as 1).
+type L2Ball struct{ Radius float64 }
+
+// ApplyRow implements Operator.
+func (o L2Ball) ApplyRow(row []float64, rho float64) {
+	r := o.Radius
+	if r <= 0 {
+		r = 1
+	}
+	var s float64
+	for _, v := range row {
+		s += v * v
+	}
+	norm := math.Sqrt(s)
+	if norm <= r {
+		return
+	}
+	c := r / norm
+	for i := range row {
+		row[i] *= c
+	}
+}
+
+// Penalty implements Operator.
+func (o L2Ball) Penalty(row []float64) float64 {
+	r := o.Radius
+	if r <= 0 {
+		r = 1
+	}
+	var s float64
+	for _, v := range row {
+		s += v * v
+	}
+	if math.Sqrt(s) > r*(1+1e-10) {
+		return math.Inf(1)
+	}
+	return 0
+}
+
+// Name implements Operator.
+func (o L2Ball) Name() string {
+	r := o.Radius
+	if r <= 0 {
+		r = 1
+	}
+	return fmt.Sprintf("l2ball(%g)", r)
+}

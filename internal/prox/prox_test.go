@@ -1,0 +1,285 @@
+package prox
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randRow(rng *rand.Rand, n int) []float64 {
+	row := make([]float64, n)
+	for i := range row {
+		row[i] = rng.NormFloat64() * 2
+	}
+	return row
+}
+
+func TestUnconstrainedIsIdentity(t *testing.T) {
+	row := []float64{-1, 0, 2.5}
+	want := append([]float64(nil), row...)
+	(Unconstrained{}).ApplyRow(row, 1.0)
+	for i := range row {
+		if row[i] != want[i] {
+			t.Fatalf("identity changed row: %v", row)
+		}
+	}
+	if (Unconstrained{}).Penalty(row) != 0 {
+		t.Fatal("penalty must be 0")
+	}
+}
+
+func TestNonNegative(t *testing.T) {
+	row := []float64{-1, 0, 2.5, -0.0001}
+	(NonNegative{}).ApplyRow(row, 3.7)
+	want := []float64{0, 0, 2.5, 0}
+	for i := range row {
+		if row[i] != want[i] {
+			t.Fatalf("ApplyRow = %v", row)
+		}
+	}
+	if (NonNegative{}).Penalty(row) != 0 {
+		t.Fatal("feasible row must have zero penalty")
+	}
+	if !math.IsInf((NonNegative{}).Penalty([]float64{-1}), 1) {
+		t.Fatal("infeasible row must have +Inf penalty")
+	}
+}
+
+func TestL1SoftThreshold(t *testing.T) {
+	row := []float64{2, -2, 0.05, -0.05}
+	(L1{Lambda: 1}).ApplyRow(row, 10) // threshold = 0.1
+	want := []float64{1.9, -1.9, 0, 0}
+	for i := range row {
+		if math.Abs(row[i]-want[i]) > 1e-12 {
+			t.Fatalf("ApplyRow = %v, want %v", row, want)
+		}
+	}
+	if p := (L1{Lambda: 2}).Penalty([]float64{1, -3}); p != 8 {
+		t.Fatalf("Penalty = %v", p)
+	}
+}
+
+func TestNonNegL1(t *testing.T) {
+	row := []float64{2, -2, 0.05}
+	(NonNegL1{Lambda: 1}).ApplyRow(row, 10) // threshold 0.1, one-sided
+	want := []float64{1.9, 0, 0}
+	for i := range row {
+		if math.Abs(row[i]-want[i]) > 1e-12 {
+			t.Fatalf("ApplyRow = %v, want %v", row, want)
+		}
+	}
+	if !math.IsInf((NonNegL1{Lambda: 1}).Penalty([]float64{-0.1}), 1) {
+		t.Fatal("negative entry must be infeasible")
+	}
+	if p := (NonNegL1{Lambda: 0.5}).Penalty([]float64{2, 4}); p != 3 {
+		t.Fatalf("Penalty = %v", p)
+	}
+}
+
+func TestL2Shrinkage(t *testing.T) {
+	row := []float64{3, -6}
+	(L2{Lambda: 1}).ApplyRow(row, 1) // shrink by 1/2
+	if row[0] != 1.5 || row[1] != -3 {
+		t.Fatalf("ApplyRow = %v", row)
+	}
+	if p := (L2{Lambda: 2}).Penalty([]float64{1, 2}); p != 5 {
+		t.Fatalf("Penalty = %v", p)
+	}
+}
+
+func TestSimplexProjectionKnown(t *testing.T) {
+	row := []float64{0.5, 0.5}
+	(Simplex{}).ApplyRow(row, 1)
+	if math.Abs(row[0]-0.5) > 1e-12 || math.Abs(row[1]-0.5) > 1e-12 {
+		t.Fatalf("point already on simplex moved: %v", row)
+	}
+	row = []float64{2, 0}
+	(Simplex{}).ApplyRow(row, 1)
+	if math.Abs(row[0]-1) > 1e-12 || row[1] != 0 {
+		t.Fatalf("projection of (2,0) = %v, want (1,0)", row)
+	}
+	row = []float64{1, 1}
+	(Simplex{}).ApplyRow(row, 1)
+	if math.Abs(row[0]-0.5) > 1e-12 || math.Abs(row[1]-0.5) > 1e-12 {
+		t.Fatalf("projection of (1,1) = %v, want (0.5,0.5)", row)
+	}
+}
+
+func TestSimplexProjectionProperty(t *testing.T) {
+	// After projection: entries non-negative, sum == radius.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		radius := 0.5 + rng.Float64()*4
+		row := randRow(rng, n)
+		op := Simplex{Radius: radius}
+		op.ApplyRow(row, 1)
+		var s float64
+		for _, v := range row {
+			if v < 0 {
+				return false
+			}
+			s += v
+		}
+		if math.Abs(s-radius) > 1e-9 {
+			return false
+		}
+		return op.Penalty(row) == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimplexIsClosestPoint(t *testing.T) {
+	// The projection must be at least as close as a sampled feasible point.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(5)
+		x := randRow(rng, n)
+		proj := append([]float64(nil), x...)
+		(Simplex{}).ApplyRow(proj, 1)
+		dProj := dist2(x, proj)
+		// Random feasible point via normalized exponentials.
+		feas := make([]float64, n)
+		var s float64
+		for i := range feas {
+			feas[i] = rng.ExpFloat64()
+			s += feas[i]
+		}
+		for i := range feas {
+			feas[i] /= s
+		}
+		if dist2(x, feas) < dProj-1e-9 {
+			t.Fatalf("found feasible point closer than projection: %v vs %v", dist2(x, feas), dProj)
+		}
+	}
+}
+
+func dist2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func TestBox(t *testing.T) {
+	row := []float64{-2, 0.5, 7}
+	(Box{Lo: 0, Hi: 1}).ApplyRow(row, 1)
+	want := []float64{0, 0.5, 1}
+	for i := range row {
+		if row[i] != want[i] {
+			t.Fatalf("Box = %v", row)
+		}
+	}
+	if (Box{Lo: 0, Hi: 1}).Penalty(row) != 0 {
+		t.Fatal("clamped row must be feasible")
+	}
+	if !math.IsInf((Box{Lo: 0, Hi: 1}).Penalty([]float64{2}), 1) {
+		t.Fatal("out-of-box must be infeasible")
+	}
+}
+
+func TestL2Ball(t *testing.T) {
+	row := []float64{3, 4} // norm 5
+	(L2Ball{Radius: 1}).ApplyRow(row, 1)
+	if math.Abs(row[0]-0.6) > 1e-12 || math.Abs(row[1]-0.8) > 1e-12 {
+		t.Fatalf("L2Ball = %v", row)
+	}
+	inside := []float64{0.1, 0.1}
+	(L2Ball{Radius: 1}).ApplyRow(inside, 1)
+	if inside[0] != 0.1 || inside[1] != 0.1 {
+		t.Fatal("interior point must not move")
+	}
+}
+
+// Projections must be idempotent: applying twice equals applying once.
+func TestProjectionIdempotentProperty(t *testing.T) {
+	ops := []Operator{NonNegative{}, Simplex{}, Simplex{Radius: 3}, Box{Lo: -1, Hi: 2}, L2Ball{Radius: 2}}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			row := randRow(rng, 1+rng.Intn(12))
+			op.ApplyRow(row, 1)
+			once := append([]float64(nil), row...)
+			op.ApplyRow(row, 1)
+			for i := range row {
+				if math.Abs(row[i]-once[i]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The prox must never increase the ADMM augmented objective's distance term
+// beyond the input point's own penalty tradeoff; a cheap sanity check is that
+// prox output always has finite, minimal-or-equal penalty+distance vs the
+// input itself.
+func TestProxOptimalityVsInputProperty(t *testing.T) {
+	ops := []Operator{L1{Lambda: 0.7}, NonNegL1{Lambda: 0.3}, L2{Lambda: 1.5}, NonNegative{}, Simplex{}}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rho := 0.5 + rng.Float64()*5
+		for _, op := range ops {
+			v := randRow(rng, 1+rng.Intn(10))
+			h := append([]float64(nil), v...)
+			op.ApplyRow(h, rho)
+			// objective(h) <= objective(clip(v)) where clip makes v feasible
+			// cheaply; we compare against h' = h (self) and v if feasible.
+			objH := op.Penalty(h) + 0.5*rho*dist2(h, v)
+			if math.IsInf(objH, 1) {
+				return false // prox output must be feasible
+			}
+			if pv := op.Penalty(v); !math.IsInf(pv, 1) {
+				if objH > pv+1e-9 { // prox point must beat staying at v
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	cases := map[string]Operator{
+		"none":           Unconstrained{},
+		"nonneg":         NonNegative{},
+		"l1(0.1)":        L1{Lambda: 0.1},
+		"nonneg+l1(0.5)": NonNegL1{Lambda: 0.5},
+		"l2(2)":          L2{Lambda: 2},
+		"simplex(1)":     Simplex{},
+		"simplex(2)":     Simplex{Radius: 2},
+		"box[0,1]":       Box{Lo: 0, Hi: 1},
+		"l2ball(1)":      L2Ball{},
+	}
+	for want, op := range cases {
+		if got := op.Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestL2BallPenalty(t *testing.T) {
+	op := L2Ball{Radius: 1}
+	if op.Penalty([]float64{0.5, 0.5}) != 0 {
+		t.Fatal("interior point must be feasible")
+	}
+	if !math.IsInf(op.Penalty([]float64{3, 4}), 1) {
+		t.Fatal("exterior point must be infeasible")
+	}
+	// Default radius 1.
+	if (L2Ball{}).Penalty([]float64{0.9}) != 0 {
+		t.Fatal("default radius feasibility")
+	}
+}

@@ -1,0 +1,109 @@
+// Package reorder relabels tensor mode indices, the preprocessing companion
+// to blocked ADMM: ordering a mode's slices by decreasing non-zero count
+// clusters the "high-signal" rows (§IV-B) into the same blocks, so the
+// blocks that need many inner iterations are maximally separated from the
+// blocks that converge immediately — sharpening exactly the non-uniformity
+// the blockwise reformulation exploits.
+//
+// Reordering is a bijective relabeling: factor rows computed under the new
+// order are mapped back with Unpermute, leaving results identical up to row
+// order (verified by tests).
+package reorder
+
+import (
+	"fmt"
+	"sort"
+
+	"aoadmm/internal/dense"
+	"aoadmm/internal/tensor"
+)
+
+// Permutation is a bijection over one mode's index space.
+// NewToOld[n] is the original index now labeled n; OldToNew inverts it.
+type Permutation struct {
+	NewToOld []int32
+	OldToNew []int32
+}
+
+// Identity returns the identity permutation over n indices.
+func Identity(n int) *Permutation {
+	p := &Permutation{
+		NewToOld: make([]int32, n),
+		OldToNew: make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		p.NewToOld[i] = int32(i)
+		p.OldToNew[i] = int32(i)
+	}
+	return p
+}
+
+// Len returns the index-space size.
+func (p *Permutation) Len() int { return len(p.NewToOld) }
+
+// ByDensity builds the permutation that orders mode's slices by decreasing
+// non-zero count (ties broken by original index, keeping it deterministic).
+func ByDensity(t *tensor.COO, mode int) *Permutation {
+	counts := t.SliceCounts(mode)
+	n := len(counts)
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return counts[order[a]] > counts[order[b]]
+	})
+	p := &Permutation{NewToOld: order, OldToNew: make([]int32, n)}
+	for newIdx, oldIdx := range order {
+		p.OldToNew[oldIdx] = int32(newIdx)
+	}
+	return p
+}
+
+// Apply relabels mode's indices of t in place under p (old -> new).
+func Apply(t *tensor.COO, mode int, p *Permutation) {
+	if p.Len() != t.Dims[mode] {
+		panic(fmt.Sprintf("reorder: permutation over %d indices for mode of length %d", p.Len(), t.Dims[mode]))
+	}
+	inds := t.Inds[mode]
+	for i, old := range inds {
+		inds[i] = p.OldToNew[old]
+	}
+}
+
+// Undo relabels mode's indices back to the original labels (new -> old).
+func Undo(t *tensor.COO, mode int, p *Permutation) {
+	if p.Len() != t.Dims[mode] {
+		panic(fmt.Sprintf("reorder: permutation over %d indices for mode of length %d", p.Len(), t.Dims[mode]))
+	}
+	inds := t.Inds[mode]
+	for i, cur := range inds {
+		inds[i] = p.NewToOld[cur]
+	}
+}
+
+// Permute returns a copy of m whose row n holds m's row NewToOld[n] — i.e.
+// it carries a factor from original row order into the reordered space.
+func (p *Permutation) Permute(m *dense.Matrix) *dense.Matrix {
+	if m.Rows != p.Len() {
+		panic(fmt.Sprintf("reorder: matrix with %d rows under a %d-permutation", m.Rows, p.Len()))
+	}
+	out := dense.New(m.Rows, m.Cols)
+	for n, old := range p.NewToOld {
+		copy(out.Row(n), m.Row(int(old)))
+	}
+	return out
+}
+
+// Unpermute returns a copy of m mapped back to original row order: row
+// NewToOld[n] of the output holds m's row n.
+func (p *Permutation) Unpermute(m *dense.Matrix) *dense.Matrix {
+	if m.Rows != p.Len() {
+		panic(fmt.Sprintf("reorder: matrix with %d rows under a %d-permutation", m.Rows, p.Len()))
+	}
+	out := dense.New(m.Rows, m.Cols)
+	for n, old := range p.NewToOld {
+		copy(out.Row(int(old)), m.Row(n))
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package reorder
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"aoadmm/internal/core"
+	"aoadmm/internal/dense"
+	"aoadmm/internal/prox"
+	"aoadmm/internal/tensor"
+)
+
+func skewedTensor(t *testing.T) *tensor.COO {
+	t.Helper()
+	x, err := tensor.Uniform(tensor.GenOptions{
+		Dims: []int{200, 50, 60}, NNZ: 5000, Seed: 430, Skew: []float64{1.5, 0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestIdentity(t *testing.T) {
+	p := Identity(5)
+	if p.Len() != 5 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if p.NewToOld[i] != int32(i) || p.OldToNew[i] != int32(i) {
+			t.Fatal("not identity")
+		}
+	}
+}
+
+func TestByDensityOrdersSlices(t *testing.T) {
+	x := skewedTensor(t)
+	p := ByDensity(x, 0)
+	counts := x.SliceCounts(0)
+	// New order must be non-increasing in slice count.
+	prev := 1 << 30
+	for _, old := range p.NewToOld {
+		c := counts[old]
+		if c > prev {
+			t.Fatalf("slice counts not non-increasing: %d after %d", c, prev)
+		}
+		prev = c
+	}
+	// Must be a bijection.
+	seen := make([]bool, p.Len())
+	for _, old := range p.NewToOld {
+		if seen[old] {
+			t.Fatalf("index %d repeated", old)
+		}
+		seen[old] = true
+	}
+	// Inverse consistency.
+	for newIdx, old := range p.NewToOld {
+		if p.OldToNew[old] != int32(newIdx) {
+			t.Fatal("OldToNew does not invert NewToOld")
+		}
+	}
+}
+
+func TestApplyUndoRoundTrip(t *testing.T) {
+	x := skewedTensor(t)
+	orig := x.Clone()
+	p := ByDensity(x, 0)
+	Apply(x, 0, p)
+	// Slice counts in new space must be sorted non-increasing.
+	counts := x.SliceCounts(0)
+	if !sort.SliceIsSorted(counts, func(a, b int) bool { return counts[a] > counts[b] }) {
+		t.Fatal("applied tensor's slice counts not sorted")
+	}
+	Undo(x, 0, p)
+	for m := range x.Inds {
+		for i := range x.Inds[m] {
+			if x.Inds[m][i] != orig.Inds[m][i] {
+				t.Fatalf("round trip broke mode %d nz %d", m, i)
+			}
+		}
+	}
+}
+
+func TestPermuteUnpermuteMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(431))
+	m := dense.Random(10, 3, rng)
+	x := tensor.NewCOO([]int{10, 4}, 3)
+	x.Append([]int{7, 0}, 1)
+	x.Append([]int{7, 1}, 1)
+	x.Append([]int{2, 0}, 1)
+	p := ByDensity(x, 0)
+	perm := p.Permute(m)
+	// Slice 7 (2 nnz) becomes row 0.
+	for j := 0; j < 3; j++ {
+		if perm.At(0, j) != m.At(7, j) {
+			t.Fatal("Permute misplaced densest row")
+		}
+	}
+	back := p.Unpermute(perm)
+	if !dense.Equal(back, m, 0) {
+		t.Fatal("Unpermute must invert Permute")
+	}
+}
+
+func TestReorderedFactorizationEquivalent(t *testing.T) {
+	// Factorizing the relabeled tensor and mapping factors back must give
+	// the same model as factorizing the original — same relative error, and
+	// the un-permuted factor evaluates identically at original coordinates.
+	x := skewedTensor(t)
+	opts := core.Options{
+		Rank: 4, Seed: 1, MaxOuterIters: 12,
+		Constraints: []prox.Operator{prox.NonNegative{}},
+	}
+	plain, err := core.Factorize(x.Clone(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := x.Clone()
+	p := ByDensity(re, 0)
+	Apply(re, 0, p)
+	sorted, err := core.Factorize(re, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimization path differs (different random-init-to-row pairing),
+	// but both must reach comparable fits on this easy problem.
+	if math.Abs(plain.RelErr-sorted.RelErr) > 0.05 {
+		t.Fatalf("reordered fit %v vs plain %v", sorted.RelErr, plain.RelErr)
+	}
+	// Mapping the reordered factor back must place rows at their original
+	// labels: evaluate the model at a few original coordinates.
+	back := p.Unpermute(sorted.Factors.Factors[0])
+	for trial := 0; trial < 20; trial++ {
+		i := trial * x.NNZ() / 20
+		coord := x.At(i)
+		var wantVal, gotVal float64
+		for f := 0; f < 4; f++ {
+			w := sorted.Factors.Factors[1].At(coord[1], f) * sorted.Factors.Factors[2].At(coord[2], f)
+			wantVal += sorted.Factors.Factors[0].At(int(p.OldToNew[coord[0]]), f) * w
+			gotVal += back.At(coord[0], f) * w
+		}
+		if math.Abs(wantVal-gotVal) > 1e-12 {
+			t.Fatalf("unpermuted factor evaluates differently: %v vs %v", gotVal, wantVal)
+		}
+	}
+}
+
+func TestPanicsOnLengthMismatch(t *testing.T) {
+	x := tensor.NewCOO([]int{5, 5}, 1)
+	x.Append([]int{0, 0}, 1)
+	p := Identity(4)
+	for i, fn := range []func(){
+		func() { Apply(x, 0, p) },
+		func() { Undo(x, 0, p) },
+		func() { p.Permute(dense.New(5, 2)) },
+		func() { p.Unpermute(dense.New(5, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,126 @@
+package sparse
+
+import (
+	"math"
+	"sort"
+
+	"aoadmm/internal/dense"
+)
+
+// Hybrid is the paper's CSR-H structure: factor-matrix sparsity is
+// non-uniform across columns, so the columns holding more non-zeros than the
+// average ("dense" columns, §IV-C) are stored as a compact dense panel
+// (processed first, giving the memory system time to deliver the CSR tail)
+// and the remaining columns are stored in CSR.
+//
+// Column indices in both parts are in the original column space, so
+// AccumRow scatters directly into the caller's rank-length buffer with no
+// permutation fixup.
+type Hybrid struct {
+	Rows, Cols int
+
+	// DenseCols lists the columns stored in the dense panel; Panel is
+	// Rows x len(DenseCols), row-major.
+	DenseCols []int32
+	Panel     []float64
+
+	// Tail holds the remaining (sparse) columns in CSR with original column
+	// indices.
+	Tail *CSR
+}
+
+// FromDenseHybrid builds a CSR-H image of m keeping entries with |v| > tol.
+// A column is "dense" when its non-zero count exceeds the mean column count
+// (the paper's definition of average column density).
+func FromDenseHybrid(m *dense.Matrix, tol float64) *Hybrid {
+	rows, cols := m.Rows, m.Cols
+	colNNZ := make([]int, cols)
+	total := 0
+	for i := 0; i < rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if math.Abs(v) > tol {
+				colNNZ[j]++
+				total++
+			}
+		}
+	}
+	var mean float64
+	if cols > 0 {
+		mean = float64(total) / float64(cols)
+	}
+
+	// Sort columns by decreasing non-zero count; dense columns first.
+	order := make([]int, cols)
+	for j := range order {
+		order[j] = j
+	}
+	sort.SliceStable(order, func(a, b int) bool { return colNNZ[order[a]] > colNNZ[order[b]] })
+
+	var denseCols []int32
+	isDense := make([]bool, cols)
+	for _, j := range order {
+		if float64(colNNZ[j]) > mean {
+			denseCols = append(denseCols, int32(j))
+			isDense[j] = true
+		}
+	}
+
+	h := &Hybrid{Rows: rows, Cols: cols, DenseCols: denseCols}
+	d := len(denseCols)
+	h.Panel = make([]float64, rows*d)
+	tail := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int32, rows+1)}
+	for i := 0; i < rows; i++ {
+		row := m.Row(i)
+		for t, j := range denseCols {
+			h.Panel[i*d+t] = row[j]
+		}
+		for j, v := range row {
+			if !isDense[j] && math.Abs(v) > tol {
+				tail.ColIdx = append(tail.ColIdx, int32(j))
+				tail.Vals = append(tail.Vals, v)
+			}
+		}
+		tail.RowPtr[i+1] = int32(len(tail.Vals))
+	}
+	h.Tail = tail
+	return h
+}
+
+// NNZ returns the stored non-zero count: the full dense panel plus the CSR
+// tail (panel zeros are stored but counted as occupancy, mirroring the
+// paper's structure cost).
+func (h *Hybrid) NNZ() int { return len(h.Panel) + h.Tail.NNZ() }
+
+// NDense returns the number of columns in the dense panel.
+func (h *Hybrid) NDense() int { return len(h.DenseCols) }
+
+// AccumRow adds scale · M(row, :) into dst. The dense panel is processed
+// first and then the CSR tail, matching the paper's compute-while-fetching
+// order (Go lacks software prefetch; the ordering and compact panel remain).
+func (h *Hybrid) AccumRow(dst []float64, row int, scale float64) {
+	d := len(h.DenseCols)
+	panelRow := h.Panel[row*d : row*d+d]
+	for t, j := range h.DenseCols {
+		dst[j] += scale * panelRow[t]
+	}
+	h.Tail.AccumRow(dst, row, scale)
+}
+
+// ToDense expands back to a dense matrix (tests).
+func (h *Hybrid) ToDense() *dense.Matrix {
+	m := h.Tail.ToDense()
+	d := len(h.DenseCols)
+	for i := 0; i < h.Rows; i++ {
+		row := m.Row(i)
+		for t, j := range h.DenseCols {
+			row[j] = h.Panel[i*d+t]
+		}
+	}
+	return m
+}
+
+// MemoryBytes estimates the structure's footprint.
+func (h *Hybrid) MemoryBytes() int {
+	return len(h.DenseCols)*4 + len(h.Panel)*8 + h.Tail.MemoryBytes()
+}

@@ -1,0 +1,228 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aoadmm/internal/dense"
+)
+
+// sparseRandom returns a rows x cols matrix whose entries are non-zero with
+// probability density.
+func sparseRandom(rows, cols int, density float64, rng *rand.Rand) *dense.Matrix {
+	m := dense.New(rows, cols)
+	for i := range m.Data {
+		if rng.Float64() < density {
+			m.Data[i] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, density := range []float64{0, 0.05, 0.3, 1.0} {
+		m := sparseRandom(37, 9, density, rng)
+		c := FromDense(m, 0)
+		if got := c.ToDense(); !dense.Equal(got, m, 0) {
+			t.Fatalf("density %v: round trip failed", density)
+		}
+	}
+}
+
+func TestCSRTolDropsSmallEntries(t *testing.T) {
+	m := dense.FromRows([][]float64{{1e-12, 0.5}, {-1e-12, -2}})
+	c := FromDense(m, 1e-9)
+	if c.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", c.NNZ())
+	}
+	d := c.ToDense()
+	if d.At(0, 0) != 0 || d.At(1, 0) != 0 {
+		t.Fatal("small entries must be dropped")
+	}
+	if d.At(0, 1) != 0.5 || d.At(1, 1) != -2 {
+		t.Fatal("large entries must survive")
+	}
+}
+
+func TestCSRNNZDensity(t *testing.T) {
+	m := dense.FromRows([][]float64{{1, 0, 2}, {0, 0, 0}})
+	c := FromDense(m, 0)
+	if c.NNZ() != 2 {
+		t.Fatalf("NNZ = %d", c.NNZ())
+	}
+	if d := c.Density(); math.Abs(d-2.0/6) > 1e-12 {
+		t.Fatalf("Density = %v", d)
+	}
+	empty := FromDense(dense.New(0, 0), 0)
+	if empty.Density() != 0 {
+		t.Fatal("empty density")
+	}
+}
+
+func TestCSRAccumRowMatchesDense(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(12)
+		m := sparseRandom(rows, cols, 0.3, rng)
+		c := FromDense(m, 0)
+		for trial := 0; trial < 5; trial++ {
+			r := rng.Intn(rows)
+			scale := rng.NormFloat64()
+			want := make([]float64, cols)
+			got := make([]float64, cols)
+			for j := range want {
+				want[j] = rng.NormFloat64()
+				got[j] = want[j]
+				want[j] += scale * m.At(r, j)
+			}
+			c.AccumRow(got, r, scale)
+			for j := range want {
+				if math.Abs(got[j]-want[j]) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, density := range []float64{0, 0.1, 0.5, 1.0} {
+		m := sparseRandom(29, 11, density, rng)
+		h := FromDenseHybrid(m, 0)
+		if got := h.ToDense(); !dense.Equal(got, m, 0) {
+			t.Fatalf("density %v: hybrid round trip failed", density)
+		}
+	}
+}
+
+func TestHybridSplitsDenseColumns(t *testing.T) {
+	// Build a matrix with two clearly dense columns and eight near-empty.
+	rng := rand.New(rand.NewSource(43))
+	m := dense.New(100, 10)
+	for i := 0; i < 100; i++ {
+		m.Set(i, 3, rng.NormFloat64()) // fully dense column
+		m.Set(i, 7, rng.NormFloat64()) // fully dense column
+	}
+	m.Set(5, 0, 1) // lone entry in a sparse column
+	h := FromDenseHybrid(m, 0)
+	if h.NDense() != 2 {
+		t.Fatalf("NDense = %d, want 2", h.NDense())
+	}
+	got := map[int32]bool{}
+	for _, j := range h.DenseCols {
+		got[j] = true
+	}
+	if !got[3] || !got[7] {
+		t.Fatalf("dense columns = %v, want {3,7}", h.DenseCols)
+	}
+	// Densest first.
+	if h.Tail.NNZ() != 1 {
+		t.Fatalf("tail nnz = %d, want 1", h.Tail.NNZ())
+	}
+}
+
+func TestHybridDenseColumnsSortedByCount(t *testing.T) {
+	m := dense.New(50, 4)
+	rng := rand.New(rand.NewSource(44))
+	// col 2: 50 nnz, col 0: 30 nnz, col 1: 2 nnz, col 3: 0.
+	for i := 0; i < 50; i++ {
+		m.Set(i, 2, rng.NormFloat64())
+	}
+	for i := 0; i < 30; i++ {
+		m.Set(i, 0, rng.NormFloat64())
+	}
+	m.Set(0, 1, 1)
+	m.Set(1, 1, 1)
+	h := FromDenseHybrid(m, 0)
+	if h.NDense() != 2 || h.DenseCols[0] != 2 || h.DenseCols[1] != 0 {
+		t.Fatalf("DenseCols = %v, want [2 0]", h.DenseCols)
+	}
+}
+
+func TestHybridAccumRowMatchesDense(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(25), 1+rng.Intn(10)
+		// Mix of dense and sparse columns.
+		m := dense.New(rows, cols)
+		for j := 0; j < cols; j++ {
+			density := 0.05
+			if j%3 == 0 {
+				density = 0.9
+			}
+			for i := 0; i < rows; i++ {
+				if rng.Float64() < density {
+					m.Set(i, j, rng.NormFloat64())
+				}
+			}
+		}
+		h := FromDenseHybrid(m, 0)
+		for trial := 0; trial < 5; trial++ {
+			r := rng.Intn(rows)
+			scale := 1 + rng.Float64()
+			want := make([]float64, cols)
+			got := make([]float64, cols)
+			for j := range want {
+				want[j] = scale * m.At(r, j)
+			}
+			h.AccumRow(got, r, scale)
+			for j := range want {
+				if math.Abs(got[j]-want[j]) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridAllZeroMatrix(t *testing.T) {
+	m := dense.New(10, 5)
+	h := FromDenseHybrid(m, 0)
+	if h.NDense() != 0 || h.Tail.NNZ() != 0 {
+		t.Fatalf("all-zero: ndense=%d tail=%d", h.NDense(), h.Tail.NNZ())
+	}
+	dst := make([]float64, 5)
+	h.AccumRow(dst, 3, 2)
+	for _, v := range dst {
+		if v != 0 {
+			t.Fatal("accum from zero matrix must be zero")
+		}
+	}
+}
+
+func TestHybridAllDenseMatrix(t *testing.T) {
+	// Uniformly dense: no column exceeds the mean, so everything goes to the
+	// CSR tail (mean == count for all). That is fine — the structure must
+	// still reproduce the matrix.
+	rng := rand.New(rand.NewSource(45))
+	m := sparseRandom(20, 6, 1.0, rng)
+	h := FromDenseHybrid(m, 0)
+	if !dense.Equal(h.ToDense(), m, 0) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestMemoryBytesScalesWithSparsity(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	sparse := FromDense(sparseRandom(1000, 50, 0.02, rng), 0)
+	densem := FromDense(sparseRandom(1000, 50, 0.9, rng), 0)
+	if sparse.MemoryBytes() >= densem.MemoryBytes() {
+		t.Fatalf("sparse CSR (%d B) not smaller than dense CSR (%d B)", sparse.MemoryBytes(), densem.MemoryBytes())
+	}
+	h := FromDenseHybrid(sparseRandom(100, 10, 0.2, rng), 0)
+	if h.MemoryBytes() <= 0 {
+		t.Fatal("hybrid memory must be positive")
+	}
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// PlotTrace renders a trace's relative error versus outer iteration as a
+// small ASCII chart (rows text rows tall, cols samples wide), the terminal
+// companion to Fig. 6. Traces longer than cols are downsampled by taking
+// the minimum error within each bucket.
+func PlotTrace(w io.Writer, t *Trace, cols, rows int) error {
+	if len(t.Points) == 0 {
+		_, err := fmt.Fprintln(w, "(empty trace)")
+		return err
+	}
+	if cols < 8 {
+		cols = 8
+	}
+	if rows < 3 {
+		rows = 3
+	}
+	// Downsample to at most cols buckets (min error per bucket).
+	n := len(t.Points)
+	buckets := cols
+	if n < buckets {
+		buckets = n
+	}
+	ys := make([]float64, buckets)
+	for b := range ys {
+		lo := b * n / buckets
+		hi := (b + 1) * n / buckets
+		if hi <= lo {
+			hi = lo + 1
+		}
+		best := math.Inf(1)
+		for i := lo; i < hi && i < n; i++ {
+			if e := t.Points[i].RelErr; e < best {
+				best = e
+			}
+		}
+		ys[b] = best
+	}
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, y := range ys {
+		yMin = math.Min(yMin, y)
+		yMax = math.Max(yMax, y)
+	}
+	if yMax == yMin {
+		yMax = yMin + 1e-12
+	}
+
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", buckets))
+	}
+	for b, y := range ys {
+		// Row 0 is the top (yMax).
+		frac := (yMax - y) / (yMax - yMin)
+		r := int(frac * float64(rows-1))
+		grid[r][b] = '*'
+	}
+	for r, line := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7.4f ", yMax)
+		} else if r == rows-1 {
+			label = fmt.Sprintf("%7.4f ", yMin)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", label, line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s+%s\n%srel err vs outer iteration (1..%d)\n",
+		strings.Repeat(" ", 8), strings.Repeat("-", buckets),
+		strings.Repeat(" ", 9), t.Points[n-1].Iteration)
+	return err
+}

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPlotTraceRenders(t *testing.T) {
+	tr := &Trace{}
+	for i := 1; i <= 100; i++ {
+		tr.Append(TracePoint{Iteration: i, Elapsed: time.Duration(i) * time.Millisecond,
+			RelErr: 1.0 / float64(i)})
+	}
+	var buf bytes.Buffer
+	if err := PlotTrace(&buf, tr, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 10 { // 8 rows + axis + caption
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no data points rendered")
+	}
+	if !strings.Contains(out, "rel err vs outer iteration (1..100)") {
+		t.Fatalf("missing caption:\n%s", out)
+	}
+	// Labels: the top row carries the max of the (min-per-bucket
+	// downsampled) series — the first bucket spans iterations 1-2, so 0.5 —
+	// and the bottom row the series minimum, 1/100.
+	if !strings.Contains(lines[0], "0.5000 |") {
+		t.Fatalf("top label wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[7], "0.0100 |") {
+		t.Fatalf("bottom label wrong: %q", lines[7])
+	}
+}
+
+func TestPlotTraceEdgeCases(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PlotTrace(&buf, &Trace{}, 10, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty trace") {
+		t.Fatal("empty trace not reported")
+	}
+	// Flat trace (zero range) must not divide by zero.
+	tr := &Trace{}
+	tr.Append(TracePoint{Iteration: 1, RelErr: 0.5})
+	tr.Append(TracePoint{Iteration: 2, RelErr: 0.5})
+	buf.Reset()
+	if err := PlotTrace(&buf, tr, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Tiny dimensions clamp.
+	buf.Reset()
+	if err := PlotTrace(&buf, tr, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}

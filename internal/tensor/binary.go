@@ -1,0 +1,163 @@
+package tensor
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary tensor format ("AOTN"): a compact little-endian encoding that loads
+// an order of magnitude faster than the text format for large tensors.
+//
+//	[4]byte magic "AOTN" | uint32 version | uint32 order | uint64 nnz |
+//	order x uint64 dims | order x nnz x uint32 indices | nnz x float64 values
+const (
+	binaryMagic   = "AOTN"
+	binaryVersion = 1
+)
+
+// WriteBinary encodes the tensor in the AOTN binary format.
+func WriteBinary(w io.Writer, t *COO) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	header := []uint64{binaryVersion, uint64(t.Order()), uint64(t.NNZ())}
+	hdr32 := []uint32{uint32(header[0]), uint32(header[1])}
+	for _, v := range hdr32 {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, header[2]); err != nil {
+		return err
+	}
+	for _, d := range t.Dims {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(d)); err != nil {
+			return err
+		}
+	}
+	for m := 0; m < t.Order(); m++ {
+		if err := binary.Write(bw, binary.LittleEndian, t.Inds[m]); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, t.Vals); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes an AOTN binary tensor.
+func ReadBinary(r io.Reader) (*COO, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("tensor: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("tensor: bad magic %q (want %q)", magic, binaryMagic)
+	}
+	var version, order uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("tensor: unsupported version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &order); err != nil {
+		return nil, err
+	}
+	if order < 1 || order > 16 {
+		return nil, fmt.Errorf("tensor: implausible order %d", order)
+	}
+	var nnz uint64
+	if err := binary.Read(br, binary.LittleEndian, &nnz); err != nil {
+		return nil, err
+	}
+	const maxNNZ = 1 << 34
+	if nnz > maxNNZ {
+		return nil, fmt.Errorf("tensor: implausible nnz %d", nnz)
+	}
+	dims := make([]int, order)
+	for m := range dims {
+		var d uint64
+		if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+			return nil, err
+		}
+		if d == 0 || d > 1<<31 {
+			return nil, fmt.Errorf("tensor: implausible dim %d", d)
+		}
+		dims[m] = int(d)
+	}
+	// Read index and value arrays in bounded chunks so a forged header
+	// cannot force a giant allocation before the (truncated) input runs out.
+	const chunk = 1 << 16
+	t := &COO{
+		Dims: dims,
+		Inds: make([][]int32, order),
+	}
+	buf32 := make([]int32, min(chunk, int(nnz)))
+	for m := 0; m < int(order); m++ {
+		inds := make([]int32, 0, min(chunk, int(nnz)))
+		for read := uint64(0); read < nnz; {
+			n := uint64(chunk)
+			if nnz-read < n {
+				n = nnz - read
+			}
+			part := buf32[:n]
+			if err := binary.Read(br, binary.LittleEndian, part); err != nil {
+				return nil, fmt.Errorf("tensor: mode %d indices: %w", m, err)
+			}
+			for _, idx := range part {
+				if idx < 0 || int(idx) >= dims[m] {
+					return nil, fmt.Errorf("tensor: mode %d index %d out of range [0, %d)", m, idx, dims[m])
+				}
+			}
+			inds = append(inds, part...)
+			read += n
+		}
+		t.Inds[m] = inds
+	}
+	buf64 := make([]float64, min(chunk, int(nnz)))
+	vals := make([]float64, 0, min(chunk, int(nnz)))
+	for read := uint64(0); read < nnz; {
+		n := uint64(chunk)
+		if nnz-read < n {
+			n = nnz - read
+		}
+		part := buf64[:n]
+		if err := binary.Read(br, binary.LittleEndian, part); err != nil {
+			return nil, fmt.Errorf("tensor: values: %w", err)
+		}
+		vals = append(vals, part...)
+		read += n
+	}
+	t.Vals = vals
+	return t, nil
+}
+
+// SaveBinaryFile writes the tensor to disk in AOTN format.
+func SaveBinaryFile(path string, t *COO) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBinaryFile reads an AOTN tensor from disk.
+func LoadBinaryFile(path string) (*COO, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}

@@ -1,0 +1,119 @@
+package tensor
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	orig, _, err := PlantedLowRank(GenOptions{
+		Dims: []int{20, 30, 40}, NNZ: 500, Rank: 3, Seed: 301, NoiseStd: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != orig.NNZ() || back.Order() != orig.Order() {
+		t.Fatalf("shape mismatch: %v vs %v", back, orig)
+	}
+	for m := range orig.Dims {
+		if back.Dims[m] != orig.Dims[m] {
+			t.Fatalf("dims %v vs %v", back.Dims, orig.Dims)
+		}
+		for p := 0; p < orig.NNZ(); p++ {
+			if back.Inds[m][p] != orig.Inds[m][p] {
+				t.Fatalf("index mismatch mode %d nz %d", m, p)
+			}
+		}
+	}
+	for p := range orig.Vals {
+		if back.Vals[p] != orig.Vals[p] {
+			t.Fatalf("value mismatch at %d (binary must be bit-exact)", p)
+		}
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	orig, err := Uniform(GenOptions{Dims: []int{5, 6}, NNZ: 30, Seed: 302})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "x.aotn")
+	if err := SaveBinaryFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != orig.NNZ() {
+		t.Fatalf("nnz %d vs %d", back.NNZ(), orig.NNZ())
+	}
+	if _, err := LoadBinaryFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBinaryRejectsCorruptInput(t *testing.T) {
+	good, _ := Uniform(GenOptions{Dims: []int{4, 4}, NNZ: 8, Seed: 303})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, good); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("NOPE"), data[4:]...),
+		"truncated":   data[:len(data)/2],
+		"bad version": append(append([]byte("AOTN"), 9, 0, 0, 0), data[8:]...),
+	}
+	for name, corrupt := range cases {
+		if _, err := ReadBinary(bytes.NewReader(corrupt)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestBinaryRejectsOutOfRangeIndex(t *testing.T) {
+	good, _ := Uniform(GenOptions{Dims: []int{4, 4}, NNZ: 8, Seed: 304})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, good); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The first mode-0 index lives right after the header:
+	// 4 magic + 4 version + 4 order + 8 nnz + 2*8 dims = 36.
+	data[36] = 0xFF
+	data[37] = 0xFF
+	data[38] = 0xFF
+	data[39] = 0x7F
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("out-of-range index accepted")
+	} else if !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestBinarySmallerThanTextForLargeTensors(t *testing.T) {
+	x, _ := Uniform(GenOptions{Dims: []int{100, 100, 100}, NNZ: 20000, Seed: 305})
+	var txt, bin bytes.Buffer
+	if err := WriteTNS(&txt, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bin, x); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= txt.Len() {
+		t.Fatalf("binary (%d B) not smaller than text (%d B)", bin.Len(), txt.Len())
+	}
+}

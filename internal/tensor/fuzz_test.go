@@ -1,0 +1,66 @@
+package tensor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTNS hardens the text parser: it must never panic and, when it
+// succeeds, the parsed tensor must round-trip through WriteTNS.
+func FuzzReadTNS(f *testing.F) {
+	f.Add("1 1 1 2.0\n")
+	f.Add("# comment\n2 3 4 -1.5\n1 2 1 0.25\n")
+	f.Add("")
+	f.Add("0 0 0\n")
+	f.Add("1 1 1e309\n")
+	f.Add("9999999999999999999 1 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := ReadTNS(strings.NewReader(input), nil)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTNS(&buf, c); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadTNS(&buf, c.Dims)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NNZ() != c.NNZ() {
+			t.Fatalf("nnz %d != %d after round trip", back.NNZ(), c.NNZ())
+		}
+	})
+}
+
+// FuzzReadBinary hardens the binary decoder against corrupt input: any byte
+// stream must either parse into a well-formed tensor or return an error —
+// never panic or allocate unboundedly.
+func FuzzReadBinary(f *testing.F) {
+	good, _ := Uniform(GenOptions{Dims: []int{4, 5}, NNZ: 12, Seed: 1})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, good); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("AOTN"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Parsed successfully: invariants must hold.
+		for m := 0; m < c.Order(); m++ {
+			if len(c.Inds[m]) != c.NNZ() {
+				t.Fatalf("mode %d has %d indices for %d nnz", m, len(c.Inds[m]), c.NNZ())
+			}
+			for _, idx := range c.Inds[m] {
+				if idx < 0 || int(idx) >= c.Dims[m] {
+					t.Fatalf("index %d out of bounds for mode %d", idx, m)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,171 @@
+package tensor
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestUniformGenerator(t *testing.T) {
+	c, err := Uniform(GenOptions{Dims: []int{50, 60, 70}, NNZ: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() == 0 || c.NNZ() > 2000 {
+		t.Fatalf("nnz = %d", c.NNZ())
+	}
+	// Samples are in (0,1] but duplicates merge by summing, so values are
+	// positive and bounded by the sample count.
+	for _, v := range c.Vals {
+		if v <= 0 || v > 2000 {
+			t.Fatalf("value %v outside (0, nnz]", v)
+		}
+	}
+	// Determinism.
+	c2, _ := Uniform(GenOptions{Dims: []int{50, 60, 70}, NNZ: 2000, Seed: 1})
+	if c2.NNZ() != c.NNZ() || c2.Vals[0] != c.Vals[0] {
+		t.Fatal("generator must be deterministic per seed")
+	}
+	c3, _ := Uniform(GenOptions{Dims: []int{50, 60, 70}, NNZ: 2000, Seed: 2})
+	if c3.Vals[0] == c.Vals[0] && c3.Vals[1] == c.Vals[1] {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestUniformValidation(t *testing.T) {
+	bad := []GenOptions{
+		{Dims: []int{5}, NNZ: 10},                              // too few modes
+		{Dims: []int{5, 0}, NNZ: 10},                           // zero dim
+		{Dims: []int{5, 5}, NNZ: 0},                            // zero nnz
+		{Dims: []int{5, 5}, NNZ: 10, Skew: []float64{1, 1, 1}}, // skew length
+	}
+	for i, o := range bad {
+		if _, err := Uniform(o); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestZipfSkewProducesPowerLaw(t *testing.T) {
+	skewed, err := Uniform(GenOptions{
+		Dims: []int{500, 500}, NNZ: 20000, Seed: 3,
+		Skew: []float64{1.5, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := skewed.SliceCounts(0)
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	// Top 1% of slices should hold a large share of non-zeros under Zipf 1.5.
+	topShare := 0.0
+	total := 0
+	for i, c := range counts {
+		total += c
+		if i < 5 {
+			topShare += float64(c)
+		}
+	}
+	frac := topShare / float64(total)
+	if frac < 0.3 {
+		t.Fatalf("top-5 slice share %v too small for Zipf(1.5)", frac)
+	}
+	// The uniform mode should be far flatter.
+	ucounts := skewed.SliceCounts(1)
+	sort.Sort(sort.Reverse(sort.IntSlice(ucounts)))
+	utop := 0.0
+	for i := 0; i < 5; i++ {
+		utop += float64(ucounts[i])
+	}
+	if utop/float64(total) > frac/2 {
+		t.Fatalf("uniform mode unexpectedly skewed: %v vs %v", utop/float64(total), frac)
+	}
+}
+
+func TestPlantedLowRankProperties(t *testing.T) {
+	c, factors, err := PlantedLowRank(GenOptions{
+		Dims: []int{30, 40, 50}, NNZ: 3000, Rank: 5, Seed: 4,
+		FactorDensity: 0.8, NoiseStd: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(factors) != 3 {
+		t.Fatalf("%d factor sets", len(factors))
+	}
+	for m, dim := range c.Dims {
+		if len(factors[m]) != dim*5 {
+			t.Fatalf("factor %d has %d entries, want %d", m, len(factors[m]), dim*5)
+		}
+	}
+	// Noise-free: every stored value must equal the planted model value
+	// (or the 1e-3 floor when the model is exactly zero) — check a few.
+	for p := 0; p < 50; p++ {
+		at := c.At(p)
+		var want float64
+		for f := 0; f < 5; f++ {
+			prod := 1.0
+			for m := 0; m < 3; m++ {
+				prod *= factors[m][at[m]*5+f]
+			}
+			want += prod
+		}
+		got := c.Vals[p]
+		if want == 0 {
+			continue // may be the floor or a merged duplicate of floors
+		}
+		// Duplicates merge by summing, so got must be a positive integer
+		// multiple of want (same coordinate => same model value).
+		k := got / want
+		if math.Abs(k-math.Round(k)) > 1e-9 || k < 1-1e-12 {
+			t.Fatalf("nz %d: value %v not a multiple of model %v", p, got, want)
+		}
+	}
+}
+
+func TestPlantedLowRankNoiseChangesValues(t *testing.T) {
+	clean, _, err := PlantedLowRank(GenOptions{Dims: []int{10, 10, 10}, NNZ: 200, Rank: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, _, err := PlantedLowRank(GenOptions{Dims: []int{10, 10, 10}, NNZ: 200, Rank: 2, Seed: 5, NoiseStd: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values should differ even if coordinates align for early samples.
+	diff := false
+	n := min(clean.NNZ(), noisy.NNZ())
+	for p := 0; p < n; p++ {
+		if clean.Vals[p] != noisy.Vals[p] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("noise had no effect")
+	}
+}
+
+func TestPlantedLowRankRequiresRank(t *testing.T) {
+	if _, _, err := PlantedLowRank(GenOptions{Dims: []int{5, 5}, NNZ: 10}); err == nil {
+		t.Fatal("expected error for Rank=0")
+	}
+}
+
+func TestPlantedSparseFactors(t *testing.T) {
+	_, factors, err := PlantedLowRank(GenOptions{
+		Dims: []int{200, 200}, NNZ: 500, Rank: 8, Seed: 6, FactorDensity: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nz := 0
+	for _, v := range factors[0] {
+		if v != 0 {
+			nz++
+		}
+	}
+	density := float64(nz) / float64(len(factors[0]))
+	if density < 0.05 || density > 0.2 {
+		t.Fatalf("planted density %v far from requested 0.1", density)
+	}
+}

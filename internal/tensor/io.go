@@ -1,0 +1,126 @@
+package tensor
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadTNS parses a FROSTT-style ".tns" text tensor: one non-zero per line,
+// whitespace-separated 1-based indices followed by the value. Lines starting
+// with '#' and blank lines are ignored. Mode lengths are inferred as the
+// maximum index seen per mode unless dims is non-nil (then indices are
+// validated against it).
+func ReadTNS(r io.Reader, dims []int) (*COO, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var (
+		order  int
+		inds   [][]int32
+		vals   []float64
+		maxIdx []int32
+		lineNo int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if order == 0 {
+			order = len(fields) - 1
+			if order < 1 {
+				return nil, fmt.Errorf("tensor: line %d: need at least one index and a value", lineNo)
+			}
+			if dims != nil && len(dims) != order {
+				return nil, fmt.Errorf("tensor: line %d: order %d does not match provided dims %v", lineNo, order, dims)
+			}
+			inds = make([][]int32, order)
+			maxIdx = make([]int32, order)
+		}
+		if len(fields) != order+1 {
+			return nil, fmt.Errorf("tensor: line %d: expected %d fields, got %d", lineNo, order+1, len(fields))
+		}
+		for m := 0; m < order; m++ {
+			v, err := strconv.ParseInt(fields[m], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("tensor: line %d: bad index %q: %v", lineNo, fields[m], err)
+			}
+			if v < 1 {
+				return nil, fmt.Errorf("tensor: line %d: index %d is not 1-based positive", lineNo, v)
+			}
+			idx := int32(v - 1)
+			if dims != nil && int(idx) >= dims[m] {
+				return nil, fmt.Errorf("tensor: line %d: index %d exceeds dim %d of mode %d", lineNo, v, dims[m], m)
+			}
+			if idx > maxIdx[m] {
+				maxIdx[m] = idx
+			}
+			inds[m] = append(inds[m], idx)
+		}
+		val, err := strconv.ParseFloat(fields[order], 64)
+		if err != nil {
+			return nil, fmt.Errorf("tensor: line %d: bad value %q: %v", lineNo, fields[order], err)
+		}
+		vals = append(vals, val)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tensor: scan: %w", err)
+	}
+	if order == 0 {
+		return nil, fmt.Errorf("tensor: empty input")
+	}
+	outDims := dims
+	if outDims == nil {
+		outDims = make([]int, order)
+		for m := range outDims {
+			outDims[m] = int(maxIdx[m]) + 1
+		}
+	}
+	t := &COO{Dims: append([]int(nil), outDims...), Inds: inds, Vals: vals}
+	return t, nil
+}
+
+// WriteTNS writes the tensor in FROSTT text format (1-based indices).
+func WriteTNS(w io.Writer, t *COO) error {
+	bw := bufio.NewWriter(w)
+	for p := 0; p < t.NNZ(); p++ {
+		for m := 0; m < t.Order(); m++ {
+			if _, err := fmt.Fprintf(bw, "%d ", t.Inds[m][p]+1); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(bw, "%g\n", t.Vals[p]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadTNSFile reads a ".tns" tensor from disk.
+func LoadTNSFile(path string) (*COO, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTNS(f, nil)
+}
+
+// SaveTNSFile writes a ".tns" tensor to disk.
+func SaveTNSFile(path string, t *COO) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTNS(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

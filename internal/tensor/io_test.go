@@ -1,0 +1,119 @@
+package tensor
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadTNSBasic(t *testing.T) {
+	in := `# a comment
+1 1 1 2.0
+
+2 3 4 -1.5
+1 2 1 0.25
+`
+	c, err := ReadTNS(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Order() != 3 || c.NNZ() != 3 {
+		t.Fatalf("order=%d nnz=%d", c.Order(), c.NNZ())
+	}
+	// Dims inferred from max indices.
+	if c.Dims[0] != 2 || c.Dims[1] != 3 || c.Dims[2] != 4 {
+		t.Fatalf("dims = %v", c.Dims)
+	}
+	// First non-zero at 0-based (0,0,0) value 2.
+	if at := c.At(0); at[0] != 0 || at[1] != 0 || at[2] != 0 || c.Vals[0] != 2 {
+		t.Fatalf("first nz = %v %v", at, c.Vals[0])
+	}
+}
+
+func TestReadTNSWithExplicitDims(t *testing.T) {
+	c, err := ReadTNS(strings.NewReader("1 1 1\n"), []int{5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dims[0] != 5 || c.Dims[1] != 7 {
+		t.Fatalf("dims = %v", c.Dims)
+	}
+	if _, err := ReadTNS(strings.NewReader("9 1 1\n"), []int{5, 7}); err == nil {
+		t.Fatal("out-of-dims index must fail")
+	}
+	if _, err := ReadTNS(strings.NewReader("1 1 1 1\n"), []int{5, 7}); err == nil {
+		t.Fatal("order mismatch with dims must fail")
+	}
+}
+
+func TestReadTNSErrors(t *testing.T) {
+	cases := []string{
+		"",             // empty
+		"1 2\n1 2 3\n", // inconsistent field count
+		"0 1 1.0\n",    // 0-based index
+		"-1 1 1.0\n",   // negative index
+		"a 1 1.0\n",    // non-integer index
+		"1 1 xyz\n",    // bad value
+		"2.5 1 1.0\n",  // fractional index
+		"1\n",          // value only, no index? order = 0
+	}
+	for _, in := range cases {
+		if _, err := ReadTNS(strings.NewReader(in), nil); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	orig, _, err := PlantedLowRank(GenOptions{
+		Dims: []int{8, 9, 10}, NNZ: 60, Rank: 3, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTNS(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTNS(&buf, orig.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != orig.NNZ() {
+		t.Fatalf("nnz %d != %d", back.NNZ(), orig.NNZ())
+	}
+	for p := 0; p < orig.NNZ(); p++ {
+		for m := 0; m < orig.Order(); m++ {
+			if back.Inds[m][p] != orig.Inds[m][p] {
+				t.Fatalf("index mismatch at nz %d mode %d", p, m)
+			}
+		}
+		if math.Abs(back.Vals[p]-orig.Vals[p]) > 1e-12*(1+math.Abs(orig.Vals[p])) {
+			t.Fatalf("value mismatch at nz %d: %v vs %v", p, back.Vals[p], orig.Vals[p])
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.tns")
+	orig, err := Uniform(GenOptions{Dims: []int{4, 5}, NNZ: 15, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveTNSFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTNSFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != orig.NNZ() {
+		t.Fatalf("nnz %d != %d", back.NNZ(), orig.NNZ())
+	}
+	if _, err := LoadTNSFile(filepath.Join(dir, "missing.tns")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

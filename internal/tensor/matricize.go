@@ -1,0 +1,34 @@
+package tensor
+
+// MatricizeDense flattens a sparse tensor into a dense mode-m matricization
+// X(m) of shape Dims[m] x Π_{n≠m} Dims[n]. Column index ordering matches the
+// Khatri-Rao convention used in this codebase: for mode order n₁ < n₂ < ...
+// (all modes except m, ascending), the column of coordinate (i_{n₁},
+// i_{n₂}, ...) is i_{n₁}·(Π later dims) + ... — i.e. the first remaining
+// mode varies slowest.
+//
+// The result is dense and therefore only suitable for validation-sized
+// tensors; the production path never materializes it (§II-A, §III-B).
+func MatricizeDense(t *COO, mode int) [][]float64 {
+	rows := t.Dims[mode]
+	cols := 1
+	var rest []int
+	for n := 0; n < t.Order(); n++ {
+		if n != mode {
+			rest = append(rest, n)
+			cols *= t.Dims[n]
+		}
+	}
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i] = make([]float64, cols)
+	}
+	for p := 0; p < t.NNZ(); p++ {
+		col := 0
+		for _, n := range rest {
+			col = col*t.Dims[n] + int(t.Inds[n][p])
+		}
+		out[t.Inds[mode][p]][col] += t.Vals[p]
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package tensor
+
+import (
+	"testing"
+)
+
+func TestMatricizeDenseShape(t *testing.T) {
+	c := NewCOO([]int{2, 3, 4}, 2)
+	c.Append([]int{1, 2, 3}, 5)
+	c.Append([]int{0, 0, 0}, 7)
+	m0 := MatricizeDense(c, 0)
+	if len(m0) != 2 || len(m0[0]) != 12 {
+		t.Fatalf("X(0) shape %dx%d", len(m0), len(m0[0]))
+	}
+	m1 := MatricizeDense(c, 1)
+	if len(m1) != 3 || len(m1[0]) != 8 {
+		t.Fatalf("X(1) shape %dx%d", len(m1), len(m1[0]))
+	}
+}
+
+func TestMatricizeDensePlacement(t *testing.T) {
+	c := NewCOO([]int{2, 3, 4}, 1)
+	c.Append([]int{1, 2, 3}, 5)
+	// Mode 0: rest = (1, 2), col = i1*4 + i2 = 2*4+3 = 11.
+	m0 := MatricizeDense(c, 0)
+	if m0[1][11] != 5 {
+		t.Fatalf("X(0)[1][11] = %v", m0[1][11])
+	}
+	// Mode 1: rest = (0, 2), col = i0*4 + i2 = 1*4+3 = 7.
+	m1 := MatricizeDense(c, 1)
+	if m1[2][7] != 5 {
+		t.Fatalf("X(1)[2][7] = %v", m1[2][7])
+	}
+	// Mode 2: rest = (0, 1), col = i0*3 + i1 = 1*3+2 = 5.
+	m2 := MatricizeDense(c, 2)
+	if m2[3][5] != 5 {
+		t.Fatalf("X(2)[3][5] = %v", m2[3][5])
+	}
+}
+
+func TestMatricizePreservesMass(t *testing.T) {
+	c, err := Uniform(GenOptions{Dims: []int{5, 6, 7}, NNZ: 100, Seed: 95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for _, v := range c.Vals {
+		want += v
+	}
+	for mode := 0; mode < 3; mode++ {
+		var got float64
+		for _, row := range MatricizeDense(c, mode) {
+			for _, v := range row {
+				got += v
+			}
+		}
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("mode %d: mass %v != %v", mode, got, want)
+		}
+	}
+}
