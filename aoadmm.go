@@ -66,6 +66,17 @@ type Options = core.Options
 // error, iteration counts, kernel-time breakdown, and convergence trace.
 type Result = core.Result
 
+// Metrics is the fine-grained observability record collected when
+// Options.CollectMetrics (or the ALS/HALS equivalent) is set: per-mode
+// kernel timers, per-block ADMM inner-iteration histogram, per-thread
+// scheduler telemetry, and the factor-density timeline. A nil *Metrics is
+// safe to use; every method is a no-op.
+type Metrics = stats.Metrics
+
+// MetricsReport is the JSON-serializable snapshot produced by
+// Metrics.Report, schema "aoadmm-metrics/v1".
+type MetricsReport = stats.Report
+
 // ALSOptions configures FactorizeALS.
 type ALSOptions = core.ALSOptions
 

@@ -41,6 +41,7 @@ func main() {
 		algo       = flag.String("algo", "aoadmm", "solver: aoadmm|hals|als")
 		adaptive   = flag.Bool("adaptive-rho", false, "per-block ADMM penalty rebalancing")
 		output     = flag.String("output", "", "prefix for writing factor matrices (prefix_mode0.txt, ...)")
+		profile    = flag.String("profile", "", "write an aoadmm-metrics/v1 JSON report to this file (see docs/TUNING.md)")
 		quiet      = flag.Bool("quiet", false, "suppress per-iteration progress")
 	)
 	flag.Parse()
@@ -52,6 +53,7 @@ func main() {
 		tol: *tol, blockSize: *blockSize, seed: *seed, output: *output,
 		quiet: *quiet, singleCSF: *singleCSF, autoBlock: *autoBlock,
 		autoStruct: *autoStruct, algo: *algo, adaptiveRho: *adaptive,
+		profile: *profile,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "aoadmm:", err)
 		os.Exit(1)
@@ -73,6 +75,7 @@ type runConfig struct {
 	singleCSF, autoBlock, autoStruct bool
 	adaptiveRho                      bool
 	algo                             string
+	profile                          string
 }
 
 func run(c runConfig) error {
@@ -101,6 +104,7 @@ func run(c runConfig) error {
 		BlockSize:       blockSize,
 		ExploitSparsity: sparsity,
 		Seed:            seed,
+		CollectMetrics:  c.profile != "",
 	}
 	switch variant {
 	case "blocked":
@@ -141,10 +145,12 @@ func run(c runConfig) error {
 	case "hals":
 		res, err = aoadmm.FactorizeHALS(x, aoadmm.HALSOptions{
 			Rank: rank, MaxOuterIters: maxOuter, Tol: tol, Threads: threads, Seed: seed,
+			CollectMetrics: c.profile != "",
 		})
 	case "als":
 		res, err = aoadmm.FactorizeALS(x, aoadmm.ALSOptions{
 			Rank: rank, MaxOuterIters: maxOuter, Tol: tol, Threads: threads, Seed: seed, Ridge: 1e-10,
+			CollectMetrics: c.profile != "",
 		})
 	default:
 		return fmt.Errorf("unknown algo %q (want aoadmm|hals|als)", c.algo)
@@ -158,6 +164,13 @@ func run(c runConfig) error {
 	}
 	fmt.Printf("time: %s\n", res.Breakdown)
 	fmt.Printf("factor densities: %v\n", formatDensities(res.FactorDensities))
+
+	if c.profile != "" {
+		if err := writeProfile(c.profile, res.Metrics); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", c.profile)
+	}
 
 	if output != "" {
 		for m, f := range res.Factors.Factors {
@@ -236,6 +249,18 @@ func formatDensities(ds []float64) string {
 		parts[i] = fmt.Sprintf("%.3f", d)
 	}
 	return strings.Join(parts, " ")
+}
+
+func writeProfile(path string, m *aoadmm.Metrics) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeMatrix(path string, rows, cols int, at func(i, j int) float64) error {

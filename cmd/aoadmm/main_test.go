@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -139,5 +140,76 @@ func TestRunAutoFeatures(t *testing.T) {
 	}
 	if err := run(c); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// -profile must write a valid aoadmm-metrics/v1 JSON report covering all
+// four acceptance areas: per-mode kernels, inner-iteration histogram,
+// scheduler telemetry, and the density timeline.
+func TestRunProfileWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profile.json")
+	c := runConfig{
+		dataset: "patents", scale: "small", rank: 4, constraint: "nonneg+l1:0.05",
+		variant: "blocked", structure: "csr", sparsity: true, threads: 2,
+		maxOuter: 4, tol: 1e-6, blockSize: 16, seed: 1, quiet: true,
+		adaptiveRho: true, profile: path,
+	}
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep aoadmm.MetricsReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("profile output is not valid JSON: %v", err)
+	}
+	if rep.Schema != "aoadmm-metrics/v1" {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+	perMode := false
+	for _, k := range rep.Kernels {
+		if k.Kernel == "mttkrp" && k.Mode >= 0 {
+			perMode = true
+		}
+	}
+	if !perMode {
+		t.Fatal("no per-mode mttkrp timing in report")
+	}
+	if len(rep.ADMM.InnerIterHistogram) == 0 || rep.ADMM.Solves == 0 {
+		t.Fatalf("empty ADMM section: %+v", rep.ADMM)
+	}
+	if len(rep.Scheduler.Threads) == 0 || rep.Scheduler.ImbalanceRatio < 1 {
+		t.Fatalf("empty scheduler section: %+v", rep.Scheduler)
+	}
+	if len(rep.Sparsity) == 0 {
+		t.Fatal("empty sparsity timeline")
+	}
+}
+
+// The profile path must also work for the ALS and HALS solvers.
+func TestRunProfileAlternativeSolvers(t *testing.T) {
+	for _, algo := range []string{"hals", "als"} {
+		path := filepath.Join(t.TempDir(), algo+".json")
+		c := runConfig{
+			dataset: "patents", scale: "small", rank: 3, constraint: "nonneg",
+			variant: "blocked", structure: "csr", maxOuter: 3, tol: 1e-6,
+			blockSize: 16, seed: 1, quiet: true, algo: algo, profile: path,
+		}
+		if err := run(c); err != nil {
+			t.Fatalf("algo %s: %v", algo, err)
+		}
+		var rep aoadmm.MetricsReport
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatalf("algo %s: invalid JSON: %v", algo, err)
+		}
+		if len(rep.Kernels) == 0 {
+			t.Fatalf("algo %s: no kernels in report", algo)
+		}
 	}
 }

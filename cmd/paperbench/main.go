@@ -27,16 +27,17 @@ func main() {
 		maxOuter = flag.Int("max-outer", 0, "outer iteration cap (0 = scale default)")
 		csvDir   = flag.String("csv", "", "directory for CSV output (optional)")
 		only     = flag.String("datasets", "", "comma-separated dataset subset (default all)")
+		profile  = flag.String("profile", "", "write an aoadmm-metrics/v1 JSON report per dataset to this file")
 	)
 	flag.Parse()
 
-	if err := run(*scale, *rank, *threads, *maxOuter, *csvDir, *only, flag.Args()); err != nil {
+	if err := run(*scale, *rank, *threads, *maxOuter, *csvDir, *only, *profile, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale string, rank, threads, maxOuter int, csvDir, only string, args []string) error {
+func run(scale string, rank, threads, maxOuter int, csvDir, only, profile string, args []string) error {
 	cfg := experiments.Config{
 		Rank:     rank,
 		Threads:  threads,
@@ -58,6 +59,10 @@ func run(scale string, rank, threads, maxOuter int, csvDir, only string, args []
 		cfg.Datasets = splitCommas(only)
 	}
 	if len(args) == 0 {
+		if profile != "" {
+			// -profile with no experiment list runs only the profiling pass.
+			return experiments.Profile(cfg, profile)
+		}
 		args = []string{"all"}
 	}
 	for _, exp := range args {
@@ -109,6 +114,9 @@ func run(scale string, rank, threads, maxOuter int, csvDir, only string, args []
 		default:
 			return fmt.Errorf("unknown experiment %q (want table1|fig3|fig4|fig5|fig6|table2|dist|solvers|blocksize|recovery|all)", exp)
 		}
+	}
+	if profile != "" {
+		return experiments.Profile(cfg, profile)
 	}
 	return nil
 }

@@ -22,6 +22,7 @@ package admm
 
 import (
 	"fmt"
+	"time"
 
 	"aoadmm/internal/dense"
 	"aoadmm/internal/par"
@@ -64,6 +65,16 @@ type Config struct {
 	// RhoRatio is the imbalance ratio that triggers adaptation (<= 0 means
 	// 10, Boyd's suggestion).
 	RhoRatio float64
+	// Collect enables the fine-grained phase timing returned in
+	// Stats.Timing. Timing inside the inner loop uses per-thread shards
+	// merged at the join barrier, but still adds clock reads to the row
+	// loop (~10-30% on small ranks) — leave it off outside profiling runs;
+	// off, the solvers take the untimed code path and pay nothing.
+	Collect bool
+	// Telem, when non-nil, receives per-thread scheduler counters (chunks
+	// claimed, busy time) from the solve's dispatch: per-block dynamic
+	// dispatch in RunBlocked, per-iteration static spans in Run.
+	Telem *par.Telemetry
 }
 
 func (c Config) eps() float64 {
@@ -112,6 +123,24 @@ type Stats struct {
 	RhoAdaptations int64
 	// Converged is false when MaxIters was hit (by any block).
 	Converged bool
+	// BlockIters holds the per-block inner-iteration counts in block order
+	// (a single entry for the baseline solver, which converges globally).
+	// This is the raw data behind the per-block convergence histogram.
+	BlockIters []int
+	// Timing is the fine-grained phase split, non-nil when Config.Collect.
+	Timing *Timing
+}
+
+// Timing is the fine-grained time split of one solve, collected when
+// Config.Collect is set. Cholesky is the wall time of the shared (G + rho*I)
+// factorization plus thread-summed adaptive refactorizations. Inner and Prox
+// are busy time summed across worker threads — CPU seconds, not wall clock,
+// so on p threads they can reach p times the solve's elapsed time — and
+// Prox is a subset of Inner.
+type Timing struct {
+	Cholesky time.Duration
+	Inner    time.Duration
+	Prox     time.Duration
 }
 
 // Workspace holds the per-solve scratch matrices so repeated ADMM calls (one
@@ -183,6 +212,39 @@ func iterate(h, u, k, ht, h0 *dense.Matrix, op prox.Operator, rho float64, ch *d
 	return pNum, pDen, dNum, dDen
 }
 
+// iterateTimed is iterate with the prox applications timed, accumulating
+// nanoseconds into *proxNs. A separate function so the untimed hot path
+// carries no clock reads; the two row loops must stay in lockstep.
+func iterateTimed(h, u, k, ht, h0 *dense.Matrix, op prox.Operator, rho float64, ch *dense.Cholesky, proxNs *int64) (pNum, pDen, dNum, dDen float64) {
+	n := h.Rows
+	f := h.Cols
+	for i := 0; i < n; i++ {
+		hRow, uRow, kRow := h.Row(i), u.Row(i), k.Row(i)
+		htRow, h0Row := ht.Row(i), h0.Row(i)
+		for j := 0; j < f; j++ {
+			htRow[j] = kRow[j] + rho*(hRow[j]+uRow[j])
+		}
+		ch.SolveVec(htRow)
+		copy(h0Row, hRow)
+		for j := 0; j < f; j++ {
+			hRow[j] = htRow[j] - uRow[j]
+		}
+		proxStart := time.Now()
+		op.ApplyRow(hRow, rho)
+		*proxNs += int64(time.Since(proxStart))
+		for j := 0; j < f; j++ {
+			uRow[j] += hRow[j] - htRow[j]
+			dp := hRow[j] - htRow[j]
+			pNum += dp * dp
+			pDen += hRow[j] * hRow[j]
+			dd := hRow[j] - h0Row[j]
+			dNum += dd * dd
+			dDen += uRow[j] * uRow[j]
+		}
+	}
+	return pNum, pDen, dNum, dDen
+}
+
 // AbsTol is the per-element absolute residual floor combined with the
 // paper's relative criterion. Blocks whose optimal primal (or dual) state is
 // zero have vanishing denominators in r = ‖H−H̃ᵀ‖²/‖H‖² and
@@ -206,9 +268,17 @@ func Run(h, u, k, g *dense.Matrix, ws *Workspace, cfg Config) (Stats, error) {
 	if err := checkShapes(h, u, k, g); err != nil {
 		return Stats{}, err
 	}
+	var tm *Timing
+	if cfg.Collect {
+		tm = &Timing{}
+	}
+	cholStart := time.Now()
 	rho, ch, err := prepare(g)
 	if err != nil {
 		return Stats{}, err
+	}
+	if tm != nil {
+		tm.Cholesky = time.Since(cholStart)
 	}
 	op := cfg.prox()
 	eps := cfg.eps()
@@ -219,6 +289,13 @@ func Run(h, u, k, g *dense.Matrix, ws *Workspace, cfg Config) (Stats, error) {
 	}
 	ht, h0 := ws.ensure(h.Rows, h.Cols)
 
+	// Per-thread timing shards, merged after the loop (at the barrier).
+	var innerNs, proxNs []int64
+	if tm != nil {
+		innerNs = make([]int64, threads)
+		proxNs = make([]int64, threads)
+	}
+
 	st := Stats{Blocks: 1}
 	for it := 1; it <= maxIters; it++ {
 		// One fused row pass per iteration; the join plus the residual
@@ -226,11 +303,18 @@ func Run(h, u, k, g *dense.Matrix, ws *Workspace, cfg Config) (Stats, error) {
 		// variant eliminates.
 		type quad struct{ pn, pd, dn, dd float64 }
 		partial := make([]quad, threads)
-		par.Static(h.Rows, threads, func(tid, begin, end int) {
-			pn, pd, dn, dd := iterate(
-				h.RowBlock(begin, end), u.RowBlock(begin, end),
-				k.RowBlock(begin, end), ht.RowBlock(begin, end),
-				h0.RowBlock(begin, end), op, rho, ch)
+		par.StaticT(cfg.Telem, h.Rows, threads, func(tid, begin, end int) {
+			hb, ub := h.RowBlock(begin, end), u.RowBlock(begin, end)
+			kb := k.RowBlock(begin, end)
+			htb, h0b := ht.RowBlock(begin, end), h0.RowBlock(begin, end)
+			var pn, pd, dn, dd float64
+			if tm != nil {
+				start := time.Now()
+				pn, pd, dn, dd = iterateTimed(hb, ub, kb, htb, h0b, op, rho, ch, &proxNs[tid])
+				innerNs[tid] += int64(time.Since(start))
+			} else {
+				pn, pd, dn, dd = iterate(hb, ub, kb, htb, h0b, op, rho, ch)
+			}
 			partial[tid] = quad{pn, pd, dn, dd}
 		})
 		var pn, pd, dn, dd float64
@@ -248,7 +332,21 @@ func Run(h, u, k, g *dense.Matrix, ws *Workspace, cfg Config) (Stats, error) {
 			break
 		}
 	}
+	st.BlockIters = []int{st.Iterations}
+	if tm != nil {
+		tm.Inner = sumNs(innerNs)
+		tm.Prox = sumNs(proxNs)
+		st.Timing = tm
+	}
 	return st, nil
+}
+
+func sumNs(ns []int64) time.Duration {
+	var total int64
+	for _, v := range ns {
+		total += v
+	}
+	return time.Duration(total)
 }
 
 // RunBlocked executes the blockwise reformulation (§IV-B): rows are split
@@ -260,9 +358,17 @@ func RunBlocked(h, u, k, g *dense.Matrix, ws *Workspace, cfg Config) (Stats, err
 	if err := checkShapes(h, u, k, g); err != nil {
 		return Stats{}, err
 	}
+	var tm *Timing
+	if cfg.Collect {
+		tm = &Timing{}
+	}
+	cholStart := time.Now()
 	rho, ch, err := prepare(g)
 	if err != nil {
 		return Stats{}, err
+	}
+	if tm != nil {
+		tm.Cholesky = time.Since(cholStart)
 	}
 	op := cfg.prox()
 	eps := cfg.eps()
@@ -272,7 +378,15 @@ func RunBlocked(h, u, k, g *dense.Matrix, ws *Workspace, cfg Config) (Stats, err
 
 	nBlocks := (h.Rows + bs - 1) / bs
 	if nBlocks == 0 {
-		return Stats{Blocks: 0, Converged: true}, nil
+		return Stats{Blocks: 0, Converged: true, Timing: tm}, nil
+	}
+
+	// Per-thread timing shards, merged after the join barrier below.
+	var innerNs, proxNs, cholNs []int64
+	if tm != nil {
+		innerNs = make([]int64, threads)
+		proxNs = make([]int64, threads)
+		cholNs = make([]int64, threads)
 	}
 	iters := make([]int, nBlocks)
 	convergedFlags := make([]bool, nBlocks)
@@ -294,7 +408,7 @@ func RunBlocked(h, u, k, g *dense.Matrix, ws *Workspace, cfg Config) (Stats, err
 	ratioSq := ratio * ratio // residual pieces are squared norms
 	adaptations := make([]int64, nBlocks)
 
-	par.DynamicItems(nBlocks, threads, func(tid, b int) {
+	par.DynamicItemsT(cfg.Telem, nBlocks, threads, func(tid, b int) {
 		begin := b * bs
 		end := min(begin+bs, h.Rows)
 		hb := h.RowBlock(begin, end)
@@ -307,7 +421,14 @@ func RunBlocked(h, u, k, g *dense.Matrix, ws *Workspace, cfg Config) (Stats, err
 		// block adapts, after which it owns a private one.
 		bRho, bCh := rho, ch
 		for it := 1; it <= maxIters; it++ {
-			pn, pd, dn, dd := iterate(hb, ub, kb, ht, h0, op, bRho, bCh)
+			var pn, pd, dn, dd float64
+			if tm != nil {
+				start := time.Now()
+				pn, pd, dn, dd = iterateTimed(hb, ub, kb, ht, h0, op, bRho, bCh, &proxNs[tid])
+				innerNs[tid] += int64(time.Since(start))
+			} else {
+				pn, pd, dn, dd = iterate(hb, ub, kb, ht, h0, op, bRho, bCh)
+			}
 			iters[b] = it
 			rowIters[b] += int64(rows)
 			if converged(pn, pd, dn, dd, eps, rows*h.Cols) {
@@ -328,7 +449,11 @@ func RunBlocked(h, u, k, g *dense.Matrix, ws *Workspace, cfg Config) (Stats, err
 					continue
 				}
 				newRho := bRho * scale
+				refactorStart := time.Now()
 				newCh, _, err := dense.NewCholeskyJitter(dense.AddScaledIdentity(g, newRho), 0, 30)
+				if tm != nil {
+					cholNs[tid] += int64(time.Since(refactorStart))
+				}
 				if err != nil {
 					continue // keep the old penalty; adaptation is best-effort
 				}
@@ -339,7 +464,13 @@ func RunBlocked(h, u, k, g *dense.Matrix, ws *Workspace, cfg Config) (Stats, err
 		}
 	})
 
-	st := Stats{Blocks: nBlocks, Converged: true, MinIterations: iters[0]}
+	st := Stats{Blocks: nBlocks, Converged: true, MinIterations: iters[0], BlockIters: iters}
+	if tm != nil {
+		tm.Cholesky += sumNs(cholNs)
+		tm.Inner = sumNs(innerNs)
+		tm.Prox = sumNs(proxNs)
+		st.Timing = tm
+	}
 	for _, a := range adaptations {
 		st.RhoAdaptations += a
 	}

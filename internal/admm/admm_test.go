@@ -408,3 +408,93 @@ func TestAdaptiveRhoStatsZeroWhenDisabled(t *testing.T) {
 		t.Fatalf("adaptations %d with AdaptiveRho off", st.RhoAdaptations)
 	}
 }
+
+func TestRunBlockedBlockIters(t *testing.T) {
+	h, u, k, g := problem(120, 6, 73)
+	st, err := RunBlocked(h, u, k, g, nil,
+		Config{Eps: 1e-4, MaxIters: 100, Threads: 2, BlockSize: 16, Prox: prox.NonNegative{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.BlockIters) != st.Blocks {
+		t.Fatalf("len(BlockIters) = %d, Blocks = %d", len(st.BlockIters), st.Blocks)
+	}
+	maxIt, minIt := 0, math.MaxInt
+	for _, it := range st.BlockIters {
+		if it <= 0 {
+			t.Fatalf("block reported %d iterations", it)
+		}
+		if it > maxIt {
+			maxIt = it
+		}
+		if it < minIt {
+			minIt = it
+		}
+	}
+	if maxIt != st.Iterations {
+		t.Fatalf("max block iters %d != Iterations %d", maxIt, st.Iterations)
+	}
+	if minIt != st.MinIterations {
+		t.Fatalf("min block iters %d != MinIterations %d", minIt, st.MinIterations)
+	}
+}
+
+func TestRunBaselineBlockIters(t *testing.T) {
+	h, u, k, g := problem(60, 4, 74)
+	st, err := Run(h, u, k, g, nil, Config{Eps: 1e-6, MaxIters: 200, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.BlockIters) != 1 || st.BlockIters[0] != st.Iterations {
+		t.Fatalf("baseline BlockIters = %v, Iterations = %d", st.BlockIters, st.Iterations)
+	}
+}
+
+func TestCollectTiming(t *testing.T) {
+	h, u, k, g := problem(200, 8, 75)
+	st, err := RunBlocked(h, u, k, g, nil,
+		Config{Eps: 1e-6, MaxIters: 200, Threads: 2, BlockSize: 32, Prox: prox.NonNegative{}, Collect: true, AdaptiveRho: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := st.Timing
+	if tm == nil {
+		t.Fatal("Collect did not produce Timing")
+	}
+	if tm.Cholesky <= 0 {
+		t.Fatalf("Cholesky time %v, want > 0", tm.Cholesky)
+	}
+	if tm.Inner <= 0 || tm.Prox <= 0 {
+		t.Fatalf("Inner %v Prox %v, want both > 0", tm.Inner, tm.Prox)
+	}
+	if tm.Prox > tm.Inner {
+		t.Fatalf("Prox %v exceeds Inner %v (prox is a subset of the inner loop)", tm.Prox, tm.Inner)
+	}
+
+	// Untimed runs must not allocate a Timing.
+	h2, u2, k2, g2 := problem(200, 8, 75)
+	st2, err := RunBlocked(h2, u2, k2, g2, nil,
+		Config{Eps: 1e-6, MaxIters: 200, Threads: 2, BlockSize: 32, Prox: prox.NonNegative{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Timing != nil {
+		t.Fatal("Timing allocated without Collect")
+	}
+	// And timing must not change the math: identical inputs, identical result.
+	if d := dense.MaxAbsDiff(h, h2); d != 0 {
+		t.Fatalf("timed and untimed solves diverge by %v", d)
+	}
+}
+
+func TestRunCollectTiming(t *testing.T) {
+	h, u, k, g := problem(80, 4, 76)
+	st, err := Run(h, u, k, g, nil,
+		Config{Eps: 1e-6, MaxIters: 200, Threads: 2, Prox: prox.NonNegative{}, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Timing == nil || st.Timing.Inner <= 0 || st.Timing.Prox <= 0 {
+		t.Fatalf("baseline Collect timing = %+v", st.Timing)
+	}
+}

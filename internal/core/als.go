@@ -10,6 +10,7 @@ import (
 	"aoadmm/internal/dense"
 	"aoadmm/internal/kruskal"
 	"aoadmm/internal/mttkrp"
+	"aoadmm/internal/par"
 	"aoadmm/internal/stats"
 	"aoadmm/internal/tensor"
 )
@@ -29,6 +30,9 @@ type ALSOptions struct {
 	Ridge float64
 	// Seed drives factor initialization.
 	Seed int64
+	// CollectMetrics enables fine-grained per-mode kernel timers, scheduler
+	// telemetry, and the density timeline on Result.Metrics.
+	CollectMetrics bool
 }
 
 // FactorizeALS computes an unconstrained CPD with alternating least squares:
@@ -58,9 +62,15 @@ func FactorizeALS(x *tensor.COO, opts ALSOptions) (*Result, error) {
 	}
 
 	bd := stats.NewBreakdown()
+	var met *stats.Metrics
+	var tel *par.Telemetry
+	if opts.CollectMetrics {
+		met = stats.NewMetrics()
+		tel = par.NewTelemetry(par.Threads(opts.Threads))
+	}
 	start := time.Now()
 	var trees *csf.Set
-	bd.Time(stats.PhaseSetup, func() {
+	timedKernel(bd, stats.PhaseSetup, met, stats.KernelCSFSetup, stats.ModeNone, func() {
 		trees = csf.BuildSet(x.Clone())
 	})
 
@@ -74,7 +84,7 @@ func FactorizeALS(x *tensor.COO, opts ALSOptions) (*Result, error) {
 	}
 	kmat := dense.New(maxDim(x.Dims), opts.Rank)
 
-	res := &Result{Factors: model, Breakdown: bd, Trace: &stats.Trace{}, RelErr: 1}
+	res := &Result{Factors: model, Breakdown: bd, Metrics: met, Trace: &stats.Trace{}, RelErr: 1}
 
 	prevErr := math.Inf(1)
 	for outer := 1; outer <= opts.MaxOuterIters; outer++ {
@@ -83,18 +93,21 @@ func FactorizeALS(x *tensor.COO, opts ALSOptions) (*Result, error) {
 		var lastMode int
 		for m := 0; m < order; m++ {
 			var g *dense.Matrix
-			bd.Time(stats.PhaseOther, func() {
+			timedKernel(bd, stats.PhaseOther, met, stats.KernelGram, m, func() {
 				g = gramProduct(grams, m)
 				if opts.Ridge > 0 {
 					g = dense.AddScaledIdentity(g, opts.Ridge)
 				}
 			})
 			k := kmat.RowBlock(0, x.Dims[m])
-			bd.Time(stats.PhaseMTTKRP, func() {
-				mttkrp.Compute(trees.Tree(m), model.Factors, k, nil, mttkrp.Options{Threads: opts.Threads})
+			timedKernel(bd, stats.PhaseMTTKRP, met, stats.KernelMTTKRP, m, func() {
+				withKernelLabels("mttkrp", m, func() {
+					mttkrp.Compute(trees.Tree(m), model.Factors, k, nil,
+						mttkrp.Options{Threads: opts.Threads, Telem: tel})
+				})
 			})
 			var solveErr error
-			bd.Time(stats.PhaseADMM, func() {
+			timedKernel(bd, stats.PhaseADMM, met, stats.KernelCholesky, m, func() {
 				ch, _, err := dense.NewCholeskyJitter(g, 0, 30)
 				if err != nil {
 					solveErr = err
@@ -106,18 +119,23 @@ func FactorizeALS(x *tensor.COO, opts ALSOptions) (*Result, error) {
 			if solveErr != nil {
 				return nil, fmt.Errorf("core: ALS mode %d outer %d: %w", m, outer, solveErr)
 			}
-			bd.Time(stats.PhaseOther, func() {
+			timedKernel(bd, stats.PhaseOther, met, stats.KernelGram, m, func() {
 				grams[m] = dense.Gram(model.Factors[m], opts.Threads)
 			})
 			lastK, lastMode = k, m
 		}
 
 		var relErr float64
-		bd.Time(stats.PhaseOther, func() {
+		timedKernel(bd, stats.PhaseOther, met, stats.KernelFit, stats.ModeNone, func() {
 			inner := kruskal.InnerWithMTTKRP(lastK, model.Factors[lastMode])
 			relErr = kruskal.RelErr(xNormSq, inner, kruskal.NormSqFromGrams(grams))
 		})
 		res.RelErr = relErr
+		if met != nil {
+			for m := 0; m < order; m++ {
+				met.RecordDensity(outer, m, dense.Density(model.Factors[m], 0), "DENSE")
+			}
+		}
 		res.Trace.Append(stats.TracePoint{Iteration: outer, Elapsed: time.Since(start), RelErr: relErr})
 		if math.Abs(prevErr-relErr) < opts.Tol {
 			res.Converged = true
@@ -130,5 +148,6 @@ func FactorizeALS(x *tensor.COO, opts ALSOptions) (*Result, error) {
 	for m := 0; m < order; m++ {
 		res.FactorDensities[m] = dense.Density(model.Factors[m], 0)
 	}
+	recordScheduler(met, tel)
 	return res, nil
 }

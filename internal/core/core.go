@@ -157,6 +157,14 @@ type Options struct {
 	// CheckpointEvery is the checkpoint interval in outer iterations
 	// (<= 0 means 10).
 	CheckpointEvery int
+	// CollectMetrics enables the fine-grained observability layer: per-mode
+	// kernel timers, per-block ADMM convergence counters, scheduler load
+	// telemetry, and the factor-sparsity timeline, returned in
+	// Result.Metrics. Collection shards per thread and merges at fork-join
+	// barriers, but the inner-loop timing still costs ~10-30% on small
+	// ranks — leave it off outside profiling runs (off, the solvers take
+	// their untimed code paths).
+	CollectMetrics bool
 }
 
 func (o *Options) fill(order int) error {
@@ -214,6 +222,10 @@ type Result struct {
 	RowIters int64
 	// Breakdown is the per-kernel wall-time split (Fig. 3).
 	Breakdown *stats.Breakdown
+	// Metrics is the fine-grained observability object (per-mode kernel
+	// timers, ADMM block histogram, scheduler telemetry, sparsity
+	// timeline); nil unless Options.CollectMetrics was set.
+	Metrics *stats.Metrics
 	// Trace is the convergence trajectory (Fig. 6).
 	Trace *stats.Trace
 	// FactorDensities is the final per-mode factor density (Table II).
@@ -250,6 +262,12 @@ func Factorize(x *tensor.COO, opts Options) (*Result, error) {
 	}
 
 	bd := stats.NewBreakdown()
+	var met *stats.Metrics
+	var tel *par.Telemetry
+	if opts.CollectMetrics {
+		met = stats.NewMetrics()
+		tel = par.NewTelemetry(par.Threads(opts.Threads))
+	}
 	start := time.Now()
 
 	// Compile the tensor into CSF: one tree per mode by default, or a
@@ -257,7 +275,7 @@ func Factorize(x *tensor.COO, opts Options) (*Result, error) {
 	// SingleCSF configuration.
 	var trees *csf.Set
 	var soloTree *csf.Tensor
-	bd.Time(stats.PhaseSetup, func() {
+	timedKernel(bd, stats.PhaseSetup, met, stats.KernelCSFSetup, stats.ModeNone, func() {
 		if opts.SingleCSF {
 			shortest := 0
 			for m, d := range x.Dims {
@@ -297,6 +315,7 @@ func Factorize(x *tensor.COO, opts Options) (*Result, error) {
 	res := &Result{
 		Factors:   model,
 		Breakdown: bd,
+		Metrics:   met,
 		Trace:     &stats.Trace{},
 		RelErr:    1,
 	}
@@ -307,6 +326,8 @@ func Factorize(x *tensor.COO, opts Options) (*Result, error) {
 		Threads:     opts.Threads,
 		BlockSize:   opts.BlockSize,
 		AdaptiveRho: opts.AdaptiveRho,
+		Collect:     met != nil,
+		Telem:       tel,
 	}
 
 	prevErr := math.Inf(1)
@@ -323,7 +344,7 @@ func Factorize(x *tensor.COO, opts Options) (*Result, error) {
 
 			// G = ∗_{n≠m} AₙᵀAₙ (Algorithm 2, lines 4/8/12).
 			var g *dense.Matrix
-			bd.Time(stats.PhaseOther, func() {
+			timedKernel(bd, stats.PhaseOther, met, stats.KernelGram, m, func() {
 				g = gramProduct(grams, m)
 			})
 
@@ -333,13 +354,16 @@ func Factorize(x *tensor.COO, opts Options) (*Result, error) {
 			// paper's Table II times include the conversion overhead.
 			k := kmat.RowBlock(0, x.Dims[m])
 			var leaf mttkrp.LeafFactor
-			bd.Time(stats.PhaseMTTKRP, func() {
-				leaf = leafFor(opts, tree, model, versions, images, res)
-				if opts.SingleCSF {
-					mttkrp.ComputeMode(tree, m, model.Factors, k, leaf, mttkrp.Options{Threads: opts.Threads})
-				} else {
-					mttkrp.Compute(tree, model.Factors, k, leaf, mttkrp.Options{Threads: opts.Threads})
-				}
+			timedKernel(bd, stats.PhaseMTTKRP, met, stats.KernelMTTKRP, m, func() {
+				withKernelLabels("mttkrp", m, func() {
+					leaf = leafFor(opts, tree, model, versions, images, res)
+					mopts := mttkrp.Options{Threads: opts.Threads, Telem: tel}
+					if opts.SingleCSF {
+						mttkrp.ComputeMode(tree, m, model.Factors, k, leaf, mopts)
+					} else {
+						mttkrp.Compute(tree, model.Factors, k, leaf, mopts)
+					}
+				})
 			})
 
 			// Inner ADMM (lines 6/10/14).
@@ -350,21 +374,28 @@ func Factorize(x *tensor.COO, opts Options) (*Result, error) {
 			}
 			var st admm.Stats
 			var err error
-			bd.Time(stats.PhaseADMM, func() {
-				if opts.Variant == Baseline {
-					st, err = admm.Run(model.Factors[m], duals[m], k, g, ws, admmCfg)
-				} else {
-					st, err = admm.RunBlocked(model.Factors[m], duals[m], k, g, ws, admmCfg)
-				}
+			timedKernel(bd, stats.PhaseADMM, met, stats.KernelADMMInner, m, func() {
+				withKernelLabels("admm", m, func() {
+					if opts.Variant == Baseline {
+						st, err = admm.Run(model.Factors[m], duals[m], k, g, ws, admmCfg)
+					} else {
+						st, err = admm.RunBlocked(model.Factors[m], duals[m], k, g, ws, admmCfg)
+					}
+				})
 			})
 			if err != nil {
 				return nil, fmt.Errorf("core: mode %d outer %d: %w", m, outer, err)
 			}
+			if st.Timing != nil {
+				met.AddKernel(stats.KernelCholesky, m, st.Timing.Cholesky)
+				met.AddKernel(stats.KernelProx, m, st.Timing.Prox)
+			}
+			met.RecordADMMSolve(st.BlockIters, st.RhoAdaptations)
 			versions[m]++
 			iterInner += st.Iterations
 			res.RowIters += st.RowIterations
 
-			bd.Time(stats.PhaseOther, func() {
+			timedKernel(bd, stats.PhaseOther, met, stats.KernelGram, m, func() {
 				grams[m] = dense.Gram(model.Factors[m], opts.Threads)
 			})
 			lastK, lastMode = k, m
@@ -375,12 +406,23 @@ func Factorize(x *tensor.COO, opts Options) (*Result, error) {
 		// that mode's factor, so ⟨X, M⟩ = Σ K∘A_m holds for the updated
 		// factor (§V-A, computed without another tensor pass).
 		var relErr float64
-		bd.Time(stats.PhaseOther, func() {
+		timedKernel(bd, stats.PhaseOther, met, stats.KernelFit, stats.ModeNone, func() {
 			inner := kruskal.InnerWithMTTKRP(lastK, model.Factors[lastMode])
 			mNormSq := kruskal.NormSqFromGrams(grams)
 			relErr = kruskal.RelErr(xNormSq, inner, mNormSq)
 		})
 		res.RelErr = relErr
+
+		// Factor-sparsity timeline: density per mode after this outer
+		// iteration, plus the structure of the mode's current MTTKRP image
+		// (DENSE when no compressed image is live). The density scan is
+		// metrics-only cost, comparable to one Gram pass per mode.
+		if met != nil {
+			for m := 0; m < order; m++ {
+				met.RecordDensity(outer, m, dense.Density(model.Factors[m], 0),
+					structureLabel(images[m].leaf))
+			}
+		}
 
 		point := stats.TracePoint{
 			Iteration:  outer,
@@ -415,7 +457,20 @@ func Factorize(x *tensor.COO, opts Options) (*Result, error) {
 	for m := 0; m < order; m++ {
 		res.FactorDensities[m] = dense.Density(model.Factors[m], 0)
 	}
+	recordScheduler(met, tel)
 	return res, nil
+}
+
+// recordScheduler folds the run's accumulated per-thread dispatch counters
+// into the metrics object (called once, after the last barrier).
+func recordScheduler(met *stats.Metrics, tel *par.Telemetry) {
+	if met == nil || tel == nil {
+		return
+	}
+	for t := 0; t < tel.NumThreads(); t++ {
+		s := tel.Stat(t)
+		met.RecordSchedulerThread(t, s.Chunks, s.Busy)
+	}
 }
 
 // leafFor decides the leaf-factor representation for one MTTKRP call: the

@@ -27,6 +27,9 @@ type HALSOptions struct {
 	Threads int
 	// Seed drives factor initialization.
 	Seed int64
+	// CollectMetrics enables fine-grained per-mode kernel timers, scheduler
+	// telemetry, and the density timeline on Result.Metrics.
+	CollectMetrics bool
 }
 
 // FactorizeHALS computes a non-negative CPD with hierarchical alternating
@@ -62,9 +65,15 @@ func FactorizeHALS(x *tensor.COO, opts HALSOptions) (*Result, error) {
 	rank := opts.Rank
 
 	bd := stats.NewBreakdown()
+	var met *stats.Metrics
+	var tel *par.Telemetry
+	if opts.CollectMetrics {
+		met = stats.NewMetrics()
+		tel = par.NewTelemetry(par.Threads(opts.Threads))
+	}
 	start := time.Now()
 	var trees *csf.Set
-	bd.Time(stats.PhaseSetup, func() {
+	timedKernel(bd, stats.PhaseSetup, met, stats.KernelCSFSetup, stats.ModeNone, func() {
 		trees = csf.BuildSet(x.Clone())
 	})
 
@@ -78,7 +87,7 @@ func FactorizeHALS(x *tensor.COO, opts HALSOptions) (*Result, error) {
 	}
 	kmat := dense.New(maxDim(x.Dims), rank)
 
-	res := &Result{Factors: model, Breakdown: bd, Trace: &stats.Trace{}, RelErr: 1}
+	res := &Result{Factors: model, Breakdown: bd, Metrics: met, Trace: &stats.Trace{}, RelErr: 1}
 
 	prevErr := math.Inf(1)
 	for outer := 1; outer <= opts.MaxOuterIters; outer++ {
@@ -87,28 +96,38 @@ func FactorizeHALS(x *tensor.COO, opts HALSOptions) (*Result, error) {
 		var lastMode int
 		for m := 0; m < order; m++ {
 			var g *dense.Matrix
-			bd.Time(stats.PhaseOther, func() {
+			timedKernel(bd, stats.PhaseOther, met, stats.KernelGram, m, func() {
 				g = gramProduct(grams, m)
 			})
 			k := kmat.RowBlock(0, x.Dims[m])
-			bd.Time(stats.PhaseMTTKRP, func() {
-				mttkrp.Compute(trees.Tree(m), model.Factors, k, nil, mttkrp.Options{Threads: opts.Threads})
+			timedKernel(bd, stats.PhaseMTTKRP, met, stats.KernelMTTKRP, m, func() {
+				withKernelLabels("mttkrp", m, func() {
+					mttkrp.Compute(trees.Tree(m), model.Factors, k, nil,
+						mttkrp.Options{Threads: opts.Threads, Telem: tel})
+				})
 			})
-			bd.Time(stats.PhaseADMM, func() {
-				halsUpdate(model.Factors[m], k, g, opts.Threads)
+			timedKernel(bd, stats.PhaseADMM, met, stats.KernelHALSUpdate, m, func() {
+				withKernelLabels("hals", m, func() {
+					halsUpdate(model.Factors[m], k, g, opts.Threads, tel)
+				})
 			})
-			bd.Time(stats.PhaseOther, func() {
+			timedKernel(bd, stats.PhaseOther, met, stats.KernelGram, m, func() {
 				grams[m] = dense.Gram(model.Factors[m], opts.Threads)
 			})
 			lastK, lastMode = k, m
 		}
 
 		var relErr float64
-		bd.Time(stats.PhaseOther, func() {
+		timedKernel(bd, stats.PhaseOther, met, stats.KernelFit, stats.ModeNone, func() {
 			inner := kruskal.InnerWithMTTKRP(lastK, model.Factors[lastMode])
 			relErr = kruskal.RelErr(xNormSq, inner, kruskal.NormSqFromGrams(grams))
 		})
 		res.RelErr = relErr
+		if met != nil {
+			for m := 0; m < order; m++ {
+				met.RecordDensity(outer, m, dense.Density(model.Factors[m], 0), "DENSE")
+			}
+		}
 		res.Trace.Append(stats.TracePoint{Iteration: outer, Elapsed: time.Since(start), RelErr: relErr})
 		if math.Abs(prevErr-relErr) < opts.Tol {
 			res.Converged = true
@@ -121,13 +140,14 @@ func FactorizeHALS(x *tensor.COO, opts HALSOptions) (*Result, error) {
 	for m := 0; m < order; m++ {
 		res.FactorDensities[m] = dense.Density(model.Factors[m], 0)
 	}
+	recordScheduler(met, tel)
 	return res, nil
 }
 
 // halsUpdate performs one sweep of column-wise HALS updates on factor a,
 // parallel over rows (each row's update is independent given the shared
 // K and G).
-func halsUpdate(a, k, g *dense.Matrix, threads int) {
+func halsUpdate(a, k, g *dense.Matrix, threads int, tel *par.Telemetry) {
 	rank := a.Cols
 	for f := 0; f < rank; f++ {
 		gff := g.At(f, f)
@@ -138,7 +158,7 @@ func halsUpdate(a, k, g *dense.Matrix, threads int) {
 		for q := 0; q < rank; q++ {
 			gCol[q] = g.At(q, f)
 		}
-		par.Static(a.Rows, threads, func(tid, begin, end int) {
+		par.StaticT(tel, a.Rows, threads, func(tid, begin, end int) {
 			for i := begin; i < end; i++ {
 				row := a.Row(i)
 				// (A·G(:,f))(i) = Σ_q A(i,q)·G(q,f).

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"time"
+
+	"aoadmm/internal/mttkrp"
+	"aoadmm/internal/sparse"
+	"aoadmm/internal/stats"
+)
+
+// timedKernel runs fn, charging its wall time to both the coarse four-bucket
+// breakdown (phase p, the paper's Fig. 3 granularity) and — when metrics
+// collection is on — the fine per-mode kernel k. One clock pair serves both;
+// met is nil-safe, so disabled runs pay a nil check.
+func timedKernel(bd *stats.Breakdown, p stats.Phase, met *stats.Metrics, k stats.Kernel, mode int, fn func()) {
+	start := time.Now()
+	fn()
+	d := time.Since(start)
+	bd.Add(p, d)
+	met.AddKernel(k, mode, d)
+}
+
+// withKernelLabels runs fn under pprof labels ("kernel", "mode") so CPU
+// profiles of the solvers can be sliced per kernel per mode. Labels are
+// inherited by the goroutines the parallel runtime forks inside fn. The
+// per-call cost is a small allocation at phase granularity, so labels are
+// applied unconditionally.
+func withKernelLabels(kernel string, mode int, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels("kernel", kernel, "mode", strconv.Itoa(mode)),
+		func(context.Context) { fn() })
+}
+
+// structureLabel names the MTTKRP leaf representation of a cached factor
+// image for the sparsity timeline.
+func structureLabel(leaf mttkrp.LeafFactor) string {
+	switch leaf.(type) {
+	case *sparse.CSR:
+		return "CSR"
+	case *sparse.Hybrid:
+		return "CSR-H"
+	default:
+		return "DENSE"
+	}
+}

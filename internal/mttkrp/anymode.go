@@ -56,7 +56,7 @@ func ComputeMode(t *csf.Tensor, mode int, factors []*dense.Matrix, out *dense.Ma
 		privs[i] = dense.New(out.Rows, rank)
 	}
 
-	par.Dynamic(nSlices, chunk, threads, func(tid, begin, end int) {
+	par.DynamicT(opts.Telem, nSlices, chunk, threads, func(tid, begin, end int) {
 		priv := privs[tid]
 		// Prefix buffers: prefixes[d] holds the product of factor rows for
 		// depths < d, for d in 1..depth. Below-buffers cover depths

@@ -43,6 +43,9 @@ type Options struct {
 	// Chunk is the number of root slices claimed per scheduling step
 	// (dynamic schedule). <= 0 picks a heuristic based on slice count.
 	Chunk int
+	// Telem, when non-nil, receives per-thread scheduler counters from the
+	// dynamic slice dispatch (load-imbalance observability).
+	Telem *par.Telemetry
 }
 
 func (o Options) chunk(nSlices, threads int) int {
@@ -95,21 +98,21 @@ func Compute(t *csf.Tensor, factors []*dense.Matrix, out *dense.Matrix, leaf Lea
 	chunk := opts.chunk(nSlices, threads)
 
 	if order == 3 {
-		compute3(t, factors, out, leaf, threads, chunk)
+		compute3(t, factors, out, leaf, threads, chunk, opts.Telem)
 		return
 	}
-	computeGeneric(t, factors, out, leaf, threads, chunk)
+	computeGeneric(t, factors, out, leaf, threads, chunk, opts.Telem)
 }
 
 // compute3 is Algorithm 3: the specialized three-mode traversal.
-func compute3(t *csf.Tensor, factors []*dense.Matrix, out *dense.Matrix, leaf LeafFactor, threads, chunk int) {
+func compute3(t *csf.Tensor, factors []*dense.Matrix, out *dense.Matrix, leaf LeafFactor, threads, chunk int, tel *par.Telemetry) {
 	rank := out.Cols
 	bFac := factors[t.Perm[1]]
 	fids0, fids1, fids2 := t.FIDs[0], t.FIDs[1], t.FIDs[2]
 	fptr0, fptr1 := t.FPtr[0], t.FPtr[1]
 	vals := t.Vals
 
-	par.Dynamic(t.NSlices(), chunk, threads, func(tid, begin, end int) {
+	par.DynamicT(tel, t.NSlices(), chunk, threads, func(tid, begin, end int) {
 		z := make([]float64, rank)
 		for s := begin; s < end; s++ {
 			outRow := out.Row(int(fids0[s]))
@@ -130,11 +133,11 @@ func compute3(t *csf.Tensor, factors []*dense.Matrix, out *dense.Matrix, leaf Le
 }
 
 // computeGeneric handles arbitrary order with a per-thread buffer stack.
-func computeGeneric(t *csf.Tensor, factors []*dense.Matrix, out *dense.Matrix, leaf LeafFactor, threads, chunk int) {
+func computeGeneric(t *csf.Tensor, factors []*dense.Matrix, out *dense.Matrix, leaf LeafFactor, threads, chunk int, tel *par.Telemetry) {
 	order := t.Order()
 	rank := out.Cols
 
-	par.Dynamic(t.NSlices(), chunk, threads, func(tid, begin, end int) {
+	par.DynamicT(tel, t.NSlices(), chunk, threads, func(tid, begin, end int) {
 		// One accumulation buffer per internal depth (1..order-2).
 		bufs := make([][]float64, order-1)
 		for d := 1; d < order-1; d++ {

@@ -1,6 +1,7 @@
 // Package par provides the shared-memory parallel runtime used by the
 // AO-ADMM kernels: a fork-join helper, a dynamic chunk scheduler analogous to
-// OpenMP's schedule(dynamic), and parallel reductions.
+// OpenMP's schedule(dynamic), parallel reductions, and optional per-thread
+// scheduler telemetry (chunks claimed and busy time per worker).
 //
 // All kernels in this repository are parallelized over the long (row or
 // slice) dimension of tall-and-skinny data. Static partitioning is used where
@@ -13,6 +14,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Threads normalizes a requested thread count: values <= 0 mean "use
@@ -30,6 +32,12 @@ func Threads(n int) int {
 // Do runs fn(tid) on nThreads goroutines (tid in [0, nThreads)) and waits for
 // all of them. With nThreads == 1 it calls fn inline, avoiding goroutine
 // overhead on serial runs.
+//
+// A panic in any worker is captured and re-raised on the caller's goroutine
+// after every worker has joined, so instrumented callbacks that panic cannot
+// leave the WaitGroup hanging or kill the process from a detached goroutine.
+// When several workers panic, the first captured value wins; the re-raised
+// panic carries the caller's stack, not the worker's.
 func Do(nThreads int, fn func(tid int)) {
 	nThreads = Threads(nThreads)
 	if nThreads == 1 {
@@ -37,20 +45,41 @@ func Do(nThreads int, fn func(tid int)) {
 		return
 	}
 	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var panicVal any
 	wg.Add(nThreads)
 	for t := 0; t < nThreads; t++ {
 		go func(tid int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = r
+					}
+					panicMu.Unlock()
+				}
+			}()
 			fn(tid)
 		}(t)
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }
 
 // Static partitions [0, n) into nThreads contiguous ranges and runs
 // fn(tid, begin, end) for each non-empty range in parallel. Ranges differ in
 // length by at most one. Used for uniform-cost row loops.
 func Static(n, nThreads int, fn func(tid, begin, end int)) {
+	StaticT(nil, n, nThreads, fn)
+}
+
+// StaticT is Static with optional scheduler telemetry: when tel is non-nil,
+// each worker's span is counted as one chunk and its execution time is added
+// to that tid's busy time. tel == nil costs one predictable branch per span.
+func StaticT(tel *Telemetry, n, nThreads int, fn func(tid, begin, end int)) {
 	nThreads = Threads(nThreads)
 	if n <= 0 {
 		return
@@ -58,10 +87,19 @@ func Static(n, nThreads int, fn func(tid, begin, end int)) {
 	if nThreads > n {
 		nThreads = n
 	}
+	if tel != nil {
+		tel.grow(nThreads)
+	}
 	Do(nThreads, func(tid int) {
 		begin, end := Span(n, nThreads, tid)
 		if begin < end {
-			fn(tid, begin, end)
+			if tel != nil {
+				start := time.Now()
+				fn(tid, begin, end)
+				tel.add(tid, time.Since(start))
+			} else {
+				fn(tid, begin, end)
+			}
 		}
 	})
 }
@@ -83,7 +121,20 @@ func Span(n, nThreads, tid int) (begin, end int) {
 // called with (tid, begin, end) for each claimed chunk. Work items with
 // non-uniform cost (power-law tensor slices, ADMM blocks) load-balance well
 // under this scheme.
+//
+// The worker count is clamped to ceil(n/chunk) — spawning more workers than
+// there are chunks would only create goroutines that claim nothing (the
+// clamp Static applies when nThreads > n). Tids stay compact: fn only ever
+// sees tid in [0, workers), so callers may index tid-sized scratch arrays.
 func Dynamic(n, chunk, nThreads int, fn func(tid, begin, end int)) {
+	DynamicT(nil, n, chunk, nThreads, fn)
+}
+
+// DynamicT is Dynamic with optional scheduler telemetry: when tel is
+// non-nil, every claimed chunk increments that tid's chunk count and its
+// execution time is added to the tid's busy time. tel == nil costs one
+// predictable branch per chunk.
+func DynamicT(tel *Telemetry, n, chunk, nThreads int, fn func(tid, begin, end int)) {
 	nThreads = Threads(nThreads)
 	if n <= 0 {
 		return
@@ -91,9 +142,22 @@ func Dynamic(n, chunk, nThreads int, fn func(tid, begin, end int)) {
 	if chunk < 1 {
 		chunk = 1
 	}
+	if maxWorkers := (n + chunk - 1) / chunk; nThreads > maxWorkers {
+		nThreads = maxWorkers
+	}
+	if tel != nil {
+		tel.grow(nThreads)
+	}
 	if nThreads == 1 {
 		for b := 0; b < n; b += chunk {
-			fn(0, b, min(b+chunk, n))
+			e := min(b+chunk, n)
+			if tel != nil {
+				start := time.Now()
+				fn(0, b, e)
+				tel.add(0, time.Since(start))
+			} else {
+				fn(0, b, e)
+			}
 		}
 		return
 	}
@@ -104,7 +168,14 @@ func Dynamic(n, chunk, nThreads int, fn func(tid, begin, end int)) {
 			if b >= n {
 				return
 			}
-			fn(tid, b, min(b+chunk, n))
+			e := min(b+chunk, n)
+			if tel != nil {
+				start := time.Now()
+				fn(tid, b, e)
+				tel.add(tid, time.Since(start))
+			} else {
+				fn(tid, b, e)
+			}
 		}
 	})
 }
@@ -112,7 +183,12 @@ func Dynamic(n, chunk, nThreads int, fn func(tid, begin, end int)) {
 // DynamicItems schedules n indivisible items (chunk size 1). Convenience for
 // block-granular work distribution.
 func DynamicItems(n, nThreads int, fn func(tid, item int)) {
-	Dynamic(n, 1, nThreads, func(tid, begin, end int) {
+	DynamicItemsT(nil, n, nThreads, fn)
+}
+
+// DynamicItemsT is DynamicItems with optional scheduler telemetry.
+func DynamicItemsT(tel *Telemetry, n, nThreads int, fn func(tid, item int)) {
+	DynamicT(tel, n, 1, nThreads, func(tid, begin, end int) {
 		for i := begin; i < end; i++ {
 			fn(tid, i)
 		}

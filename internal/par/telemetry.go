@@ -1,0 +1,98 @@
+package par
+
+import "time"
+
+// Telemetry accumulates per-thread scheduler counters — chunks claimed and
+// busy (in-callback) time — across one or more StaticT/DynamicT fork-join
+// regions. During a region each worker writes only its own tid's slot, and
+// slots are cache-line padded, so collection involves no locks or atomics;
+// the caller reads the counters after the join barrier. A single Telemetry
+// must therefore not be shared by regions that run concurrently with each
+// other, which matches how the solvers use it (kernels are serialized by the
+// outer AO loop).
+type Telemetry struct {
+	slots []telemetrySlot
+}
+
+// telemetrySlot is padded so adjacent tids never share a cache line: chunk
+// claims can be frequent (one per block in the blocked ADMM dispatch) and
+// false sharing here would perturb the very imbalance being measured.
+type telemetrySlot struct {
+	chunks int64
+	busyNs int64
+	_      [48]byte
+}
+
+// ThreadStat is one worker's accumulated scheduler counters.
+type ThreadStat struct {
+	// Chunks is the number of chunks (or static spans) the worker executed.
+	Chunks int64
+	// Busy is the total time spent inside scheduled callbacks.
+	Busy time.Duration
+}
+
+// NewTelemetry returns a Telemetry sized for nThreads workers (<= 0 means
+// GOMAXPROCS). Regions with more workers grow it on entry.
+func NewTelemetry(nThreads int) *Telemetry {
+	return &Telemetry{slots: make([]telemetrySlot, Threads(nThreads))}
+}
+
+// NumThreads returns the number of tid slots recorded so far.
+func (t *Telemetry) NumThreads() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.slots)
+}
+
+// Stat returns the counters for one tid.
+func (t *Telemetry) Stat(tid int) ThreadStat {
+	s := &t.slots[tid]
+	return ThreadStat{Chunks: s.chunks, Busy: time.Duration(s.busyNs)}
+}
+
+// Imbalance returns the load-imbalance ratio max(busy)/mean(busy) over the
+// threads that claimed at least one chunk: 1 means perfectly balanced, 2
+// means the slowest worker was busy twice the average. Returns 0 when no
+// work has been recorded.
+func (t *Telemetry) Imbalance() float64 {
+	if t == nil {
+		return 0
+	}
+	var total, maxBusy int64
+	active := 0
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.chunks == 0 {
+			continue
+		}
+		active++
+		total += s.busyNs
+		if s.busyNs > maxBusy {
+			maxBusy = s.busyNs
+		}
+	}
+	if active == 0 || total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(active)
+	return float64(maxBusy) / mean
+}
+
+// grow widens the slot array to at least n tids (called before workers fork,
+// never concurrently with them).
+func (t *Telemetry) grow(n int) {
+	if len(t.slots) < n {
+		ns := make([]telemetrySlot, n)
+		copy(ns, t.slots)
+		t.slots = ns
+	}
+}
+
+// add records one executed chunk for tid. Called only from the worker that
+// owns tid, between fork and join.
+func (t *Telemetry) add(tid int, busy time.Duration) {
+	s := &t.slots[tid]
+	s.chunks++
+	s.busyNs += int64(busy)
+}

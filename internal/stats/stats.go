@@ -9,6 +9,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -24,8 +25,13 @@ const (
 	PhaseSetup  Phase = "SETUP"
 )
 
-// Breakdown accumulates wall time per phase.
+// Breakdown accumulates wall time per phase. All methods are safe for
+// concurrent use: the drivers' worker-side timers may Add from several
+// goroutines at once. Accumulation happens at phase granularity (a handful
+// of calls per outer iteration), so a mutex — rather than per-thread
+// sharding — costs nothing measurable here.
 type Breakdown struct {
+	mu        sync.Mutex
 	durations map[Phase]time.Duration
 }
 
@@ -36,7 +42,9 @@ func NewBreakdown() *Breakdown {
 
 // Add accumulates d into phase p.
 func (b *Breakdown) Add(p Phase, d time.Duration) {
+	b.mu.Lock()
 	b.durations[p] += d
+	b.mu.Unlock()
 }
 
 // Time runs fn and accumulates its wall time into phase p.
@@ -47,10 +55,16 @@ func (b *Breakdown) Time(p Phase, fn func()) {
 }
 
 // Get returns the accumulated time for phase p.
-func (b *Breakdown) Get(p Phase) time.Duration { return b.durations[p] }
+func (b *Breakdown) Get(p Phase) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.durations[p]
+}
 
 // Total returns the sum over all phases.
 func (b *Breakdown) Total() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	var t time.Duration
 	for _, d := range b.durations {
 		t += d
@@ -58,24 +72,41 @@ func (b *Breakdown) Total() time.Duration {
 	return t
 }
 
+// snapshot returns a copy of the accumulated durations.
+func (b *Breakdown) snapshot() map[Phase]time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[Phase]time.Duration, len(b.durations))
+	for p, d := range b.durations {
+		out[p] = d
+	}
+	return out
+}
+
 // Fractions returns each phase's share of the total, in [0, 1]. An empty
 // breakdown returns an empty map.
 func (b *Breakdown) Fractions() map[Phase]float64 {
-	total := b.Total()
-	out := make(map[Phase]float64, len(b.durations))
+	snap := b.snapshot()
+	var total time.Duration
+	for _, d := range snap {
+		total += d
+	}
+	out := make(map[Phase]float64, len(snap))
 	if total == 0 {
 		return out
 	}
-	for p, d := range b.durations {
+	for p, d := range snap {
 		out[p] = float64(d) / float64(total)
 	}
 	return out
 }
 
-// Merge adds other's accumulations into b.
+// Merge adds other's accumulations into b. The snapshot of other keeps the
+// two locks from nesting, so concurrent a.Merge(b) / b.Merge(a) cannot
+// deadlock.
 func (b *Breakdown) Merge(other *Breakdown) {
-	for p, d := range other.durations {
-		b.durations[p] += d
+	for p, d := range other.snapshot() {
+		b.Add(p, d)
 	}
 }
 
