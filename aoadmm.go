@@ -210,6 +210,18 @@ func LoadFactors(dir string) (*KruskalTensor, error) { return kruskal.Load(dir) 
 // for planted-factor experiments.
 func FactorMatchScore(a, b *KruskalTensor) (float64, error) { return kruskal.FMS(a, b) }
 
+// Match is one scored row from a top-K completion query.
+type Match = kruskal.Match
+
+// CompletionQuery describes a top-K completion: fix one row in each anchor
+// mode and rank every row of the target mode by reconstructed value.
+type CompletionQuery = kruskal.Query
+
+// TopKQuery ranks the target mode's rows against the query's anchor rows and
+// returns the K best matches, highest score first. This is the query kernel
+// behind cmd/aoadmmd's /models/{id}/topk endpoint.
+func TopKQuery(model *KruskalTensor, q CompletionQuery) ([]Match, error) { return model.TopK(q) }
+
 // HoldoutMetrics summarizes a model's accuracy on held-out entries.
 type HoldoutMetrics = eval.Metrics
 

@@ -18,6 +18,7 @@ import (
 	"aoadmm/internal/admm"
 	"aoadmm/internal/csf"
 	"aoadmm/internal/dense"
+	"aoadmm/internal/kruskal"
 	"aoadmm/internal/mttkrp"
 	"aoadmm/internal/perfmodel"
 	"aoadmm/internal/prox"
@@ -271,6 +272,47 @@ func BenchmarkCholeskySolve(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				ch.SolveRows(rows)
+			}
+		})
+	}
+}
+
+// BenchmarkTopK measures the serving-path completion kernel across rank,
+// target-mode length, and factor density (dense scoring vs the CSR
+// short-circuit path used below the registry's 20% threshold).
+func BenchmarkTopK(b *testing.B) {
+	for _, cfg := range []struct {
+		rows    int
+		rank    int
+		density float64
+	}{
+		{rows: 10_000, rank: 16, density: 1.0},
+		{rows: 10_000, rank: 64, density: 1.0},
+		{rows: 200_000, rank: 16, density: 1.0},
+		{rows: 200_000, rank: 16, density: 0.1},
+		{rows: 200_000, rank: 64, density: 0.1},
+	} {
+		name := fmt.Sprintf("rows=%d/F=%d/density=%.2f", cfg.rows, cfg.rank, cfg.density)
+		b.Run(name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			model := kruskal.Random([]int{500, cfg.rows, 400}, cfg.rank, rng)
+			target := model.Factors[1]
+			if cfg.density < 1 {
+				for i := range target.Data {
+					if rng.Float64() >= cfg.density {
+						target.Data[i] = 0
+					}
+				}
+			}
+			q := CompletionQuery{Anchors: map[int]int{0: 3, 2: 11}, TargetMode: 1, K: 10}
+			if cfg.density < 0.20 {
+				q.TargetLeaf = sparse.FromDense(target, 0)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := TopKQuery(model, q); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

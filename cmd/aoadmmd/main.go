@@ -1,0 +1,91 @@
+// Command aoadmmd is the AO-ADMM factorization daemon: an HTTP/JSON service
+// that runs factorization jobs through a bounded worker pool, persists fitted
+// models in an on-disk registry, and answers low-latency queries (entry
+// reconstruction, top-K completion) over them.
+//
+// Usage:
+//
+//	aoadmmd -addr :8642 -data /var/lib/aoadmmd
+//
+// See docs/SERVING.md for the API surface and a curl quick-start. The daemon
+// shuts down gracefully on SIGINT/SIGTERM: queued jobs are canceled, running
+// jobs are stopped at their next outer iteration and their partial factors
+// checkpointed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aoadmm/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8642", "listen address")
+		dataDir    = flag.String("data", "aoadmmd-data", "persistent data directory (models, checkpoints)")
+		workers    = flag.Int("workers", 2, "factorization worker-pool size")
+		queueCap   = flag.Int("queue", 16, "max queued jobs before submissions get 503")
+		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request HTTP timeout")
+		grace      = flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight jobs")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *dataDir, *workers, *queueCap, *reqTimeout, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "aoadmmd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataDir string, workers, queueCap int, reqTimeout, grace time.Duration) error {
+	s, err := serve.New(serve.Config{
+		DataDir:        dataDir,
+		Workers:        workers,
+		QueueCap:       queueCap,
+		RequestTimeout: reqTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	for _, w := range s.Warnings() {
+		log.Printf("warning: skipped %s", w)
+	}
+	log.Printf("data dir %s: %d model(s) loaded", dataDir, s.Registry().Len())
+
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (%d workers, queue %d)", addr, workers, queueCap)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		s.Shutdown(grace)
+		return err
+	case sig := <-sigc:
+		log.Printf("received %s, shutting down (grace %s)", sig, grace)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	s.Shutdown(grace)
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("bye")
+	return nil
+}

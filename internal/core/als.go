@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -33,6 +34,9 @@ type ALSOptions struct {
 	// CollectMetrics enables fine-grained per-mode kernel timers, scheduler
 	// telemetry, and the density timeline on Result.Metrics.
 	CollectMetrics bool
+	// Ctx, when non-nil, stops the run at the next outer-iteration boundary
+	// once done; the current iterate is returned with Stopped set.
+	Ctx context.Context
 }
 
 // FactorizeALS computes an unconstrained CPD with alternating least squares:
@@ -88,6 +92,10 @@ func FactorizeALS(x *tensor.COO, opts ALSOptions) (*Result, error) {
 
 	prevErr := math.Inf(1)
 	for outer := 1; outer <= opts.MaxOuterIters; outer++ {
+		if stopRequested(opts.Ctx) {
+			res.Stopped = true
+			break
+		}
 		res.OuterIters = outer
 		var lastK *dense.Matrix
 		var lastMode int

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -146,6 +147,13 @@ type Options struct {
 	// MaxTime stops the factorization after the given wall time (0 = no
 	// limit). The current iterate is returned; Converged reports false.
 	MaxTime time.Duration
+	// Ctx, when non-nil, is an external stop signal checked at every outer
+	// iteration boundary: once done, the loop stops before the next sweep
+	// and the current iterate is returned with Converged false and Stopped
+	// true. Cancellation is not an error — long-running services use it to
+	// cancel jobs and still receive the partial factors (e.g. for a final
+	// checkpoint).
+	Ctx context.Context
 	// OnIteration, when non-nil, is invoked after every outer iteration
 	// with the current trace point. Returning false stops the run.
 	OnIteration func(stats.TracePoint) bool
@@ -215,6 +223,15 @@ type Result struct {
 	// Converged reports whether the improvement tolerance was met before
 	// the iteration cap or time budget.
 	Converged bool
+	// Stopped reports that the run was halted by Options.Ctx cancellation
+	// rather than by convergence, the iteration cap, or the time budget.
+	Stopped bool
+	// CheckpointErr is the error from the most recent checkpoint save (nil
+	// when the last save succeeded or checkpointing was off). A failed save
+	// is retried at the next interval, so a run can finish successfully with
+	// a stale checkpoint; callers that rely on checkpoints should inspect
+	// this field.
+	CheckpointErr error
 	// InnerIters is the total ADMM inner-iteration count across modes and
 	// outer iterations (maximum block count for blocked runs).
 	InnerIters int
@@ -332,6 +349,10 @@ func Factorize(x *tensor.COO, opts Options) (*Result, error) {
 
 	prevErr := math.Inf(1)
 	for outer := 1; outer <= opts.MaxOuterIters; outer++ {
+		if stopRequested(opts.Ctx) {
+			res.Stopped = true
+			break
+		}
 		res.OuterIters = outer
 		iterInner := 0
 		var lastK *dense.Matrix
@@ -437,7 +458,7 @@ func Factorize(x *tensor.COO, opts Options) (*Result, error) {
 				every = 10
 			}
 			if outer%every == 0 {
-				_ = model.Save(opts.CheckpointDir)
+				res.CheckpointErr = model.SaveAtomic(opts.CheckpointDir)
 			}
 		}
 		if opts.OnIteration != nil && !opts.OnIteration(point) {
@@ -459,6 +480,21 @@ func Factorize(x *tensor.COO, opts Options) (*Result, error) {
 	}
 	recordScheduler(met, tel)
 	return res, nil
+}
+
+// stopRequested reports whether the optional cancellation context is done.
+// A nil context never stops the run, so the library path stays allocation-
+// and syscall-free when no service is driving it.
+func stopRequested(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
 }
 
 // recordScheduler folds the run's accumulated per-thread dispatch counters

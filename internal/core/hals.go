@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -30,6 +31,9 @@ type HALSOptions struct {
 	// CollectMetrics enables fine-grained per-mode kernel timers, scheduler
 	// telemetry, and the density timeline on Result.Metrics.
 	CollectMetrics bool
+	// Ctx, when non-nil, stops the run at the next outer-iteration boundary
+	// once done; the current iterate is returned with Stopped set.
+	Ctx context.Context
 }
 
 // FactorizeHALS computes a non-negative CPD with hierarchical alternating
@@ -91,6 +95,10 @@ func FactorizeHALS(x *tensor.COO, opts HALSOptions) (*Result, error) {
 
 	prevErr := math.Inf(1)
 	for outer := 1; outer <= opts.MaxOuterIters; outer++ {
+		if stopRequested(opts.Ctx) {
+			res.Stopped = true
+			break
+		}
 		res.OuterIters = outer
 		var lastK *dense.Matrix
 		var lastMode int

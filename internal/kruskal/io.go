@@ -111,8 +111,47 @@ func (k *Tensor) Save(dir string) error {
 	return nil
 }
 
+// SaveAtomic writes the Kruskal tensor under dir with crash consistency: the
+// factors are staged in a temporary sibling directory and swapped into place
+// with renames, so a reader (or a daemon restarted after a crash mid-save)
+// only ever observes a complete model directory — either the previous
+// checkpoint or the new one, never a torn mix.
+func (k *Tensor) SaveAtomic(dir string) error {
+	dir = filepath.Clean(dir)
+	parent := filepath.Dir(dir)
+	if err := os.MkdirAll(parent, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.MkdirTemp(parent, ".kruskal-save-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	if err := k.Save(tmp); err != nil {
+		return err
+	}
+	old := dir + ".old"
+	if err := os.RemoveAll(old); err != nil {
+		return err
+	}
+	if _, err := os.Stat(dir); err == nil {
+		if err := os.Rename(dir, old); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		// Restore the previous checkpoint rather than leaving nothing.
+		_ = os.Rename(old, dir)
+		return err
+	}
+	return os.RemoveAll(old)
+}
+
 // Load reads a Kruskal tensor previously written by Save. The order is
-// inferred from the mode<N>.txt files present (consecutive from 0).
+// inferred from the mode<N>.txt files present (consecutive from 0). The
+// loaded model is validated (shared rank, lambda length, finite entries)
+// before being returned, so corrupt or hand-edited directories fail here
+// with a descriptive error instead of panicking later in At or FMS.
 func Load(dir string) (*Tensor, error) {
 	var factors []*dense.Matrix
 	for m := 0; ; m++ {
@@ -130,12 +169,6 @@ func Load(dir string) (*Tensor, error) {
 			return nil, fmt.Errorf("kruskal: %s: %w", path, err)
 		}
 		factors = append(factors, f)
-	}
-	rank := factors[0].Cols
-	for m, f := range factors {
-		if f.Cols != rank {
-			return nil, fmt.Errorf("kruskal: mode %d rank %d != %d", m, f.Cols, rank)
-		}
 	}
 	k := &Tensor{Factors: factors}
 	if file, err := os.Open(filepath.Join(dir, "lambda.txt")); err == nil {
@@ -155,9 +188,9 @@ func Load(dir string) (*Tensor, error) {
 		if err := sc.Err(); err != nil {
 			return nil, err
 		}
-		if len(k.Lambda) != rank {
-			return nil, fmt.Errorf("kruskal: %d lambdas for rank %d", len(k.Lambda), rank)
-		}
+	}
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("kruskal: invalid model in %s: %w", dir, err)
 	}
 	return k, nil
 }

@@ -74,6 +74,76 @@ func TestLoadErrors(t *testing.T) {
 	}
 }
 
+func TestLoadRejectsNonFinite(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "mode0.txt"), []byte("1 NaN\n2 3\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "mode1.txt"), []byte("1 2\n"), 0o644)
+	if _, err := Load(dir); err == nil {
+		t.Fatal("NaN factor entry accepted")
+	}
+	dir2 := t.TempDir()
+	os.WriteFile(filepath.Join(dir2, "mode0.txt"), []byte("1 2\n"), 0o644)
+	os.WriteFile(filepath.Join(dir2, "lambda.txt"), []byte("1\n+Inf\n"), 0o644)
+	if _, err := Load(dir2); err == nil {
+		t.Fatal("Inf lambda accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Random([]int{4, 5, 6}, 3, rand.New(rand.NewSource(99)))
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]*Tensor{
+		"no factors": {},
+		"nil factor": {Factors: []*dense.Matrix{nil}},
+		"rank mismatch": {Factors: []*dense.Matrix{
+			dense.New(3, 2), dense.New(4, 3),
+		}},
+		"lambda length": {
+			Factors: []*dense.Matrix{dense.New(3, 2), dense.New(4, 2)},
+			Lambda:  []float64{1},
+		},
+	}
+	for name, k := range cases {
+		if err := k.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestSaveAtomicSwapsCompleteDirs(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "model")
+	a := Random([]int{5, 6}, 2, rand.New(rand.NewSource(1)))
+	if err := a.SaveAtomic(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a different-shaped model: the swap must leave exactly
+	// the new model, no stale mode files from the old one, and no temp or
+	// .old leftovers beside it.
+	b := Random([]int{5, 6, 7}, 3, rand.New(rand.NewSource(2)))
+	b.Lambda = []float64{1, 2, 3}
+	if err := b.SaveAtomic(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Order() != 3 || back.Rank() != 3 || len(back.Lambda) != 3 {
+		t.Fatalf("loaded shape %d/%d", back.Order(), back.Rank())
+	}
+	entries, err := os.ReadDir(filepath.Dir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "model" {
+			t.Fatalf("leftover %q beside the model dir", e.Name())
+		}
+	}
+}
+
 func TestReadMatrixText(t *testing.T) {
 	m, err := ReadMatrixText(strings.NewReader("1 2\n\n3.5 -4\n"))
 	if err != nil {

@@ -77,6 +77,53 @@ func (k *Tensor) Clone() *Tensor {
 	return &Tensor{Factors: fs, Lambda: lam}
 }
 
+// Validate checks the structural invariants every consumer of a Kruskal
+// tensor assumes: at least one factor, every factor non-nil and non-empty,
+// one shared rank across modes, a Lambda (when present) of that rank, and
+// only finite entries. It returns a descriptive error naming the offending
+// mode instead of letting At/FMS/NormSq panic or silently produce NaNs —
+// the guard that makes loading untrusted model directories safe.
+func (k *Tensor) Validate() error {
+	if len(k.Factors) == 0 {
+		return fmt.Errorf("kruskal: no factor matrices")
+	}
+	for m, f := range k.Factors {
+		if f == nil {
+			return fmt.Errorf("kruskal: mode %d factor is nil", m)
+		}
+	}
+	rank := k.Factors[0].Cols
+	if rank <= 0 {
+		return fmt.Errorf("kruskal: rank %d, want > 0", rank)
+	}
+	for m, f := range k.Factors {
+		if f.Rows <= 0 {
+			return fmt.Errorf("kruskal: mode %d factor has %d rows, want > 0", m, f.Rows)
+		}
+		if f.Cols != rank {
+			return fmt.Errorf("kruskal: mode %d has rank %d, mode 0 has rank %d", m, f.Cols, rank)
+		}
+		for i := 0; i < f.Rows; i++ {
+			for j, v := range f.Row(i) {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("kruskal: mode %d entry (%d,%d) is non-finite (%v)", m, i, j, v)
+				}
+			}
+		}
+	}
+	if k.Lambda != nil {
+		if len(k.Lambda) != rank {
+			return fmt.Errorf("kruskal: %d lambda weights for rank %d", len(k.Lambda), rank)
+		}
+		for f, l := range k.Lambda {
+			if math.IsNaN(l) || math.IsInf(l, 0) {
+				return fmt.Errorf("kruskal: lambda %d is non-finite (%v)", f, l)
+			}
+		}
+	}
+	return nil
+}
+
 // At evaluates the model at one coordinate: Σ_f λ_f Π_m A_m(i_m, f).
 func (k *Tensor) At(coord []int) float64 {
 	if len(coord) != k.Order() {

@@ -1,0 +1,181 @@
+// Top-K completion queries against a fitted Kruskal model — the serving-path
+// kernel of the recommendation workloads the paper motivates (§I: "product
+// recommendation", Amazon/Reddit tensors). Anchoring a row in one or more
+// modes reduces the model to a rank-length weight vector
+//
+//	w_f = λ_f · Π_{m ∈ anchors} A_m(i_m, f),
+//
+// and scoring every row j of a target mode is then the inner product
+// w · A_t(j, :) — one pass over the target factor, embarrassingly parallel
+// over rows. Constrained factorizations make this fast in two ways the
+// kernel exploits: components zeroed in the anchor rows are compacted out of
+// the scoring loop, and a CSR image of a sparse target factor (the §IV-C
+// structure) touches only each row's stored non-zeros.
+package kruskal
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"aoadmm/internal/par"
+	"aoadmm/internal/sparse"
+)
+
+// Match is one scored row of a top-K query.
+type Match struct {
+	// Row is the row index in the target mode.
+	Row int `json:"row"`
+	// Score is the Λ-scaled inner product of the anchor weights with the
+	// target factor row.
+	Score float64 `json:"score"`
+}
+
+// Query specifies a top-K completion: fix a row in one or more anchor modes,
+// rank all rows of the target mode.
+type Query struct {
+	// Anchors maps mode index -> fixed row index in that mode. At least one
+	// anchor is required; the target mode cannot be anchored. Modes that are
+	// neither anchored nor the target do not influence the scores (their
+	// factors are marginalized out of the inner product).
+	Anchors map[int]int
+	// TargetMode is the mode whose rows are ranked.
+	TargetMode int
+	// K is the number of matches to return (clamped to the mode length).
+	K int
+	// Threads is the worker count (<= 0 means GOMAXPROCS).
+	Threads int
+	// TargetLeaf, when non-nil, is a CSR image of the target mode's factor
+	// (built once at model-registration time); scoring then reads only each
+	// row's stored non-zeros. It must mirror k.Factors[TargetMode].
+	TargetLeaf *sparse.CSR
+}
+
+// TopK ranks the rows of the query's target mode by Λ-scaled inner product
+// with the anchored rows and returns the best K in decreasing score order.
+// Ties are broken toward the lower row index, making results deterministic
+// across thread counts. K larger than the mode length returns every row.
+func (k *Tensor) TopK(q Query) ([]Match, error) {
+	order := k.Order()
+	rank := k.Rank()
+	if q.TargetMode < 0 || q.TargetMode >= order {
+		return nil, fmt.Errorf("kruskal: target mode %d out of range for order %d", q.TargetMode, order)
+	}
+	if len(q.Anchors) == 0 {
+		return nil, fmt.Errorf("kruskal: query needs at least one anchor")
+	}
+	if q.K <= 0 {
+		return nil, fmt.Errorf("kruskal: K must be positive, got %d", q.K)
+	}
+
+	// Fold lambda and every anchor row into one rank-length weight vector.
+	w := make([]float64, rank)
+	for f := 0; f < rank; f++ {
+		if k.Lambda != nil {
+			w[f] = k.Lambda[f]
+		} else {
+			w[f] = 1
+		}
+	}
+	for m, i := range q.Anchors {
+		if m < 0 || m >= order {
+			return nil, fmt.Errorf("kruskal: anchor mode %d out of range for order %d", m, order)
+		}
+		if m == q.TargetMode {
+			return nil, fmt.Errorf("kruskal: anchor mode %d is the target mode", m)
+		}
+		fm := k.Factors[m]
+		if i < 0 || i >= fm.Rows {
+			return nil, fmt.Errorf("kruskal: anchor row %d out of range for mode %d (length %d)", i, m, fm.Rows)
+		}
+		row := fm.Row(i)
+		for f := 0; f < rank; f++ {
+			w[f] *= row[f]
+		}
+	}
+
+	target := k.Factors[q.TargetMode]
+	if q.TargetLeaf != nil && (q.TargetLeaf.Rows != target.Rows || q.TargetLeaf.Cols != target.Cols) {
+		return nil, fmt.Errorf("kruskal: target leaf is %dx%d, factor is %dx%d",
+			q.TargetLeaf.Rows, q.TargetLeaf.Cols, target.Rows, target.Cols)
+	}
+
+	// Compact the non-zero components: anchors fitted under sparsity
+	// constraints zero whole components of w, and the dense scoring loop
+	// then skips them entirely.
+	active := make([]int32, 0, rank)
+	for f, v := range w {
+		if v != 0 {
+			active = append(active, int32(f))
+		}
+	}
+
+	kk := q.K
+	if kk > target.Rows {
+		kk = target.Rows
+	}
+	nThreads := par.Threads(q.Threads)
+	perThread := make([][]Match, nThreads)
+	par.Do(nThreads, func(tid int) {
+		begin, end := par.Span(target.Rows, nThreads, tid)
+		h := make(matchHeap, 0, kk)
+		for j := begin; j < end; j++ {
+			var s float64
+			if q.TargetLeaf != nil {
+				b, e := q.TargetLeaf.RowPtr[j], q.TargetLeaf.RowPtr[j+1]
+				cols := q.TargetLeaf.ColIdx[b:e]
+				vals := q.TargetLeaf.Vals[b:e]
+				for p, f := range cols {
+					s += w[f] * vals[p]
+				}
+			} else {
+				row := target.Row(j)
+				for _, f := range active {
+					s += w[f] * row[f]
+				}
+			}
+			if len(h) < kk {
+				heap.Push(&h, Match{Row: j, Score: s})
+			} else if kk > 0 && worse(h[0], Match{Row: j, Score: s}) {
+				h[0] = Match{Row: j, Score: s}
+				heap.Fix(&h, 0)
+			}
+		}
+		perThread[tid] = h
+	})
+
+	merged := make([]Match, 0, nThreads*kk)
+	for _, ms := range perThread {
+		merged = append(merged, ms...)
+	}
+	sort.Slice(merged, func(a, b int) bool { return worse(merged[b], merged[a]) })
+	if len(merged) > kk {
+		merged = merged[:kk]
+	}
+	return merged, nil
+}
+
+// worse reports whether a ranks strictly below b: lower score, or equal
+// score with a higher row index.
+func worse(a, b Match) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Row > b.Row
+}
+
+// matchHeap is a min-heap by ranking order, so the root is the worst kept
+// match and is evicted first.
+type matchHeap []Match
+
+func (h matchHeap) Len() int            { return len(h) }
+func (h matchHeap) Less(i, j int) bool  { return worse(h[i], h[j]) }
+func (h matchHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *matchHeap) Push(x any) { *h = append(*h, x.(Match)) }
+func (h *matchHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,189 @@
+package kruskal
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"aoadmm/internal/dense"
+	"aoadmm/internal/sparse"
+)
+
+// bruteTopK is the reference implementation: reconstruct the score of every
+// target row with Tensor.At-style arithmetic, sort, truncate.
+func bruteTopK(k *Tensor, q Query) []Match {
+	target := k.Factors[q.TargetMode]
+	rank := k.Rank()
+	out := make([]Match, target.Rows)
+	for j := 0; j < target.Rows; j++ {
+		var s float64
+		for f := 0; f < rank; f++ {
+			prod := 1.0
+			if k.Lambda != nil {
+				prod = k.Lambda[f]
+			}
+			for m, i := range q.Anchors {
+				prod *= k.Factors[m].At(i, f)
+			}
+			prod *= target.At(j, f)
+			s += prod
+		}
+		out[j] = Match{Row: j, Score: s}
+	}
+	sort.Slice(out, func(a, b int) bool { return worse(out[b], out[a]) })
+	kk := q.K
+	if kk > len(out) {
+		kk = len(out)
+	}
+	return out[:kk]
+}
+
+func randomModel(t *testing.T, dims []int, rank int, density float64, lambda bool, seed int64) *Tensor {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	k := New(dims, rank)
+	for _, f := range k.Factors {
+		for i := 0; i < f.Rows; i++ {
+			row := f.Row(i)
+			for j := range row {
+				if rng.Float64() < density {
+					row[j] = rng.NormFloat64()
+				}
+			}
+		}
+	}
+	if lambda {
+		k.Lambda = make([]float64, rank)
+		for f := range k.Lambda {
+			k.Lambda[f] = rng.Float64() + 0.5
+		}
+	}
+	return k
+}
+
+func matchesEqual(t *testing.T, got, want []Match) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d matches, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Row != want[i].Row || math.Abs(got[i].Score-want[i].Score) > 1e-12 {
+			t.Fatalf("match %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTopKMatchesBruteForce(t *testing.T) {
+	cases := []struct {
+		name    string
+		dims    []int
+		rank    int
+		density float64
+		lambda  bool
+		anchors map[int]int
+		target  int
+		k       int
+		threads int
+	}{
+		{"dense-order3", []int{40, 90, 25}, 8, 1.0, false, map[int]int{0: 3}, 1, 10, 4},
+		{"dense-lambda", []int{40, 90, 25}, 8, 1.0, true, map[int]int{0: 3, 2: 7}, 1, 5, 3},
+		{"sparse-factors", []int{30, 200, 20}, 12, 0.15, false, map[int]int{0: 11}, 1, 7, 4},
+		{"order4", []int{15, 20, 25, 30}, 6, 0.8, true, map[int]int{0: 1, 1: 2}, 3, 9, 2},
+		{"k-exceeds-dim", []int{10, 12, 8}, 4, 1.0, false, map[int]int{0: 0}, 2, 50, 4},
+		{"single-thread", []int{25, 60, 10}, 5, 0.5, false, map[int]int{2: 4}, 1, 6, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			model := randomModel(t, tc.dims, tc.rank, tc.density, tc.lambda, 42)
+			q := Query{Anchors: tc.anchors, TargetMode: tc.target, K: tc.k, Threads: tc.threads}
+			got, err := model.TopK(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			matchesEqual(t, got, bruteTopK(model, q))
+		})
+	}
+}
+
+func TestTopKCSRLeafMatchesDense(t *testing.T) {
+	// A CSR image of a sparse target factor must score identically to the
+	// dense path (dense, CSR mix: only the target goes through CSR).
+	model := randomModel(t, []int{30, 500, 20}, 16, 0.1, true, 7)
+	q := Query{Anchors: map[int]int{0: 5, 2: 3}, TargetMode: 1, K: 25, Threads: 4}
+	denseRes, err := model.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.TargetLeaf = sparse.FromDense(model.Factors[1], 0)
+	csrRes, err := model.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesEqual(t, csrRes, denseRes)
+	matchesEqual(t, csrRes, bruteTopK(model, q))
+}
+
+func TestTopKTiesBreakTowardLowerRow(t *testing.T) {
+	// All target rows identical -> every score ties; expect rows 0..K-1.
+	model := New([]int{4, 10, 4}, 3)
+	for _, f := range model.Factors {
+		f.Fill(0.5)
+	}
+	for threads := 1; threads <= 4; threads++ {
+		got, err := model.TopK(Query{
+			Anchors: map[int]int{0: 1}, TargetMode: 1, K: 4, Threads: threads,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, m := range got {
+			if m.Row != i {
+				t.Fatalf("threads=%d: tie order %v", threads, got)
+			}
+		}
+	}
+}
+
+func TestTopKZeroAnchorRow(t *testing.T) {
+	// An all-zero anchor row zeroes every weight: all scores are 0 and ties
+	// resolve to the first K rows.
+	model := randomModel(t, []int{6, 30, 5}, 4, 1.0, false, 3)
+	zero := model.Factors[0].Row(2)
+	for j := range zero {
+		zero[j] = 0
+	}
+	got, err := model.TopK(Query{Anchors: map[int]int{0: 2}, TargetMode: 1, K: 3, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range got {
+		if m.Row != i || m.Score != 0 {
+			t.Fatalf("zero-anchor result %v", got)
+		}
+	}
+}
+
+func TestTopKErrors(t *testing.T) {
+	model := randomModel(t, []int{5, 6, 7}, 3, 1.0, false, 1)
+	bad := []Query{
+		{Anchors: map[int]int{0: 1}, TargetMode: 9, K: 3},
+		{Anchors: nil, TargetMode: 1, K: 3},
+		{Anchors: map[int]int{0: 1}, TargetMode: 1, K: 0},
+		{Anchors: map[int]int{1: 2}, TargetMode: 1, K: 3},
+		{Anchors: map[int]int{0: 99}, TargetMode: 1, K: 3},
+		{Anchors: map[int]int{9: 0}, TargetMode: 1, K: 3},
+	}
+	for i, q := range bad {
+		if _, err := model.TopK(q); err == nil {
+			t.Errorf("query %d accepted: %+v", i, q)
+		}
+	}
+	// Mismatched CSR leaf.
+	leaf := sparse.FromDense(dense.New(3, 3), 0)
+	if _, err := model.TopK(Query{
+		Anchors: map[int]int{0: 1}, TargetMode: 1, K: 2, TargetLeaf: leaf,
+	}); err == nil {
+		t.Error("mismatched leaf accepted")
+	}
+}

@@ -1,0 +1,552 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"aoadmm/internal/core"
+	"aoadmm/internal/datasets"
+	"aoadmm/internal/prox"
+	"aoadmm/internal/stats"
+	"aoadmm/internal/tensor"
+)
+
+// JobStatus is a job's lifecycle state. Transitions:
+// queued -> running -> done|failed|canceled, and queued -> canceled when a
+// job is canceled (or the daemon shuts down) before a worker picks it up.
+type JobStatus string
+
+// Job lifecycle states.
+const (
+	JobQueued   JobStatus = "queued"
+	JobRunning  JobStatus = "running"
+	JobDone     JobStatus = "done"
+	JobFailed   JobStatus = "failed"
+	JobCanceled JobStatus = "canceled"
+)
+
+// JobSpec is the JSON body of POST /jobs: what to factorize and how.
+// Exactly one of Dataset or TensorPath selects the input.
+type JobSpec struct {
+	// Dataset names a built-in proxy (reddit|nell|amazon|patents);
+	// Scale sizes it (small|medium|large, default small).
+	Dataset string `json:"dataset,omitempty"`
+	Scale   string `json:"scale,omitempty"`
+	// TensorPath reads a FROSTT .tns (or .aotn binary) file on the daemon's
+	// filesystem instead.
+	TensorPath string `json:"tensor_path,omitempty"`
+	// Name optionally labels the resulting model.
+	Name string `json:"name,omitempty"`
+	// Algo selects the solver: aoadmm (default) | als | hals.
+	Algo string `json:"algo,omitempty"`
+	// Rank is the CPD rank (required, > 0).
+	Rank int `json:"rank"`
+	// Constraint is a CLI-style spec ("nonneg", "nonneg+l1:0.1", ...;
+	// ";"-separated for per-mode). Empty means unconstrained. AO-ADMM only.
+	Constraint string `json:"constraint,omitempty"`
+	// Variant is blocked (default) | base. AO-ADMM only.
+	Variant string `json:"variant,omitempty"`
+	// MaxOuterIters, Tol, Threads, BlockSize, Seed mirror core.Options
+	// (zero values mean the library defaults).
+	MaxOuterIters int     `json:"max_outer,omitempty"`
+	Tol           float64 `json:"tol,omitempty"`
+	Threads       int     `json:"threads,omitempty"`
+	BlockSize     int     `json:"block_size,omitempty"`
+	Seed          int64   `json:"seed,omitempty"`
+	// ExploitSparsity enables §IV-C factor compression; Structure picks
+	// dense|csr|hybrid (default csr). AdaptiveRho enables per-block rho
+	// rebalancing. AO-ADMM only.
+	ExploitSparsity bool   `json:"exploit_sparsity,omitempty"`
+	Structure       string `json:"structure,omitempty"`
+	AdaptiveRho     bool   `json:"adaptive_rho,omitempty"`
+	// CollectMetrics records an aoadmm-metrics/v1 report served at /metrics
+	// once the job finishes. Defaults to true; set to false explicitly to
+	// skip the ~10-30% collection overhead.
+	CollectMetrics *bool `json:"collect_metrics,omitempty"`
+	// CheckpointEvery is the checkpoint interval in outer iterations
+	// (default 5). Checkpoints make cancellation and daemon shutdown lossless.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+func (s *JobSpec) collectMetrics() bool { return s.CollectMetrics == nil || *s.CollectMetrics }
+
+// validate rejects specs that can never run. Input-dependent failures
+// (unreadable tensor file, solver errors) surface when the job runs.
+func (s *JobSpec) validate() error {
+	switch {
+	case s.Dataset == "" && s.TensorPath == "":
+		return fmt.Errorf("need dataset or tensor_path")
+	case s.Dataset != "" && s.TensorPath != "":
+		return fmt.Errorf("pass dataset or tensor_path, not both")
+	}
+	if s.Dataset != "" {
+		if _, err := datasets.Get(s.Dataset); err != nil {
+			return err
+		}
+		if _, err := parseScale(s.Scale); err != nil {
+			return err
+		}
+	}
+	if s.Rank <= 0 {
+		return fmt.Errorf("rank must be positive, got %d", s.Rank)
+	}
+	switch s.Algo {
+	case "", "aoadmm", "als", "hals":
+	default:
+		return fmt.Errorf("unknown algo %q (want aoadmm|als|hals)", s.Algo)
+	}
+	switch s.Variant {
+	case "", "blocked", "base", "baseline":
+	default:
+		return fmt.Errorf("unknown variant %q", s.Variant)
+	}
+	switch s.Structure {
+	case "", "dense", "csr", "hybrid", "csr-h":
+	default:
+		return fmt.Errorf("unknown structure %q", s.Structure)
+	}
+	if s.Constraint != "" {
+		if _, err := parseConstraints(s.Constraint); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseScale(s string) (datasets.Scale, error) {
+	switch s {
+	case "", "small":
+		return datasets.Small, nil
+	case "medium":
+		return datasets.Medium, nil
+	case "large":
+		return datasets.Large, nil
+	default:
+		return datasets.Small, fmt.Errorf("unknown scale %q", s)
+	}
+}
+
+func parseConstraints(spec string) ([]prox.Operator, error) {
+	if !strings.Contains(spec, ";") {
+		c, err := prox.Parse(spec)
+		if err != nil {
+			return nil, err
+		}
+		return []prox.Operator{c}, nil
+	}
+	parts := strings.Split(spec, ";")
+	out := make([]prox.Operator, len(parts))
+	for m, p := range parts {
+		c, err := prox.Parse(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("mode %d: %w", m, err)
+		}
+		out[m] = c
+	}
+	return out, nil
+}
+
+// Job is one factorization job. Mutable fields are guarded by mu; handlers
+// read consistent snapshots via View.
+type Job struct {
+	mu sync.Mutex
+
+	id        string
+	spec      JobSpec
+	status    JobStatus
+	err       string
+	modelID   string
+	relErr    float64
+	outer     int
+	converged bool
+	ckptDir   string
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	cancel context.CancelFunc
+	report *stats.Report
+}
+
+// JobView is the JSON shape of a job as returned by the API.
+type JobView struct {
+	ID     string  `json:"id"`
+	Spec   JobSpec `json:"spec"`
+	Status string  `json:"status"`
+	Error  string  `json:"error,omitempty"`
+	// ModelID is set once a successful job's model is registered.
+	ModelID string `json:"model_id,omitempty"`
+	// RelErr/OuterIters/Converged summarize the fit (final or partial).
+	RelErr     float64 `json:"rel_err,omitempty"`
+	OuterIters int     `json:"outer_iters,omitempty"`
+	Converged  bool    `json:"converged,omitempty"`
+	// CheckpointDir points at the last checkpoint of a canceled job.
+	CheckpointDir   string `json:"checkpoint_dir,omitempty"`
+	SubmittedUnixNs int64  `json:"submitted_unix_ns,omitempty"`
+	StartedUnixNs   int64  `json:"started_unix_ns,omitempty"`
+	FinishedUnixNs  int64  `json:"finished_unix_ns,omitempty"`
+}
+
+// View snapshots the job for serialization.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID: j.id, Spec: j.spec, Status: string(j.status), Error: j.err,
+		ModelID: j.modelID, RelErr: j.relErr, OuterIters: j.outer,
+		Converged: j.converged, CheckpointDir: j.ckptDir,
+	}
+	if !j.submitted.IsZero() {
+		v.SubmittedUnixNs = j.submitted.UnixNano()
+	}
+	if !j.started.IsZero() {
+		v.StartedUnixNs = j.started.UnixNano()
+	}
+	if !j.finished.IsZero() {
+		v.FinishedUnixNs = j.finished.UnixNano()
+	}
+	return v
+}
+
+// Manager owns the job table and the bounded worker pool. Submit enqueues,
+// workers run jobs through the core solvers with a per-job cancellation
+// context, and completed models land in the registry.
+type Manager struct {
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string
+	queue   chan *Job
+	closed  bool
+	seq     int
+	wg      sync.WaitGroup
+	reg     *Registry
+	dataDir string
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+}
+
+// NewManager starts `workers` workers over a queue of capacity queueCap.
+func NewManager(reg *Registry, dataDir string, workers, queueCap int) *Manager {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueCap <= 0 {
+		queueCap = 16
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, queueCap),
+		reg:     reg,
+		dataDir: dataDir,
+		baseCtx: ctx, baseCancel: cancel,
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for job := range m.queue {
+				m.runJob(job)
+			}
+		}()
+	}
+	return m
+}
+
+// Submit validates the spec and enqueues a job, failing fast when the queue
+// is full (the caller translates that to 503) or the manager is shut down.
+func (m *Manager) Submit(spec JobSpec) (JobView, error) {
+	if err := spec.validate(); err != nil {
+		return JobView{}, err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return JobView{}, fmt.Errorf("serve: shutting down")
+	}
+	m.seq++
+	job := &Job{
+		id:        fmt.Sprintf("j%06d", m.seq),
+		spec:      spec,
+		status:    JobQueued,
+		submitted: time.Now(),
+	}
+	select {
+	case m.queue <- job:
+	default:
+		m.seq--
+		m.mu.Unlock()
+		return JobView{}, ErrQueueFull
+	}
+	m.jobs[job.id] = job
+	m.order = append(m.order, job.id)
+	m.mu.Unlock()
+	return job.View(), nil
+}
+
+// ErrQueueFull reports a Submit rejected because the queue is at capacity.
+var ErrQueueFull = fmt.Errorf("serve: job queue full")
+
+// Get returns a job by id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns all job views in submission order.
+func (m *Manager) List() []JobView {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	out := make([]JobView, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := m.Get(id); ok {
+			out = append(out, j.View())
+		}
+	}
+	return out
+}
+
+// QueueDepth returns the number of jobs waiting for a worker.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// StatusCounts tallies jobs by status.
+func (m *Manager) StatusCounts() map[string]int {
+	counts := make(map[string]int)
+	for _, v := range m.List() {
+		counts[v.Status]++
+	}
+	return counts
+}
+
+// Cancel stops a job: a queued job is marked canceled before it runs; a
+// running job's context is canceled, stopping the solver at the next outer
+// iteration boundary (its partial factors are checkpointed). Canceling a
+// finished job is a no-op.
+func (m *Manager) Cancel(id string) (JobView, error) {
+	j, ok := m.Get(id)
+	if !ok {
+		return JobView{}, fmt.Errorf("serve: no job %s", id)
+	}
+	j.mu.Lock()
+	switch j.status {
+	case JobQueued:
+		j.status = JobCanceled
+		j.finished = time.Now()
+	case JobRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	j.mu.Unlock()
+	return j.View(), nil
+}
+
+// Reports returns the aoadmm-metrics/v1 report of every finished job that
+// collected one, keyed by job id.
+func (m *Manager) Reports() map[string]*stats.Report {
+	out := make(map[string]*stats.Report)
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	for _, id := range ids {
+		j, ok := m.Get(id)
+		if !ok {
+			continue
+		}
+		j.mu.Lock()
+		if j.report != nil {
+			out[id] = j.report
+		}
+		j.mu.Unlock()
+	}
+	return out
+}
+
+// Shutdown drains the service: no new submissions, still-queued jobs are
+// marked canceled, running jobs receive a cancellation (the solvers stop at
+// the next outer iteration and their partial factors are checkpointed under
+// the data dir), and workers are awaited up to grace.
+func (m *Manager) Shutdown(grace time.Duration) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	close(m.queue)
+	m.mu.Unlock()
+
+	// Cancel every running job's context (queued jobs flip to canceled as
+	// workers drain them; see runJob's status gate).
+	m.baseCancel()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+	}
+}
+
+// checkpointDir is where a job's in-flight factors are checkpointed.
+func (m *Manager) checkpointDir(jobID string) string {
+	return filepath.Join(m.dataDir, "checkpoints", jobID)
+}
+
+// runJob executes one job end to end on a worker goroutine.
+func (m *Manager) runJob(job *Job) {
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	defer cancel()
+
+	job.mu.Lock()
+	if job.status != JobQueued {
+		// Canceled (or shutdown-drained) before a worker got to it.
+		job.mu.Unlock()
+		return
+	}
+	job.status = JobRunning
+	job.started = time.Now()
+	job.cancel = cancel
+	spec := job.spec
+	job.mu.Unlock()
+
+	res, err := m.execute(ctx, job.id, spec)
+
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	job.finished = time.Now()
+	job.cancel = nil
+	if err != nil {
+		job.status = JobFailed
+		job.err = err.Error()
+		return
+	}
+	job.relErr = res.RelErr
+	job.outer = res.OuterIters
+	job.converged = res.Converged
+	if spec.collectMetrics() {
+		job.report = res.Metrics.Report()
+	}
+	ckpt := m.checkpointDir(job.id)
+	if res.Stopped {
+		job.status = JobCanceled
+		// Final checkpoint so the canceled job's progress is recoverable
+		// (and shutdown leaves resumable state behind).
+		if err := res.Factors.SaveAtomic(ckpt); err == nil {
+			job.ckptDir = ckpt
+		} else {
+			job.err = fmt.Sprintf("checkpoint: %v", err)
+		}
+		return
+	}
+	model, regErr := m.reg.Register(ModelMeta{
+		Name:            spec.Name,
+		JobID:           job.id,
+		Algo:            algoName(spec.Algo),
+		Constraint:      spec.Constraint,
+		RelErr:          res.RelErr,
+		OuterIters:      res.OuterIters,
+		Converged:       res.Converged,
+		FactorDensities: res.FactorDensities,
+	}, res.Factors, job.report)
+	if regErr != nil {
+		job.status = JobFailed
+		job.err = fmt.Sprintf("register model: %v", regErr)
+		return
+	}
+	job.status = JobDone
+	job.modelID = model.Meta.ID
+	os.RemoveAll(ckpt)
+}
+
+func algoName(a string) string {
+	if a == "" {
+		return "aoadmm"
+	}
+	return a
+}
+
+// execute loads the input tensor and runs the requested solver with the
+// job's cancellation context and checkpointing wired in.
+func (m *Manager) execute(ctx context.Context, jobID string, spec JobSpec) (*core.Result, error) {
+	x, err := loadSpecTensor(spec)
+	if err != nil {
+		return nil, err
+	}
+	every := spec.CheckpointEvery
+	if every <= 0 {
+		every = 5
+	}
+	switch spec.Algo {
+	case "als":
+		return core.FactorizeALS(x, core.ALSOptions{
+			Rank: spec.Rank, MaxOuterIters: spec.MaxOuterIters, Tol: spec.Tol,
+			Threads: spec.Threads, Seed: spec.Seed, Ridge: 1e-10,
+			CollectMetrics: spec.collectMetrics(), Ctx: ctx,
+		})
+	case "hals":
+		return core.FactorizeHALS(x, core.HALSOptions{
+			Rank: spec.Rank, MaxOuterIters: spec.MaxOuterIters, Tol: spec.Tol,
+			Threads: spec.Threads, Seed: spec.Seed,
+			CollectMetrics: spec.collectMetrics(), Ctx: ctx,
+		})
+	default:
+		opts := core.Options{
+			Rank: spec.Rank, MaxOuterIters: spec.MaxOuterIters, Tol: spec.Tol,
+			Threads: spec.Threads, BlockSize: spec.BlockSize, Seed: spec.Seed,
+			ExploitSparsity: spec.ExploitSparsity,
+			AdaptiveRho:     spec.AdaptiveRho,
+			CollectMetrics:  spec.collectMetrics(),
+			CheckpointDir:   m.checkpointDir(jobID),
+			CheckpointEvery: every,
+			Ctx:             ctx,
+		}
+		if spec.Constraint != "" {
+			cs, err := parseConstraints(spec.Constraint)
+			if err != nil {
+				return nil, err
+			}
+			opts.Constraints = cs
+		}
+		switch spec.Variant {
+		case "base", "baseline":
+			opts.Variant = core.Baseline
+		}
+		switch spec.Structure {
+		case "dense":
+			opts.Structure = core.StructDense
+		case "hybrid", "csr-h":
+			opts.Structure = core.StructHybrid
+		default:
+			opts.Structure = core.StructCSR
+		}
+		return core.Factorize(x, opts)
+	}
+}
+
+func loadSpecTensor(spec JobSpec) (*tensor.COO, error) {
+	if spec.Dataset != "" {
+		scale, err := parseScale(spec.Scale)
+		if err != nil {
+			return nil, err
+		}
+		return datasets.Generate(spec.Dataset, scale)
+	}
+	if strings.HasSuffix(spec.TensorPath, ".aotn") {
+		return tensor.LoadBinaryFile(spec.TensorPath)
+	}
+	return tensor.LoadTNSFile(spec.TensorPath)
+}

@@ -1,0 +1,279 @@
+// Package serve is the long-running factorization service behind cmd/aoadmmd:
+// an async job manager that runs constrained factorizations through a bounded
+// worker pool, a crash-safe on-disk model registry, and a low-latency query
+// engine (entry reconstruction and top-K completion) over registered Kruskal
+// models. It turns the batch library into the serving system the ROADMAP's
+// north star describes: models are fitted once, persisted, and then queried
+// many times at interactive latency.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"aoadmm/internal/dense"
+	"aoadmm/internal/kruskal"
+	"aoadmm/internal/sparse"
+	"aoadmm/internal/stats"
+)
+
+// queryCSRThreshold is the factor density below which the registry keeps a
+// CSR image of a mode for the top-K kernel — the serving-path counterpart of
+// the paper's §IV-C sparsity exploitation (same 20% operating point).
+const queryCSRThreshold = 0.20
+
+// ModelMeta is the durable description of a registered model, persisted as
+// meta.json beside the factor matrices.
+type ModelMeta struct {
+	// ID is the registry-assigned identifier ("m000001", ...).
+	ID string `json:"id"`
+	// Name is the optional human-readable label from the job spec.
+	Name string `json:"name,omitempty"`
+	// JobID is the job that produced the model.
+	JobID string `json:"job_id,omitempty"`
+	// Algo is the solver that fitted it: "aoadmm", "als", or "hals".
+	Algo string `json:"algo"`
+	// Dims are the tensor mode lengths; Rank the CPD rank.
+	Dims []int `json:"dims"`
+	Rank int   `json:"rank"`
+	// Constraint is the CLI-style constraint spec the job ran with.
+	Constraint string `json:"constraint,omitempty"`
+	// RelErr, OuterIters, Converged summarize the fit.
+	RelErr     float64 `json:"rel_err"`
+	OuterIters int     `json:"outer_iters"`
+	Converged  bool    `json:"converged"`
+	// FactorDensities is the final per-mode factor density.
+	FactorDensities []float64 `json:"factor_densities,omitempty"`
+	// CreatedUnixNano is the registration time.
+	CreatedUnixNano int64 `json:"created_unix_nano"`
+}
+
+// Model is one registered model held in memory: metadata, the Kruskal
+// factors, per-mode CSR images of sparse factors for the query kernel, and
+// the job's final metrics report when one was collected. A Model is
+// immutable after registration.
+type Model struct {
+	Meta   ModelMeta
+	K      *kruskal.Tensor
+	Report *stats.Report
+
+	leaves []*sparse.CSR
+}
+
+// Leaf returns the mode's cached CSR image, or nil when the factor is dense
+// enough that the dense scoring path wins.
+func (m *Model) Leaf(mode int) *sparse.CSR {
+	if mode < 0 || mode >= len(m.leaves) {
+		return nil
+	}
+	return m.leaves[mode]
+}
+
+// buildLeaves caches CSR images of every factor below the density threshold.
+func (m *Model) buildLeaves() {
+	m.leaves = make([]*sparse.CSR, m.K.Order())
+	for mode, f := range m.K.Factors {
+		if dense.Density(f, 0) < queryCSRThreshold {
+			m.leaves[mode] = sparse.FromDense(f, 0)
+		}
+	}
+}
+
+// Registry is the concurrent-safe model store. Models live under
+// <dir>/<id>/ as factors/ (kruskal.Save layout), meta.json, and optionally
+// metrics.json; directories are written to a temp sibling and renamed into
+// place, so a crash mid-registration never leaves a half-written model for
+// the next startup to trip over.
+type Registry struct {
+	mu     sync.RWMutex
+	dir    string
+	models map[string]*Model
+	ids    []string
+	seq    int
+}
+
+// OpenRegistry loads every model directory under dir (created if missing).
+// Corrupt or unreadable model directories are skipped and reported as
+// warnings rather than failing startup — the registry loads untrusted dirs
+// and must degrade gracefully.
+func OpenRegistry(dir string) (*Registry, []error, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	r := &Registry{dir: dir, models: make(map[string]*Model)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var warnings []error
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() || strings.HasPrefix(name, ".") || strings.HasSuffix(name, ".old") {
+			continue
+		}
+		// Advance the id sequence past every model-shaped directory name,
+		// even ones that fail to load — a later Register must never collide
+		// with a corrupt dir left on disk.
+		if n, ok := modelSeq(name); ok && n > r.seq {
+			r.seq = n
+		}
+		m, err := loadModelDir(filepath.Join(dir, name))
+		if err != nil {
+			warnings = append(warnings, fmt.Errorf("model %s: %w", name, err))
+			continue
+		}
+		if m.Meta.ID == "" {
+			m.Meta.ID = name
+		}
+		r.models[m.Meta.ID] = m
+		r.ids = append(r.ids, m.Meta.ID)
+	}
+	sort.Strings(r.ids)
+	return r, warnings, nil
+}
+
+// modelSeq extracts the numeric suffix of a registry-assigned id.
+func modelSeq(id string) (int, bool) {
+	if !strings.HasPrefix(id, "m") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(id[1:])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+func loadModelDir(dir string) (*Model, error) {
+	k, err := kruskal.Load(filepath.Join(dir, "factors"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{K: k}
+	raw, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return nil, fmt.Errorf("meta.json: %w", err)
+	}
+	if err := json.Unmarshal(raw, &m.Meta); err != nil {
+		return nil, fmt.Errorf("meta.json: %w", err)
+	}
+	if err := checkMetaShape(m.Meta, k); err != nil {
+		return nil, err
+	}
+	if raw, err := os.ReadFile(filepath.Join(dir, "metrics.json")); err == nil {
+		var rep stats.Report
+		if err := json.Unmarshal(raw, &rep); err == nil {
+			m.Report = &rep
+		}
+	}
+	m.buildLeaves()
+	return m, nil
+}
+
+// checkMetaShape cross-validates meta.json against the loaded factors so a
+// model dir whose pieces disagree is rejected as a unit.
+func checkMetaShape(meta ModelMeta, k *kruskal.Tensor) error {
+	if meta.Rank != k.Rank() {
+		return fmt.Errorf("meta rank %d, factors rank %d", meta.Rank, k.Rank())
+	}
+	dims := k.Dims()
+	if len(meta.Dims) != len(dims) {
+		return fmt.Errorf("meta order %d, factors order %d", len(meta.Dims), len(dims))
+	}
+	for m, d := range meta.Dims {
+		if d != dims[m] {
+			return fmt.Errorf("meta mode %d length %d, factor has %d rows", m, d, dims[m])
+		}
+	}
+	return nil
+}
+
+// Register persists a fitted model and makes it queryable. The meta's ID and
+// creation time are assigned here.
+func (r *Registry) Register(meta ModelMeta, k *kruskal.Tensor, report *stats.Report) (*Model, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	meta.ID = fmt.Sprintf("m%06d", r.seq)
+	meta.Dims = k.Dims()
+	meta.Rank = k.Rank()
+	meta.CreatedUnixNano = time.Now().UnixNano()
+
+	final := filepath.Join(r.dir, meta.ID)
+	tmp, err := os.MkdirTemp(r.dir, ".reg-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	if err := k.Save(filepath.Join(tmp, "factors")); err != nil {
+		return nil, err
+	}
+	if err := writeJSONFile(filepath.Join(tmp, "meta.json"), meta); err != nil {
+		return nil, err
+	}
+	if report != nil {
+		if err := writeJSONFile(filepath.Join(tmp, "metrics.json"), report); err != nil {
+			return nil, err
+		}
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return nil, err
+	}
+
+	m := &Model{Meta: meta, K: k.Clone(), Report: report}
+	m.buildLeaves()
+	r.models[meta.ID] = m
+	r.ids = append(r.ids, meta.ID)
+	sort.Strings(r.ids)
+	return m, nil
+}
+
+// Get returns a model by id.
+func (r *Registry) Get(id string) (*Model, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.models[id]
+	return m, ok
+}
+
+// List returns every model's metadata in id order.
+func (r *Registry) List() []ModelMeta {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]ModelMeta, 0, len(r.ids))
+	for _, id := range r.ids {
+		out = append(out, r.models[id].Meta)
+	}
+	return out
+}
+
+// Len returns the number of registered models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.models)
+}
+
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

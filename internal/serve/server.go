@@ -1,0 +1,291 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"aoadmm/internal/kruskal"
+	"aoadmm/internal/stats"
+)
+
+// Config sizes the service.
+type Config struct {
+	// DataDir is the daemon's persistent root: models live under
+	// DataDir/models, in-flight checkpoints under DataDir/checkpoints.
+	DataDir string
+	// Workers is the factorization worker-pool size (default 2). Each worker
+	// runs one job at a time; jobs themselves parallelize over Threads.
+	Workers int
+	// QueueCap bounds the number of queued jobs (default 16); submissions
+	// beyond it fail with 503 rather than queueing unboundedly.
+	QueueCap int
+	// RequestTimeout bounds each HTTP request (default 10s). Job execution
+	// is asynchronous and not subject to it.
+	RequestTimeout time.Duration
+}
+
+// Server wires the registry, the job manager, and the query engine behind an
+// HTTP/JSON API. See docs/SERVING.md for the full surface.
+type Server struct {
+	cfg Config
+	reg *Registry
+	mgr *Manager
+
+	queries      atomic.Int64
+	queryLatency stats.LatencyHistogram
+	warnings     []string
+}
+
+// New opens (or creates) the data dir, reloads every persisted model, and
+// starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("serve: DataDir required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 16
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+	reg, warns, err := OpenRegistry(filepath.Join(cfg.DataDir, "models"))
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, reg: reg}
+	for _, w := range warns {
+		s.warnings = append(s.warnings, w.Error())
+	}
+	s.mgr = NewManager(reg, cfg.DataDir, cfg.Workers, cfg.QueueCap)
+	return s, nil
+}
+
+// Registry exposes the model store (startup logging, tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Warnings lists model directories skipped at startup.
+func (s *Server) Warnings() []string { return append([]string(nil), s.warnings...) }
+
+// Shutdown drains the job manager; see Manager.Shutdown.
+func (s *Server) Shutdown(grace time.Duration) { s.mgr.Shutdown(grace) }
+
+// Handler returns the service's HTTP handler, with every request bounded by
+// the configured timeout.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /models", s.handleModels)
+	mux.HandleFunc("GET /models/{id}", s.handleModel)
+	mux.HandleFunc("GET /models/{id}/entry", s.handleEntry)
+	mux.HandleFunc("POST /models/{id}/topk", s.handleTopK)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"models": s.reg.Len(),
+		"queue":  s.mgr.QueueDepth(),
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		return
+	}
+	view, err := s.mgr.Submit(spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrQueueFull) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.List()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %s", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	view, err := s.mgr.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.reg.List()})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no model %s", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, m.Meta)
+}
+
+// handleEntry reconstructs one tensor entry: GET /models/{id}/entry?at=i,j,k.
+func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no model %s", r.PathValue("id")))
+		return
+	}
+	start := time.Now()
+	coord, err := parseCoord(r.URL.Query().Get("at"), m.K.Dims())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	val := m.K.At(coord)
+	s.recordQuery(start)
+	writeJSON(w, http.StatusOK, map[string]any{"coord": coord, "value": val})
+}
+
+func parseCoord(raw string, dims []int) ([]int, error) {
+	if raw == "" {
+		return nil, fmt.Errorf("missing at=i,j,... query parameter")
+	}
+	parts := strings.Split(raw, ",")
+	if len(parts) != len(dims) {
+		return nil, fmt.Errorf("coordinate has %d indices, model order is %d", len(parts), len(dims))
+	}
+	coord := make([]int, len(parts))
+	for m, p := range parts {
+		i, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("index %d: %v", m, err)
+		}
+		if i < 0 || i >= dims[m] {
+			return nil, fmt.Errorf("index %d out of range for mode %d (length %d)", i, m, dims[m])
+		}
+		coord[m] = i
+	}
+	return coord, nil
+}
+
+// topKRequest is the JSON body of POST /models/{id}/topk.
+type topKRequest struct {
+	// Anchors maps mode index (JSON keys are strings) to a fixed row index.
+	Anchors map[string]int `json:"anchors"`
+	// TargetMode is the mode whose rows are ranked.
+	TargetMode int `json:"target_mode"`
+	// K is the number of matches to return.
+	K int `json:"k"`
+	// Threads overrides the kernel's worker count (0 = GOMAXPROCS).
+	Threads int `json:"threads,omitempty"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no model %s", r.PathValue("id")))
+		return
+	}
+	var req topKRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad topk request: %w", err))
+		return
+	}
+	anchors := make(map[int]int, len(req.Anchors))
+	for k, v := range req.Anchors {
+		mode, err := strconv.Atoi(k)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("anchor mode %q: %v", k, err))
+			return
+		}
+		anchors[mode] = v
+	}
+	start := time.Now()
+	matches, err := m.K.TopK(kruskal.Query{
+		Anchors:    anchors,
+		TargetMode: req.TargetMode,
+		K:          req.K,
+		Threads:    req.Threads,
+		TargetLeaf: m.Leaf(req.TargetMode),
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.recordQuery(start)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model":       m.Meta.ID,
+		"target_mode": req.TargetMode,
+		"matches":     matches,
+	})
+}
+
+func (s *Server) recordQuery(start time.Time) {
+	s.queries.Add(1)
+	s.queryLatency.Observe(time.Since(start))
+}
+
+// handleMetrics serves the daemon counters plus every finished job's
+// aoadmm-metrics/v1 report.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"daemon": map[string]any{
+			"jobs":          s.mgr.StatusCounts(),
+			"queue_depth":   s.mgr.QueueDepth(),
+			"models":        s.reg.Len(),
+			"queries":       s.queries.Load(),
+			"query_latency": s.queryLatency.Snapshot(),
+			"workers":       s.cfg.Workers,
+		},
+		"jobs": s.mgr.Reports(),
+	})
+}

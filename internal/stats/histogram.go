@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"sync"
+	"time"
+)
+
+// latencyBounds are the upper bucket bounds of LatencyHistogram, roughly
+// log-spaced from 50µs to 5s — sized for query-serving latencies, where the
+// fast path is a few hundred microseconds and anything past a second is an
+// outage signal. Observations above the last bound land in the implicit
+// +Inf bucket.
+var latencyBounds = []time.Duration{
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2500 * time.Millisecond,
+	5 * time.Second,
+}
+
+// LatencyHistogram is a fixed-bucket log-scale duration histogram, safe for
+// concurrent use. The zero value is ready to use.
+type LatencyHistogram struct {
+	mu     sync.Mutex
+	counts []int64 // len(latencyBounds)+1; allocated on first Observe
+	sum    time.Duration
+	total  int64
+}
+
+// Observe records one duration.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	i := 0
+	for i < len(latencyBounds) && d > latencyBounds[i] {
+		i++
+	}
+	h.mu.Lock()
+	if h.counts == nil {
+		h.counts = make([]int64, len(latencyBounds)+1)
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += d
+	h.mu.Unlock()
+}
+
+// LatencyBucket is one cumulative histogram bucket: the count of
+// observations at or below the bound.
+type LatencyBucket struct {
+	// LeSeconds is the bucket's upper bound in seconds; the final bucket
+	// has LeSeconds 0 and means +Inf.
+	LeSeconds float64 `json:"le_seconds"`
+	// Count is the cumulative observation count up to this bound.
+	Count int64 `json:"count"`
+}
+
+// LatencySnapshot is the JSON-serializable state of a LatencyHistogram.
+type LatencySnapshot struct {
+	// Count is the total number of observations.
+	Count int64 `json:"count"`
+	// SumSeconds is the sum of all observed durations.
+	SumSeconds float64 `json:"sum_seconds"`
+	// MeanSeconds is SumSeconds / Count (0 when empty).
+	MeanSeconds float64 `json:"mean_seconds"`
+	// P50Seconds / P95Seconds / P99Seconds are quantile estimates taken at
+	// the upper bound of the bucket containing the quantile.
+	P50Seconds float64 `json:"p50_seconds"`
+	P95Seconds float64 `json:"p95_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+	// Buckets is the cumulative bucket table (Prometheus-style "le").
+	Buckets []LatencyBucket `json:"buckets"`
+}
+
+// Snapshot returns the histogram's current state. Empty buckets at the tail
+// beyond the largest observation are elided, keeping small snapshots small.
+func (h *LatencyHistogram) Snapshot() LatencySnapshot {
+	h.mu.Lock()
+	counts := append([]int64(nil), h.counts...)
+	total := h.total
+	sum := h.sum
+	h.mu.Unlock()
+
+	s := LatencySnapshot{Count: total, SumSeconds: sum.Seconds()}
+	if total == 0 {
+		return s
+	}
+	s.MeanSeconds = s.SumSeconds / float64(total)
+	var cum int64
+	last := 0
+	for i, c := range counts {
+		if c > 0 {
+			last = i
+		}
+	}
+	for i := 0; i <= last; i++ {
+		cum += counts[i]
+		b := LatencyBucket{Count: cum}
+		if i < len(latencyBounds) {
+			b.LeSeconds = latencyBounds[i].Seconds()
+		}
+		s.Buckets = append(s.Buckets, b)
+	}
+	s.P50Seconds = quantileAt(counts[:], total, 0.50)
+	s.P95Seconds = quantileAt(counts[:], total, 0.95)
+	s.P99Seconds = quantileAt(counts[:], total, 0.99)
+	return s
+}
+
+// quantileAt returns the upper bound of the bucket holding quantile q; the
+// +Inf bucket reports the largest finite bound.
+func quantileAt(counts []int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	target := int64(q*float64(total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= target {
+			if i < len(latencyBounds) {
+				return latencyBounds[i].Seconds()
+			}
+			return latencyBounds[len(latencyBounds)-1].Seconds()
+		}
+	}
+	return latencyBounds[len(latencyBounds)-1].Seconds()
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyHistogramEmpty(t *testing.T) {
+	var h LatencyHistogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.MeanSeconds != 0 || s.P99Seconds != 0 {
+		t.Fatalf("empty snapshot %+v", s)
+	}
+}
+
+func TestLatencyHistogramBucketsAndQuantiles(t *testing.T) {
+	var h LatencyHistogram
+	// 90 fast observations, 10 slow: p50 in a sub-millisecond bucket, p99
+	// at or above the slow value's bucket.
+	for i := 0; i < 90; i++ {
+		h.Observe(200 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(40 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if s.P50Seconds > 0.001 {
+		t.Fatalf("p50 %v too high", s.P50Seconds)
+	}
+	if s.P99Seconds < 0.025 {
+		t.Fatalf("p99 %v too low", s.P99Seconds)
+	}
+	if len(s.Buckets) == 0 {
+		t.Fatal("no buckets")
+	}
+	lastCum := s.Buckets[len(s.Buckets)-1].Count
+	if lastCum != 100 {
+		t.Fatalf("cumulative tail %d", lastCum)
+	}
+	// Cumulative counts must be non-decreasing.
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i].Count < s.Buckets[i-1].Count {
+			t.Fatalf("bucket counts decrease at %d: %+v", i, s.Buckets)
+		}
+	}
+}
+
+func TestLatencyHistogramOverflowBucket(t *testing.T) {
+	var h LatencyHistogram
+	h.Observe(30 * time.Second) // beyond the last bound -> +Inf bucket
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if last := s.Buckets[len(s.Buckets)-1]; last.LeSeconds != 0 || last.Count != 1 {
+		t.Fatalf("overflow bucket %+v", last)
+	}
+}
+
+func TestLatencyHistogramConcurrent(t *testing.T) {
+	var h LatencyHistogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Fatalf("count %d", s.Count)
+	}
+}
+
+func TestLatencySnapshotJSON(t *testing.T) {
+	var h LatencyHistogram
+	h.Observe(time.Millisecond)
+	b, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LatencySnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count != 1 {
+		t.Fatalf("round trip %+v", back)
+	}
+}
