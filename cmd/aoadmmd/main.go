@@ -7,10 +7,13 @@
 //
 //	aoadmmd -addr :8642 -data /var/lib/aoadmmd
 //
-// See docs/SERVING.md for the API surface and a curl quick-start. The daemon
-// shuts down gracefully on SIGINT/SIGTERM: queued jobs are canceled, running
-// jobs are stopped at their next outer iteration and their partial factors
-// checkpointed.
+// See docs/SERVING.md for the API surface and a curl quick-start. Jobs are
+// durable: every state transition is written to a fsync'd journal under the
+// data dir, so a daemon killed at any instant — SIGKILL included — restarts
+// with queued jobs re-enqueued and interrupted jobs resumed from their last
+// checkpoint. The daemon shuts down gracefully on SIGINT/SIGTERM: queued
+// jobs are canceled, running jobs are stopped at their next outer iteration
+// and their partial factors checkpointed.
 package main
 
 import (
@@ -30,40 +33,53 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8642", "listen address")
-		dataDir    = flag.String("data", "aoadmmd-data", "persistent data directory (models, checkpoints)")
-		workers    = flag.Int("workers", 2, "factorization worker-pool size")
-		queueCap   = flag.Int("queue", 16, "max queued jobs before submissions get 503")
-		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request HTTP timeout")
-		grace      = flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight jobs")
+		addr        = flag.String("addr", "127.0.0.1:8642", "listen address")
+		dataDir     = flag.String("data", "aoadmmd-data", "persistent data directory (models, checkpoints, journal)")
+		workers     = flag.Int("workers", 2, "factorization worker-pool size")
+		queueCap    = flag.Int("queue", 16, "max queued jobs before submissions get 503")
+		reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "per-request HTTP timeout")
+		grace       = flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight jobs")
+		maxAttempts = flag.Int("max-attempts", 3, "per-job attempt budget before a transient failure becomes terminal (1 disables retries)")
+		retryBase   = flag.Duration("retry-backoff", 500*time.Millisecond, "base retry backoff, doubled per attempt with jitter")
+		jobTimeout  = flag.Duration("job-timeout", 0, "default per-attempt wall-clock budget for jobs (0 = none; timeout_sec in a job spec overrides)")
+		journal     = flag.String("journal", "", "write-ahead job journal path (default <data>/journal.jsonl)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *dataDir, *workers, *queueCap, *reqTimeout, *grace); err != nil {
+	cfg := serve.Config{
+		DataDir:        *dataDir,
+		Workers:        *workers,
+		QueueCap:       *queueCap,
+		RequestTimeout: *reqTimeout,
+		MaxAttempts:    *maxAttempts,
+		RetryBackoff:   *retryBase,
+		JobTimeout:     *jobTimeout,
+		JournalPath:    *journal,
+	}
+	if err := run(*addr, cfg, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "aoadmmd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir string, workers, queueCap int, reqTimeout, grace time.Duration) error {
-	s, err := serve.New(serve.Config{
-		DataDir:        dataDir,
-		Workers:        workers,
-		QueueCap:       queueCap,
-		RequestTimeout: reqTimeout,
-	})
+func run(addr string, cfg serve.Config, grace time.Duration) error {
+	s, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
 	for _, w := range s.Warnings() {
 		log.Printf("warning: skipped %s", w)
 	}
-	log.Printf("data dir %s: %d model(s) loaded", dataDir, s.Registry().Len())
+	log.Printf("data dir %s: %d model(s) loaded", cfg.DataDir, s.Registry().Len())
+	if rec := s.Recovery(); rec.Requeued+rec.Resumed+rec.Restarted+rec.Adopted+rec.Terminal > 0 {
+		log.Printf("journal recovery: %d requeued, %d resumed from checkpoint, %d restarted, %d adopted, %d terminal",
+			rec.Requeued, rec.Resumed, rec.Restarted, rec.Adopted, rec.Terminal)
+	}
 
 	srv := &http.Server{Addr: addr, Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s (%d workers, queue %d)", addr, workers, queueCap)
+		log.Printf("listening on %s (%d workers, queue %d)", addr, cfg.Workers, cfg.QueueCap)
 		errc <- srv.ListenAndServe()
 	}()
 

@@ -19,6 +19,7 @@ import (
 	"aoadmm/internal/blockmodel"
 	"aoadmm/internal/csf"
 	"aoadmm/internal/dense"
+	"aoadmm/internal/faults"
 	"aoadmm/internal/kruskal"
 	"aoadmm/internal/mttkrp"
 	"aoadmm/internal/par"
@@ -142,6 +143,22 @@ type Options struct {
 	// checkpoint written by CheckpointDir, or an ALS warm start. Shapes
 	// must match the tensor and Rank.
 	InitFactors *kruskal.Tensor
+	// InitDuals, when non-nil alongside InitFactors, restores the per-mode
+	// scaled ADMM dual variables (deep-copied) from a checkpoint. A resumed
+	// single-threaded run with restored duals reproduces the uninterrupted
+	// trajectory exactly; without them the duals restart at zero and the run
+	// re-converges. Shapes must match the factors.
+	InitDuals []*dense.Matrix
+	// StartIter anchors the outer-iteration counter when resuming: the loop
+	// runs iterations StartIter+1 through MaxOuterIters, and OuterIters,
+	// checkpoints, and trace points report cumulative iteration numbers. The
+	// iteration budget is therefore shared across interruptions rather than
+	// restarting from zero on every resume.
+	StartIter int
+	// PrevRelErr seeds the improvement-based stopping comparison when
+	// resuming (the relative error at StartIter, from the checkpoint meta);
+	// <= 0 means +Inf, i.e. a fresh run.
+	PrevRelErr float64
 	// Seed drives factor initialization (ignored with InitFactors).
 	Seed int64
 	// MaxTime stops the factorization after the given wall time (0 = no
@@ -165,6 +182,14 @@ type Options struct {
 	// CheckpointEvery is the checkpoint interval in outer iterations
 	// (<= 0 means 10).
 	CheckpointEvery int
+	// CheckpointJobID and CheckpointAttempt are stamped into each
+	// checkpoint's meta record so a recovering service can tie the on-disk
+	// state back to the job (and attempt) that wrote it.
+	CheckpointJobID   string
+	CheckpointAttempt int
+	// Faults is the optional fault-injection registry (internal/faults);
+	// nil — the default — makes every hook point a no-op.
+	Faults *faults.Injector
 	// CollectMetrics enables the fine-grained observability layer: per-mode
 	// kernel timers, per-block ADMM convergence counters, scheduler load
 	// telemetry, and the factor-sparsity timeline, returned in
@@ -226,6 +251,10 @@ type Result struct {
 	// Stopped reports that the run was halted by Options.Ctx cancellation
 	// rather than by convergence, the iteration cap, or the time budget.
 	Stopped bool
+	// Duals is the final per-mode scaled ADMM dual state, exposed so a
+	// service can checkpoint full resume state (factors + duals) at
+	// cancellation; nil for ALS/HALS runs, which carry no duals.
+	Duals []*dense.Matrix
 	// CheckpointErr is the error from the most recent checkpoint save (nil
 	// when the last save succeeded or checkpointing was off). A failed save
 	// is retried at the next interval, so a run can finish successfully with
@@ -318,23 +347,40 @@ func Factorize(x *tensor.COO, opts Options) (*Result, error) {
 		model = kruskal.Random(x.Dims, opts.Rank, rng)
 		scaleInit(model, xNormSq, opts.Threads)
 	}
+	if opts.InitDuals != nil {
+		if err := checkInitDuals(opts.InitDuals, x.Dims, opts.Rank); err != nil {
+			return nil, err
+		}
+	}
 	duals := make([]*dense.Matrix, order)
 	grams := make([]*dense.Matrix, order)
 	versions := make([]int, order)
 	images := make([]sparseImage, order)
 	for m := 0; m < order; m++ {
-		duals[m] = dense.New(x.Dims[m], opts.Rank)
+		if opts.InitDuals != nil {
+			duals[m] = opts.InitDuals[m].Clone()
+		} else {
+			duals[m] = dense.New(x.Dims[m], opts.Rank)
+		}
 		grams[m] = dense.Gram(model.Factors[m], opts.Threads)
 	}
 	ws := &admm.Workspace{}
 	kmat := dense.New(maxDim(x.Dims), opts.Rank)
 
+	if opts.StartIter < 0 {
+		opts.StartIter = 0
+	}
 	res := &Result{
-		Factors:   model,
-		Breakdown: bd,
-		Metrics:   met,
-		Trace:     &stats.Trace{},
-		RelErr:    1,
+		Factors:    model,
+		Duals:      duals,
+		Breakdown:  bd,
+		Metrics:    met,
+		Trace:      &stats.Trace{},
+		RelErr:     1,
+		OuterIters: opts.StartIter,
+	}
+	if opts.PrevRelErr > 0 {
+		res.RelErr = opts.PrevRelErr
 	}
 
 	admmCfg := admm.Config{
@@ -348,7 +394,10 @@ func Factorize(x *tensor.COO, opts Options) (*Result, error) {
 	}
 
 	prevErr := math.Inf(1)
-	for outer := 1; outer <= opts.MaxOuterIters; outer++ {
+	if opts.PrevRelErr > 0 {
+		prevErr = opts.PrevRelErr
+	}
+	for outer := opts.StartIter + 1; outer <= opts.MaxOuterIters; outer++ {
 		if stopRequested(opts.Ctx) {
 			res.Stopped = true
 			break
@@ -458,7 +507,20 @@ func Factorize(x *tensor.COO, opts Options) (*Result, error) {
 				every = 10
 			}
 			if outer%every == 0 {
-				res.CheckpointErr = model.SaveAtomic(opts.CheckpointDir)
+				if err := opts.Faults.Fire(faults.CheckpointSave); err != nil {
+					res.CheckpointErr = fmt.Errorf("checkpoint %s at iteration %d: %w",
+						opts.CheckpointDir, outer, err)
+				} else {
+					res.CheckpointErr = kruskal.SaveCheckpointAtomic(opts.CheckpointDir, kruskal.Checkpoint{
+						Factors: model,
+						Duals:   duals,
+						Meta: &kruskal.CheckpointMeta{
+							Iteration: outer, RelErr: relErr,
+							JobID: opts.CheckpointJobID, Attempt: opts.CheckpointAttempt,
+							SavedUnixNano: time.Now().UnixNano(),
+						},
+					})
+				}
 			}
 		}
 		if opts.OnIteration != nil && !opts.OnIteration(point) {
@@ -595,6 +657,23 @@ func scaleInit(model *kruskal.Tensor, xNormSq float64, threads int) {
 	for _, f := range model.Factors {
 		dense.Scale(f, s)
 	}
+}
+
+// checkInitDuals validates resumed dual variables against the tensor shape.
+func checkInitDuals(duals []*dense.Matrix, dims []int, rank int) error {
+	if len(duals) != len(dims) {
+		return fmt.Errorf("core: %d InitDuals for order-%d tensor", len(duals), len(dims))
+	}
+	for m, d := range duals {
+		if d == nil {
+			return fmt.Errorf("core: InitDuals mode %d is nil", m)
+		}
+		if d.Rows != dims[m] || d.Cols != rank {
+			return fmt.Errorf("core: InitDuals mode %d is %dx%d, want %dx%d",
+				m, d.Rows, d.Cols, dims[m], rank)
+		}
+	}
+	return nil
 }
 
 // checkInitShape validates a user-provided initialization.

@@ -1,0 +1,155 @@
+// Package faults is the process-of-record fault-injection registry used to
+// test the durability machinery deterministically. Production code fires
+// named hook points at the moments that matter for crash consistency
+// (journal writes, checkpoint saves, the model-registration commit); tests
+// arm those points with errors, panics, or simulated crashes and assert that
+// no job is lost, duplicated, or torn. A nil *Injector is the wired-in
+// default and makes every hook a no-op, so the hot path pays one nil check.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Point names one injection hook in the process of record.
+type Point string
+
+// The hook points the serving and solver layers fire.
+const (
+	// JournalAppend fires before a job-journal line is written.
+	JournalAppend Point = "journal.append"
+	// JournalSync fires before the journal append is fsync'd.
+	JournalSync Point = "journal.sync"
+	// CheckpointSave fires before a periodic in-run checkpoint save.
+	CheckpointSave Point = "checkpoint.save"
+	// WorkerRun fires at the top of a worker's job execution (arm with
+	// ArmPanic to simulate a worker panic).
+	WorkerRun Point = "worker.run"
+	// CrashBeforeCommit fires after a job's solver finishes but before its
+	// model is registered (the commit): a crash here must re-run the job.
+	CrashBeforeCommit Point = "crash.before-commit"
+	// CrashAfterCommit fires after the model is registered but before the
+	// terminal journal record: a crash here must NOT duplicate the model.
+	CrashAfterCommit Point = "crash.after-commit"
+)
+
+// ErrCrash is the sentinel an armed crash point returns; the component that
+// observes it abandons all further writes, simulating a kill -9 at that
+// instant.
+var ErrCrash = errors.New("faults: simulated crash")
+
+// arm is one armed hook: fire skip clean passes, then trip `times` times.
+type arm struct {
+	skip     int
+	times    int // -1 = unlimited
+	err      error
+	panicMsg string
+}
+
+// Injector holds the armed hook points for one component graph (one daemon,
+// one test). The zero value and the nil pointer are both valid no-op
+// injectors; Fire on them returns nil without locking.
+type Injector struct {
+	mu    sync.Mutex
+	arms  map[Point]*arm
+	fired map[Point]int
+	trips map[Point]int
+}
+
+// New returns an empty injector.
+func New() *Injector { return &Injector{} }
+
+// Arm makes the next `times` firings of p (after `skip` clean passes) return
+// err. times < 0 arms it forever.
+func (in *Injector) Arm(p Point, skip, times int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.arms == nil {
+		in.arms = make(map[Point]*arm)
+	}
+	in.arms[p] = &arm{skip: skip, times: times, err: err}
+}
+
+// ArmPanic makes the next `times` firings of p panic with msg — the injected
+// worker-panic fault.
+func (in *Injector) ArmPanic(p Point, times int, msg string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.arms == nil {
+		in.arms = make(map[Point]*arm)
+	}
+	in.arms[p] = &arm{times: times, panicMsg: msg}
+}
+
+// ArmCrash makes the next firing of p return ErrCrash.
+func (in *Injector) ArmCrash(p Point) { in.Arm(p, 0, 1, ErrCrash) }
+
+// Disarm clears p.
+func (in *Injector) Disarm(p Point) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.arms, p)
+}
+
+// Fire is called by production code at hook point p. It returns nil (the
+// overwhelmingly common case), the armed error, or panics when the point was
+// armed with ArmPanic. Safe on a nil receiver.
+func (in *Injector) Fire(p Point) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	if in.fired == nil {
+		in.fired = make(map[Point]int)
+	}
+	in.fired[p]++
+	a := in.arms[p]
+	if a == nil {
+		in.mu.Unlock()
+		return nil
+	}
+	if a.skip > 0 {
+		a.skip--
+		in.mu.Unlock()
+		return nil
+	}
+	if a.times == 0 {
+		in.mu.Unlock()
+		return nil
+	}
+	if a.times > 0 {
+		a.times--
+	}
+	if in.trips == nil {
+		in.trips = make(map[Point]int)
+	}
+	in.trips[p]++
+	err, msg := a.err, a.panicMsg
+	in.mu.Unlock()
+	if msg != "" {
+		panic(fmt.Sprintf("faults: injected panic at %s: %s", p, msg))
+	}
+	return err
+}
+
+// Fired returns how many times p has been reached (tripped or not).
+func (in *Injector) Fired(p Point) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[p]
+}
+
+// Tripped returns how many times p actually injected a fault.
+func (in *Injector) Tripped(p Point) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.trips[p]
+}

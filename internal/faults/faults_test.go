@@ -1,0 +1,109 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if err := in.Fire(JournalAppend); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if in.Fired(JournalAppend) != 0 || in.Tripped(JournalAppend) != 0 {
+		t.Fatal("nil injector counted")
+	}
+}
+
+func TestArmSkipAndBudget(t *testing.T) {
+	in := New()
+	boom := errors.New("boom")
+	in.Arm(CheckpointSave, 2, 2, boom)
+	var got []error
+	for i := 0; i < 6; i++ {
+		got = append(got, in.Fire(CheckpointSave))
+	}
+	want := []error{nil, nil, boom, boom, nil, nil}
+	for i := range want {
+		if !errors.Is(got[i], want[i]) && got[i] != want[i] {
+			t.Fatalf("fire %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if in.Fired(CheckpointSave) != 6 {
+		t.Fatalf("fired %d", in.Fired(CheckpointSave))
+	}
+	if in.Tripped(CheckpointSave) != 2 {
+		t.Fatalf("tripped %d", in.Tripped(CheckpointSave))
+	}
+}
+
+func TestArmUnlimitedAndDisarm(t *testing.T) {
+	in := New()
+	in.Arm(JournalSync, 0, -1, ErrCrash)
+	for i := 0; i < 3; i++ {
+		if !errors.Is(in.Fire(JournalSync), ErrCrash) {
+			t.Fatalf("fire %d not crash", i)
+		}
+	}
+	in.Disarm(JournalSync)
+	if err := in.Fire(JournalSync); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+}
+
+func TestArmPanic(t *testing.T) {
+	in := New()
+	in.ArmPanic(WorkerRun, 1, "synthetic")
+	func() {
+		defer func() {
+			p := recover()
+			if p == nil {
+				t.Fatal("no panic")
+			}
+			if !strings.Contains(fmt.Sprint(p), "synthetic") {
+				t.Fatalf("panic %v", p)
+			}
+		}()
+		in.Fire(WorkerRun)
+	}()
+	// Budget exhausted: next fire is clean.
+	if err := in.Fire(WorkerRun); err != nil {
+		t.Fatalf("post-panic fire: %v", err)
+	}
+}
+
+func TestArmCrash(t *testing.T) {
+	in := New()
+	in.ArmCrash(CrashBeforeCommit)
+	if !errors.Is(in.Fire(CrashBeforeCommit), ErrCrash) {
+		t.Fatal("crash point did not trip")
+	}
+	if err := in.Fire(CrashBeforeCommit); err != nil {
+		t.Fatalf("second fire: %v", err)
+	}
+}
+
+func TestConcurrentFire(t *testing.T) {
+	in := New()
+	in.Arm(JournalAppend, 0, 50, errors.New("x"))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				in.Fire(JournalAppend)
+			}
+		}()
+	}
+	wg.Wait()
+	if in.Fired(JournalAppend) != 800 {
+		t.Fatalf("fired %d", in.Fired(JournalAppend))
+	}
+	if in.Tripped(JournalAppend) != 50 {
+		t.Fatalf("tripped %d", in.Tripped(JournalAppend))
+	}
+}

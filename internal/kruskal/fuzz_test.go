@@ -1,0 +1,44 @@
+package kruskal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoad hardens the model-directory loader: whatever bytes land in the
+// mode files, lambda.txt, and checkpoint.json of an untrusted directory, Load
+// and LoadCheckpoint must either return a validated model or a descriptive
+// error — never panic. This is the path the daemon's registry and crash
+// recovery walk over corrupt on-disk state.
+func FuzzLoad(f *testing.F) {
+	f.Add("1 2\n3 4\n", "0.5\n0.5\n", `{"iteration":3,"rel_err":0.1}`)
+	f.Add("", "", "")
+	f.Add("1 2\n3\n", "x\n", "{")
+	f.Add("nan inf\n-inf 0\n", "1e309\n", `{"iteration":-1}`)
+	f.Add("1e309 0\n", "\n\n", `[]`)
+	f.Add("0.1 0.2 0.3\n", "1\n2\n3\n", `{"iteration":1,"rel_err":"nope"}`)
+	f.Fuzz(func(t *testing.T, mode0, lambda, meta string) {
+		dir := t.TempDir()
+		os.WriteFile(filepath.Join(dir, "mode0.txt"), []byte(mode0), 0o644)
+		// A second mode with a fixed shape exercises cross-mode rank checks.
+		os.WriteFile(filepath.Join(dir, "mode1.txt"), []byte("1 2\n3 4\n"), 0o644)
+		os.WriteFile(filepath.Join(dir, "dual0.txt"), []byte(mode0), 0o644)
+		if lambda != "" {
+			os.WriteFile(filepath.Join(dir, "lambda.txt"), []byte(lambda), 0o644)
+		}
+		if meta != "" {
+			os.WriteFile(filepath.Join(dir, "checkpoint.json"), []byte(meta), 0o644)
+		}
+		if k, err := Load(dir); err == nil {
+			if verr := k.Validate(); verr != nil {
+				t.Fatalf("Load returned invalid model: %v", verr)
+			}
+		}
+		if c, err := LoadCheckpoint(dir); err == nil {
+			if verr := c.Factors.Validate(); verr != nil {
+				t.Fatalf("LoadCheckpoint returned invalid model: %v", verr)
+			}
+		}
+	})
+}

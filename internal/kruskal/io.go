@@ -117,6 +117,13 @@ func (k *Tensor) Save(dir string) error {
 // only ever observes a complete model directory — either the previous
 // checkpoint or the new one, never a torn mix.
 func (k *Tensor) SaveAtomic(dir string) error {
+	return atomicSwapDir(dir, k.Save)
+}
+
+// atomicSwapDir stages a directory via write(tmp) in a temporary sibling and
+// swaps it into place with renames — the shared crash-consistency protocol
+// behind SaveAtomic and SaveCheckpointAtomic.
+func atomicSwapDir(dir string, write func(tmp string) error) error {
 	dir = filepath.Clean(dir)
 	parent := filepath.Dir(dir)
 	if err := os.MkdirAll(parent, 0o755); err != nil {
@@ -127,7 +134,7 @@ func (k *Tensor) SaveAtomic(dir string) error {
 		return err
 	}
 	defer os.RemoveAll(tmp)
-	if err := k.Save(tmp); err != nil {
+	if err := write(tmp); err != nil {
 		return err
 	}
 	old := dir + ".old"

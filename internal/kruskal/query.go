@@ -168,10 +168,10 @@ func worse(a, b Match) bool {
 // match and is evicted first.
 type matchHeap []Match
 
-func (h matchHeap) Len() int            { return len(h) }
-func (h matchHeap) Less(i, j int) bool  { return worse(h[i], h[j]) }
-func (h matchHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *matchHeap) Push(x any) { *h = append(*h, x.(Match)) }
+func (h matchHeap) Len() int           { return len(h) }
+func (h matchHeap) Less(i, j int) bool { return worse(h[i], h[j]) }
+func (h matchHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *matchHeap) Push(x any)        { *h = append(*h, x.(Match)) }
 func (h *matchHeap) Pop() any {
 	old := *h
 	n := len(old)

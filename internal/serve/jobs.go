@@ -2,23 +2,30 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aoadmm/internal/core"
 	"aoadmm/internal/datasets"
+	"aoadmm/internal/faults"
+	"aoadmm/internal/kruskal"
 	"aoadmm/internal/prox"
 	"aoadmm/internal/stats"
 	"aoadmm/internal/tensor"
 )
 
 // JobStatus is a job's lifecycle state. Transitions:
-// queued -> running -> done|failed|canceled, and queued -> canceled when a
-// job is canceled (or the daemon shuts down) before a worker picks it up.
+// queued -> running -> done|failed|canceled, running -> queued (retry with
+// backoff after a transient failure), and queued -> canceled when a job is
+// canceled (or the daemon shuts down) before a worker picks it up.
 type JobStatus string
 
 // Job lifecycle states.
@@ -69,8 +76,13 @@ type JobSpec struct {
 	// skip the ~10-30% collection overhead.
 	CollectMetrics *bool `json:"collect_metrics,omitempty"`
 	// CheckpointEvery is the checkpoint interval in outer iterations
-	// (default 5). Checkpoints make cancellation and daemon shutdown lossless.
+	// (default 5). Checkpoints make cancellation, daemon shutdown, and crash
+	// recovery lossless.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// TimeoutSec is this job's wall-clock budget per attempt in seconds,
+	// overriding the daemon-wide -job-timeout (0 = inherit the daemon
+	// default). A timed-out job fails terminally.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
 }
 
 func (s *JobSpec) collectMetrics() bool { return s.CollectMetrics == nil || *s.CollectMetrics }
@@ -94,6 +106,9 @@ func (s *JobSpec) validate() error {
 	}
 	if s.Rank <= 0 {
 		return fmt.Errorf("rank must be positive, got %d", s.Rank)
+	}
+	if s.TimeoutSec < 0 {
+		return fmt.Errorf("timeout_sec must be >= 0, got %v", s.TimeoutSec)
 	}
 	switch s.Algo {
 	case "", "aoadmm", "als", "hals":
@@ -160,11 +175,15 @@ type Job struct {
 	spec      JobSpec
 	status    JobStatus
 	err       string
+	errs      []string
 	modelID   string
 	relErr    float64
 	outer     int
 	converged bool
 	ckptDir   string
+	ckptErr   string
+	attempt   int
+	resumed   int
 
 	submitted time.Time
 	started   time.Time
@@ -172,14 +191,25 @@ type Job struct {
 
 	cancel context.CancelFunc
 	report *stats.Report
+
+	// resume holds checkpointed state recovered from disk; the next run of
+	// this job warm-restarts from it instead of random factors.
+	resume *kruskal.Checkpoint
 }
 
-// JobView is the JSON shape of a job as returned by the API.
+// JobView is the JSON shape of a job as returned by the API — and the record
+// type the write-ahead journal persists at every state transition.
 type JobView struct {
 	ID     string  `json:"id"`
 	Spec   JobSpec `json:"spec"`
 	Status string  `json:"status"`
 	Error  string  `json:"error,omitempty"`
+	// Errors is the full per-attempt error chain of a retried job, oldest
+	// first ("attempt 1: ...").
+	Errors []string `json:"errors,omitempty"`
+	// Attempt is the current (or final) run attempt, 1-based once a worker
+	// has picked the job up.
+	Attempt int `json:"attempt,omitempty"`
 	// ModelID is set once a successful job's model is registered.
 	ModelID string `json:"model_id,omitempty"`
 	// RelErr/OuterIters/Converged summarize the fit (final or partial).
@@ -187,20 +217,33 @@ type JobView struct {
 	OuterIters int     `json:"outer_iters,omitempty"`
 	Converged  bool    `json:"converged,omitempty"`
 	// CheckpointDir points at the last checkpoint of a canceled job.
-	CheckpointDir   string `json:"checkpoint_dir,omitempty"`
-	SubmittedUnixNs int64  `json:"submitted_unix_ns,omitempty"`
-	StartedUnixNs   int64  `json:"started_unix_ns,omitempty"`
-	FinishedUnixNs  int64  `json:"finished_unix_ns,omitempty"`
+	CheckpointDir string `json:"checkpoint_dir,omitempty"`
+	// CheckpointErr reports a checkpoint save failure during the run (the
+	// run itself may still have finished; see core.Result.CheckpointErr).
+	CheckpointErr string `json:"checkpoint_err,omitempty"`
+	// ResumedFromIter is the checkpoint iteration a crash-recovered run
+	// warm-restarted from (0 = started fresh).
+	ResumedFromIter int   `json:"resumed_from_iter,omitempty"`
+	SubmittedUnixNs int64 `json:"submitted_unix_ns,omitempty"`
+	StartedUnixNs   int64 `json:"started_unix_ns,omitempty"`
+	FinishedUnixNs  int64 `json:"finished_unix_ns,omitempty"`
 }
 
 // View snapshots the job for serialization.
 func (j *Job) View() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.viewLocked()
+}
+
+func (j *Job) viewLocked() JobView {
 	v := JobView{
 		ID: j.id, Spec: j.spec, Status: string(j.status), Error: j.err,
-		ModelID: j.modelID, RelErr: j.relErr, OuterIters: j.outer,
-		Converged: j.converged, CheckpointDir: j.ckptDir,
+		Errors:  append([]string(nil), j.errs...),
+		Attempt: j.attempt, ModelID: j.modelID, RelErr: j.relErr,
+		OuterIters: j.outer, Converged: j.converged,
+		CheckpointDir: j.ckptDir, CheckpointErr: j.ckptErr,
+		ResumedFromIter: j.resumed,
 	}
 	if !j.submitted.IsZero() {
 		v.SubmittedUnixNs = j.submitted.UnixNano()
@@ -214,41 +257,140 @@ func (j *Job) View() JobView {
 	return v
 }
 
-// Manager owns the job table and the bounded worker pool. Submit enqueues,
-// workers run jobs through the core solvers with a per-job cancellation
-// context, and completed models land in the registry.
+// jobFromView reconstructs a job from a journal record at recovery.
+func jobFromView(v JobView) *Job {
+	j := &Job{
+		id: v.ID, spec: v.Spec, status: JobStatus(v.Status), err: v.Error,
+		errs:    append([]string(nil), v.Errors...),
+		attempt: v.Attempt, modelID: v.ModelID, relErr: v.RelErr,
+		outer: v.OuterIters, converged: v.Converged,
+		ckptDir: v.CheckpointDir, ckptErr: v.CheckpointErr,
+		resumed: v.ResumedFromIter,
+	}
+	if v.SubmittedUnixNs != 0 {
+		j.submitted = time.Unix(0, v.SubmittedUnixNs)
+	}
+	if v.StartedUnixNs != 0 {
+		j.started = time.Unix(0, v.StartedUnixNs)
+	}
+	if v.FinishedUnixNs != 0 {
+		j.finished = time.Unix(0, v.FinishedUnixNs)
+	}
+	return j
+}
+
+// ManagerConfig sizes the job manager and its durability policies.
+type ManagerConfig struct {
+	// Workers is the worker-pool size (default 1 when <= 0).
+	Workers int
+	// QueueCap bounds jobs waiting for a worker (default 16).
+	QueueCap int
+	// MaxAttempts is the per-job attempt budget: a transiently failing job
+	// is retried with exponential backoff until it has run MaxAttempts
+	// times (default 3; 1 disables retries).
+	MaxAttempts int
+	// RetryBackoff is the base backoff before attempt 2 (default 500ms);
+	// it doubles per attempt, capped at RetryBackoffMax (default 30s), with
+	// ±25% jitter.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// JobTimeout is the default per-attempt wall-clock budget (0 = none);
+	// JobSpec.TimeoutSec overrides it per job.
+	JobTimeout time.Duration
+	// Faults is the optional fault-injection registry shared with the
+	// journal and the solvers; nil disables injection.
+	Faults *faults.Injector
+}
+
+func (c *ManagerConfig) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 16
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 500 * time.Millisecond
+	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = 30 * time.Second
+	}
+}
+
+// RecoveryReport summarizes what NewManager reconstructed from the journal.
+type RecoveryReport struct {
+	// Requeued counts queued jobs put back on the queue (exactly once each).
+	Requeued int `json:"requeued"`
+	// Resumed counts running jobs re-enqueued with a loadable checkpoint to
+	// warm-restart from.
+	Resumed int `json:"resumed"`
+	// Restarted counts running jobs re-enqueued from scratch (no usable
+	// checkpoint, or a non-checkpointing solver).
+	Restarted int `json:"restarted"`
+	// Adopted counts running jobs whose model was already registered (the
+	// crash hit between commit and journal append); they complete as done
+	// without re-running.
+	Adopted int `json:"adopted"`
+	// Terminal counts done/failed/canceled jobs restored for job history.
+	Terminal int `json:"terminal"`
+}
+
+// Manager owns the job table, the bounded worker pool, and the durability
+// machinery: every job transition is journaled before it takes effect,
+// failures retry with exponential backoff up to an attempt budget, each
+// attempt runs under an optional wall-clock timeout, and on construction the
+// journal is replayed so queued jobs are re-enqueued and interrupted jobs
+// resume from their last checkpoint.
 type Manager struct {
 	mu      sync.Mutex
 	jobs    map[string]*Job
 	order   []string
 	queue   chan *Job
+	timers  map[string]*time.Timer
 	closed  bool
 	seq     int
 	wg      sync.WaitGroup
 	reg     *Registry
 	dataDir string
+	jnl     *Journal
+	cfg     ManagerConfig
+	faults  *faults.Injector
+
+	crashed  atomic.Bool
+	retries  atomic.Int64
+	timeouts atomic.Int64
+	panics   atomic.Int64
+	recovery RecoveryReport
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 }
 
-// NewManager starts `workers` workers over a queue of capacity queueCap.
-func NewManager(reg *Registry, dataDir string, workers, queueCap int) *Manager {
-	if workers <= 0 {
-		workers = 1
-	}
-	if queueCap <= 0 {
-		queueCap = 16
-	}
+// NewManager builds the manager: recovered journal views (from OpenJournal)
+// are reconstructed first — queued jobs re-enqueued exactly once, running
+// jobs resumed from their checkpoints — and then cfg.Workers workers start
+// draining the queue.
+func NewManager(reg *Registry, dataDir string, jnl *Journal, recovered []JobView, cfg ManagerConfig) *Manager {
+	cfg.fill()
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		jobs:    make(map[string]*Job),
-		queue:   make(chan *Job, queueCap),
+		timers:  make(map[string]*time.Timer),
 		reg:     reg,
 		dataDir: dataDir,
+		jnl:     jnl,
+		cfg:     cfg,
+		faults:  cfg.Faults,
 		baseCtx: ctx, baseCancel: cancel,
 	}
-	for i := 0; i < workers; i++ {
+	// The channel is sized past QueueCap so recovery can always re-enqueue
+	// every surviving job; Submit enforces QueueCap itself.
+	m.queue = make(chan *Job, cfg.QueueCap+len(recovered))
+	m.recover(recovered)
+	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go func() {
 			defer m.wg.Done()
@@ -260,16 +402,105 @@ func NewManager(reg *Registry, dataDir string, workers, queueCap int) *Manager {
 	return m
 }
 
-// Submit validates the spec and enqueues a job, failing fast when the queue
-// is full (the caller translates that to 503) or the manager is shut down.
+// recover replays journal views into the job table before workers start.
+// Nothing here can race: the queue has capacity for every recovered job and
+// no worker is draining yet.
+func (m *Manager) recover(views []JobView) {
+	for _, v := range views {
+		if v.ID == "" {
+			continue
+		}
+		if n, ok := jobSeq(v.ID); ok && n > m.seq {
+			m.seq = n
+		}
+		job := jobFromView(v)
+		m.jobs[job.id] = job
+		m.order = append(m.order, job.id)
+		switch job.status {
+		case JobDone, JobFailed, JobCanceled:
+			m.recovery.Terminal++
+			continue
+		case JobRunning:
+			// The crash window between model registration (the commit) and
+			// the terminal journal record: if the model is already in the
+			// registry, adopt it instead of re-running — re-running here is
+			// what would duplicate models.
+			if model, ok := m.reg.FindByJob(job.id); ok {
+				job.status = JobDone
+				job.modelID = model.Meta.ID
+				job.relErr = model.Meta.RelErr
+				job.outer = model.Meta.OuterIters
+				job.converged = model.Meta.Converged
+				job.finished = time.Now()
+				m.recovery.Adopted++
+				m.journalAppend(job.View())
+				continue
+			}
+			// Resume from the last checkpoint when one is loadable; a torn
+			// or absent checkpoint means a fresh restart of the attempt.
+			if ckpt, err := kruskal.LoadCheckpoint(m.checkpointDir(job.id)); err == nil {
+				job.resume = ckpt
+				m.recovery.Resumed++
+			} else {
+				m.recovery.Restarted++
+			}
+			job.status = JobQueued
+		case JobQueued:
+			m.recovery.Requeued++
+		default:
+			// Unknown state from a future journal version: don't guess.
+			continue
+		}
+		m.journalAppend(job.View())
+		m.queue <- job
+	}
+}
+
+// jobSeq extracts the numeric suffix of a manager-assigned job id.
+func jobSeq(id string) (int, bool) {
+	if !strings.HasPrefix(id, "j") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(id[1:])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Crashed reports whether a simulated crash has torn the manager down.
+func (m *Manager) Crashed() bool { return m.crashed.Load() }
+
+// Recovery returns what the manager reconstructed from the journal.
+func (m *Manager) Recovery() RecoveryReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recovery
+}
+
+// journalAppend writes a view to the journal, tolerating a nil journal.
+// Callers on the submit path check the error (durability gate); callers on
+// transition paths record it and continue — a sick journal must not take
+// down running work, it only degrades what a future restart can recover.
+func (m *Manager) journalAppend(v JobView) error {
+	return m.jnl.Append(v)
+}
+
+// Submit validates the spec, journals the job, and enqueues it, failing fast
+// when the queue is full (the caller translates that to 503), the journal
+// append fails (the durability guarantee would be silently void), or the
+// manager is shut down.
 func (m *Manager) Submit(spec JobSpec) (JobView, error) {
 	if err := spec.validate(); err != nil {
 		return JobView{}, err
 	}
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.closed {
-		m.mu.Unlock()
 		return JobView{}, fmt.Errorf("serve: shutting down")
+	}
+	if len(m.queue) >= m.cfg.QueueCap {
+		return JobView{}, ErrQueueFull
 	}
 	m.seq++
 	job := &Job{
@@ -278,16 +509,15 @@ func (m *Manager) Submit(spec JobSpec) (JobView, error) {
 		status:    JobQueued,
 		submitted: time.Now(),
 	}
-	select {
-	case m.queue <- job:
-	default:
+	// Write-ahead: the job exists once it is journaled. On append failure
+	// the submission is rejected and nothing ran.
+	if err := m.journalAppend(job.View()); err != nil {
 		m.seq--
-		m.mu.Unlock()
-		return JobView{}, ErrQueueFull
+		return JobView{}, err
 	}
+	m.queue <- job
 	m.jobs[job.id] = job
 	m.order = append(m.order, job.id)
-	m.mu.Unlock()
 	return job.View(), nil
 }
 
@@ -328,6 +558,24 @@ func (m *Manager) StatusCounts() map[string]int {
 	return counts
 }
 
+// DurabilityStats reports the journal and retry counters for /metrics.
+func (m *Manager) DurabilityStats() map[string]any {
+	path, appends, fails := m.jnl.Stats()
+	m.mu.Lock()
+	rec := m.recovery
+	m.mu.Unlock()
+	return map[string]any{
+		"journal": map[string]any{
+			"path": path, "appends": appends, "append_failures": fails,
+		},
+		"recovery":     rec,
+		"retries":      m.retries.Load(),
+		"timeouts":     m.timeouts.Load(),
+		"panics":       m.panics.Load(),
+		"max_attempts": m.cfg.MaxAttempts,
+	}
+}
+
 // Cancel stops a job: a queued job is marked canceled before it runs; a
 // running job's context is canceled, stopping the solver at the next outer
 // iteration boundary (its partial factors are checkpointed). Canceling a
@@ -338,16 +586,22 @@ func (m *Manager) Cancel(id string) (JobView, error) {
 		return JobView{}, fmt.Errorf("serve: no job %s", id)
 	}
 	j.mu.Lock()
+	var terminal *JobView
 	switch j.status {
 	case JobQueued:
 		j.status = JobCanceled
 		j.finished = time.Now()
+		v := j.viewLocked()
+		terminal = &v
 	case JobRunning:
 		if j.cancel != nil {
 			j.cancel()
 		}
 	}
 	j.mu.Unlock()
+	if terminal != nil {
+		m.journalAppend(*terminal)
+	}
 	return j.View(), nil
 }
 
@@ -375,7 +629,8 @@ func (m *Manager) Reports() map[string]*stats.Report {
 // Shutdown drains the service: no new submissions, still-queued jobs are
 // marked canceled, running jobs receive a cancellation (the solvers stop at
 // the next outer iteration and their partial factors are checkpointed under
-// the data dir), and workers are awaited up to grace.
+// the data dir), and workers are awaited up to grace. Every terminal
+// transition is journaled, so a subsequent start recovers a clean slate.
 func (m *Manager) Shutdown(grace time.Duration) {
 	m.mu.Lock()
 	if m.closed {
@@ -384,10 +639,30 @@ func (m *Manager) Shutdown(grace time.Duration) {
 	}
 	m.closed = true
 	close(m.queue)
+	timers := m.timers
+	m.timers = map[string]*time.Timer{}
 	m.mu.Unlock()
 
+	// Jobs parked in retry backoff never reach a worker again: stop their
+	// timers and cancel them here.
+	for id, tm := range timers {
+		tm.Stop()
+		if j, ok := m.Get(id); ok {
+			j.mu.Lock()
+			if j.status == JobQueued {
+				j.status = JobCanceled
+				j.finished = time.Now()
+				v := j.viewLocked()
+				j.mu.Unlock()
+				m.journalAppend(v)
+			} else {
+				j.mu.Unlock()
+			}
+		}
+	}
+
 	// Cancel every running job's context (queued jobs flip to canceled as
-	// workers drain them; see runJob's status gate).
+	// workers drain them; see runJob's cancellation path).
 	m.baseCancel()
 
 	done := make(chan struct{})
@@ -399,6 +674,40 @@ func (m *Manager) Shutdown(grace time.Duration) {
 	case <-done:
 	case <-time.After(grace):
 	}
+	m.jnl.Close()
+}
+
+// Crash simulates a kill -9 for chaos tests: solvers are stopped and workers
+// awaited, but no job-state transition is recorded and no journal record is
+// written — whatever the journal said last is what recovery will see. The
+// manager is unusable afterwards; reopen the data dir with a fresh Manager
+// to exercise recovery.
+func (m *Manager) Crash() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.crashed.Store(true)
+	close(m.queue)
+	timers := m.timers
+	m.timers = map[string]*time.Timer{}
+	m.mu.Unlock()
+	for _, tm := range timers {
+		tm.Stop()
+	}
+	m.baseCancel()
+	m.wg.Wait()
+	m.jnl.Close()
+}
+
+// crashAsync is the in-band crash triggered by an armed fault point: the
+// worker that hit it returns immediately while a goroutine tears the manager
+// down (Crash waits on the worker pool, so it cannot run on the worker).
+func (m *Manager) crashAsync() {
+	m.crashed.Store(true)
+	go m.Crash()
 }
 
 // checkpointDir is where a job's in-flight factors are checkpointed.
@@ -406,11 +715,56 @@ func (m *Manager) checkpointDir(jobID string) string {
 	return filepath.Join(m.dataDir, "checkpoints", jobID)
 }
 
-// runJob executes one job end to end on a worker goroutine.
-func (m *Manager) runJob(job *Job) {
-	ctx, cancel := context.WithCancel(m.baseCtx)
-	defer cancel()
+// backoff computes the retry delay before the given (1-based) next attempt:
+// base doubled per completed attempt, capped, with ±25% jitter so retry
+// storms decorrelate.
+func (m *Manager) backoff(nextAttempt int) time.Duration {
+	d := m.cfg.RetryBackoff
+	for i := 2; i < nextAttempt; i++ {
+		d *= 2
+		if d >= m.cfg.RetryBackoffMax {
+			d = m.cfg.RetryBackoffMax
+			break
+		}
+	}
+	if d > m.cfg.RetryBackoffMax {
+		d = m.cfg.RetryBackoffMax
+	}
+	jitter := 0.75 + 0.5*rand.Float64()
+	return time.Duration(float64(d) * jitter)
+}
 
+// requeueLater schedules a retry after the backoff delay. The job stays
+// visible as queued; cancellation during backoff wins over the retry.
+func (m *Manager) requeueLater(job *Job, delay time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.timers[job.id] = time.AfterFunc(delay, func() {
+		m.mu.Lock()
+		delete(m.timers, job.id)
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		job.mu.Lock()
+		ok := job.status == JobQueued
+		job.mu.Unlock()
+		if ok && len(m.queue) < cap(m.queue) {
+			m.queue <- job
+		}
+		m.mu.Unlock()
+	})
+}
+
+// runJob executes one attempt of a job end to end on a worker goroutine.
+func (m *Manager) runJob(job *Job) {
+	if m.crashed.Load() {
+		return
+	}
+	timeout := m.cfg.JobTimeout
 	job.mu.Lock()
 	if job.status != JobQueued {
 		// Canceled (or shutdown-drained) before a worker got to it.
@@ -419,37 +773,109 @@ func (m *Manager) runJob(job *Job) {
 	}
 	job.status = JobRunning
 	job.started = time.Now()
-	job.cancel = cancel
+	job.attempt++
+	if job.spec.TimeoutSec > 0 {
+		timeout = time.Duration(job.spec.TimeoutSec * float64(time.Second))
+	}
 	spec := job.spec
+	attempt := job.attempt
+	resume := job.resume
+	if resume != nil && resume.Meta != nil {
+		job.resumed = resume.Meta.Iteration
+	}
+	runningView := job.viewLocked()
 	job.mu.Unlock()
 
-	res, err := m.execute(ctx, job.id, spec)
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(m.baseCtx, timeout)
+	}
+	defer cancel()
+	job.mu.Lock()
+	job.cancel = cancel
+	job.mu.Unlock()
+
+	m.journalAppend(runningView)
+	res, err := m.executeAttempt(ctx, job.id, attempt, spec, resume)
+	if m.crashed.Load() {
+		// A simulated crash landed while this attempt ran: the process of
+		// record stops here, exactly as if the power had gone out.
+		return
+	}
+
+	// A context stop is either a user/shutdown cancellation or the job's
+	// wall-clock timeout; the latter is a terminal failure.
+	timedOut := ctx.Err() == context.DeadlineExceeded
+	if err == nil && res.Stopped && timedOut {
+		err = fmt.Errorf("job exceeded wall-clock timeout %s at outer iteration %d", timeout, res.OuterIters)
+	}
+	if timedOut {
+		m.timeouts.Add(1)
+	}
 
 	job.mu.Lock()
-	defer job.mu.Unlock()
 	job.finished = time.Now()
 	job.cancel = nil
 	if err != nil {
-		job.status = JobFailed
+		job.errs = append(job.errs, fmt.Sprintf("attempt %d: %v", attempt, err))
 		job.err = err.Error()
+		retryable := !timedOut && !errors.Is(err, context.Canceled)
+		if retryable && attempt < m.cfg.MaxAttempts {
+			job.status = JobQueued
+			v := job.viewLocked()
+			job.mu.Unlock()
+			m.retries.Add(1)
+			m.journalAppend(v)
+			m.requeueLater(job, m.backoff(attempt+1))
+			return
+		}
+		job.status = JobFailed
+		v := job.viewLocked()
+		job.mu.Unlock()
+		m.journalAppend(v)
 		return
 	}
+
+	defer job.mu.Unlock()
+	job.resume = nil
 	job.relErr = res.RelErr
 	job.outer = res.OuterIters
 	job.converged = res.Converged
+	if res.CheckpointErr != nil {
+		job.ckptErr = res.CheckpointErr.Error()
+	}
 	if spec.collectMetrics() {
 		job.report = res.Metrics.Report()
 	}
 	ckpt := m.checkpointDir(job.id)
 	if res.Stopped {
 		job.status = JobCanceled
-		// Final checkpoint so the canceled job's progress is recoverable
-		// (and shutdown leaves resumable state behind).
-		if err := res.Factors.SaveAtomic(ckpt); err == nil {
+		// Final checkpoint with full resume state (factors + duals + meta)
+		// so the canceled job's progress is recoverable — and a daemon
+		// shutdown leaves resumable state behind for the next start.
+		saveErr := kruskal.SaveCheckpointAtomic(ckpt, kruskal.Checkpoint{
+			Factors: res.Factors,
+			Duals:   res.Duals,
+			Meta: &kruskal.CheckpointMeta{
+				Iteration: res.OuterIters, RelErr: res.RelErr,
+				JobID: job.id, Attempt: attempt,
+				SavedUnixNano: time.Now().UnixNano(),
+			},
+		})
+		if saveErr == nil {
 			job.ckptDir = ckpt
 		} else {
-			job.err = fmt.Sprintf("checkpoint: %v", err)
+			job.ckptErr = saveErr.Error()
 		}
+		m.journalAppend(job.viewLocked())
+		return
+	}
+
+	// Commit: register the model, then journal the terminal state. The two
+	// crash fault points bracket the registration — recovery must re-run a
+	// job lost before the commit and adopt (not re-run) one lost after it.
+	if err := m.faults.Fire(faults.CrashBeforeCommit); err != nil {
+		m.crashAsync()
 		return
 	}
 	model, regErr := m.reg.Register(ModelMeta{
@@ -463,12 +889,19 @@ func (m *Manager) runJob(job *Job) {
 		FactorDensities: res.FactorDensities,
 	}, res.Factors, job.report)
 	if regErr != nil {
+		job.errs = append(job.errs, fmt.Sprintf("attempt %d: register model: %v", attempt, regErr))
 		job.status = JobFailed
 		job.err = fmt.Sprintf("register model: %v", regErr)
+		m.journalAppend(job.viewLocked())
+		return
+	}
+	if err := m.faults.Fire(faults.CrashAfterCommit); err != nil {
+		m.crashAsync()
 		return
 	}
 	job.status = JobDone
 	job.modelID = model.Meta.ID
+	m.journalAppend(job.viewLocked())
 	os.RemoveAll(ckpt)
 }
 
@@ -479,9 +912,26 @@ func algoName(a string) string {
 	return a
 }
 
+// executeAttempt wraps execute with panic containment: an injected (or real)
+// worker panic becomes a retryable job error instead of taking the daemon
+// down.
+func (m *Manager) executeAttempt(ctx context.Context, jobID string, attempt int, spec JobSpec, resume *kruskal.Checkpoint) (res *core.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			m.panics.Add(1)
+			res, err = nil, fmt.Errorf("worker panic: %v", p)
+		}
+	}()
+	if ferr := m.faults.Fire(faults.WorkerRun); ferr != nil {
+		return nil, ferr
+	}
+	return m.execute(ctx, jobID, attempt, spec, resume)
+}
+
 // execute loads the input tensor and runs the requested solver with the
-// job's cancellation context and checkpointing wired in.
-func (m *Manager) execute(ctx context.Context, jobID string, spec JobSpec) (*core.Result, error) {
+// job's cancellation context, checkpointing, and (for AO-ADMM) any recovered
+// resume state wired in.
+func (m *Manager) execute(ctx context.Context, jobID string, attempt int, spec JobSpec, resume *kruskal.Checkpoint) (*core.Result, error) {
 	x, err := loadSpecTensor(spec)
 	if err != nil {
 		return nil, err
@@ -507,12 +957,27 @@ func (m *Manager) execute(ctx context.Context, jobID string, spec JobSpec) (*cor
 		opts := core.Options{
 			Rank: spec.Rank, MaxOuterIters: spec.MaxOuterIters, Tol: spec.Tol,
 			Threads: spec.Threads, BlockSize: spec.BlockSize, Seed: spec.Seed,
-			ExploitSparsity: spec.ExploitSparsity,
-			AdaptiveRho:     spec.AdaptiveRho,
-			CollectMetrics:  spec.collectMetrics(),
-			CheckpointDir:   m.checkpointDir(jobID),
-			CheckpointEvery: every,
-			Ctx:             ctx,
+			ExploitSparsity:   spec.ExploitSparsity,
+			AdaptiveRho:       spec.AdaptiveRho,
+			CollectMetrics:    spec.collectMetrics(),
+			CheckpointDir:     m.checkpointDir(jobID),
+			CheckpointEvery:   every,
+			CheckpointJobID:   jobID,
+			CheckpointAttempt: attempt,
+			Faults:            m.faults,
+			Ctx:               ctx,
+		}
+		if resume != nil {
+			// Warm-restart from the recovered checkpoint: factors + duals +
+			// the iteration/relerr anchors, completing the loop the core's
+			// InitFactors machinery supports. The iteration budget is shared
+			// across the interruption, not restarted.
+			opts.InitFactors = resume.Factors
+			opts.InitDuals = resume.Duals
+			if resume.Meta != nil {
+				opts.StartIter = resume.Meta.Iteration
+				opts.PrevRelErr = resume.Meta.RelErr
+			}
 		}
 		if spec.Constraint != "" {
 			cs, err := parseConstraints(spec.Constraint)

@@ -238,6 +238,23 @@ func (r *Registry) Register(meta ModelMeta, k *kruskal.Tensor, report *stats.Rep
 	return m, nil
 }
 
+// FindByJob returns the model registered by the given job, if any. Crash
+// recovery uses it to detect the register-then-crash window: a job journaled
+// as running whose model already exists must be adopted, not re-run.
+func (r *Registry) FindByJob(jobID string) (*Model, bool) {
+	if jobID == "" {
+		return nil, false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, id := range r.ids {
+		if m := r.models[id]; m.Meta.JobID == jobID {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
 // Get returns a model by id.
 func (r *Registry) Get(id string) (*Model, bool) {
 	r.mu.RLock()

@@ -266,10 +266,10 @@ func TestEndToEndSubmitQueryCancelRestart(t *testing.T) {
 func TestSubmitValidation(t *testing.T) {
 	_, ts := newTestServer(t, t.TempDir())
 	bad := []JobSpec{
-		{},                                // no input
+		{},                                   // no input
 		{Dataset: "amazon", TensorPath: "x"}, // both inputs
-		{Dataset: "nosuch", Rank: 4},      // unknown dataset
-		{Dataset: "amazon", Rank: 0},      // bad rank
+		{Dataset: "nosuch", Rank: 4},         // unknown dataset
+		{Dataset: "amazon", Rank: 0},         // bad rank
 		{Dataset: "amazon", Rank: 4, Algo: "sgd"},
 		{Dataset: "amazon", Rank: 4, Scale: "galactic"},
 		{Dataset: "amazon", Rank: 4, Constraint: "frobnicate"},

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aoadmm/internal/faults"
 	"aoadmm/internal/kruskal"
 	"aoadmm/internal/stats"
 )
@@ -30,6 +31,18 @@ type Config struct {
 	// RequestTimeout bounds each HTTP request (default 10s). Job execution
 	// is asynchronous and not subject to it.
 	RequestTimeout time.Duration
+	// MaxAttempts, RetryBackoff, RetryBackoffMax, JobTimeout configure the
+	// manager's durability policies; see ManagerConfig.
+	MaxAttempts     int
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	JobTimeout      time.Duration
+	// JournalPath overrides where the write-ahead job journal lives
+	// (default DataDir/journal.jsonl).
+	JournalPath string
+	// Faults optionally injects failures at the durability hook points
+	// (chaos tests); nil disables injection.
+	Faults *faults.Injector
 }
 
 // Server wires the registry, the job manager, and the query engine behind an
@@ -44,8 +57,10 @@ type Server struct {
 	warnings     []string
 }
 
-// New opens (or creates) the data dir, reloads every persisted model, and
-// starts the worker pool.
+// New opens (or creates) the data dir, reloads every persisted model,
+// replays the write-ahead job journal (re-enqueueing queued jobs and
+// resuming interrupted ones from their checkpoints), and starts the worker
+// pool.
 func New(cfg Config) (*Server, error) {
 	if cfg.DataDir == "" {
 		return nil, fmt.Errorf("serve: DataDir required")
@@ -66,11 +81,29 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.JournalPath == "" {
+		cfg.JournalPath = filepath.Join(cfg.DataDir, "journal.jsonl")
+	}
+	jnl, recovered, jwarns, err := OpenJournal(cfg.JournalPath, cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{cfg: cfg, reg: reg}
 	for _, w := range warns {
 		s.warnings = append(s.warnings, w.Error())
 	}
-	s.mgr = NewManager(reg, cfg.DataDir, cfg.Workers, cfg.QueueCap)
+	for _, w := range jwarns {
+		s.warnings = append(s.warnings, w.Error())
+	}
+	s.mgr = NewManager(reg, cfg.DataDir, jnl, recovered, ManagerConfig{
+		Workers:         cfg.Workers,
+		QueueCap:        cfg.QueueCap,
+		MaxAttempts:     cfg.MaxAttempts,
+		RetryBackoff:    cfg.RetryBackoff,
+		RetryBackoffMax: cfg.RetryBackoffMax,
+		JobTimeout:      cfg.JobTimeout,
+		Faults:          cfg.Faults,
+	})
 	return s, nil
 }
 
@@ -82,6 +115,12 @@ func (s *Server) Warnings() []string { return append([]string(nil), s.warnings..
 
 // Shutdown drains the job manager; see Manager.Shutdown.
 func (s *Server) Shutdown(grace time.Duration) { s.mgr.Shutdown(grace) }
+
+// Crash simulates an abrupt process death for chaos tests; see Manager.Crash.
+func (s *Server) Crash() { s.mgr.Crash() }
+
+// Recovery reports what the job manager reconstructed from the journal.
+func (s *Server) Recovery() RecoveryReport { return s.mgr.Recovery() }
 
 // Handler returns the service's HTTP handler, with every request bounded by
 // the configured timeout.
@@ -286,6 +325,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"query_latency": s.queryLatency.Snapshot(),
 			"workers":       s.cfg.Workers,
 		},
-		"jobs": s.mgr.Reports(),
+		"durability": s.mgr.DurabilityStats(),
+		"jobs":       s.mgr.Reports(),
 	})
 }
