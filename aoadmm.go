@@ -33,6 +33,7 @@ import (
 	"aoadmm/internal/datasets"
 	"aoadmm/internal/eval"
 	"aoadmm/internal/kruskal"
+	"aoadmm/internal/ooc"
 	"aoadmm/internal/prox"
 	"aoadmm/internal/stats"
 	"aoadmm/internal/tensor"
@@ -142,6 +143,73 @@ type HALSOptions = core.HALSOptions
 // AO-ADMM, making convergence-per-work comparisons direct.
 func FactorizeHALS(x *Tensor, opts HALSOptions) (*Result, error) {
 	return core.FactorizeHALS(x, opts)
+}
+
+// ShardedTensor is an on-disk sharded tensor (".aoshard" directory): a
+// verified header plus mode-0-range-partitioned, individually-CRC'd shards,
+// consumed one shard at a time by the out-of-core solvers.
+type ShardedTensor = ooc.ShardedTensor
+
+// ShardConvertOptions configures tensor-to-shard conversion (memory budget,
+// shard size target, external-sort scratch directory).
+type ShardConvertOptions = ooc.ConvertOptions
+
+// OOCReport summarizes an out-of-core run's shard I/O, prefetch pipeline
+// health, and memory-admission accounting (Result.OOC; the "ooc" section of
+// aoadmm-metrics/v1).
+type OOCReport = stats.OOCReport
+
+// AdmissionDecision is the memory-admission layer's verdict: whether a
+// tensor of a given shape should run in memory or out of core under a
+// byte budget.
+type AdmissionDecision = ooc.Decision
+
+// DecideAdmission applies the admission rule: out-of-core exactly when a
+// positive budget is below the estimated in-memory footprint of the solvers
+// (COO + sort clone + per-mode CSF trees).
+func DecideAdmission(order int, nnz, budgetBytes int64) AdmissionDecision {
+	return ooc.Decide(order, nnz, budgetBytes)
+}
+
+// EstimateInMemoryBytes bounds the in-memory solvers' peak tensor-side
+// footprint for a tensor of the given shape — the estimate DecideAdmission
+// compares against the budget.
+func EstimateInMemoryBytes(order int, nnz int64) int64 {
+	return ooc.InMemoryBytes(order, nnz)
+}
+
+// OpenSharded opens and verifies a shard directory written by
+// ConvertToShards or ConvertTensorToShards.
+func OpenSharded(dir string) (*ShardedTensor, error) { return ooc.Open(dir) }
+
+// IsShardDir reports whether path looks like a shard directory.
+func IsShardDir(path string) bool { return ooc.IsShardDir(path) }
+
+// ConvertToShards streams a ".tns" or ".aotn" file of arbitrary size into a
+// sorted shard directory via external merge sort, never holding more than
+// the configured memory budget of records in RAM.
+func ConvertToShards(path, outDir string, opts ShardConvertOptions) (*ShardedTensor, error) {
+	return ooc.ConvertFile(path, outDir, opts)
+}
+
+// ConvertTensorToShards shards an in-memory tensor (generator output,
+// datasets) into outDir.
+func ConvertTensorToShards(x *Tensor, outDir string, opts ShardConvertOptions) (*ShardedTensor, error) {
+	return ooc.ConvertCOO(x, outDir, opts)
+}
+
+// FactorizeOOC runs constrained AO-ADMM on a sharded on-disk tensor,
+// streaming shards through the same outer loop as Factorize (one shard
+// resident per MTTKRP plus one prefetched ahead). Final iterates match
+// Factorize on the same seed up to floating-point summation order.
+func FactorizeOOC(st *ShardedTensor, opts Options) (*Result, error) {
+	return core.FactorizeOOC(st, opts)
+}
+
+// FactorizeALSOOC runs the unconstrained ALS baseline on a sharded on-disk
+// tensor.
+func FactorizeALSOOC(st *ShardedTensor, opts ALSOptions) (*Result, error) {
+	return core.FactorizeALSOOC(st, opts)
 }
 
 // NewTensor allocates an empty sparse tensor with the given mode lengths.

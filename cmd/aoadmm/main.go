@@ -43,6 +43,8 @@ func main() {
 		output     = flag.String("output", "", "prefix for writing factor matrices (prefix_mode0.txt, ...)")
 		profile    = flag.String("profile", "", "write an aoadmm-metrics/v1 JSON report to this file (see docs/TUNING.md)")
 		quiet      = flag.Bool("quiet", false, "suppress per-iteration progress")
+		oocFlag    = flag.Bool("ooc", false, "force out-of-core execution (shard-streaming MTTKRP)")
+		memBudget  = flag.Int64("mem-budget", 0, "memory budget in MiB; tensors whose estimated in-memory footprint exceeds it run out-of-core (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -53,7 +55,7 @@ func main() {
 		tol: *tol, blockSize: *blockSize, seed: *seed, output: *output,
 		quiet: *quiet, singleCSF: *singleCSF, autoBlock: *autoBlock,
 		autoStruct: *autoStruct, algo: *algo, adaptiveRho: *adaptive,
-		profile: *profile,
+		profile: *profile, ooc: *oocFlag, memBudgetMB: *memBudget,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "aoadmm:", err)
 		os.Exit(1)
@@ -76,21 +78,31 @@ type runConfig struct {
 	adaptiveRho                      bool
 	algo                             string
 	profile                          string
+	ooc                              bool
+	memBudgetMB                      int64
 }
 
 func run(c runConfig) error {
-	input, dataset, scale := c.input, c.dataset, c.scale
 	rank, constraint, variant, structure := c.rank, c.constraint, c.variant, c.structure
 	sparsity, threads, maxOuter := c.sparsity, c.threads, c.maxOuter
 	tol, blockSize, seed, output, quiet := c.tol, c.blockSize, c.seed, c.output, c.quiet
+	budgetBytes := c.memBudgetMB << 20
 
-	x, err := loadTensor(input, dataset, scale)
+	x, sharded, cleanup, err := resolveTensor(c, budgetBytes)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("tensor: %v\n", x)
+	defer cleanup()
+	order := 0
+	if sharded != nil {
+		order = sharded.Order()
+		fmt.Printf("tensor: %v\n", sharded)
+	} else {
+		order = x.Order()
+		fmt.Printf("tensor: %v\n", x)
+	}
 
-	constraints, err := parseConstraints(constraint, x.Order())
+	constraints, err := parseConstraints(constraint, order)
 	if err != nil {
 		return err
 	}
@@ -104,6 +116,7 @@ func run(c runConfig) error {
 		BlockSize:       blockSize,
 		ExploitSparsity: sparsity,
 		Seed:            seed,
+		MemBudgetBytes:  budgetBytes,
 		CollectMetrics:  c.profile != "",
 	}
 	switch variant {
@@ -141,17 +154,29 @@ func run(c runConfig) error {
 	var res *aoadmm.Result
 	switch c.algo {
 	case "", "aoadmm":
-		res, err = aoadmm.Factorize(x, opts)
+		if sharded != nil {
+			res, err = aoadmm.FactorizeOOC(sharded, opts)
+		} else {
+			res, err = aoadmm.Factorize(x, opts)
+		}
 	case "hals":
+		if sharded != nil {
+			return fmt.Errorf("-algo hals does not support out-of-core execution")
+		}
 		res, err = aoadmm.FactorizeHALS(x, aoadmm.HALSOptions{
 			Rank: rank, MaxOuterIters: maxOuter, Tol: tol, Threads: threads, Seed: seed,
 			CollectMetrics: c.profile != "",
 		})
 	case "als":
-		res, err = aoadmm.FactorizeALS(x, aoadmm.ALSOptions{
+		alsOpts := aoadmm.ALSOptions{
 			Rank: rank, MaxOuterIters: maxOuter, Tol: tol, Threads: threads, Seed: seed, Ridge: 1e-10,
-			CollectMetrics: c.profile != "",
-		})
+			MemBudgetBytes: budgetBytes, CollectMetrics: c.profile != "",
+		}
+		if sharded != nil {
+			res, err = aoadmm.FactorizeALSOOC(sharded, alsOpts)
+		} else {
+			res, err = aoadmm.FactorizeALS(x, alsOpts)
+		}
 	default:
 		return fmt.Errorf("unknown algo %q (want aoadmm|hals|als)", c.algo)
 	}
@@ -159,6 +184,11 @@ func run(c runConfig) error {
 		return err
 	}
 	fmt.Printf("done: relerr=%.6f outer=%d converged=%v\n", res.RelErr, res.OuterIters, res.Converged)
+	if r := res.OOC; r != nil {
+		fmt.Printf("ooc: shards=%d loads=%d read=%.1fMiB stalls=%d stall=%.2fs peak=%.1fMiB\n",
+			r.Shards, r.ShardLoads, float64(r.ShardBytesRead)/(1<<20),
+			r.PrefetchStalls, r.PrefetchStallSeconds, float64(r.PeakTrackedBytes)/(1<<20))
+	}
 	if !quiet && len(res.Trace.Points) > 1 {
 		_ = stats.PlotTrace(os.Stdout, res.Trace, 60, 10)
 	}
@@ -184,24 +214,85 @@ func run(c runConfig) error {
 	return nil
 }
 
-func loadTensor(input, dataset, scale string) (*aoadmm.Tensor, error) {
-	switch {
-	case input != "" && dataset != "":
-		return nil, fmt.Errorf("pass -input or -dataset, not both")
-	case input != "":
-		if strings.HasSuffix(input, ".aotn") {
-			return aoadmm.LoadTensorBinary(input)
-		}
-		return aoadmm.LoadTensor(input)
-	case dataset != "":
-		s, err := parseScale(scale)
-		if err != nil {
-			return nil, err
-		}
-		return aoadmm.Dataset(dataset, s)
-	default:
-		return nil, fmt.Errorf("need -input or -dataset")
+// resolveTensor turns the CLI's tensor source into either an in-memory
+// tensor or a sharded on-disk one, applying the memory-admission rule:
+//
+//   - a shard-directory -input streams directly (no conversion);
+//   - -ooc with a file input stream-converts it via external merge sort,
+//     never materializing the tensor;
+//   - otherwise the tensor is loaded and, when -ooc is forced or its
+//     estimated in-memory footprint exceeds -mem-budget, sharded into a
+//     temporary directory that cleanup removes.
+func resolveTensor(c runConfig, budgetBytes int64) (x *aoadmm.Tensor, st *aoadmm.ShardedTensor, cleanup func(), err error) {
+	cleanup = func() {}
+	if c.input != "" && c.dataset != "" {
+		return nil, nil, cleanup, fmt.Errorf("pass -input or -dataset, not both")
 	}
+	if c.input == "" && c.dataset == "" {
+		return nil, nil, cleanup, fmt.Errorf("need -input or -dataset")
+	}
+
+	convOpts := aoadmm.ShardConvertOptions{MemBudgetBytes: budgetBytes}
+
+	if c.input != "" {
+		if aoadmm.IsShardDir(c.input) {
+			st, err = aoadmm.OpenSharded(c.input)
+			return nil, st, cleanup, err
+		}
+		if c.ooc {
+			dir, derr := os.MkdirTemp("", "aoadmm-shards-")
+			if derr != nil {
+				return nil, nil, cleanup, derr
+			}
+			cleanup = func() { os.RemoveAll(dir) }
+			st, err = aoadmm.ConvertToShards(c.input, dir, convOpts)
+			if err != nil {
+				cleanup()
+				return nil, nil, func() {}, err
+			}
+			fmt.Printf("ooc: converted %s into %d shard(s)\n", c.input, st.NumShards())
+			return nil, st, cleanup, nil
+		}
+		if strings.HasSuffix(c.input, ".aotn") {
+			x, err = aoadmm.LoadTensorBinary(c.input)
+		} else {
+			x, err = aoadmm.LoadTensor(c.input)
+		}
+	} else {
+		s, serr := parseScale(c.scale)
+		if serr != nil {
+			return nil, nil, cleanup, serr
+		}
+		x, err = aoadmm.Dataset(c.dataset, s)
+	}
+	if err != nil {
+		return nil, nil, cleanup, err
+	}
+
+	dec := aoadmm.DecideAdmission(x.Order(), int64(x.NNZ()), budgetBytes)
+	if !c.ooc && !dec.OutOfCore {
+		if budgetBytes > 0 {
+			fmt.Printf("admission: in-memory (estimate %.1fMiB <= budget %.1fMiB)\n",
+				float64(dec.EstimateBytes)/(1<<20), float64(budgetBytes)/(1<<20))
+		}
+		return x, nil, cleanup, nil
+	}
+	if dec.OutOfCore {
+		fmt.Printf("admission: out-of-core (estimate %.1fMiB > budget %.1fMiB)\n",
+			float64(dec.EstimateBytes)/(1<<20), float64(budgetBytes)/(1<<20))
+	}
+	dir, derr := os.MkdirTemp("", "aoadmm-shards-")
+	if derr != nil {
+		return nil, nil, cleanup, derr
+	}
+	cleanup = func() { os.RemoveAll(dir) }
+	st, err = aoadmm.ConvertTensorToShards(x, dir, convOpts)
+	if err != nil {
+		cleanup()
+		return nil, nil, func() {}, err
+	}
+	fmt.Printf("ooc: sharded into %d shard(s)\n", st.NumShards())
+	return nil, st, cleanup, nil
 }
 
 func parseScale(s string) (aoadmm.Scale, error) {

@@ -50,15 +50,20 @@ func TestParseScale(t *testing.T) {
 	}
 }
 
-func TestLoadTensorValidation(t *testing.T) {
-	if _, err := loadTensor("a.tns", "reddit", "small"); err == nil {
+func TestResolveTensorValidation(t *testing.T) {
+	if _, _, _, err := resolveTensor(runConfig{input: "a.tns", dataset: "reddit", scale: "small"}, 0); err == nil {
 		t.Error("both sources accepted")
 	}
-	if _, err := loadTensor("", "", "small"); err == nil {
+	if _, _, _, err := resolveTensor(runConfig{scale: "small"}, 0); err == nil {
 		t.Error("no source accepted")
 	}
-	if _, err := loadTensor("", "reddit", "small"); err != nil {
-		t.Errorf("dataset source: %v", err)
+	x, st, cleanup, err := resolveTensor(runConfig{dataset: "reddit", scale: "small"}, 0)
+	if err != nil {
+		t.Fatalf("dataset source: %v", err)
+	}
+	cleanup()
+	if x == nil || st != nil {
+		t.Errorf("unbudgeted dataset load should stay in memory (x=%v st=%v)", x != nil, st != nil)
 	}
 }
 
@@ -92,6 +97,60 @@ func TestRunEndToEnd(t *testing.T) {
 		if len(lines) != x.Dims[m] {
 			t.Fatalf("mode %d: %d rows, want %d", m, len(lines), x.Dims[m])
 		}
+	}
+}
+
+// TestRunOutOfCore drives the full CLI path with -ooc: the input file is
+// stream-converted to shards, factorized out-of-core, and the profile
+// report must carry the ooc section. A shard directory passed as -input
+// must also work directly, and HALS must refuse sharded execution.
+func TestRunOutOfCore(t *testing.T) {
+	dir := t.TempDir()
+	x, _, err := aoadmm.GeneratePlanted(aoadmm.GenOptions{
+		Dims: []int{16, 12, 10}, NNZ: 800, Rank: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(dir, "in.tns")
+	if err := aoadmm.SaveTensor(in, x); err != nil {
+		t.Fatal(err)
+	}
+	profile := filepath.Join(dir, "ooc.json")
+	base := runConfig{
+		input: in, scale: "small", rank: 3, constraint: "nonneg",
+		variant: "blocked", structure: "csr", threads: 1,
+		maxOuter: 4, tol: 1e-6, blockSize: 4, seed: 1, quiet: true,
+		ooc: true, memBudgetMB: 1, profile: profile,
+	}
+	if err := run(base); err != nil {
+		t.Fatalf("ooc run: %v", err)
+	}
+	data, err := os.ReadFile(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep aoadmm.MetricsReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid profile JSON: %v", err)
+	}
+	if rep.OOC == nil || rep.OOC.ShardLoads == 0 {
+		t.Fatalf("profile missing ooc section: %+v", rep.OOC)
+	}
+
+	// Pre-converted shard directory as -input.
+	shardDir := filepath.Join(dir, "shards")
+	if _, err := aoadmm.ConvertToShards(in, shardDir, aoadmm.ShardConvertOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	c := base
+	c.input, c.ooc, c.profile, c.algo = shardDir, false, "", "als"
+	if err := run(c); err != nil {
+		t.Fatalf("shard-dir als run: %v", err)
+	}
+	c.algo = "hals"
+	if err := run(c); err == nil {
+		t.Fatal("hals accepted a sharded input")
 	}
 }
 

@@ -5,6 +5,11 @@
 //	tengen -dims 1000x800x600 -nnz 100000 -out x.tns                  # uniform
 //	tengen -dims 1000x800x600 -nnz 100000 -rank 8 -out x.tns          # planted low-rank
 //	tengen -dataset reddit -scale medium -out reddit.tns              # paper proxy
+//	tengen -convert x.tns -out x.shards -mem-budget 256               # shard-convert
+//
+// With -convert the input file is streamed through the external merge sort
+// into a sharded .aoshard directory without ever materializing the tensor;
+// -mem-budget bounds the converter's working memory in MiB.
 package main
 
 import (
@@ -30,13 +35,38 @@ func main() {
 		scale    = flag.String("scale", "small", "proxy scale: small|medium|large")
 		out      = flag.String("out", "", "output .tns path (required)")
 		describe = flag.Bool("describe", true, "print a summary of the generated tensor")
+		convert  = flag.String("convert", "", "existing .tns/.aotn file to shard-convert into the -out directory")
+		memMB    = flag.Int64("mem-budget", 0, "converter memory budget in MiB (0 = default)")
 	)
 	flag.Parse()
 
+	if *convert != "" {
+		if err := runConvert(*convert, *out, *memMB, *describe); err != nil {
+			fmt.Fprintln(os.Stderr, "tengen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*dims, *nnz, *rank, *density, *noise, *skew, *seed, *dataset, *scale, *out, *describe); err != nil {
 		fmt.Fprintln(os.Stderr, "tengen:", err)
 		os.Exit(1)
 	}
+}
+
+// runConvert streams an on-disk tensor file into a sharded directory under
+// the given memory budget; the tensor is never held in memory whole.
+func runConvert(in, out string, memMB int64, describe bool) error {
+	if out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	st, err := aoadmm.ConvertToShards(in, out, aoadmm.ShardConvertOptions{MemBudgetBytes: memMB << 20})
+	if err != nil {
+		return err
+	}
+	if describe {
+		fmt.Printf("wrote %s: %v\n", out, st)
+	}
+	return nil
 }
 
 func run(dims string, nnz, rank int, density, noise float64, skew string, seed int64,

@@ -87,3 +87,37 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestRunConvert shard-converts a generated file and verifies the shard
+// directory round-trips to the same tensor.
+func TestRunConvert(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "x.tns")
+	if err := run("14x9x6", 500, 0, 1, 0, "", 5, "", "small", in, false); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "x.shards")
+	if err := runConvert(in, out, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if !aoadmm.IsShardDir(out) {
+		t.Fatalf("%s is not a shard directory", out)
+	}
+	st, err := aoadmm.OpenSharded(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := aoadmm.LoadTensor(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NNZ() != int64(x.NNZ()) {
+		t.Fatalf("shard nnz %d, want %d", st.NNZ(), x.NNZ())
+	}
+	if err := runConvert(in, "", 0, false); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := runConvert(filepath.Join(dir, "missing.tns"), filepath.Join(dir, "y.shards"), 0, false); err == nil {
+		t.Error("missing input accepted")
+	}
+}

@@ -6,6 +6,12 @@
 //
 //	tninfo x.tns
 //	tninfo -dataset nell -scale small
+//	tninfo -mem-budget 256 x.shards
+//
+// It also reports the estimated in-memory footprint (COO copies plus the
+// per-mode CSF trees) from the out-of-core admission estimator; with
+// -mem-budget it additionally prints the admission decision. A sharded
+// .aoshard directory is accepted in place of a file and its layout is shown.
 package main
 
 import (
@@ -22,16 +28,17 @@ func main() {
 	var (
 		dataset = flag.String("dataset", "", "built-in proxy instead of a file")
 		scale   = flag.String("scale", "small", "proxy scale: small|medium|large")
+		memMB   = flag.Int64("mem-budget", 0, "memory budget in MiB for the admission decision (0 = skip)")
 	)
 	flag.Parse()
 
-	if err := run(flag.Arg(0), *dataset, *scale); err != nil {
+	if err := run(flag.Arg(0), *dataset, *scale, *memMB); err != nil {
 		fmt.Fprintln(os.Stderr, "tninfo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, dataset, scale string) error {
+func run(path, dataset, scale string, memMB int64) error {
 	var x *aoadmm.Tensor
 	var err error
 	switch {
@@ -49,23 +56,46 @@ func run(path, dataset, scale string) error {
 		}
 		x, err = aoadmm.Dataset(dataset, s)
 	case path != "":
-		if strings.HasSuffix(path, ".aotn") {
+		switch {
+		case aoadmm.IsShardDir(path):
+			var st *aoadmm.ShardedTensor
+			st, err = aoadmm.OpenSharded(path)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("sharded:  %d shard(s) in %s\n", st.NumShards(), path)
+			for i := 0; i < st.NumShards(); i++ {
+				sh := st.Shard(i)
+				fmt.Printf("shard %d:  rows=[%d,%d) nnz=%d\n", i, sh.Lo, sh.Hi, sh.NNZ)
+			}
+			x, err = st.ReadAll()
+		case strings.HasSuffix(path, ".aotn"):
 			x, err = aoadmm.LoadTensorBinary(path)
-		} else {
+		default:
 			x, err = aoadmm.LoadTensor(path)
 		}
 	default:
-		return fmt.Errorf("usage: tninfo <file.tns> | tninfo -dataset <name>")
+		return fmt.Errorf("usage: tninfo <file.tns|shard-dir> | tninfo -dataset <name>")
 	}
 	if err != nil {
 		return err
 	}
 
+	est := aoadmm.EstimateInMemoryBytes(x.Order(), int64(x.NNZ()))
 	fmt.Printf("order:    %d\n", x.Order())
 	fmt.Printf("dims:     %v\n", x.Dims)
 	fmt.Printf("nnz:      %d\n", x.NNZ())
 	fmt.Printf("density:  %.3e\n", x.Density())
 	fmt.Printf("norm:     %.6g\n", x.Norm())
+	fmt.Printf("est. in-memory footprint: %.1f MiB (COO + per-mode CSF trees)\n", float64(est)/(1<<20))
+	if memMB > 0 {
+		dec := aoadmm.DecideAdmission(x.Order(), int64(x.NNZ()), memMB<<20)
+		mode := "in-memory"
+		if dec.OutOfCore {
+			mode = "out-of-core"
+		}
+		fmt.Printf("admission @ %d MiB budget: %s\n", memMB, mode)
+	}
 
 	for m := 0; m < x.Order(); m++ {
 		counts := x.SliceCounts(m)

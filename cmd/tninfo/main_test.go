@@ -16,25 +16,39 @@ func TestRunOnFile(t *testing.T) {
 	if err := aoadmm.SaveTensor(path, x); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "", "small"); err != nil {
+	if err := run(path, "", "small", 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunOnDataset(t *testing.T) {
-	if err := run("", "nell", "small"); err != nil {
+	if err := run("", "nell", "small", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOnShardDir(t *testing.T) {
+	x, err := aoadmm.GenerateUniform(aoadmm.GenOptions{Dims: []int{12, 9, 7}, NNZ: 400, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "shards")
+	if _, err := aoadmm.ConvertTensorToShards(x, dir, aoadmm.ShardConvertOptions{TargetShardBytes: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dir, "", "small", 1); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "small"); err == nil {
+	if err := run("", "", "small", 0); err == nil {
 		t.Error("no input accepted")
 	}
-	if err := run("", "reddit", "galactic"); err == nil {
+	if err := run("", "reddit", "galactic", 0); err == nil {
 		t.Error("bad scale accepted")
 	}
-	if err := run("/nonexistent/file.tns", "", "small"); err == nil {
+	if err := run("/nonexistent/file.tns", "", "small", 0); err == nil {
 		t.Error("missing file accepted")
 	}
 }

@@ -7,10 +7,10 @@ import (
 	"math/rand"
 	"time"
 
-	"aoadmm/internal/csf"
 	"aoadmm/internal/dense"
 	"aoadmm/internal/kruskal"
 	"aoadmm/internal/mttkrp"
+	"aoadmm/internal/ooc"
 	"aoadmm/internal/par"
 	"aoadmm/internal/stats"
 	"aoadmm/internal/tensor"
@@ -31,6 +31,9 @@ type ALSOptions struct {
 	Ridge float64
 	// Seed drives factor initialization.
 	Seed int64
+	// MemBudgetBytes echoes the admission layer's budget into Result.OOC
+	// for out-of-core runs (0 = unlimited); not enforced here.
+	MemBudgetBytes int64
 	// CollectMetrics enables fine-grained per-mode kernel timers, scheduler
 	// telemetry, and the density timeline on Result.Metrics.
 	CollectMetrics bool
@@ -45,8 +48,7 @@ type ALSOptions struct {
 // the cross-check baseline: with no constraints AO-ADMM must reach a
 // comparable fit.
 func FactorizeALS(x *tensor.COO, opts ALSOptions) (*Result, error) {
-	order := x.Order()
-	if order < 2 {
+	if x.Order() < 2 {
 		return nil, fmt.Errorf("core: tensor must have >= 2 modes")
 	}
 	if x.NNZ() == 0 {
@@ -55,6 +57,30 @@ func FactorizeALS(x *tensor.COO, opts ALSOptions) (*Result, error) {
 	if err := x.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid tensor: %w", err)
 	}
+	return factorizeALS(engineSpec{
+		dims:   x.Dims,
+		normSq: x.NormSq(),
+		build:  func() mttkrpEngine { return newInMemoryEngine(x, false) },
+	}, opts)
+}
+
+// FactorizeALSOOC runs the ALS baseline on a sharded on-disk tensor through
+// the same loop as FactorizeALS, with each MTTKRP streamed shard-at-a-time.
+// Shard I/O counters land in Result.OOC and the metrics report.
+func FactorizeALSOOC(st *ooc.ShardedTensor, opts ALSOptions) (*Result, error) {
+	if err := validateSharded(st); err != nil {
+		return nil, err
+	}
+	return factorizeALS(engineSpec{
+		dims:   st.Dims(),
+		normSq: st.NormSq(),
+		build:  func() mttkrpEngine { return newOOCEngine(st, opts.Rank, opts.MemBudgetBytes) },
+	}, opts)
+}
+
+// factorizeALS is the engine-agnostic ALS outer loop.
+func factorizeALS(spec engineSpec, opts ALSOptions) (*Result, error) {
+	order := len(spec.dims)
 	if opts.Rank <= 0 {
 		return nil, fmt.Errorf("core: Rank must be positive, got %d", opts.Rank)
 	}
@@ -73,20 +99,20 @@ func FactorizeALS(x *tensor.COO, opts ALSOptions) (*Result, error) {
 		tel = par.NewTelemetry(par.Threads(opts.Threads))
 	}
 	start := time.Now()
-	var trees *csf.Set
+	var eng mttkrpEngine
 	timedKernel(bd, stats.PhaseSetup, met, stats.KernelCSFSetup, stats.ModeNone, func() {
-		trees = csf.BuildSet(x.Clone())
+		eng = spec.build()
 	})
 
 	rng := rand.New(rand.NewSource(opts.Seed))
-	model := kruskal.Random(x.Dims, opts.Rank, rng)
-	xNormSq := x.NormSq()
+	model := kruskal.Random(spec.dims, opts.Rank, rng)
+	xNormSq := spec.normSq
 	scaleInit(model, xNormSq, opts.Threads)
 	grams := make([]*dense.Matrix, order)
 	for m := 0; m < order; m++ {
 		grams[m] = dense.Gram(model.Factors[m], opts.Threads)
 	}
-	kmat := dense.New(maxDim(x.Dims), opts.Rank)
+	kmat := dense.New(maxDim(spec.dims), opts.Rank)
 
 	res := &Result{Factors: model, Breakdown: bd, Metrics: met, Trace: &stats.Trace{}, RelErr: 1}
 
@@ -107,13 +133,17 @@ func FactorizeALS(x *tensor.COO, opts ALSOptions) (*Result, error) {
 					g = dense.AddScaledIdentity(g, opts.Ridge)
 				}
 			})
-			k := kmat.RowBlock(0, x.Dims[m])
+			k := kmat.RowBlock(0, spec.dims[m])
+			var mttkrpErr error
 			timedKernel(bd, stats.PhaseMTTKRP, met, stats.KernelMTTKRP, m, func() {
 				withKernelLabels("mttkrp", m, func() {
-					mttkrp.Compute(trees.Tree(m), model.Factors, k, nil,
+					mttkrpErr = eng.mttkrp(m, model.Factors, k, nil,
 						mttkrp.Options{Threads: opts.Threads, Telem: tel})
 				})
 			})
+			if mttkrpErr != nil {
+				return nil, fmt.Errorf("core: ALS mode %d outer %d: %w", m, outer, mttkrpErr)
+			}
 			var solveErr error
 			timedKernel(bd, stats.PhaseADMM, met, stats.KernelCholesky, m, func() {
 				ch, _, err := dense.NewCholeskyJitter(g, 0, 30)
@@ -157,5 +187,9 @@ func FactorizeALS(x *tensor.COO, opts ALSOptions) (*Result, error) {
 		res.FactorDensities[m] = dense.Density(model.Factors[m], 0)
 	}
 	recordScheduler(met, tel)
+	if r := eng.oocReport(); r != nil {
+		res.OOC = r
+		met.SetOOC(r)
+	}
 	return res, nil
 }

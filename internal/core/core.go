@@ -22,6 +22,7 @@ import (
 	"aoadmm/internal/faults"
 	"aoadmm/internal/kruskal"
 	"aoadmm/internal/mttkrp"
+	"aoadmm/internal/ooc"
 	"aoadmm/internal/par"
 	"aoadmm/internal/prox"
 	"aoadmm/internal/sparse"
@@ -190,6 +191,12 @@ type Options struct {
 	// Faults is the optional fault-injection registry (internal/faults);
 	// nil — the default — makes every hook point a no-op.
 	Faults *faults.Injector
+	// MemBudgetBytes is the memory budget the admission layer used when it
+	// routed this run (0 = unlimited). The core solvers do not enforce it —
+	// the out-of-core entry points shard-stream regardless — but it is
+	// echoed into Result.OOC and the metrics report so a run's budget and
+	// its tracked peak can be compared after the fact.
+	MemBudgetBytes int64
 	// CollectMetrics enables the fine-grained observability layer: per-mode
 	// kernel timers, per-block ADMM convergence counters, scheduler load
 	// telemetry, and the factor-sparsity timeline, returned in
@@ -274,6 +281,9 @@ type Result struct {
 	Metrics *stats.Metrics
 	// Trace is the convergence trajectory (Fig. 6).
 	Trace *stats.Trace
+	// OOC reports shard-streaming I/O and admission accounting; nil for
+	// in-memory runs.
+	OOC *stats.OOCReport
 	// FactorDensities is the final per-mode factor density (Table II).
 	FactorDensities []float64
 	// SparseMTTKRPs counts MTTKRP invocations that used a compressed leaf
@@ -291,10 +301,18 @@ type sparseImage struct {
 	density float64
 }
 
-// Factorize runs AO-ADMM (Algorithm 2) on x.
+// engineSpec bundles what the shared loop needs to know about the data
+// tensor without holding it: its shape, its norm, and how to compile the
+// MTTKRP engine that will stand in for it.
+type engineSpec struct {
+	dims   []int
+	normSq float64
+	build  func() mttkrpEngine
+}
+
+// Factorize runs AO-ADMM (Algorithm 2) on an in-memory tensor.
 func Factorize(x *tensor.COO, opts Options) (*Result, error) {
-	order := x.Order()
-	if order < 2 {
+	if x.Order() < 2 {
 		return nil, fmt.Errorf("core: tensor must have >= 2 modes")
 	}
 	if x.NNZ() == 0 {
@@ -303,6 +321,33 @@ func Factorize(x *tensor.COO, opts Options) (*Result, error) {
 	if err := x.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid tensor: %w", err)
 	}
+	return factorize(engineSpec{
+		dims:   x.Dims,
+		normSq: x.NormSq(),
+		build:  func() mttkrpEngine { return newInMemoryEngine(x, opts.SingleCSF) },
+	}, opts)
+}
+
+// FactorizeOOC runs AO-ADMM on a sharded on-disk tensor, streaming shards
+// through the same outer loop as Factorize: per mode, shards are loaded one
+// at a time (prefetched ahead on a background goroutine), compiled to CSF,
+// and their partial MTTKRPs accumulated. ExploitSparsity and SingleCSF are
+// inert out-of-core — there is no resident tree to image against. Shard I/O
+// counters land in Result.OOC and the metrics report.
+func FactorizeOOC(st *ooc.ShardedTensor, opts Options) (*Result, error) {
+	if err := validateSharded(st); err != nil {
+		return nil, err
+	}
+	return factorize(engineSpec{
+		dims:   st.Dims(),
+		normSq: st.NormSq(),
+		build:  func() mttkrpEngine { return newOOCEngine(st, opts.Rank, opts.MemBudgetBytes) },
+	}, opts)
+}
+
+// factorize is the engine-agnostic AO-ADMM outer loop.
+func factorize(spec engineSpec, opts Options) (*Result, error) {
+	order := len(spec.dims)
 	if err := opts.fill(order); err != nil {
 		return nil, err
 	}
@@ -316,39 +361,28 @@ func Factorize(x *tensor.COO, opts Options) (*Result, error) {
 	}
 	start := time.Now()
 
-	// Compile the tensor into CSF: one tree per mode by default, or a
-	// single tree rooted at the shortest mode in the memory-efficient
-	// SingleCSF configuration.
-	var trees *csf.Set
-	var soloTree *csf.Tensor
+	// Compile the MTTKRP engine: CSF trees for in-memory runs (one per
+	// mode, or a single shortest-mode tree under SingleCSF), the shard
+	// streamer for out-of-core runs.
+	var eng mttkrpEngine
 	timedKernel(bd, stats.PhaseSetup, met, stats.KernelCSFSetup, stats.ModeNone, func() {
-		if opts.SingleCSF {
-			shortest := 0
-			for m, d := range x.Dims {
-				if d < x.Dims[shortest] {
-					shortest = m
-				}
-			}
-			soloTree = csf.Build(x.Clone(), csf.DefaultPerm(order, shortest))
-		} else {
-			trees = csf.BuildSet(x.Clone())
-		}
+		eng = spec.build()
 	})
 
 	var model *kruskal.Tensor
-	xNormSq := x.NormSq()
+	xNormSq := spec.normSq
 	if opts.InitFactors != nil {
-		if err := checkInitShape(opts.InitFactors, x.Dims, opts.Rank); err != nil {
+		if err := checkInitShape(opts.InitFactors, spec.dims, opts.Rank); err != nil {
 			return nil, err
 		}
 		model = opts.InitFactors.Clone()
 	} else {
 		rng := rand.New(rand.NewSource(opts.Seed))
-		model = kruskal.Random(x.Dims, opts.Rank, rng)
+		model = kruskal.Random(spec.dims, opts.Rank, rng)
 		scaleInit(model, xNormSq, opts.Threads)
 	}
 	if opts.InitDuals != nil {
-		if err := checkInitDuals(opts.InitDuals, x.Dims, opts.Rank); err != nil {
+		if err := checkInitDuals(opts.InitDuals, spec.dims, opts.Rank); err != nil {
 			return nil, err
 		}
 	}
@@ -360,12 +394,12 @@ func Factorize(x *tensor.COO, opts Options) (*Result, error) {
 		if opts.InitDuals != nil {
 			duals[m] = opts.InitDuals[m].Clone()
 		} else {
-			duals[m] = dense.New(x.Dims[m], opts.Rank)
+			duals[m] = dense.New(spec.dims[m], opts.Rank)
 		}
 		grams[m] = dense.Gram(model.Factors[m], opts.Threads)
 	}
 	ws := &admm.Workspace{}
-	kmat := dense.New(maxDim(x.Dims), opts.Rank)
+	kmat := dense.New(maxDim(spec.dims), opts.Rank)
 
 	if opts.StartIter < 0 {
 		opts.StartIter = 0
@@ -407,11 +441,6 @@ func Factorize(x *tensor.COO, opts Options) (*Result, error) {
 		var lastK *dense.Matrix
 		var lastMode int
 		for m := 0; m < order; m++ {
-			tree := soloTree
-			if trees != nil {
-				tree = trees.Tree(m)
-			}
-
 			// G = ∗_{n≠m} AₙᵀAₙ (Algorithm 2, lines 4/8/12).
 			var g *dense.Matrix
 			timedKernel(bd, stats.PhaseOther, met, stats.KernelGram, m, func() {
@@ -422,25 +451,25 @@ func Factorize(x *tensor.COO, opts Options) (*Result, error) {
 			// compressed structure. Image construction is charged to the
 			// MTTKRP phase: it exists only to serve this kernel, and the
 			// paper's Table II times include the conversion overhead.
-			k := kmat.RowBlock(0, x.Dims[m])
+			k := kmat.RowBlock(0, spec.dims[m])
 			var leaf mttkrp.LeafFactor
+			var mttkrpErr error
 			timedKernel(bd, stats.PhaseMTTKRP, met, stats.KernelMTTKRP, m, func() {
 				withKernelLabels("mttkrp", m, func() {
-					leaf = leafFor(opts, tree, model, versions, images, res)
-					mopts := mttkrp.Options{Threads: opts.Threads, Telem: tel}
-					if opts.SingleCSF {
-						mttkrp.ComputeMode(tree, m, model.Factors, k, leaf, mopts)
-					} else {
-						mttkrp.Compute(tree, model.Factors, k, leaf, mopts)
-					}
+					leaf = leafFor(opts, eng.leafTree(m), model, versions, images, res)
+					mttkrpErr = eng.mttkrp(m, model.Factors, k, leaf,
+						mttkrp.Options{Threads: opts.Threads, Telem: tel})
 				})
 			})
+			if mttkrpErr != nil {
+				return nil, fmt.Errorf("core: mode %d outer %d: %w", m, outer, mttkrpErr)
+			}
 
 			// Inner ADMM (lines 6/10/14).
 			admmCfg.Prox = opts.Constraints[m]
 			if opts.AutoBlockSize && opts.Variant != Baseline {
 				admmCfg.BlockSize = blockmodel.DefaultModel().Choose(
-					x.Dims[m], opts.Rank, par.Threads(opts.Threads))
+					spec.dims[m], opts.Rank, par.Threads(opts.Threads))
 			}
 			var st admm.Stats
 			var err error
@@ -541,6 +570,10 @@ func Factorize(x *tensor.COO, opts Options) (*Result, error) {
 		res.FactorDensities[m] = dense.Density(model.Factors[m], 0)
 	}
 	recordScheduler(met, tel)
+	if r := eng.oocReport(); r != nil {
+		res.OOC = r
+		met.SetOOC(r)
+	}
 	return res, nil
 }
 
@@ -576,7 +609,7 @@ func recordScheduler(met *stats.Metrics, tel *par.Telemetry) {
 // and its density is below the threshold; otherwise the dense matrix is
 // used directly (nil → dense inside mttkrp.Compute).
 func leafFor(opts Options, tree *csf.Tensor, model *kruskal.Tensor, versions []int, images []sparseImage, res *Result) mttkrp.LeafFactor {
-	if !opts.ExploitSparsity {
+	if tree == nil || !opts.ExploitSparsity {
 		return nil
 	}
 	if opts.StructureSelector == nil && opts.Structure == StructDense {

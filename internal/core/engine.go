@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"aoadmm/internal/csf"
+	"aoadmm/internal/dense"
+	"aoadmm/internal/mttkrp"
+	"aoadmm/internal/ooc"
+	"aoadmm/internal/stats"
+	"aoadmm/internal/tensor"
+)
+
+// mttkrpEngine abstracts where the data tensor lives during the AO loop: in
+// memory as CSF trees, or on disk as mode-0-range shards streamed one at a
+// time. The outer solvers are written against this interface, so in-memory
+// and out-of-core runs share one loop body (and therefore one convergence
+// and observability path).
+type mttkrpEngine interface {
+	// leafTree returns the resident CSF tree that mode m's MTTKRP will
+	// traverse, or nil for streaming engines, where no single tree exists
+	// across the whole product and compressed leaf-factor images therefore
+	// do not apply.
+	leafTree(m int) *csf.Tensor
+	// mttkrp computes mode m's MTTKRP of the data tensor with the model
+	// factors into k, overwriting it.
+	mttkrp(m int, factors []*dense.Matrix, k *dense.Matrix, leaf mttkrp.LeafFactor, mo mttkrp.Options) error
+	// oocReport snapshots the engine's shard-I/O counters; nil for
+	// in-memory engines (the report is the OOC section of the metrics
+	// schema and Result.OOC).
+	oocReport() *stats.OOCReport
+}
+
+// inMemoryEngine is the classical path: the full tensor compiled into CSF —
+// one tree per mode, or a single tree rooted at the shortest mode in the
+// SingleCSF configuration.
+type inMemoryEngine struct {
+	trees  *csf.Tensor // SingleCSF solo tree
+	set    *csf.Set
+	single bool
+}
+
+func newInMemoryEngine(x *tensor.COO, single bool) *inMemoryEngine {
+	e := &inMemoryEngine{single: single}
+	if single {
+		shortest := 0
+		for m, d := range x.Dims {
+			if d < x.Dims[shortest] {
+				shortest = m
+			}
+		}
+		e.trees = csf.Build(x.Clone(), csf.DefaultPerm(x.Order(), shortest))
+	} else {
+		e.set = csf.BuildSet(x.Clone())
+	}
+	return e
+}
+
+func (e *inMemoryEngine) leafTree(m int) *csf.Tensor {
+	if e.single {
+		return e.trees
+	}
+	return e.set.Tree(m)
+}
+
+func (e *inMemoryEngine) mttkrp(m int, factors []*dense.Matrix, k *dense.Matrix, leaf mttkrp.LeafFactor, mo mttkrp.Options) error {
+	if e.single {
+		mttkrp.ComputeMode(e.trees, m, factors, k, leaf, mo)
+	} else {
+		mttkrp.Compute(e.set.Tree(m), factors, k, leaf, mo)
+	}
+	return nil
+}
+
+func (e *inMemoryEngine) oocReport() *stats.OOCReport { return nil }
+
+// oocEngine streams a sharded on-disk tensor: per MTTKRP, shards are loaded
+// one at a time (prefetched on a background goroutine), compiled to a CSF
+// tree, and their partial products accumulated. Leaf factors are always
+// dense — the compressed-image cache keys off a resident tree that streaming
+// does not have.
+type oocEngine struct {
+	st      *ooc.ShardedTensor
+	scratch *dense.Matrix // maxDim x rank backing; RowBlock'd per mode
+	stats   ooc.StreamStats
+	budget  int64
+}
+
+func newOOCEngine(st *ooc.ShardedTensor, rank int, budgetBytes int64) *oocEngine {
+	return &oocEngine{
+		st:      st,
+		scratch: dense.New(maxDim(st.Dims()), rank),
+		budget:  budgetBytes,
+	}
+}
+
+func (e *oocEngine) leafTree(int) *csf.Tensor { return nil }
+
+func (e *oocEngine) mttkrp(m int, factors []*dense.Matrix, k *dense.Matrix, leaf mttkrp.LeafFactor, mo mttkrp.Options) error {
+	scratch := e.scratch.RowBlock(0, k.Rows)
+	return e.st.MTTKRP(m, factors, k, scratch, mo, &e.stats)
+}
+
+func (e *oocEngine) oocReport() *stats.OOCReport {
+	snap := e.stats.Snapshot()
+	return &stats.OOCReport{
+		Shards:               e.st.NumShards(),
+		ShardLoads:           snap.ShardLoads,
+		ShardBytesRead:       snap.BytesRead,
+		PrefetchStalls:       snap.PrefetchStalls,
+		PrefetchStallSeconds: float64(snap.StallNanos) / 1e9,
+		PeakTrackedBytes:     snap.PeakBytes,
+		EstimateBytes:        ooc.InMemoryBytes(e.st.Order(), e.st.NNZ()),
+		BudgetBytes:          e.budget,
+	}
+}
+
+// validateSharded applies the shared preconditions of the out-of-core entry
+// points. The per-shard invariants were already checked by ooc.Open.
+func validateSharded(st *ooc.ShardedTensor) error {
+	if st == nil {
+		return fmt.Errorf("core: nil sharded tensor")
+	}
+	if st.Order() < 2 {
+		return fmt.Errorf("core: tensor must have >= 2 modes")
+	}
+	if st.NNZ() == 0 {
+		return fmt.Errorf("core: empty tensor")
+	}
+	return nil
+}

@@ -164,15 +164,17 @@ func (c *Tensor) ToCOO() *tensor.COO {
 	return out
 }
 
-// MemoryBytes estimates the structure's footprint, used by experiment
-// reporting.
+// MemoryBytes reports the structure's footprint — the backing-array
+// capacities, not the lengths, since capacity is what the allocator actually
+// committed. Used by experiment reporting and the out-of-core peak-memory
+// accounting.
 func (c *Tensor) MemoryBytes() int {
-	b := len(c.Vals) * 8
+	b := cap(c.Vals) * 8
 	for _, l := range c.FIDs {
-		b += len(l) * 4
+		b += cap(l) * 4
 	}
 	for _, l := range c.FPtr {
-		b += len(l) * 4
+		b += cap(l) * 4
 	}
 	return b
 }

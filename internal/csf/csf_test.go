@@ -288,3 +288,32 @@ func TestWalkVisitsInRootOrder(t *testing.T) {
 		t.Fatal("walk must visit root slices in order")
 	}
 }
+
+// TestMemoryBytesMatchesCapacities checks the footprint report against the
+// actual backing-array capacities for 3- and 4-mode trees: MemoryBytes feeds
+// the out-of-core peak accounting, so it must reflect committed memory, not
+// just the logical lengths.
+func TestMemoryBytesMatchesCapacities(t *testing.T) {
+	for _, dims := range [][]int{{12, 9, 7}, {10, 8, 6, 5}} {
+		x, err := tensor.Uniform(tensor.GenOptions{Dims: dims, NNZ: 400, Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for root := 0; root < len(dims); root++ {
+			c := Build(x, DefaultPerm(len(dims), root))
+			want := cap(c.Vals) * 8
+			for _, l := range c.FIDs {
+				want += cap(l) * 4
+			}
+			for _, l := range c.FPtr {
+				want += cap(l) * 4
+			}
+			if got := c.MemoryBytes(); got != want {
+				t.Errorf("dims %v root %d: MemoryBytes %d, capacity sum %d", dims, root, got, want)
+			}
+			if got := c.MemoryBytes(); got <= 0 {
+				t.Errorf("dims %v root %d: non-positive footprint %d", dims, root, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package ooc
+
+// Memory-admission estimator. The in-memory solvers materialize the COO, a
+// sort clone of it, and one CSF tree per mode before the first iteration;
+// these formulas bound that footprint from the tensor's shape alone so
+// callers (CLI, daemon, tninfo) can decide in-memory vs. out-of-core without
+// loading anything. Estimates are deliberately upper bounds: admitting a
+// tensor to RAM that then OOMs is the expensive mistake.
+
+// COOBytes is the coordinate-format footprint: per non-zero, one int32 index
+// per mode plus one float64 value.
+func COOBytes(order int, nnz int64) int64 {
+	return nnz * int64(4*order+8)
+}
+
+// CSFTreeBytes bounds one CSF tree's footprint: float64 leaf values, int32
+// node ids at every depth (at most nnz nodes per level), and int32 child
+// pointers on the internal levels.
+func CSFTreeBytes(order int, nnz int64) int64 {
+	return 8*nnz + 4*int64(order)*nnz + 4*int64(order-1)*(nnz+1)
+}
+
+// CSFSetBytes bounds the default one-tree-per-mode CSF set.
+func CSFSetBytes(order int, nnz int64) int64 {
+	return int64(order) * CSFTreeBytes(order, nnz)
+}
+
+// InMemoryBytes bounds the in-memory solver's peak tensor-side footprint:
+// the input COO, the sort clone consumed by CSF construction, and the full
+// CSF set. Factor matrices are excluded — they are O(Σ dims · rank), needed
+// by the out-of-core path too, and negligible against the tensor for the
+// workloads that force this decision.
+func InMemoryBytes(order int, nnz int64) int64 {
+	return 2*COOBytes(order, nnz) + CSFSetBytes(order, nnz)
+}
+
+// Decision is the admission layer's verdict for one run.
+type Decision struct {
+	// OutOfCore is true when the estimated in-memory footprint exceeds the
+	// budget.
+	OutOfCore bool
+	// EstimateBytes is InMemoryBytes for the tensor's shape.
+	EstimateBytes int64
+	// BudgetBytes echoes the configured budget (0 = unlimited).
+	BudgetBytes int64
+}
+
+// Decide applies the admission rule: out-of-core exactly when a positive
+// budget is smaller than the estimated in-memory footprint.
+func Decide(order int, nnz, budgetBytes int64) Decision {
+	est := InMemoryBytes(order, nnz)
+	return Decision{
+		OutOfCore:     budgetBytes > 0 && est > budgetBytes,
+		EstimateBytes: est,
+		BudgetBytes:   budgetBytes,
+	}
+}

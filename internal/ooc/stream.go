@@ -1,0 +1,165 @@
+package ooc
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"aoadmm/internal/csf"
+	"aoadmm/internal/dense"
+	"aoadmm/internal/mttkrp"
+	"aoadmm/internal/tensor"
+)
+
+// StreamStats accumulates shard I/O and pipeline counters across streaming
+// MTTKRP calls. All fields are updated atomically, so one StreamStats may be
+// shared across an entire factorization and read concurrently (the daemon's
+// /metrics endpoint does).
+type StreamStats struct {
+	// ShardLoads counts shard files read and decoded.
+	ShardLoads int64
+	// BytesRead counts shard payload bytes read from disk.
+	BytesRead int64
+	// PrefetchStalls counts consumer waits on a shard that was not yet
+	// prefetched — the signal that I/O, not compute, bounds the pipeline.
+	PrefetchStalls int64
+	// StallNanos is the total time spent in those waits.
+	StallNanos int64
+	// PeakBytes is the high-water mark of tracked resident bytes: the COO
+	// footprint of loaded shards (admission-estimator accounting) plus the
+	// actual MemoryBytes of the CSF tree currently compiled from one.
+	PeakBytes int64
+
+	resident int64
+}
+
+func (st *StreamStats) grow(n int64) {
+	if st == nil {
+		return
+	}
+	r := atomic.AddInt64(&st.resident, n)
+	for {
+		p := atomic.LoadInt64(&st.PeakBytes)
+		if r <= p || atomic.CompareAndSwapInt64(&st.PeakBytes, p, r) {
+			return
+		}
+	}
+}
+
+func (st *StreamStats) shrink(n int64) {
+	if st == nil {
+		return
+	}
+	atomic.AddInt64(&st.resident, -n)
+}
+
+func (st *StreamStats) countLoad(bytes int64) {
+	if st == nil {
+		return
+	}
+	atomic.AddInt64(&st.ShardLoads, 1)
+	atomic.AddInt64(&st.BytesRead, bytes)
+}
+
+func (st *StreamStats) countStall(d time.Duration) {
+	if st == nil {
+		return
+	}
+	atomic.AddInt64(&st.PrefetchStalls, 1)
+	atomic.AddInt64(&st.StallNanos, int64(d))
+}
+
+// Snapshot returns a torn-read-safe copy of the counters.
+func (st *StreamStats) Snapshot() StreamStats {
+	if st == nil {
+		return StreamStats{}
+	}
+	return StreamStats{
+		ShardLoads:     atomic.LoadInt64(&st.ShardLoads),
+		BytesRead:      atomic.LoadInt64(&st.BytesRead),
+		PrefetchStalls: atomic.LoadInt64(&st.PrefetchStalls),
+		StallNanos:     atomic.LoadInt64(&st.StallNanos),
+		PeakBytes:      atomic.LoadInt64(&st.PeakBytes),
+	}
+}
+
+// prefetched is one shard loaded ahead of the consumer, paired with its
+// tracked byte count.
+type prefetched struct {
+	idx   int
+	coo   *tensor.COO
+	bytes int64
+	err   error
+}
+
+// MTTKRP computes the full matricized-tensor-times-Khatri-Rao product for
+// one mode by streaming shards: load shard i (prefetched on a background
+// goroutine while shard i-1 computes), compile its CSF tree, run the
+// in-memory kernel for its partial product into scratch, and accumulate into
+// out. At most two shard COOs are resident (double buffering) plus one CSF
+// tree; the high-water mark is recorded in st.PeakBytes.
+//
+// out and scratch must both be Dims()[mode] x rank. The existing kernels are
+// reused unchanged: mttkrp.Compute zeroes its output, so partials land in
+// scratch and are AXPY-accumulated.
+func (s *ShardedTensor) MTTKRP(mode int, factors []*dense.Matrix, out, scratch *dense.Matrix, mo mttkrp.Options, st *StreamStats) error {
+	if mode < 0 || mode >= s.Order() {
+		return fmt.Errorf("ooc: mode %d out of range [0, %d)", mode, s.Order())
+	}
+	order := s.Order()
+
+	// Producer: load shards in order, handing each across an unbuffered
+	// channel. While the consumer computes shard i, the producer is loading
+	// shard i+1 and then blocks on the send — exactly two resident shards.
+	ch := make(chan prefetched)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		defer close(ch)
+		for i := 0; i < s.NumShards(); i++ {
+			bytes := shardPayloadBytes(order, s.Shard(i).NNZ)
+			coo, err := s.LoadShard(i)
+			if err == nil {
+				st.grow(bytes)
+				st.countLoad(bytes)
+			}
+			select {
+			case ch <- prefetched{idx: i, coo: coo, bytes: bytes, err: err}:
+			case <-stop:
+				if err == nil {
+					st.shrink(bytes)
+				}
+				return
+			}
+		}
+	}()
+
+	out.Zero()
+	for {
+		begin := time.Now()
+		p, ok := <-ch
+		if !ok {
+			break
+		}
+		if wait := time.Since(begin); wait > 50*time.Microsecond {
+			st.countStall(wait)
+		}
+		if p.err != nil {
+			return p.err
+		}
+
+		// Compile this shard's CSF tree rooted at the target mode. The
+		// shard COO is owned by this call, so Build may sort it in place —
+		// no defensive clone.
+		tree := csf.Build(p.coo, csf.DefaultPerm(order, mode))
+		treeBytes := int64(tree.MemoryBytes())
+		st.grow(treeBytes)
+
+		mttkrp.Compute(tree, factors, scratch, nil, mo)
+		dense.AXPY(out, 1, scratch)
+
+		st.shrink(treeBytes)
+		st.shrink(p.bytes)
+	}
+	return nil
+}

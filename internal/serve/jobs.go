@@ -17,6 +17,7 @@ import (
 	"aoadmm/internal/datasets"
 	"aoadmm/internal/faults"
 	"aoadmm/internal/kruskal"
+	"aoadmm/internal/ooc"
 	"aoadmm/internal/prox"
 	"aoadmm/internal/stats"
 	"aoadmm/internal/tensor"
@@ -44,9 +45,15 @@ type JobSpec struct {
 	// Scale sizes it (small|medium|large, default small).
 	Dataset string `json:"dataset,omitempty"`
 	Scale   string `json:"scale,omitempty"`
-	// TensorPath reads a FROSTT .tns (or .aotn binary) file on the daemon's
-	// filesystem instead.
+	// TensorPath reads a FROSTT .tns (or .aotn binary) file — or a sharded
+	// .aoshard directory — on the daemon's filesystem instead. Shard
+	// directories always run out-of-core.
 	TensorPath string `json:"tensor_path,omitempty"`
+	// MemBudgetMB caps the working memory of the factorization in MiB
+	// (0 = unlimited). When the tensor's estimated in-memory footprint
+	// exceeds the budget, the job is converted to shards under the data dir
+	// and executed out-of-core. aoadmm and als only.
+	MemBudgetMB int64 `json:"mem_budget_mb,omitempty"`
 	// Name optionally labels the resulting model.
 	Name string `json:"name,omitempty"`
 	// Algo selects the solver: aoadmm (default) | als | hals.
@@ -104,11 +111,29 @@ func (s *JobSpec) validate() error {
 			return err
 		}
 	}
+	if s.TensorPath != "" {
+		// Fail fast at submission: a missing file or a directory that is not
+		// a shard store would otherwise burn a worker attempt (and its
+		// retries) before surfacing.
+		fi, err := os.Stat(s.TensorPath)
+		switch {
+		case err != nil:
+			return fmt.Errorf("tensor_path: %w", err)
+		case fi.IsDir() && !ooc.IsShardDir(s.TensorPath):
+			return fmt.Errorf("tensor_path %q is a directory but not a shard store (no %s)",
+				s.TensorPath, ooc.HeaderFileName)
+		case fi.IsDir() && s.Algo == "hals":
+			return fmt.Errorf("algo hals does not support out-of-core execution (sharded tensor_path)")
+		}
+	}
 	if s.Rank <= 0 {
 		return fmt.Errorf("rank must be positive, got %d", s.Rank)
 	}
 	if s.TimeoutSec < 0 {
 		return fmt.Errorf("timeout_sec must be >= 0, got %v", s.TimeoutSec)
+	}
+	if s.MemBudgetMB < 0 {
+		return fmt.Errorf("mem_budget_mb must be >= 0, got %d", s.MemBudgetMB)
 	}
 	switch s.Algo {
 	case "", "aoadmm", "als", "hals":
@@ -365,6 +390,12 @@ type Manager struct {
 	panics   atomic.Int64
 	recovery RecoveryReport
 
+	// Daemon-wide shard I/O aggregates across all out-of-core runs.
+	oocRuns       atomic.Int64
+	oocShardLoads atomic.Int64
+	oocBytesRead  atomic.Int64
+	oocStalls     atomic.Int64
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 }
@@ -573,6 +604,17 @@ func (m *Manager) DurabilityStats() map[string]any {
 		"timeouts":     m.timeouts.Load(),
 		"panics":       m.panics.Load(),
 		"max_attempts": m.cfg.MaxAttempts,
+	}
+}
+
+// OOCStats reports the daemon-wide out-of-core counters for /metrics:
+// completed streaming runs, shard loads, shard bytes read, prefetch stalls.
+func (m *Manager) OOCStats() map[string]int64 {
+	return map[string]int64{
+		"runs":            m.oocRuns.Load(),
+		"shard_loads":     m.oocShardLoads.Load(),
+		"shard_bytes":     m.oocBytesRead.Load(),
+		"prefetch_stalls": m.oocStalls.Load(),
 	}
 }
 
@@ -930,24 +972,81 @@ func (m *Manager) executeAttempt(ctx context.Context, jobID string, attempt int,
 
 // execute loads the input tensor and runs the requested solver with the
 // job's cancellation context, checkpointing, and (for AO-ADMM) any recovered
-// resume state wired in.
+// resume state wired in. When the input is a shard directory — or the memory
+// budget admits it out-of-core — the streaming engines run instead, and the
+// shard I/O counters are folded into the daemon-wide aggregates.
 func (m *Manager) execute(ctx context.Context, jobID string, attempt int, spec JobSpec, resume *kruskal.Checkpoint) (*core.Result, error) {
-	x, err := loadSpecTensor(spec)
+	x, sharded, cleanup, err := m.resolveSpecTensor(spec, jobID)
 	if err != nil {
 		return nil, err
 	}
+	defer cleanup()
+	res, err := m.runSolver(ctx, jobID, attempt, spec, resume, x, sharded)
+	if err == nil && res.OOC != nil {
+		m.oocRuns.Add(1)
+		m.oocShardLoads.Add(res.OOC.ShardLoads)
+		m.oocBytesRead.Add(res.OOC.ShardBytesRead)
+		m.oocStalls.Add(res.OOC.PrefetchStalls)
+	}
+	return res, err
+}
+
+// resolveSpecTensor applies the admission rule to a job's input: shard
+// directories stream as-is; file and dataset inputs are loaded and, when the
+// estimated in-memory footprint exceeds the job's budget, converted to shards
+// under dataDir/shards/<jobID> (removed again by cleanup).
+func (m *Manager) resolveSpecTensor(spec JobSpec, jobID string) (x *tensor.COO, st *ooc.ShardedTensor, cleanup func(), err error) {
+	cleanup = func() {}
+	if spec.TensorPath != "" && ooc.IsShardDir(spec.TensorPath) {
+		st, err = ooc.Open(spec.TensorPath)
+		return nil, st, cleanup, err
+	}
+	x, err = loadSpecTensor(spec)
+	if err != nil {
+		return nil, nil, cleanup, err
+	}
+	budget := spec.MemBudgetMB << 20
+	if !ooc.Decide(x.Order(), int64(x.NNZ()), budget).OutOfCore {
+		return x, nil, cleanup, nil
+	}
+	if spec.Algo == "hals" {
+		return nil, nil, cleanup, fmt.Errorf(
+			"mem_budget_mb %d forces out-of-core execution, which algo hals does not support", spec.MemBudgetMB)
+	}
+	dir := filepath.Join(m.dataDir, "shards", jobID)
+	os.RemoveAll(dir) // a retried attempt reconverts from scratch
+	cleanup = func() { os.RemoveAll(dir) }
+	st, err = ooc.ConvertCOO(x, dir, ooc.ConvertOptions{MemBudgetBytes: budget})
+	if err != nil {
+		cleanup()
+		return nil, nil, func() {}, err
+	}
+	return nil, st, cleanup, nil
+}
+
+// runSolver dispatches to the requested solver, choosing the in-memory or
+// streaming engine by which input form resolveSpecTensor produced.
+func (m *Manager) runSolver(ctx context.Context, jobID string, attempt int, spec JobSpec, resume *kruskal.Checkpoint, x *tensor.COO, sharded *ooc.ShardedTensor) (*core.Result, error) {
 	every := spec.CheckpointEvery
 	if every <= 0 {
 		every = 5
 	}
 	switch spec.Algo {
 	case "als":
-		return core.FactorizeALS(x, core.ALSOptions{
+		alsOpts := core.ALSOptions{
 			Rank: spec.Rank, MaxOuterIters: spec.MaxOuterIters, Tol: spec.Tol,
 			Threads: spec.Threads, Seed: spec.Seed, Ridge: 1e-10,
+			MemBudgetBytes: spec.MemBudgetMB << 20,
 			CollectMetrics: spec.collectMetrics(), Ctx: ctx,
-		})
+		}
+		if sharded != nil {
+			return core.FactorizeALSOOC(sharded, alsOpts)
+		}
+		return core.FactorizeALS(x, alsOpts)
 	case "hals":
+		if sharded != nil {
+			return nil, fmt.Errorf("algo hals does not support out-of-core execution")
+		}
 		return core.FactorizeHALS(x, core.HALSOptions{
 			Rank: spec.Rank, MaxOuterIters: spec.MaxOuterIters, Tol: spec.Tol,
 			Threads: spec.Threads, Seed: spec.Seed,
@@ -959,6 +1058,7 @@ func (m *Manager) execute(ctx context.Context, jobID string, attempt int, spec J
 			Threads: spec.Threads, BlockSize: spec.BlockSize, Seed: spec.Seed,
 			ExploitSparsity:   spec.ExploitSparsity,
 			AdaptiveRho:       spec.AdaptiveRho,
+			MemBudgetBytes:    spec.MemBudgetMB << 20,
 			CollectMetrics:    spec.collectMetrics(),
 			CheckpointDir:     m.checkpointDir(jobID),
 			CheckpointEvery:   every,
@@ -997,6 +1097,9 @@ func (m *Manager) execute(ctx context.Context, jobID string, attempt int, spec J
 			opts.Structure = core.StructHybrid
 		default:
 			opts.Structure = core.StructCSR
+		}
+		if sharded != nil {
+			return core.FactorizeOOC(sharded, opts)
 		}
 		return core.Factorize(x, opts)
 	}

@@ -11,7 +11,10 @@ import (
 	"testing"
 	"time"
 
+	"strings"
+
 	"aoadmm/internal/kruskal"
+	"aoadmm/internal/ooc"
 	"aoadmm/internal/tensor"
 )
 
@@ -409,4 +412,130 @@ func TestShutdownCancelsQueuedAndCheckpointsRunning(t *testing.T) {
 	if _, err := s.mgr.Submit(spec); err == nil {
 		t.Fatal("submit accepted after shutdown")
 	}
+}
+
+// TestSubmitTensorPathFailFast covers the submission-time validation of
+// tensor_path: missing files and plain directories are rejected before a
+// worker ever runs, and HALS refuses sharded inputs.
+func TestSubmitTensorPathFailFast(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	dir := t.TempDir() // exists, but is not a shard store
+
+	x, err := tensor.Uniform(tensor.GenOptions{Dims: []int{10, 8, 6}, NNZ: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := filepath.Join(t.TempDir(), "shards")
+	if _, err := ooc.ConvertCOO(x, shards, ooc.ConvertOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := []JobSpec{
+		{TensorPath: filepath.Join(dir, "missing.tns"), Rank: 4},
+		{TensorPath: dir, Rank: 4},
+		{TensorPath: shards, Rank: 4, Algo: "hals"},
+		{Dataset: "amazon", Rank: 4, MemBudgetMB: -1},
+	}
+	for i, spec := range bad {
+		code, raw := doJSON(t, http.MethodPost, ts.URL+"/jobs", spec, nil)
+		if code != http.StatusBadRequest {
+			t.Errorf("spec %d: status %d (%s)", i, code, raw)
+		}
+	}
+}
+
+// TestOutOfCoreJobs runs jobs against a pre-converted shard directory and a
+// budget-constrained file input, and checks the daemon-wide ooc counters and
+// the per-job report's ooc section.
+func TestOutOfCoreJobs(t *testing.T) {
+	dataDir := t.TempDir()
+	s, ts := newTestServer(t, dataDir)
+
+	x, err := tensor.Uniform(tensor.GenOptions{Dims: []int{40, 25, 15}, NNZ: 5000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := filepath.Join(t.TempDir(), "shards")
+	if _, err := ooc.ConvertCOO(x, shards, ooc.ConvertOptions{TargetShardBytes: 16 << 10}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard directory input: always streams.
+	var sharded JobView
+	code, raw := doJSON(t, http.MethodPost, ts.URL+"/jobs", JobSpec{
+		TensorPath: shards, Rank: 3, Constraint: "nonneg",
+		MaxOuterIters: 6, Seed: 2, Threads: 1,
+	}, &sharded)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit sharded: %d %s", code, raw)
+	}
+	done := pollJob(t, ts.URL, sharded.ID, JobDone, 60*time.Second)
+	if done.ModelID == "" {
+		t.Fatalf("sharded job incomplete: %+v", done)
+	}
+
+	// File input with a 1 MiB budget: admission converts under dataDir and
+	// the conversion directory is cleaned up after the run.
+	path := testTNS(t, []int{60, 40, 20}, 25000, 13)
+	var budgeted JobView
+	code, raw = doJSON(t, http.MethodPost, ts.URL+"/jobs", JobSpec{
+		TensorPath: path, Rank: 3, Algo: "als",
+		MaxOuterIters: 6, Seed: 2, Threads: 1, MemBudgetMB: 1,
+	}, &budgeted)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit budgeted: %d %s", code, raw)
+	}
+	pollJob(t, ts.URL, budgeted.ID, JobDone, 60*time.Second)
+	if _, err := os.Stat(filepath.Join(dataDir, "shards", budgeted.ID)); !os.IsNotExist(err) {
+		t.Errorf("budget-triggered shard dir not cleaned up: %v", err)
+	}
+
+	var metrics struct {
+		OOC  map[string]int64           `json:"ooc"`
+		Jobs map[string]json.RawMessage `json:"jobs"`
+	}
+	code, raw = doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &metrics)
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d %s", code, raw)
+	}
+	if metrics.OOC["runs"] != 2 || metrics.OOC["shard_loads"] == 0 || metrics.OOC["shard_bytes"] == 0 {
+		t.Fatalf("daemon ooc counters %v", metrics.OOC)
+	}
+	var report struct {
+		OOC *struct {
+			ShardLoads int64 `json:"shard_loads"`
+		} `json:"ooc"`
+	}
+	if err := json.Unmarshal(metrics.Jobs[sharded.ID], &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.OOC == nil || report.OOC.ShardLoads == 0 {
+		t.Fatalf("job report missing ooc section: %+v", report.OOC)
+	}
+
+	// A hals job whose budget forces out-of-core fails with a clear error.
+	var hals JobView
+	code, raw = doJSON(t, http.MethodPost, ts.URL+"/jobs", JobSpec{
+		TensorPath: path, Rank: 3, Algo: "hals",
+		MaxOuterIters: 4, Seed: 2, MemBudgetMB: 1,
+	}, &hals)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit hals: %d %s", code, raw)
+	}
+	stop := time.Now().Add(60 * time.Second)
+	for {
+		var v JobView
+		doJSON(t, http.MethodGet, ts.URL+"/jobs/"+hals.ID, nil, &v)
+		if JobStatus(v.Status) == JobFailed {
+			if !strings.Contains(v.Error, "out-of-core") {
+				t.Fatalf("hals failure error %q", v.Error)
+			}
+			break
+		}
+		if JobStatus(v.Status) == JobDone || time.Now().After(stop) {
+			t.Fatalf("hals ooc job state %+v", v)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_ = s
 }

@@ -326,6 +326,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"workers":       s.cfg.Workers,
 		},
 		"durability": s.mgr.DurabilityStats(),
+		"ooc":        s.mgr.OOCStats(),
 		"jobs":       s.mgr.Reports(),
 	})
 }

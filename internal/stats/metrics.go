@@ -75,6 +75,7 @@ type Metrics struct {
 	rhoAdaptations int64
 	threads        map[int]ThreadSample
 	sparsity       []DensitySample
+	ooc            *OOCReport
 }
 
 // NewMetrics returns an empty, enabled metrics collector.
@@ -152,6 +153,43 @@ func (m *Metrics) RecordDensity(outer, mode int, density float64, structure stri
 	m.mu.Unlock()
 }
 
+// SetOOC attaches an out-of-core execution report to the run's metrics; it
+// appears as the "ooc" section of the aoadmm-metrics/v1 report. The last
+// call wins (the engine snapshots cumulative counters at run end).
+func (m *Metrics) SetOOC(r *OOCReport) {
+	if m == nil || r == nil {
+		return
+	}
+	m.mu.Lock()
+	m.ooc = r
+	m.mu.Unlock()
+}
+
+// OOCReport summarizes out-of-core (shard-streaming) execution: shard I/O
+// volume, prefetch pipeline health, and the memory-admission accounting that
+// chose this path. Present only for runs that streamed shards.
+type OOCReport struct {
+	// Shards is the shard count of the on-disk tensor.
+	Shards int `json:"shards"`
+	// ShardLoads counts shard files read and decoded across the run (one
+	// full pass over all shards per MTTKRP).
+	ShardLoads int64 `json:"shard_loads"`
+	// ShardBytesRead is the total shard payload bytes read from disk.
+	ShardBytesRead int64 `json:"shard_bytes_read"`
+	// PrefetchStalls counts MTTKRP waits on a shard not yet prefetched —
+	// the signal that disk I/O, not compute, bounds the pipeline.
+	PrefetchStalls int64 `json:"prefetch_stalls"`
+	// PrefetchStallSeconds is the total time spent in those waits.
+	PrefetchStallSeconds float64 `json:"prefetch_stall_seconds"`
+	// PeakTrackedBytes is the high-water mark of tracked resident tensor
+	// bytes (loaded shard COOs + the live per-shard CSF tree).
+	PeakTrackedBytes int64 `json:"peak_tracked_bytes"`
+	// EstimateBytes is the admission estimator's in-memory footprint bound
+	// for this tensor; BudgetBytes the configured budget (0 = unlimited).
+	EstimateBytes int64 `json:"estimate_bytes"`
+	BudgetBytes   int64 `json:"budget_bytes"`
+}
+
 // Report is the JSON-serializable snapshot of a Metrics collector
 // (schema "aoadmm-metrics/v1"; see docs/TUNING.md for field semantics).
 type Report struct {
@@ -166,6 +204,8 @@ type Report struct {
 	Scheduler SchedulerMetrics `json:"scheduler"`
 	// Sparsity is the per-outer-iteration factor-density timeline.
 	Sparsity []DensitySample `json:"sparsity"`
+	// OOC is the out-of-core execution report; omitted for in-memory runs.
+	OOC *OOCReport `json:"ooc,omitempty"`
 }
 
 // KernelTiming is one (kernel, mode) accumulator.
@@ -259,6 +299,10 @@ func (m *Metrics) Report() *Report {
 	})
 	r.Scheduler.ImbalanceRatio = imbalance(r.Scheduler.Threads)
 	r.Sparsity = append([]DensitySample(nil), m.sparsity...)
+	if m.ooc != nil {
+		cp := *m.ooc
+		r.OOC = &cp
+	}
 	return r
 }
 

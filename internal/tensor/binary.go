@@ -139,6 +139,104 @@ func ReadBinary(r io.Reader) (*COO, error) {
 	return t, nil
 }
 
+// StreamBinaryFile streams an AOTN file's non-zeros without materializing
+// the tensor, calling fn for each with a coordinate buffer reused across
+// calls. The on-disk layout is columnar (all mode-0 indices, then mode-1,
+// ..., then values), so one buffered section reader per column advances in
+// lockstep and memory stays O(order · chunk) regardless of nnz. The
+// out-of-core converter streams arbitrary-size ".aotn" files through this.
+func StreamBinaryFile(path string, fn func(coord []int32, val float64) error) (dims []int, nnz int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+
+	// Header: magic, version, order, nnz, dims — same validation as ReadBinary.
+	hdr := make([]byte, 4+4+4+8)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return nil, 0, fmt.Errorf("tensor: reading header: %w", err)
+	}
+	if string(hdr[:4]) != binaryMagic {
+		return nil, 0, fmt.Errorf("tensor: bad magic %q (want %q)", hdr[:4], binaryMagic)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != binaryVersion {
+		return nil, 0, fmt.Errorf("tensor: unsupported version %d", v)
+	}
+	order := binary.LittleEndian.Uint32(hdr[8:])
+	if order < 1 || order > 16 {
+		return nil, 0, fmt.Errorf("tensor: implausible order %d", order)
+	}
+	count := binary.LittleEndian.Uint64(hdr[12:])
+	if count > 1<<34 {
+		return nil, 0, fmt.Errorf("tensor: implausible nnz %d", count)
+	}
+	dims = make([]int, order)
+	dimBuf := make([]byte, 8*order)
+	if _, err := io.ReadFull(f, dimBuf); err != nil {
+		return nil, 0, fmt.Errorf("tensor: reading dims: %w", err)
+	}
+	for m := range dims {
+		d := binary.LittleEndian.Uint64(dimBuf[8*m:])
+		if d == 0 || d > 1<<31 {
+			return nil, 0, fmt.Errorf("tensor: implausible dim %d", d)
+		}
+		dims[m] = int(d)
+	}
+
+	base := int64(len(hdr) + len(dimBuf))
+	cols := make([]*bufio.Reader, order+1)
+	for m := 0; m <= int(order); m++ {
+		var off, size int64
+		if m < int(order) {
+			off, size = base+int64(m)*4*int64(count), 4*int64(count)
+		} else {
+			off, size = base+int64(order)*4*int64(count), 8*int64(count)
+		}
+		cols[m] = bufio.NewReaderSize(io.NewSectionReader(f, off, size), 1<<16)
+	}
+
+	const chunk = 1 << 14
+	coordChunks := make([][]int32, order)
+	for m := range coordChunks {
+		coordChunks[m] = make([]int32, chunk)
+	}
+	valChunk := make([]float64, chunk)
+	coord := make([]int32, order)
+	for read := uint64(0); read < count; {
+		n := uint64(chunk)
+		if count-read < n {
+			n = count - read
+		}
+		for m := 0; m < int(order); m++ {
+			part := coordChunks[m][:n]
+			if err := binary.Read(cols[m], binary.LittleEndian, part); err != nil {
+				return nil, 0, fmt.Errorf("tensor: mode %d indices: %w", m, err)
+			}
+			for p, idx := range part {
+				if idx < 0 || int(idx) >= dims[m] {
+					return nil, 0, fmt.Errorf("tensor: non-zero %d mode %d index %d out of range [0, %d)",
+						read+uint64(p), m, idx, dims[m])
+				}
+			}
+		}
+		vpart := valChunk[:n]
+		if err := binary.Read(cols[order], binary.LittleEndian, vpart); err != nil {
+			return nil, 0, fmt.Errorf("tensor: values: %w", err)
+		}
+		for p := 0; p < int(n); p++ {
+			for m := 0; m < int(order); m++ {
+				coord[m] = coordChunks[m][p]
+			}
+			if err := fn(coord, vpart[p]); err != nil {
+				return nil, 0, err
+			}
+		}
+		read += n
+	}
+	return dims, int64(count), nil
+}
+
 // SaveBinaryFile writes the tensor to disk in AOTN format.
 func SaveBinaryFile(path string, t *COO) error {
 	f, err := os.Create(path)

@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -9,19 +10,26 @@ import (
 	"strings"
 )
 
-// ReadTNS parses a FROSTT-style ".tns" text tensor: one non-zero per line,
-// whitespace-separated 1-based indices followed by the value. Lines starting
-// with '#' and blank lines are ignored. Mode lengths are inferred as the
-// maximum index seen per mode unless dims is non-nil (then indices are
-// validated against it).
-func ReadTNS(r io.Reader, dims []int) (*COO, error) {
+// maxTNSLine bounds one ".tns" line; a longer line is a malformed input (or
+// the wrong file format entirely), reported with its line number rather than
+// silently mis-scanned.
+const maxTNSLine = 1 << 20
+
+// StreamTNS parses a FROSTT-style ".tns" text tensor — one non-zero per
+// line, whitespace-separated 1-based indices followed by the value; '#'
+// comments and blank lines ignored — without materializing it, calling fn
+// for every non-zero with 0-based indices in a buffer reused across calls.
+// A non-nil error from fn aborts the scan. When dims is non-nil, indices are
+// validated against it and it is returned as-is; otherwise mode lengths are
+// inferred as the maximum index seen per mode. The out-of-core converter
+// streams arbitrary-size files through this.
+func StreamTNS(r io.Reader, dims []int, fn func(coord []int32, val float64) error) (outDims []int, nnz int64, err error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, 64<<10), maxTNSLine)
 
 	var (
 		order  int
-		inds   [][]int32
-		vals   []float64
+		coord  []int32
 		maxIdx []int32
 		lineNo int
 	)
@@ -35,55 +43,86 @@ func ReadTNS(r io.Reader, dims []int) (*COO, error) {
 		if order == 0 {
 			order = len(fields) - 1
 			if order < 1 {
-				return nil, fmt.Errorf("tensor: line %d: need at least one index and a value", lineNo)
+				return nil, 0, fmt.Errorf("tensor: line %d: need at least one index and a value", lineNo)
 			}
 			if dims != nil && len(dims) != order {
-				return nil, fmt.Errorf("tensor: line %d: order %d does not match provided dims %v", lineNo, order, dims)
+				return nil, 0, fmt.Errorf("tensor: line %d: order %d does not match provided dims %v", lineNo, order, dims)
 			}
-			inds = make([][]int32, order)
+			coord = make([]int32, order)
 			maxIdx = make([]int32, order)
 		}
 		if len(fields) != order+1 {
-			return nil, fmt.Errorf("tensor: line %d: expected %d fields, got %d", lineNo, order+1, len(fields))
+			return nil, 0, fmt.Errorf("tensor: line %d: expected %d fields, got %d", lineNo, order+1, len(fields))
 		}
 		for m := 0; m < order; m++ {
 			v, err := strconv.ParseInt(fields[m], 10, 32)
 			if err != nil {
-				return nil, fmt.Errorf("tensor: line %d: bad index %q: %v", lineNo, fields[m], err)
+				return nil, 0, fmt.Errorf("tensor: line %d: bad index %q: %v", lineNo, fields[m], err)
 			}
 			if v < 1 {
-				return nil, fmt.Errorf("tensor: line %d: index %d is not 1-based positive", lineNo, v)
+				return nil, 0, fmt.Errorf("tensor: line %d: index %d is not 1-based positive", lineNo, v)
 			}
 			idx := int32(v - 1)
 			if dims != nil && int(idx) >= dims[m] {
-				return nil, fmt.Errorf("tensor: line %d: index %d exceeds dim %d of mode %d", lineNo, v, dims[m], m)
+				return nil, 0, fmt.Errorf("tensor: line %d: index %d exceeds dim %d of mode %d", lineNo, v, dims[m], m)
 			}
 			if idx > maxIdx[m] {
 				maxIdx[m] = idx
 			}
-			inds[m] = append(inds[m], idx)
+			coord[m] = idx
 		}
 		val, err := strconv.ParseFloat(fields[order], 64)
 		if err != nil {
-			return nil, fmt.Errorf("tensor: line %d: bad value %q: %v", lineNo, fields[order], err)
+			return nil, 0, fmt.Errorf("tensor: line %d: bad value %q: %v", lineNo, fields[order], err)
 		}
-		vals = append(vals, val)
+		if err := fn(coord, val); err != nil {
+			return nil, 0, err
+		}
+		nnz++
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("tensor: scan: %w", err)
+		if errors.Is(err, bufio.ErrTooLong) {
+			// The failing line is the one after the last successful scan.
+			return nil, 0, fmt.Errorf("tensor: line %d exceeds the %d-byte line-length limit (truncated or wrong format?): %w",
+				lineNo+1, maxTNSLine, err)
+		}
+		return nil, 0, fmt.Errorf("tensor: scan: %w", err)
 	}
 	if order == 0 {
-		return nil, fmt.Errorf("tensor: empty input")
+		return nil, 0, fmt.Errorf("tensor: empty input")
 	}
-	outDims := dims
-	if outDims == nil {
-		outDims = make([]int, order)
-		for m := range outDims {
-			outDims[m] = int(maxIdx[m]) + 1
+	if dims != nil {
+		return dims, nnz, nil
+	}
+	outDims = make([]int, order)
+	for m := range outDims {
+		outDims[m] = int(maxIdx[m]) + 1
+	}
+	return outDims, nnz, nil
+}
+
+// ReadTNS parses a FROSTT-style ".tns" text tensor into memory. Mode lengths
+// are inferred as the maximum index seen per mode unless dims is non-nil
+// (then indices are validated against it).
+func ReadTNS(r io.Reader, dims []int) (*COO, error) {
+	var (
+		inds [][]int32
+		vals []float64
+	)
+	outDims, _, err := StreamTNS(r, dims, func(coord []int32, val float64) error {
+		if inds == nil {
+			inds = make([][]int32, len(coord))
 		}
+		for m, c := range coord {
+			inds[m] = append(inds[m], c)
+		}
+		vals = append(vals, val)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	t := &COO{Dims: append([]int(nil), outDims...), Inds: inds, Vals: vals}
-	return t, nil
+	return &COO{Dims: append([]int(nil), outDims...), Inds: inds, Vals: vals}, nil
 }
 
 // WriteTNS writes the tensor in FROSTT text format (1-based indices).

@@ -1,7 +1,9 @@
 package tensor
 
 import (
+	"bufio"
 	"bytes"
+	"errors"
 	"math"
 	"path/filepath"
 	"strings"
@@ -115,5 +117,31 @@ func TestFileRoundTrip(t *testing.T) {
 	}
 	if _, err := LoadTNSFile(filepath.Join(dir, "missing.tns")); err == nil {
 		t.Fatal("missing file must error")
+	}
+}
+
+// TestReadTNSOverlongLine is the regression test for the bufio.ErrTooLong
+// path: a line past the 1 MiB scanner limit must fail with a diagnostic that
+// names the offending line number instead of the bare "token too long".
+func TestReadTNSOverlongLine(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("1 1 1 1.0\n")
+	b.WriteString("2 2 2 ")
+	b.WriteString(strings.Repeat("9", 1<<20))
+	b.WriteString("\n")
+	_, err := ReadTNS(strings.NewReader(b.String()), nil)
+	if err == nil {
+		t.Fatal("overlong line accepted")
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("error does not wrap bufio.ErrTooLong: %v", err)
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error does not name the failing line: %v", err)
+	}
+
+	// The streaming parser shares the scanner; it must report the same way.
+	if _, _, err := StreamTNS(strings.NewReader(b.String()), nil, func([]int32, float64) error { return nil }); err == nil || !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("StreamTNS: %v", err)
 	}
 }
