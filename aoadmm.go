@@ -33,6 +33,7 @@ import (
 	"aoadmm/internal/datasets"
 	"aoadmm/internal/eval"
 	"aoadmm/internal/kruskal"
+	"aoadmm/internal/obs"
 	"aoadmm/internal/ooc"
 	"aoadmm/internal/prox"
 	"aoadmm/internal/stats"
@@ -77,6 +78,18 @@ type Metrics = stats.Metrics
 // MetricsReport is the JSON-serializable snapshot produced by
 // Metrics.Report, schema "aoadmm-metrics/v1".
 type MetricsReport = stats.Report
+
+// Tracer is a low-overhead span recorder. Assign one to Options.Tracer (or
+// the ALS/HALS equivalent) to record outer-iteration, kernel, scheduler, and
+// out-of-core spans into per-thread ring buffers, then export them as a
+// Chrome trace_event file with WriteChromeFile. A nil *Tracer is safe
+// everywhere; every method is a no-op.
+type Tracer = obs.Tracer
+
+// NewTracer creates a tracer sized for the given worker count (<= 0 means
+// GOMAXPROCS) with the default per-shard ring capacity. Pass the same thread
+// count as Options.Threads so worker spans land on dedicated shards.
+func NewTracer(threads int) *Tracer { return obs.New(threads) }
 
 // ALSOptions configures FactorizeALS.
 type ALSOptions = core.ALSOptions

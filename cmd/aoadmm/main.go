@@ -41,7 +41,8 @@ func main() {
 		algo       = flag.String("algo", "aoadmm", "solver: aoadmm|hals|als")
 		adaptive   = flag.Bool("adaptive-rho", false, "per-block ADMM penalty rebalancing")
 		output     = flag.String("output", "", "prefix for writing factor matrices (prefix_mode0.txt, ...)")
-		profile    = flag.String("profile", "", "write an aoadmm-metrics/v1 JSON report to this file (see docs/TUNING.md)")
+		profile    = flag.String("profile", "", "write an aoadmm-metrics/v1 JSON report to this file (see docs/OBSERVABILITY.md)")
+		trace      = flag.String("trace", "", "write a Chrome trace_event JSON file to this path (open in chrome://tracing or Perfetto)")
 		quiet      = flag.Bool("quiet", false, "suppress per-iteration progress")
 		oocFlag    = flag.Bool("ooc", false, "force out-of-core execution (shard-streaming MTTKRP)")
 		memBudget  = flag.Int64("mem-budget", 0, "memory budget in MiB; tensors whose estimated in-memory footprint exceeds it run out-of-core (0 = unlimited)")
@@ -55,7 +56,7 @@ func main() {
 		tol: *tol, blockSize: *blockSize, seed: *seed, output: *output,
 		quiet: *quiet, singleCSF: *singleCSF, autoBlock: *autoBlock,
 		autoStruct: *autoStruct, algo: *algo, adaptiveRho: *adaptive,
-		profile: *profile, ooc: *oocFlag, memBudgetMB: *memBudget,
+		profile: *profile, trace: *trace, ooc: *oocFlag, memBudgetMB: *memBudget,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "aoadmm:", err)
 		os.Exit(1)
@@ -78,6 +79,7 @@ type runConfig struct {
 	adaptiveRho                      bool
 	algo                             string
 	profile                          string
+	trace                            string
 	ooc                              bool
 	memBudgetMB                      int64
 }
@@ -107,6 +109,11 @@ func run(c runConfig) error {
 		return err
 	}
 
+	var tracer *aoadmm.Tracer
+	if c.trace != "" {
+		tracer = aoadmm.NewTracer(threads)
+	}
+
 	opts := aoadmm.Options{
 		Rank:            rank,
 		Constraints:     constraints,
@@ -118,6 +125,7 @@ func run(c runConfig) error {
 		Seed:            seed,
 		MemBudgetBytes:  budgetBytes,
 		CollectMetrics:  c.profile != "",
+		Tracer:          tracer,
 	}
 	switch variant {
 	case "blocked":
@@ -165,12 +173,12 @@ func run(c runConfig) error {
 		}
 		res, err = aoadmm.FactorizeHALS(x, aoadmm.HALSOptions{
 			Rank: rank, MaxOuterIters: maxOuter, Tol: tol, Threads: threads, Seed: seed,
-			CollectMetrics: c.profile != "",
+			CollectMetrics: c.profile != "", Tracer: tracer,
 		})
 	case "als":
 		alsOpts := aoadmm.ALSOptions{
 			Rank: rank, MaxOuterIters: maxOuter, Tol: tol, Threads: threads, Seed: seed, Ridge: 1e-10,
-			MemBudgetBytes: budgetBytes, CollectMetrics: c.profile != "",
+			MemBudgetBytes: budgetBytes, CollectMetrics: c.profile != "", Tracer: tracer,
 		}
 		if sharded != nil {
 			res, err = aoadmm.FactorizeALSOOC(sharded, alsOpts)
@@ -200,6 +208,17 @@ func run(c runConfig) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", c.profile)
+	}
+
+	if c.trace != "" {
+		if err := tracer.WriteChromeFile(c.trace); err != nil {
+			return err
+		}
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Printf("wrote %s (ring overflow: %d oldest events dropped)\n", c.trace, d)
+		} else {
+			fmt.Printf("wrote %s\n", c.trace)
+		}
 	}
 
 	if output != "" {

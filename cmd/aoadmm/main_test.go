@@ -272,3 +272,122 @@ func TestRunProfileAlternativeSolvers(t *testing.T) {
 		}
 	}
 }
+
+// chromeDoc mirrors the Chrome trace_event JSON envelope for test decoding.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func readChromeDoc(t *testing.T, path string) chromeDoc {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X", "i", "M":
+		default:
+			t.Fatalf("unexpected phase %q for event %q", ev.Ph, ev.Name)
+		}
+	}
+	return doc
+}
+
+// -trace must produce a schema-valid Chrome trace with one mttkrp kernel
+// span per (outer iteration x mode) and one outer_iter span per iteration,
+// for every solver.
+func TestRunTraceWritesChromeTrace(t *testing.T) {
+	const outers = 4
+	for _, algo := range []string{"aoadmm", "hals", "als"} {
+		path := filepath.Join(t.TempDir(), algo+".json")
+		c := runConfig{
+			dataset: "patents", scale: "small", rank: 3, constraint: "nonneg",
+			variant: "blocked", structure: "csr", sparsity: true, threads: 2,
+			maxOuter: outers, tol: 1e-300, blockSize: 16, seed: 1, quiet: true,
+			algo: algo, trace: path,
+		}
+		if err := run(c); err != nil {
+			t.Fatalf("algo %s: %v", algo, err)
+		}
+		doc := readChromeDoc(t, path)
+		mttkrp, outerIters, sched := 0, 0, 0
+		for _, ev := range doc.TraceEvents {
+			switch {
+			case ev.Cat == "kernel" && ev.Name == "mttkrp":
+				mttkrp++
+			case ev.Cat == "outer" && ev.Name == "outer_iter":
+				outerIters++
+			case ev.Cat == "sched" && ev.Name == "chunk":
+				sched++
+			}
+		}
+		// The patents proxy is an order-3 tensor: one MTTKRP per mode per
+		// outer iteration.
+		if mttkrp != outers*3 {
+			t.Errorf("algo %s: %d mttkrp spans, want %d", algo, mttkrp, outers*3)
+		}
+		if outerIters != outers {
+			t.Errorf("algo %s: %d outer_iter spans, want %d", algo, outerIters, outers)
+		}
+		if sched == 0 {
+			t.Errorf("algo %s: no scheduler chunk spans", algo)
+		}
+	}
+}
+
+// With -ooc the trace must additionally carry shard-pipeline events from
+// the prefetcher and the consumer.
+func TestRunTraceOutOfCore(t *testing.T) {
+	dir := t.TempDir()
+	x, _, err := aoadmm.GeneratePlanted(aoadmm.GenOptions{
+		Dims: []int{16, 12, 10}, NNZ: 800, Rank: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(dir, "in.tns")
+	if err := aoadmm.SaveTensor(in, x); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "trace.json")
+	if err := run(runConfig{
+		input: in, scale: "small", rank: 3, constraint: "nonneg",
+		variant: "blocked", structure: "csr", threads: 1,
+		maxOuter: 3, tol: 1e-300, blockSize: 4, seed: 1, quiet: true,
+		ooc: true, memBudgetMB: 1, trace: path,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	doc := readChromeDoc(t, path)
+	loads, computes := 0, 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Cat != "ooc" {
+			continue
+		}
+		switch ev.Name {
+		case "shard_load":
+			loads++
+		case "shard_compute":
+			computes++
+		}
+	}
+	if loads == 0 || computes == 0 {
+		t.Fatalf("missing ooc spans: %d shard_load, %d shard_compute", loads, computes)
+	}
+}

@@ -7,13 +7,14 @@
 //
 //	aoadmmd -addr :8642 -data /var/lib/aoadmmd
 //
-// See docs/SERVING.md for the API surface and a curl quick-start. Jobs are
-// durable: every state transition is written to a fsync'd journal under the
-// data dir, so a daemon killed at any instant — SIGKILL included — restarts
-// with queued jobs re-enqueued and interrupted jobs resumed from their last
-// checkpoint. The daemon shuts down gracefully on SIGINT/SIGTERM: queued
-// jobs are canceled, running jobs are stopped at their next outer iteration
-// and their partial factors checkpointed.
+// See docs/SERVING.md for the API surface and a curl quick-start, and
+// docs/OBSERVABILITY.md for logging, metrics scraping, and profiling. Jobs
+// are durable: every state transition is written to a fsync'd journal under
+// the data dir, so a daemon killed at any instant — SIGKILL included —
+// restarts with queued jobs re-enqueued and interrupted jobs resumed from
+// their last checkpoint. The daemon shuts down gracefully on SIGINT/SIGTERM:
+// queued jobs are canceled, running jobs are stopped at their next outer
+// iteration and their partial factors checkpointed.
 package main
 
 import (
@@ -21,8 +22,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,8 +45,17 @@ func main() {
 		retryBase   = flag.Duration("retry-backoff", 500*time.Millisecond, "base retry backoff, doubled per attempt with jitter")
 		jobTimeout  = flag.Duration("job-timeout", 0, "default per-attempt wall-clock budget for jobs (0 = none; timeout_sec in a job spec overrides)")
 		journal     = flag.String("journal", "", "write-ahead job journal path (default <data>/journal.jsonl)")
+		logFormat   = flag.String("log-format", "text", "structured log format: text|json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aoadmmd:", err)
+		os.Exit(1)
+	}
 
 	cfg := serve.Config{
 		DataDir:        *dataDir,
@@ -55,31 +66,83 @@ func main() {
 		RetryBackoff:   *retryBase,
 		JobTimeout:     *jobTimeout,
 		JournalPath:    *journal,
+		Logger:         logger,
 	}
-	if err := run(*addr, cfg, *grace); err != nil {
+	if err := run(*addr, *pprofAddr, cfg, *grace, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "aoadmmd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg serve.Config, grace time.Duration) error {
+// buildLogger constructs the daemon's slog root from the -log-format and
+// -log-level flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text|json)", format)
+	}
+}
+
+// pprofHandler builds an explicit pprof mux (the debug endpoints must never
+// ride on the public API listener, so the net/http/pprof DefaultServeMux
+// registration is not used).
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func run(addr, pprofAddr string, cfg serve.Config, grace time.Duration, logger *slog.Logger) error {
 	s, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
 	for _, w := range s.Warnings() {
-		log.Printf("warning: skipped %s", w)
+		logger.Warn("model skipped at startup", "reason", w)
 	}
-	log.Printf("data dir %s: %d model(s) loaded", cfg.DataDir, s.Registry().Len())
+	logger.Info("registry loaded", "data_dir", cfg.DataDir, "models", s.Registry().Len())
 	if rec := s.Recovery(); rec.Requeued+rec.Resumed+rec.Restarted+rec.Adopted+rec.Terminal > 0 {
-		log.Printf("journal recovery: %d requeued, %d resumed from checkpoint, %d restarted, %d adopted, %d terminal",
-			rec.Requeued, rec.Resumed, rec.Restarted, rec.Adopted, rec.Terminal)
+		logger.Info("journal recovery", "requeued", rec.Requeued, "resumed", rec.Resumed,
+			"restarted", rec.Restarted, "adopted", rec.Adopted, "terminal", rec.Terminal)
+	}
+
+	var pprofSrv *http.Server
+	if pprofAddr != "" {
+		pprofSrv = &http.Server{Addr: pprofAddr, Handler: pprofHandler()}
+		go func() {
+			logger.Info("pprof listening", "addr", pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "error", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{Addr: addr, Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s (%d workers, queue %d)", addr, cfg.Workers, cfg.QueueCap)
+		logger.Info("listening", "addr", addr, "workers", cfg.Workers, "queue_cap", cfg.QueueCap)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -90,18 +153,21 @@ func run(addr string, cfg serve.Config, grace time.Duration) error {
 		s.Shutdown(grace)
 		return err
 	case sig := <-sigc:
-		log.Printf("received %s, shutting down (grace %s)", sig, grace)
+		logger.Info("shutting down", "signal", sig.String(), "grace", grace)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Error("http shutdown", "error", err)
+	}
+	if pprofSrv != nil {
+		_ = pprofSrv.Shutdown(ctx)
 	}
 	s.Shutdown(grace)
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	log.Printf("bye")
+	logger.Info("bye")
 	return nil
 }

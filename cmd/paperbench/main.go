@@ -28,16 +28,17 @@ func main() {
 		csvDir   = flag.String("csv", "", "directory for CSV output (optional)")
 		only     = flag.String("datasets", "", "comma-separated dataset subset (default all)")
 		profile  = flag.String("profile", "", "write an aoadmm-metrics/v1 JSON report per dataset to this file")
+		trace    = flag.String("trace", "", "write a Chrome trace_event JSON file of the profiling runs to this path")
 	)
 	flag.Parse()
 
-	if err := run(*scale, *rank, *threads, *maxOuter, *csvDir, *only, *profile, flag.Args()); err != nil {
+	if err := run(*scale, *rank, *threads, *maxOuter, *csvDir, *only, *profile, *trace, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale string, rank, threads, maxOuter int, csvDir, only, profile string, args []string) error {
+func run(scale string, rank, threads, maxOuter int, csvDir, only, profile, trace string, args []string) error {
 	cfg := experiments.Config{
 		Rank:     rank,
 		Threads:  threads,
@@ -58,11 +59,19 @@ func run(scale string, rank, threads, maxOuter int, csvDir, only, profile string
 	if only != "" {
 		cfg.Datasets = splitCommas(only)
 	}
-	if len(args) == 0 {
+	if len(args) == 0 && (profile != "" || trace != "") {
+		// -profile / -trace with no experiment list runs only those passes.
 		if profile != "" {
-			// -profile with no experiment list runs only the profiling pass.
-			return experiments.Profile(cfg, profile)
+			if err := experiments.Profile(cfg, profile); err != nil {
+				return err
+			}
 		}
+		if trace != "" {
+			return experiments.TraceChrome(cfg, trace)
+		}
+		return nil
+	}
+	if len(args) == 0 {
 		args = []string{"all"}
 	}
 	for _, exp := range args {
@@ -116,7 +125,12 @@ func run(scale string, rank, threads, maxOuter int, csvDir, only, profile string
 		}
 	}
 	if profile != "" {
-		return experiments.Profile(cfg, profile)
+		if err := experiments.Profile(cfg, profile); err != nil {
+			return err
+		}
+	}
+	if trace != "" {
+		return experiments.TraceChrome(cfg, trace)
 	}
 	return nil
 }

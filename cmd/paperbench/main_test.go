@@ -32,23 +32,23 @@ func TestSplitCommas(t *testing.T) {
 }
 
 func TestRunRejectsBadArgs(t *testing.T) {
-	if err := run("warp", 0, 0, 0, "", "", "", nil); err == nil {
+	if err := run("warp", 0, 0, 0, "", "", "", "", nil); err == nil {
 		t.Error("bad scale accepted")
 	}
-	if err := run("small", 0, 0, 0, "", "", "", []string{"figure9"}); err == nil {
+	if err := run("small", 0, 0, 0, "", "", "", "", []string{"figure9"}); err == nil {
 		t.Error("bad experiment accepted")
 	}
 }
 
 func TestRunDispatchesExperiments(t *testing.T) {
 	// Exercise the cheap experiment paths end to end at small scale.
-	if err := run("small", 4, 1, 3, t.TempDir(), "patents", "", []string{"table1", "fig4", "fig5"}); err != nil {
+	if err := run("small", 4, 1, 3, t.TempDir(), "patents", "", "", []string{"table1", "fig4", "fig5"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunDatasetSubset(t *testing.T) {
-	if err := run("small", 4, 1, 2, "", "patents,reddit", "", []string{"table1"}); err != nil {
+	if err := run("small", 4, 1, 2, "", "patents,reddit", "", "", []string{"table1"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -56,7 +56,7 @@ func TestRunDatasetSubset(t *testing.T) {
 func TestRunProfile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "profile.json")
 	// No experiment args + -profile runs only the profiling pass.
-	if err := run("small", 4, 1, 2, "", "patents", path, nil); err != nil {
+	if err := run("small", 4, 1, 2, "", "patents", path, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

@@ -1,0 +1,39 @@
+// Command promcheck validates Prometheus text exposition format 0.0.4 read
+// from stdin (or a file argument): metric-name syntax, HELP/TYPE uniqueness
+// and ordering, duplicate series, and histogram invariants (ascending le,
+// monotone cumulative counts, a +Inf bucket equal to _count, a _sum sample).
+//
+// Usage:
+//
+//	curl -s localhost:8642/metrics?format=prometheus | promcheck
+//	promcheck metrics.txt
+//
+// Exit status 0 means the input parses clean; 1 reports the first violation
+// on stderr. CI uses it to gate the daemon's /metrics exposition.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"aoadmm/internal/obs"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promcheck:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := obs.ValidateExposition(in); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Println("ok")
+}

@@ -408,7 +408,9 @@ func RunBlocked(h, u, k, g *dense.Matrix, ws *Workspace, cfg Config) (Stats, err
 	ratioSq := ratio * ratio // residual pieces are squared norms
 	adaptations := make([]int64, nBlocks)
 
+	tracer := cfg.Telem.Tracer()
 	par.DynamicItemsT(cfg.Telem, nBlocks, threads, func(tid, b int) {
+		sp := tracer.Begin("admm", "admm_block", -1, tid, int64(b))
 		begin := b * bs
 		end := min(begin+bs, h.Rows)
 		hb := h.RowBlock(begin, end)
@@ -462,6 +464,7 @@ func RunBlocked(h, u, k, g *dense.Matrix, ws *Workspace, cfg Config) (Stats, err
 				adaptations[b]++
 			}
 		}
+		sp.End()
 	})
 
 	st := Stats{Blocks: nBlocks, Converged: true, MinIterations: iters[0], BlockIters: iters}

@@ -10,6 +10,7 @@ import (
 	"aoadmm/internal/dense"
 	"aoadmm/internal/kruskal"
 	"aoadmm/internal/mttkrp"
+	"aoadmm/internal/obs"
 	"aoadmm/internal/ooc"
 	"aoadmm/internal/par"
 	"aoadmm/internal/stats"
@@ -40,6 +41,12 @@ type ALSOptions struct {
 	// Ctx, when non-nil, stops the run at the next outer-iteration boundary
 	// once done; the current iterate is returned with Stopped set.
 	Ctx context.Context
+	// OnIteration, when non-nil, is invoked after every outer iteration
+	// with the current trace point. Returning false stops the run.
+	OnIteration func(stats.TracePoint) bool
+	// Tracer, when non-nil, records outer-iteration, kernel, and scheduler
+	// spans exactly as Options.Tracer does for AO-ADMM runs.
+	Tracer *obs.Tracer
 }
 
 // FactorizeALS computes an unconstrained CPD with alternating least squares:
@@ -74,7 +81,7 @@ func FactorizeALSOOC(st *ooc.ShardedTensor, opts ALSOptions) (*Result, error) {
 	return factorizeALS(engineSpec{
 		dims:   st.Dims(),
 		normSq: st.NormSq(),
-		build:  func() mttkrpEngine { return newOOCEngine(st, opts.Rank, opts.MemBudgetBytes) },
+		build:  func() mttkrpEngine { return newOOCEngine(st, opts.Rank, opts.MemBudgetBytes, opts.Tracer) },
 	}, opts)
 }
 
@@ -92,15 +99,19 @@ func factorizeALS(spec engineSpec, opts ALSOptions) (*Result, error) {
 	}
 
 	bd := stats.NewBreakdown()
+	tr := opts.Tracer
 	var met *stats.Metrics
 	var tel *par.Telemetry
 	if opts.CollectMetrics {
 		met = stats.NewMetrics()
+	}
+	if opts.CollectMetrics || tr != nil {
 		tel = par.NewTelemetry(par.Threads(opts.Threads))
+		tel.SetTracer(tr)
 	}
 	start := time.Now()
 	var eng mttkrpEngine
-	timedKernel(bd, stats.PhaseSetup, met, stats.KernelCSFSetup, stats.ModeNone, func() {
+	timedKernel(tr, bd, stats.PhaseSetup, met, stats.KernelCSFSetup, stats.ModeNone, func() {
 		eng = spec.build()
 	})
 
@@ -123,11 +134,12 @@ func factorizeALS(spec engineSpec, opts ALSOptions) (*Result, error) {
 			break
 		}
 		res.OuterIters = outer
+		iterStart := time.Now()
 		var lastK *dense.Matrix
 		var lastMode int
 		for m := 0; m < order; m++ {
 			var g *dense.Matrix
-			timedKernel(bd, stats.PhaseOther, met, stats.KernelGram, m, func() {
+			timedKernel(tr, bd, stats.PhaseOther, met, stats.KernelGram, m, func() {
 				g = gramProduct(grams, m)
 				if opts.Ridge > 0 {
 					g = dense.AddScaledIdentity(g, opts.Ridge)
@@ -135,7 +147,7 @@ func factorizeALS(spec engineSpec, opts ALSOptions) (*Result, error) {
 			})
 			k := kmat.RowBlock(0, spec.dims[m])
 			var mttkrpErr error
-			timedKernel(bd, stats.PhaseMTTKRP, met, stats.KernelMTTKRP, m, func() {
+			timedKernel(tr, bd, stats.PhaseMTTKRP, met, stats.KernelMTTKRP, m, func() {
 				withKernelLabels("mttkrp", m, func() {
 					mttkrpErr = eng.mttkrp(m, model.Factors, k, nil,
 						mttkrp.Options{Threads: opts.Threads, Telem: tel})
@@ -145,7 +157,7 @@ func factorizeALS(spec engineSpec, opts ALSOptions) (*Result, error) {
 				return nil, fmt.Errorf("core: ALS mode %d outer %d: %w", m, outer, mttkrpErr)
 			}
 			var solveErr error
-			timedKernel(bd, stats.PhaseADMM, met, stats.KernelCholesky, m, func() {
+			timedKernel(tr, bd, stats.PhaseADMM, met, stats.KernelCholesky, m, func() {
 				ch, _, err := dense.NewCholeskyJitter(g, 0, 30)
 				if err != nil {
 					solveErr = err
@@ -157,14 +169,14 @@ func factorizeALS(spec engineSpec, opts ALSOptions) (*Result, error) {
 			if solveErr != nil {
 				return nil, fmt.Errorf("core: ALS mode %d outer %d: %w", m, outer, solveErr)
 			}
-			timedKernel(bd, stats.PhaseOther, met, stats.KernelGram, m, func() {
+			timedKernel(tr, bd, stats.PhaseOther, met, stats.KernelGram, m, func() {
 				grams[m] = dense.Gram(model.Factors[m], opts.Threads)
 			})
 			lastK, lastMode = k, m
 		}
 
 		var relErr float64
-		timedKernel(bd, stats.PhaseOther, met, stats.KernelFit, stats.ModeNone, func() {
+		timedKernel(tr, bd, stats.PhaseOther, met, stats.KernelFit, stats.ModeNone, func() {
 			inner := kruskal.InnerWithMTTKRP(lastK, model.Factors[lastMode])
 			relErr = kruskal.RelErr(xNormSq, inner, kruskal.NormSqFromGrams(grams))
 		})
@@ -174,7 +186,12 @@ func factorizeALS(spec engineSpec, opts ALSOptions) (*Result, error) {
 				met.RecordDensity(outer, m, dense.Density(model.Factors[m], 0), "DENSE")
 			}
 		}
-		res.Trace.Append(stats.TracePoint{Iteration: outer, Elapsed: time.Since(start), RelErr: relErr})
+		point := stats.TracePoint{Iteration: outer, Elapsed: time.Since(start), RelErr: relErr}
+		res.Trace.Append(point)
+		tr.Emit("outer", "outer_iter", stats.ModeNone, obs.TIDDriver, int64(outer), iterStart, time.Since(iterStart))
+		if opts.OnIteration != nil && !opts.OnIteration(point) {
+			break
+		}
 		if math.Abs(prevErr-relErr) < opts.Tol {
 			res.Converged = true
 			break

@@ -22,6 +22,7 @@ import (
 	"aoadmm/internal/faults"
 	"aoadmm/internal/kruskal"
 	"aoadmm/internal/mttkrp"
+	"aoadmm/internal/obs"
 	"aoadmm/internal/ooc"
 	"aoadmm/internal/par"
 	"aoadmm/internal/prox"
@@ -205,6 +206,13 @@ type Options struct {
 	// ranks — leave it off outside profiling runs (off, the solvers take
 	// their untimed code paths).
 	CollectMetrics bool
+	// Tracer, when non-nil, records spans into per-thread ring buffers:
+	// outer iterations, per-mode kernels, ADMM blocks, scheduler chunks, and
+	// OOC shard pipeline events, exportable as Chrome trace_event JSON
+	// (obs.Tracer.WriteChrome, the -trace CLI flag). nil — the default —
+	// keeps every instrumentation point a single nil check with zero
+	// allocations; see docs/OBSERVABILITY.md.
+	Tracer *obs.Tracer
 }
 
 func (o *Options) fill(order int) error {
@@ -341,7 +349,7 @@ func FactorizeOOC(st *ooc.ShardedTensor, opts Options) (*Result, error) {
 	return factorize(engineSpec{
 		dims:   st.Dims(),
 		normSq: st.NormSq(),
-		build:  func() mttkrpEngine { return newOOCEngine(st, opts.Rank, opts.MemBudgetBytes) },
+		build:  func() mttkrpEngine { return newOOCEngine(st, opts.Rank, opts.MemBudgetBytes, opts.Tracer) },
 	}, opts)
 }
 
@@ -353,11 +361,17 @@ func factorize(spec engineSpec, opts Options) (*Result, error) {
 	}
 
 	bd := stats.NewBreakdown()
+	tr := opts.Tracer
 	var met *stats.Metrics
 	var tel *par.Telemetry
 	if opts.CollectMetrics {
 		met = stats.NewMetrics()
+	}
+	if opts.CollectMetrics || tr != nil {
+		// Telemetry is also the tracer's carrier into the fork-join regions,
+		// so tracing alone turns the timed scheduler paths on.
 		tel = par.NewTelemetry(par.Threads(opts.Threads))
+		tel.SetTracer(tr)
 	}
 	start := time.Now()
 
@@ -365,7 +379,7 @@ func factorize(spec engineSpec, opts Options) (*Result, error) {
 	// mode, or a single shortest-mode tree under SingleCSF), the shard
 	// streamer for out-of-core runs.
 	var eng mttkrpEngine
-	timedKernel(bd, stats.PhaseSetup, met, stats.KernelCSFSetup, stats.ModeNone, func() {
+	timedKernel(tr, bd, stats.PhaseSetup, met, stats.KernelCSFSetup, stats.ModeNone, func() {
 		eng = spec.build()
 	})
 
@@ -437,13 +451,14 @@ func factorize(spec engineSpec, opts Options) (*Result, error) {
 			break
 		}
 		res.OuterIters = outer
+		iterStart := time.Now()
 		iterInner := 0
 		var lastK *dense.Matrix
 		var lastMode int
 		for m := 0; m < order; m++ {
 			// G = ∗_{n≠m} AₙᵀAₙ (Algorithm 2, lines 4/8/12).
 			var g *dense.Matrix
-			timedKernel(bd, stats.PhaseOther, met, stats.KernelGram, m, func() {
+			timedKernel(tr, bd, stats.PhaseOther, met, stats.KernelGram, m, func() {
 				g = gramProduct(grams, m)
 			})
 
@@ -454,7 +469,7 @@ func factorize(spec engineSpec, opts Options) (*Result, error) {
 			k := kmat.RowBlock(0, spec.dims[m])
 			var leaf mttkrp.LeafFactor
 			var mttkrpErr error
-			timedKernel(bd, stats.PhaseMTTKRP, met, stats.KernelMTTKRP, m, func() {
+			timedKernel(tr, bd, stats.PhaseMTTKRP, met, stats.KernelMTTKRP, m, func() {
 				withKernelLabels("mttkrp", m, func() {
 					leaf = leafFor(opts, eng.leafTree(m), model, versions, images, res)
 					mttkrpErr = eng.mttkrp(m, model.Factors, k, leaf,
@@ -473,7 +488,7 @@ func factorize(spec engineSpec, opts Options) (*Result, error) {
 			}
 			var st admm.Stats
 			var err error
-			timedKernel(bd, stats.PhaseADMM, met, stats.KernelADMMInner, m, func() {
+			timedKernel(tr, bd, stats.PhaseADMM, met, stats.KernelADMMInner, m, func() {
 				withKernelLabels("admm", m, func() {
 					if opts.Variant == Baseline {
 						st, err = admm.Run(model.Factors[m], duals[m], k, g, ws, admmCfg)
@@ -494,7 +509,7 @@ func factorize(spec engineSpec, opts Options) (*Result, error) {
 			iterInner += st.Iterations
 			res.RowIters += st.RowIterations
 
-			timedKernel(bd, stats.PhaseOther, met, stats.KernelGram, m, func() {
+			timedKernel(tr, bd, stats.PhaseOther, met, stats.KernelGram, m, func() {
 				grams[m] = dense.Gram(model.Factors[m], opts.Threads)
 			})
 			lastK, lastMode = k, m
@@ -505,7 +520,7 @@ func factorize(spec engineSpec, opts Options) (*Result, error) {
 		// that mode's factor, so ⟨X, M⟩ = Σ K∘A_m holds for the updated
 		// factor (§V-A, computed without another tensor pass).
 		var relErr float64
-		timedKernel(bd, stats.PhaseOther, met, stats.KernelFit, stats.ModeNone, func() {
+		timedKernel(tr, bd, stats.PhaseOther, met, stats.KernelFit, stats.ModeNone, func() {
 			inner := kruskal.InnerWithMTTKRP(lastK, model.Factors[lastMode])
 			mNormSq := kruskal.NormSqFromGrams(grams)
 			relErr = kruskal.RelErr(xNormSq, inner, mNormSq)
@@ -530,6 +545,7 @@ func factorize(spec engineSpec, opts Options) (*Result, error) {
 			InnerIters: iterInner,
 		}
 		res.Trace.Append(point)
+		tr.Emit("outer", "outer_iter", stats.ModeNone, obs.TIDDriver, int64(outer), iterStart, time.Since(iterStart))
 		if opts.CheckpointDir != "" {
 			every := opts.CheckpointEvery
 			if every <= 0 {

@@ -6,6 +6,7 @@ import (
 	"aoadmm/internal/csf"
 	"aoadmm/internal/dense"
 	"aoadmm/internal/mttkrp"
+	"aoadmm/internal/obs"
 	"aoadmm/internal/ooc"
 	"aoadmm/internal/stats"
 	"aoadmm/internal/tensor"
@@ -86,12 +87,14 @@ type oocEngine struct {
 	budget  int64
 }
 
-func newOOCEngine(st *ooc.ShardedTensor, rank int, budgetBytes int64) *oocEngine {
-	return &oocEngine{
+func newOOCEngine(st *ooc.ShardedTensor, rank int, budgetBytes int64, tr *obs.Tracer) *oocEngine {
+	e := &oocEngine{
 		st:      st,
 		scratch: dense.New(maxDim(st.Dims()), rank),
 		budget:  budgetBytes,
 	}
+	e.stats.Trace = tr
+	return e
 }
 
 func (e *oocEngine) leafTree(int) *csf.Tensor { return nil }

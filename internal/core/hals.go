@@ -11,6 +11,7 @@ import (
 	"aoadmm/internal/dense"
 	"aoadmm/internal/kruskal"
 	"aoadmm/internal/mttkrp"
+	"aoadmm/internal/obs"
 	"aoadmm/internal/par"
 	"aoadmm/internal/stats"
 	"aoadmm/internal/tensor"
@@ -34,6 +35,12 @@ type HALSOptions struct {
 	// Ctx, when non-nil, stops the run at the next outer-iteration boundary
 	// once done; the current iterate is returned with Stopped set.
 	Ctx context.Context
+	// OnIteration, when non-nil, is invoked after every outer iteration
+	// with the current trace point. Returning false stops the run.
+	OnIteration func(stats.TracePoint) bool
+	// Tracer, when non-nil, records outer-iteration, kernel, and scheduler
+	// spans exactly as Options.Tracer does for AO-ADMM runs.
+	Tracer *obs.Tracer
 }
 
 // FactorizeHALS computes a non-negative CPD with hierarchical alternating
@@ -69,15 +76,19 @@ func FactorizeHALS(x *tensor.COO, opts HALSOptions) (*Result, error) {
 	rank := opts.Rank
 
 	bd := stats.NewBreakdown()
+	tr := opts.Tracer
 	var met *stats.Metrics
 	var tel *par.Telemetry
 	if opts.CollectMetrics {
 		met = stats.NewMetrics()
+	}
+	if opts.CollectMetrics || tr != nil {
 		tel = par.NewTelemetry(par.Threads(opts.Threads))
+		tel.SetTracer(tr)
 	}
 	start := time.Now()
 	var trees *csf.Set
-	timedKernel(bd, stats.PhaseSetup, met, stats.KernelCSFSetup, stats.ModeNone, func() {
+	timedKernel(tr, bd, stats.PhaseSetup, met, stats.KernelCSFSetup, stats.ModeNone, func() {
 		trees = csf.BuildSet(x.Clone())
 	})
 
@@ -100,33 +111,34 @@ func FactorizeHALS(x *tensor.COO, opts HALSOptions) (*Result, error) {
 			break
 		}
 		res.OuterIters = outer
+		iterStart := time.Now()
 		var lastK *dense.Matrix
 		var lastMode int
 		for m := 0; m < order; m++ {
 			var g *dense.Matrix
-			timedKernel(bd, stats.PhaseOther, met, stats.KernelGram, m, func() {
+			timedKernel(tr, bd, stats.PhaseOther, met, stats.KernelGram, m, func() {
 				g = gramProduct(grams, m)
 			})
 			k := kmat.RowBlock(0, x.Dims[m])
-			timedKernel(bd, stats.PhaseMTTKRP, met, stats.KernelMTTKRP, m, func() {
+			timedKernel(tr, bd, stats.PhaseMTTKRP, met, stats.KernelMTTKRP, m, func() {
 				withKernelLabels("mttkrp", m, func() {
 					mttkrp.Compute(trees.Tree(m), model.Factors, k, nil,
 						mttkrp.Options{Threads: opts.Threads, Telem: tel})
 				})
 			})
-			timedKernel(bd, stats.PhaseADMM, met, stats.KernelHALSUpdate, m, func() {
+			timedKernel(tr, bd, stats.PhaseADMM, met, stats.KernelHALSUpdate, m, func() {
 				withKernelLabels("hals", m, func() {
 					halsUpdate(model.Factors[m], k, g, opts.Threads, tel)
 				})
 			})
-			timedKernel(bd, stats.PhaseOther, met, stats.KernelGram, m, func() {
+			timedKernel(tr, bd, stats.PhaseOther, met, stats.KernelGram, m, func() {
 				grams[m] = dense.Gram(model.Factors[m], opts.Threads)
 			})
 			lastK, lastMode = k, m
 		}
 
 		var relErr float64
-		timedKernel(bd, stats.PhaseOther, met, stats.KernelFit, stats.ModeNone, func() {
+		timedKernel(tr, bd, stats.PhaseOther, met, stats.KernelFit, stats.ModeNone, func() {
 			inner := kruskal.InnerWithMTTKRP(lastK, model.Factors[lastMode])
 			relErr = kruskal.RelErr(xNormSq, inner, kruskal.NormSqFromGrams(grams))
 		})
@@ -136,7 +148,12 @@ func FactorizeHALS(x *tensor.COO, opts HALSOptions) (*Result, error) {
 				met.RecordDensity(outer, m, dense.Density(model.Factors[m], 0), "DENSE")
 			}
 		}
-		res.Trace.Append(stats.TracePoint{Iteration: outer, Elapsed: time.Since(start), RelErr: relErr})
+		point := stats.TracePoint{Iteration: outer, Elapsed: time.Since(start), RelErr: relErr}
+		res.Trace.Append(point)
+		tr.Emit("outer", "outer_iter", stats.ModeNone, obs.TIDDriver, int64(outer), iterStart, time.Since(iterStart))
+		if opts.OnIteration != nil && !opts.OnIteration(point) {
+			break
+		}
 		if math.Abs(prevErr-relErr) < opts.Tol {
 			res.Converged = true
 			break

@@ -7,20 +7,23 @@ import (
 	"time"
 
 	"aoadmm/internal/mttkrp"
+	"aoadmm/internal/obs"
 	"aoadmm/internal/sparse"
 	"aoadmm/internal/stats"
 )
 
-// timedKernel runs fn, charging its wall time to both the coarse four-bucket
-// breakdown (phase p, the paper's Fig. 3 granularity) and — when metrics
-// collection is on — the fine per-mode kernel k. One clock pair serves both;
-// met is nil-safe, so disabled runs pay a nil check.
-func timedKernel(bd *stats.Breakdown, p stats.Phase, met *stats.Metrics, k stats.Kernel, mode int, fn func()) {
+// timedKernel runs fn, charging its wall time to the coarse four-bucket
+// breakdown (phase p, the paper's Fig. 3 granularity), to the fine per-mode
+// kernel k when metrics collection is on, and to a "kernel" span on the
+// driver's trace ring when tracing is on. One clock pair serves all three;
+// met and tr are nil-safe, so disabled runs pay two nil checks.
+func timedKernel(tr *obs.Tracer, bd *stats.Breakdown, p stats.Phase, met *stats.Metrics, k stats.Kernel, mode int, fn func()) {
 	start := time.Now()
 	fn()
 	d := time.Since(start)
 	bd.Add(p, d)
 	met.AddKernel(k, mode, d)
+	tr.Emit("kernel", string(k), mode, obs.TIDDriver, -1, start, d)
 }
 
 // withKernelLabels runs fn under pprof labels ("kernel", "mode") so CPU

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aoadmm/internal/core"
+	"aoadmm/internal/datasets"
+	"aoadmm/internal/obs"
+	"aoadmm/internal/par"
+	"aoadmm/internal/prox"
+	"aoadmm/internal/stats"
+)
+
+// TraceChrome runs one instrumented blocked AO-ADMM factorization per
+// dataset with the span tracer attached and writes the combined spans as a
+// Chrome trace_event JSON file to path (open in chrome://tracing or
+// Perfetto). The datasets run sequentially, so their spans share one tracer
+// and land on one timeline back to back — useful for eyeballing how the
+// kernel mix shifts between tensors. The configuration matches Profile so
+// the two artifacts describe the same runs.
+func TraceChrome(cfg Config, path string) error {
+	cfg.fill()
+	tr := obs.New(par.Threads(cfg.Threads))
+	tbl := &stats.Table{Headers: []string{"dataset", "outer_iters", "relerr", "spans"}}
+	for _, name := range cfg.Datasets {
+		x, err := datasets.Generate(name, cfg.Scale)
+		if err != nil {
+			return err
+		}
+		before := len(tr.Events())
+		res, err := core.Factorize(x, core.Options{
+			Rank:            cfg.Rank,
+			Constraints:     []prox.Operator{prox.NonNegL1{Lambda: 0.05}},
+			Variant:         core.Blocked,
+			Threads:         cfg.Threads,
+			MaxOuterIters:   cfg.MaxOuter,
+			InnerMaxIters:   cfg.InnerMaxIters,
+			ExploitSparsity: true,
+			AdaptiveRho:     true,
+			Seed:            1,
+			Tracer:          tr,
+		})
+		if err != nil {
+			return fmt.Errorf("trace %s: %w", name, err)
+		}
+		tbl.AddRow(name,
+			fmt.Sprintf("%d", res.OuterIters),
+			fmt.Sprintf("%.4f", res.RelErr),
+			fmt.Sprintf("%d", len(tr.Events())-before))
+	}
+	fmt.Fprintf(cfg.Out, "\n== Trace: Chrome trace_event spans (rank-%d nonneg+l1 blocked, written to %s) ==\n", cfg.Rank, path)
+	if err := tbl.Render(cfg.Out); err != nil {
+		return err
+	}
+	if d := tr.Dropped(); d > 0 {
+		fmt.Fprintf(cfg.Out, "ring overflow: %d oldest events dropped\n", d)
+	}
+	return tr.WriteChromeFile(path)
+}

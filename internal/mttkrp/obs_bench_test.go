@@ -1,0 +1,89 @@
+package mttkrp
+
+import (
+	"math/rand"
+	"testing"
+
+	"aoadmm/internal/csf"
+	"aoadmm/internal/dense"
+	"aoadmm/internal/obs"
+	"aoadmm/internal/par"
+	"aoadmm/internal/tensor"
+)
+
+// benchProblem builds one MTTKRP instance big enough that the scheduler runs
+// many chunks but small enough for AllocsPerRun loops.
+func benchProblem(tb testing.TB, rank int) (*csf.Tensor, []*dense.Matrix, *dense.Matrix) {
+	tb.Helper()
+	coo, err := tensor.Uniform(tensor.GenOptions{Dims: []int{60, 50, 40}, NNZ: 20000, Seed: 17})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	factors := randFactors(coo.Dims, rank, rng)
+	tree := csf.Build(coo, csf.DefaultPerm(3, 0))
+	out := dense.New(coo.Dims[0], rank)
+	return tree, factors, out
+}
+
+// TestTracingAddsNoAllocsToMTTKRP pins the disabled-observability cost of the
+// MTTKRP hot loop: wiring a Telemetry — with a nil tracer or a live one —
+// must add zero allocations per Compute over the bare baseline. This is the
+// contract that lets the solver pass its tracer unconditionally.
+func TestTracingAddsNoAllocsToMTTKRP(t *testing.T) {
+	tree, factors, out := benchProblem(t, 8)
+	const chunk = 4 // fixed so all variants schedule identically
+	run := func(o Options) func() {
+		return func() { Compute(tree, factors, out, nil, o) }
+	}
+
+	bare := run(Options{Threads: 1, Chunk: chunk})
+	base := testing.AllocsPerRun(10, bare)
+
+	telNil := par.NewTelemetry(1) // telemetry attached, tracer nil (the -trace-off daemon path)
+	withTelNil := run(Options{Threads: 1, Chunk: chunk, Telem: telNil})
+	withTelNil() // warm up telemetry's per-tid slice growth
+	if got := testing.AllocsPerRun(10, withTelNil); got > base {
+		t.Errorf("telemetry with nil tracer: %v allocs/op, bare %v — tracing must be free when off", got, base)
+	}
+
+	tr := obs.New(1)
+	telLive := par.NewTelemetry(1)
+	telLive.SetTracer(tr)
+	withTracer := run(Options{Threads: 1, Chunk: chunk, Telem: telLive})
+	withTracer()
+	if got := testing.AllocsPerRun(10, withTracer); got > base {
+		t.Errorf("telemetry with live tracer: %v allocs/op, bare %v — ring writes must not allocate", got, base)
+	}
+	if len(tr.Events()) == 0 {
+		t.Fatal("live tracer recorded no chunk spans — the hot loop is not instrumented")
+	}
+}
+
+// BenchmarkMTTKRP reports the hot loop's throughput and allocs across the
+// observability tiers; CI's obs-smoke job runs it to catch overhead
+// regressions (compare the Off and NilTracer variants).
+func BenchmarkMTTKRP(b *testing.B) {
+	tree, factors, out := benchProblem(b, 16)
+	flops := FlopCount(tree, 16)
+	bench := func(b *testing.B, o Options) {
+		b.ReportAllocs()
+		b.SetBytes(flops) // "MB/s" reads as MFLOP/s
+		b.ResetTimer()    // exclude the variant's telemetry/ring setup
+		for i := 0; i < b.N; i++ {
+			Compute(tree, factors, out, nil, o)
+		}
+	}
+	b.Run("Off", func(b *testing.B) {
+		bench(b, Options{Threads: 1, Chunk: 4})
+	})
+	b.Run("NilTracer", func(b *testing.B) {
+		tel := par.NewTelemetry(1)
+		bench(b, Options{Threads: 1, Chunk: 4, Telem: tel})
+	})
+	b.Run("Tracing", func(b *testing.B) {
+		tel := par.NewTelemetry(1)
+		tel.SetTracer(obs.New(1))
+		bench(b, Options{Threads: 1, Chunk: 4, Telem: tel})
+	})
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Chrome trace_event export. The output is the JSON-object flavour of the
+// Trace Event Format ({"traceEvents":[...]}), loadable in chrome://tracing
+// and https://ui.perfetto.dev. Complete spans use phase "X" with
+// microsecond ts/dur; instants use phase "i" with thread scope.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// chromeTID maps logical thread ids onto a compact, positive tid space:
+// workers keep 0..n-1, the driver renders as n, the prefetcher as n+1.
+func chromeTID(workers int, tid int32) int {
+	switch tid {
+	case TIDDriver:
+		return workers
+	case TIDAux:
+		return workers + 1
+	default:
+		return int(tid)
+	}
+}
+
+// WriteChrome serializes every retained event (see Events for the
+// quiescence requirement) as Chrome trace_event JSON. Thread-name metadata
+// rows label workers, the driver, and the OOC prefetcher.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`+"\n")
+		return err
+	}
+	events := t.Events()
+	out := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(events)+t.workers+2),
+		DisplayTimeUnit: "ms",
+	}
+	if d := t.Dropped(); d > 0 {
+		out.OtherData = map[string]any{"dropped_events": d}
+	}
+	name := func(tid int32) string {
+		switch tid {
+		case TIDDriver:
+			return "driver"
+		case TIDAux:
+			return "ooc-prefetch"
+		default:
+			return fmt.Sprintf("worker-%d", tid)
+		}
+	}
+	for tid := int32(0); tid < int32(t.workers); tid++ {
+		out.TraceEvents = append(out.TraceEvents, metadataEvent(t.workers, tid, name(tid)))
+	}
+	out.TraceEvents = append(out.TraceEvents,
+		metadataEvent(t.workers, TIDDriver, name(TIDDriver)),
+		metadataEvent(t.workers, TIDAux, name(TIDAux)))
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			TS:   float64(ev.Start) / 1e3,
+			PID:  1,
+			TID:  chromeTID(t.workers, ev.TID),
+		}
+		args := map[string]any{}
+		if ev.Mode >= 0 {
+			args["mode"] = ev.Mode
+		}
+		if ev.Arg >= 0 {
+			args["arg"] = ev.Arg
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		if ev.Dur > 0 {
+			ce.Ph = "X"
+			ce.Dur = float64(ev.Dur) / 1e3
+		} else {
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+func metadataEvent(workers int, tid int32, threadName string) chromeEvent {
+	return chromeEvent{
+		Name: "thread_name",
+		Ph:   "M",
+		PID:  1,
+		TID:  chromeTID(workers, tid),
+		Args: map[string]any{"name": threadName},
+	}
+}
+
+// WriteChromeFile writes the Chrome trace to path (0644).
+func (t *Tracer) WriteChromeFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

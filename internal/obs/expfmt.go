@@ -1,0 +1,315 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition parses Prometheus text exposition format 0.0.4 and
+// checks the structural invariants scrapers rely on: one HELP and one TYPE
+// per family (TYPE before any sample), valid metric/label names, parseable
+// values, no duplicate series, and — for histograms — le-ascending buckets
+// with non-decreasing cumulative counts terminated by +Inf whose count
+// equals _count. It is used by the registry's own tests, the daemon's
+// /metrics?format=prometheus regression test, and cmd/promcheck in CI.
+func ValidateExposition(r io.Reader) error {
+	type familyState struct {
+		helped, typed bool
+		typ           string
+		series        map[string]bool
+		// histogram accounting, keyed by the label set minus "le"
+		buckets map[string][]Bucket
+		sums    map[string]float64
+		counts  map[string]int64
+	}
+	families := map[string]*familyState{}
+	state := func(name string) *familyState {
+		f, ok := families[name]
+		if !ok {
+			f = &familyState{
+				series:  map[string]bool{},
+				buckets: map[string][]Bucket{},
+				sums:    map[string]float64{},
+				counts:  map[string]int64{},
+			}
+			families[name] = f
+		}
+		return f
+	}
+	base := func(name string) (string, string) {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name {
+				if f, ok := families[trimmed]; ok && f.typ == string(Histogram) {
+					return trimmed, suf
+				}
+			}
+		}
+		return name, ""
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !metricNameRe.MatchString(name) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			f := state(name)
+			switch fields[1] {
+			case "HELP":
+				if f.helped {
+					return fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				f.helped = true
+			case "TYPE":
+				if f.typed {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if len(f.series) > 0 {
+					return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown TYPE %q", lineNo, fields[3])
+				}
+				f.typed = true
+				f.typ = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		famName, suffix := base(name)
+		f := state(famName)
+		if !f.typed {
+			return fmt.Errorf("line %d: sample %s before TYPE", lineNo, name)
+		}
+		key := name + "|" + canonicalLabels(labels)
+		if f.series[key] {
+			return fmt.Errorf("line %d: duplicate series %s{%s}", lineNo, name, canonicalLabels(labels))
+		}
+		f.series[key] = true
+		if f.typ == string(Histogram) {
+			rest, le, hasLe := splitLe(labels)
+			hkey := canonicalLabels(rest)
+			switch suffix {
+			case "_bucket":
+				if !hasLe {
+					return fmt.Errorf("line %d: %s_bucket without le label", lineNo, famName)
+				}
+				leV, err := parseLe(le)
+				if err != nil {
+					return fmt.Errorf("line %d: %v", lineNo, err)
+				}
+				f.buckets[hkey] = append(f.buckets[hkey], Bucket{Le: leV, Count: int64(value)})
+			case "_sum":
+				f.sums[hkey] = value
+			case "_count":
+				f.counts[hkey] = int64(value)
+			default:
+				return fmt.Errorf("line %d: unexpected histogram sample %s", lineNo, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := families[name]
+		if !f.helped || !f.typed {
+			if len(f.series) > 0 || f.helped || f.typed {
+				return fmt.Errorf("family %s missing %s", name, map[bool]string{true: "TYPE", false: "HELP"}[f.helped])
+			}
+		}
+		if f.typ != string(Histogram) {
+			continue
+		}
+		for hkey, bks := range f.buckets {
+			last := math.Inf(-1)
+			var lastCount int64
+			sawInf := false
+			for _, b := range bks {
+				if b.Le <= last {
+					return fmt.Errorf("histogram %s{%s}: buckets not le-ascending at %v", name, hkey, b.Le)
+				}
+				if b.Count < lastCount {
+					return fmt.Errorf("histogram %s{%s}: cumulative counts decrease at le=%v", name, hkey, b.Le)
+				}
+				last, lastCount = b.Le, b.Count
+				if math.IsInf(b.Le, 1) {
+					sawInf = true
+				}
+			}
+			if !sawInf {
+				return fmt.Errorf("histogram %s{%s}: missing +Inf bucket", name, hkey)
+			}
+			count, ok := f.counts[hkey]
+			if !ok {
+				return fmt.Errorf("histogram %s{%s}: missing _count", name, hkey)
+			}
+			if _, ok := f.sums[hkey]; !ok {
+				return fmt.Errorf("histogram %s{%s}: missing _sum", name, hkey)
+			}
+			if lastCount != count {
+				return fmt.Errorf("histogram %s{%s}: +Inf bucket %d != _count %d", name, hkey, lastCount, count)
+			}
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (name string, labels []Label, value float64, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return "", nil, 0, fmt.Errorf("unterminated label set")
+		}
+		labels, err = parseLabels(rest[brace+1 : end])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("sample without value")
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	if !metricNameRe.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional timestamp
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	return name, labels, value, nil
+}
+
+func parseLabels(s string) ([]Label, error) {
+	var out []Label
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=' in %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !labelNameRe.MatchString(key) {
+			return nil, fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %s", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value for %s", key)
+		}
+		out = append(out, Label{Key: key, Value: val.String()})
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}
+
+func canonicalLabels(labels []Label) string {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	parts := make([]string, len(ls))
+	for i, l := range ls {
+		parts[i] = l.Key + "=" + l.Value
+	}
+	return strings.Join(parts, ",")
+}
+
+func splitLe(labels []Label) (rest []Label, le string, ok bool) {
+	for _, l := range labels {
+		if l.Key == "le" {
+			le, ok = l.Value, true
+			continue
+		}
+		rest = append(rest, l)
+	}
+	return rest, le, ok
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le %q: %v", s, err)
+	}
+	return v, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

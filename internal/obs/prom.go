@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Dependency-free Prometheus text exposition (format version 0.0.4).
+// Families are registered in order, each with a unique name, HELP, and
+// TYPE; WriteTo renders the whole registry. Histograms take cumulative
+// buckets and always terminate with le="+Inf".
+
+// MetricType is a Prometheus family type.
+type MetricType string
+
+const (
+	Counter   MetricType = "counter"
+	Gauge     MetricType = "gauge"
+	Histogram MetricType = "histogram"
+)
+
+// Label is one name="value" pair.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Bucket is one cumulative histogram bucket: Count observations <= Le.
+type Bucket struct {
+	Le    float64
+	Count int64
+}
+
+type sample struct {
+	suffix string
+	labels []Label
+	value  float64
+}
+
+type family struct {
+	name    string
+	help    string
+	typ     MetricType
+	samples []sample
+}
+
+// Registry accumulates metric families for one exposition.
+type Registry struct {
+	families []*family
+	index    map[string]*family
+	err      error
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*family)}
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+func (r *Registry) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *Registry) familyFor(name, help string, typ MetricType) *family {
+	if !metricNameRe.MatchString(name) {
+		r.fail("obs: invalid metric name %q", name)
+		return nil
+	}
+	if f, ok := r.index[name]; ok {
+		if f.typ != typ {
+			r.fail("obs: metric %s re-registered as %s (was %s)", name, typ, f.typ)
+			return nil
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ}
+	r.families = append(r.families, f)
+	r.index[name] = f
+	return f
+}
+
+func validLabels(labels []Label) bool {
+	for _, l := range labels {
+		if !labelNameRe.MatchString(l.Key) {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) add(name, help string, typ MetricType, v float64, labels []Label) {
+	f := r.familyFor(name, help, typ)
+	if f == nil {
+		return
+	}
+	if !validLabels(labels) {
+		r.fail("obs: invalid label name on %s", name)
+		return
+	}
+	f.samples = append(f.samples, sample{labels: labels, value: v})
+}
+
+// CounterVal registers one counter sample. Repeat calls with the same name
+// and different labels extend the family.
+func (r *Registry) CounterVal(name, help string, v float64, labels ...Label) {
+	r.add(name, help, Counter, v, labels)
+}
+
+// GaugeVal registers one gauge sample.
+func (r *Registry) GaugeVal(name, help string, v float64, labels ...Label) {
+	r.add(name, help, Gauge, v, labels)
+}
+
+// HistogramVal registers one histogram series from cumulative buckets.
+// Buckets must be ascending in Le with non-decreasing counts; the +Inf
+// bucket (equal to count) is appended automatically, and a trailing
+// explicit +Inf bucket is tolerated.
+func (r *Registry) HistogramVal(name, help string, buckets []Bucket, count int64, sum float64, labels ...Label) {
+	f := r.familyFor(name, help, Histogram)
+	if f == nil {
+		return
+	}
+	if !validLabels(labels) {
+		r.fail("obs: invalid label name on %s", name)
+		return
+	}
+	prevLe := math.Inf(-1)
+	var prevCount int64
+	for _, b := range buckets {
+		if math.IsInf(b.Le, 1) {
+			continue // re-added below from count
+		}
+		if b.Le <= prevLe {
+			r.fail("obs: histogram %s buckets not ascending (le=%v after %v)", name, b.Le, prevLe)
+			return
+		}
+		if b.Count < prevCount {
+			r.fail("obs: histogram %s bucket counts not monotone at le=%v", name, b.Le)
+			return
+		}
+		if b.Count > count {
+			r.fail("obs: histogram %s bucket count %d exceeds total %d", name, b.Count, count)
+			return
+		}
+		prevLe, prevCount = b.Le, b.Count
+		bl := append(append([]Label(nil), labels...), L("le", formatFloat(b.Le)))
+		f.samples = append(f.samples, sample{suffix: "_bucket", labels: bl, value: float64(b.Count)})
+	}
+	infl := append(append([]Label(nil), labels...), L("le", "+Inf"))
+	f.samples = append(f.samples,
+		sample{suffix: "_bucket", labels: infl, value: float64(count)},
+		sample{suffix: "_sum", labels: labels, value: sum},
+		sample{suffix: "_count", labels: labels, value: float64(count)},
+	)
+}
+
+// Err reports the first registration error (programmer mistakes such as an
+// invalid metric name or non-monotone buckets). Write also returns it.
+func (r *Registry) Err() error { return r.err }
+
+// Write renders the registry in Prometheus text exposition format 0.0.4.
+func (r *Registry) Write(w io.Writer) error {
+	if r.err != nil {
+		return r.err
+	}
+	var b strings.Builder
+	for _, f := range r.families {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.samples {
+			b.WriteString(f.name)
+			b.WriteString(s.suffix)
+			writeLabels(&b, s.labels)
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(s.value))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeLabels(b *strings.Builder, labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ExpBuckets returns n cumulative bucket bounds growing geometrically from
+// start by factor — the log-bucketing used for iteration-count histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// CumulateInto converts observation pairs (value, count) into cumulative
+// Buckets over the given ascending bounds, returning the buckets, total
+// count, and sum. Values above the last bound only appear in +Inf (added by
+// HistogramVal).
+func CumulateInto(bounds []float64, obs map[float64]int64) (buckets []Bucket, count int64, sum float64) {
+	vals := make([]float64, 0, len(obs))
+	for v := range obs {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	buckets = make([]Bucket, len(bounds))
+	for i, le := range bounds {
+		buckets[i].Le = le
+	}
+	for _, v := range vals {
+		c := obs[v]
+		count += c
+		sum += v * float64(c)
+		for i := range buckets {
+			if v <= buckets[i].Le {
+				buckets[i].Count += c
+			}
+		}
+	}
+	return buckets, count, sum
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVal("aoadmm_queue_depth", "Jobs waiting in the queue.", 3)
+	r.CounterVal("aoadmm_jobs_total", "Jobs by terminal status.", 5, L("status", "done"))
+	r.CounterVal("aoadmm_jobs_total", "Jobs by terminal status.", 1, L("status", "failed"))
+	r.HistogramVal("aoadmm_query_latency_seconds", "Query latency.",
+		[]Bucket{{Le: 0.001, Count: 2}, {Le: 0.01, Count: 7}}, 9, 0.42)
+	r.GaugeVal("aoadmm_build_info", "Build metadata.", 1,
+		L("go_version", "go1.x"), L("revision", `quote " and \ slash`))
+
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition does not validate: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# HELP aoadmm_jobs_total Jobs by terminal status.",
+		"# TYPE aoadmm_jobs_total counter",
+		`aoadmm_jobs_total{status="done"} 5`,
+		`aoadmm_query_latency_seconds_bucket{le="+Inf"} 9`,
+		"aoadmm_query_latency_seconds_sum 0.42",
+		"aoadmm_query_latency_seconds_count 9",
+		`revision="quote \" and \\ slash"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE per family even with multiple samples.
+	if n := strings.Count(out, "# TYPE aoadmm_jobs_total"); n != 1 {
+		t.Fatalf("family typed %d times, want once", n)
+	}
+}
+
+func TestRegistryRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		fill func(r *Registry)
+	}{
+		{"bad metric name", func(r *Registry) { r.GaugeVal("0bad", "h", 1) }},
+		{"bad label name", func(r *Registry) { r.GaugeVal("ok", "h", 1, L("0bad", "v")) }},
+		{"type clash", func(r *Registry) {
+			r.GaugeVal("ok", "h", 1)
+			r.CounterVal("ok", "h", 1)
+		}},
+		{"non-ascending buckets", func(r *Registry) {
+			r.HistogramVal("h", "h", []Bucket{{Le: 2, Count: 1}, {Le: 1, Count: 2}}, 2, 1)
+		}},
+		{"non-monotone counts", func(r *Registry) {
+			r.HistogramVal("h", "h", []Bucket{{Le: 1, Count: 5}, {Le: 2, Count: 3}}, 5, 1)
+		}},
+		{"bucket exceeds count", func(r *Registry) {
+			r.HistogramVal("h", "h", []Bucket{{Le: 1, Count: 9}}, 5, 1)
+		}},
+	}
+	for _, tc := range cases {
+		r := NewRegistry()
+		tc.fill(r)
+		if err := r.Write(&strings.Builder{}); err == nil {
+			t.Errorf("%s: Write accepted invalid input", tc.name)
+		}
+	}
+}
+
+func TestValidateExpositionCatchesViolations(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"duplicate TYPE", "# TYPE a counter\n# TYPE a counter\na 1\n"},
+		{"duplicate series", "# HELP a h\n# TYPE a counter\na 1\na 2\n"},
+		{"sample before TYPE", "b 1\n"},
+		{"histogram without +Inf", "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+		{"histogram counts decrease", "# HELP h h\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n"},
+		{"inf bucket mismatch", "# HELP h h\n# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n"},
+		{"garbage value", "# HELP a h\n# TYPE a gauge\na xyz\n"},
+	}
+	for _, tc := range cases {
+		if err := ValidateExposition(strings.NewReader(tc.text)); err == nil {
+			t.Errorf("%s: validator accepted invalid exposition", tc.name)
+		}
+	}
+	good := "# HELP a h\n# TYPE a gauge\na{x=\"1\"} 2 1700000000\n\n# comment\n"
+	if err := ValidateExposition(strings.NewReader(good)); err != nil {
+		t.Errorf("validator rejected valid exposition: %v", err)
+	}
+}
+
+func TestCumulateInto(t *testing.T) {
+	bounds := ExpBuckets(1, 2, 4) // 1 2 4 8
+	buckets, count, sum := CumulateInto(bounds, map[float64]int64{1: 2, 3: 1, 100: 4})
+	if count != 7 {
+		t.Fatalf("count = %d, want 7", count)
+	}
+	if sum != 2*1+3+4*100 {
+		t.Fatalf("sum = %v", sum)
+	}
+	wantCounts := []int64{2, 2, 3, 3} // 100s only land in +Inf
+	for i, b := range buckets {
+		if b.Le != bounds[i] || b.Count != wantCounts[i] {
+			t.Fatalf("bucket %d = %+v, want le=%v count=%d", i, b, bounds[i], wantCounts[i])
+		}
+	}
+	if math.IsInf(buckets[len(buckets)-1].Le, 1) {
+		t.Fatal("CumulateInto must not append +Inf itself")
+	}
+}

@@ -1,0 +1,249 @@
+// Package obs is the observability layer: a low-overhead span tracer whose
+// output renders in chrome://tracing / Perfetto, and a dependency-free
+// Prometheus text-format registry. Both follow the repo-wide nil-safety
+// idiom: every method on a nil *Tracer is a no-op, so call sites never
+// guard, and the disabled path costs one nil check and zero allocations
+// (asserted by tests in this package and internal/mttkrp).
+package obs
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Thread-id sentinels for emitters that are not scheduler workers. Worker
+// goroutines use their par tid (0..threads-1); the driver goroutine — which
+// only emits outside fork-join regions, while workers are quiescent — and
+// long-lived auxiliary goroutines (the OOC prefetcher) get dedicated shards
+// so they never contend with a worker for a ring.
+const (
+	// TIDDriver marks events emitted by the solver's driver goroutine
+	// (outer iterations, kernel spans).
+	TIDDriver = -1
+	// TIDAux marks events emitted by a background goroutine that runs
+	// concurrently with the driver (the OOC shard prefetcher).
+	TIDAux = -2
+)
+
+// DefaultShardEvents is the per-shard ring capacity. At ~64 bytes per event
+// a tracer for 8 threads retains ~5 MiB of history; older events are
+// overwritten and counted, never reallocated.
+const DefaultShardEvents = 1 << 13
+
+// Event is one completed span (Dur > 0) or instant (Dur == 0).
+type Event struct {
+	// Name identifies the operation ("mttkrp", "outer_iter", "chunk", ...).
+	Name string
+	// Cat groups related events ("kernel", "outer", "sched", "admm", "ooc").
+	Cat string
+	// Mode is the tensor mode the event applies to, or stats.ModeNone (-1).
+	Mode int32
+	// TID is the logical thread id: a worker tid, TIDDriver, or TIDAux.
+	TID int32
+	// Arg carries one event-specific integer (outer iteration, block index,
+	// shard index, chunk length); -1 when unused.
+	Arg int64
+	// Start is nanoseconds since the tracer's epoch (monotonic).
+	Start int64
+	// Dur is the span length in nanoseconds (0 for instants).
+	Dur int64
+}
+
+// ringShard is a single-writer ring buffer. Exactly one goroutine writes a
+// given shard at a time (workers by tid, driver and prefetcher on dedicated
+// shards), so slot writes need no synchronization; pos is atomic only so
+// Snapshot — documented to run after the traced region quiesces — reads a
+// coherent count.
+type ringShard struct {
+	pos    atomic.Int64
+	_      [56]byte // keep neighbouring shards off one cache line
+	events []Event
+}
+
+func (s *ringShard) put(ev Event) {
+	i := s.pos.Load()
+	s.events[i&int64(len(s.events)-1)] = ev
+	s.pos.Store(i + 1)
+}
+
+// Tracer records spans into per-thread ring buffers. The zero value is not
+// usable; construct with New. A nil *Tracer is the disabled tracer: every
+// method no-ops, Begin returns a Span whose End no-ops, and nothing
+// allocates.
+type Tracer struct {
+	epoch   time.Time
+	workers int // shards 0..workers-1; then driver, then aux
+	shards  []ringShard
+}
+
+// New returns a tracer with one ring per worker thread plus dedicated
+// driver and auxiliary shards. threads <= 0 means GOMAXPROCS. Capacity per
+// shard is DefaultShardEvents; see NewWithCapacity.
+func New(threads int) *Tracer { return NewWithCapacity(threads, DefaultShardEvents) }
+
+// NewWithCapacity is New with an explicit per-shard ring capacity
+// (rounded up to a power of two, minimum 16).
+func NewWithCapacity(threads, capacity int) *Tracer {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	c := 16
+	for c < capacity {
+		c <<= 1
+	}
+	t := &Tracer{epoch: time.Now(), workers: threads, shards: make([]ringShard, threads+2)}
+	for i := range t.shards {
+		t.shards[i].events = make([]Event, c)
+	}
+	return t
+}
+
+func (t *Tracer) shardFor(tid int32) *ringShard {
+	switch tid {
+	case TIDDriver:
+		return &t.shards[t.workers]
+	case TIDAux:
+		return &t.shards[t.workers+1]
+	default:
+		// Workers are created with the same thread count the tracer was
+		// sized for; the modulo only matters if a caller overshoots, in
+		// which case colliding writers still take distinct slots via the
+		// atomic position counter.
+		return &t.shards[int(tid)%t.workers]
+	}
+}
+
+// now returns nanoseconds since the epoch on the monotonic clock.
+func (t *Tracer) now() int64 { return int64(time.Since(t.epoch)) }
+
+// Span is an in-flight interval handle returned by Begin. It is a value —
+// beginning and ending a span never allocates — and the zero Span (from a
+// nil tracer) ends as a no-op.
+type Span struct {
+	t     *Tracer
+	name  string
+	cat   string
+	mode  int32
+	tid   int32
+	arg   int64
+	start int64
+}
+
+// Begin starts a span on the given logical thread. On a nil tracer it
+// returns the zero Span.
+func (t *Tracer) Begin(cat, name string, mode, tid int, arg int64) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, cat: cat, mode: int32(mode), tid: int32(tid), arg: arg, start: t.now()}
+}
+
+// End records the span. No-op on the zero Span.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.shardFor(s.tid).put(Event{
+		Name: s.name, Cat: s.cat, Mode: s.mode, TID: s.tid, Arg: s.arg,
+		Start: s.start, Dur: s.t.now() - s.start,
+	})
+}
+
+// Emit records a completed span from wall-clock measurements the caller
+// already took (the timedKernel path in internal/core). No-op on nil.
+func (t *Tracer) Emit(cat, name string, mode, tid int, arg int64, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	rel := start.Sub(t.epoch)
+	t.shardFor(int32(tid)).put(Event{
+		Name: name, Cat: cat, Mode: int32(mode), TID: int32(tid), Arg: arg,
+		Start: int64(rel), Dur: int64(d),
+	})
+}
+
+// Instant records a zero-duration event at the current time. No-op on nil.
+func (t *Tracer) Instant(cat, name string, mode, tid int, arg int64) {
+	if t == nil {
+		return
+	}
+	t.shardFor(int32(tid)).put(Event{
+		Name: name, Cat: cat, Mode: int32(mode), TID: int32(tid), Arg: arg,
+		Start: t.now(),
+	})
+}
+
+// Workers reports the worker-thread count the tracer was sized for.
+// Returns 0 on nil.
+func (t *Tracer) Workers() int {
+	if t == nil {
+		return 0
+	}
+	return t.workers
+}
+
+// Dropped counts events overwritten because a ring wrapped. Valid while
+// quiescent. Returns 0 on nil.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	var dropped int64
+	for i := range t.shards {
+		s := &t.shards[i]
+		if n := s.pos.Load() - int64(len(s.events)); n > 0 {
+			dropped += n
+		}
+	}
+	return dropped
+}
+
+// Events returns every retained event ordered by start time. It must only
+// be called while no traced work is running (after Factorize returns, after
+// the OOC prefetcher has been joined); the rings are single-writer and
+// unsynchronized against readers. Returns nil on a nil tracer.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	for i := range t.shards {
+		s := &t.shards[i]
+		pos := s.pos.Load()
+		n := pos
+		if n > int64(len(s.events)) {
+			n = int64(len(s.events))
+		}
+		for j := pos - n; j < pos; j++ {
+			out = append(out, s.events[j&int64(len(s.events)-1)])
+		}
+	}
+	sortEvents(out)
+	return out
+}
+
+// sortEvents orders by start time, then duration descending so enclosing
+// spans precede their children (what trace viewers expect).
+func sortEvents(evs []Event) {
+	// Insertion-friendly shell sort keeps this file dependency-light and is
+	// ample for ring-sized inputs.
+	gaps := []int{701, 301, 132, 57, 23, 10, 4, 1}
+	for _, gap := range gaps {
+		for i := gap; i < len(evs); i++ {
+			e := evs[i]
+			j := i
+			for ; j >= gap && eventAfter(evs[j-gap], e); j -= gap {
+				evs[j] = evs[j-gap]
+			}
+			evs[j] = e
+		}
+	}
+}
+
+func eventAfter(a, b Event) bool {
+	if a.Start != b.Start {
+		return a.Start > b.Start
+	}
+	return a.Dur < b.Dur
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsSafeAndFree(t *testing.T) {
+	var tr *Tracer
+	// Every entry point must no-op.
+	tr.Emit("kernel", "mttkrp", 0, TIDDriver, 1, time.Now(), time.Millisecond)
+	tr.Instant("ooc", "stall", -1, 0, -1)
+	sp := tr.Begin("admm", "admm_block", 1, 3, 7)
+	sp.End()
+	if got := tr.Events(); got != nil {
+		t.Fatalf("nil tracer Events() = %v, want nil", got)
+	}
+	if tr.Dropped() != 0 || tr.Workers() != 0 {
+		t.Fatalf("nil tracer reported non-zero state")
+	}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := tr.Begin("kernel", "mttkrp", 0, 2, 5)
+		s.End()
+		tr.Emit("kernel", "gram", 1, TIDDriver, -1, time.Time{}, 0)
+		tr.Instant("sched", "chunk", -1, 0, 64)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer allocated %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestEnabledTracerSpanIsAllocFree(t *testing.T) {
+	tr := New(2)
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := tr.Begin("kernel", "mttkrp", 0, 1, 5)
+		s.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled tracer span cost %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestTracerRecordsAndOrdersEvents(t *testing.T) {
+	tr := New(2)
+	start := time.Now()
+	tr.Emit("kernel", "gram", 1, TIDDriver, -1, start.Add(2*time.Millisecond), time.Millisecond)
+	tr.Emit("kernel", "mttkrp", 0, TIDDriver, -1, start, 4*time.Millisecond)
+	sp := tr.Begin("admm", "admm_block", 2, 1, 9)
+	sp.End()
+	tr.Instant("ooc", "prefetch_stall", -1, TIDAux, 3)
+
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start < evs[i-1].Start {
+			t.Fatalf("events out of order at %d: %v then %v", i, evs[i-1], evs[i])
+		}
+	}
+	byName := map[string]Event{}
+	for _, e := range evs {
+		byName[e.Name] = e
+	}
+	if e := byName["mttkrp"]; e.Mode != 0 || e.Dur != int64(4*time.Millisecond) || e.TID != TIDDriver {
+		t.Fatalf("mttkrp event mangled: %+v", e)
+	}
+	if e := byName["admm_block"]; e.Arg != 9 || e.TID != 1 || e.Dur <= 0 {
+		t.Fatalf("admm_block event mangled: %+v", e)
+	}
+	if e := byName["prefetch_stall"]; e.Dur != 0 || e.TID != TIDAux {
+		t.Fatalf("instant event mangled: %+v", e)
+	}
+}
+
+func TestRingOverwriteCountsDropped(t *testing.T) {
+	tr := NewWithCapacity(1, 16) // rounds to capacity 16
+	const emitted = 50
+	for i := 0; i < emitted; i++ {
+		tr.Instant("sched", "chunk", -1, 0, int64(i))
+	}
+	evs := tr.Events()
+	if len(evs) != 16 {
+		t.Fatalf("retained %d events, want ring capacity 16", len(evs))
+	}
+	// The survivors must be the newest 16 (order-insensitive: instants
+	// emitted back-to-back can share a timestamp).
+	got := map[int64]bool{}
+	for _, e := range evs {
+		got[e.Arg] = true
+	}
+	for want := int64(emitted - 16); want < emitted; want++ {
+		if !got[want] {
+			t.Fatalf("event arg %d missing from survivors %v (oldest must be evicted)", want, evs)
+		}
+	}
+	if got := tr.Dropped(); got != emitted-16 {
+		t.Fatalf("Dropped() = %d, want %d", got, emitted-16)
+	}
+}
+
+func TestWriteChromeSchema(t *testing.T) {
+	tr := New(2)
+	start := time.Now()
+	tr.Emit("kernel", "mttkrp", 0, TIDDriver, 3, start, 2*time.Millisecond)
+	tr.Instant("ooc", "prefetch_stall", -1, TIDAux, -1)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var spans, instants, meta int
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "X":
+			spans++
+			if ev["dur"].(float64) <= 0 {
+				t.Fatalf("X event without positive dur: %v", ev)
+			}
+		case "i":
+			instants++
+			if ev["s"] != "t" {
+				t.Fatalf("instant without thread scope: %v", ev)
+			}
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %q in %v", ph, ev)
+		}
+		if _, ok := ev["name"].(string); !ok {
+			t.Fatalf("event without name: %v", ev)
+		}
+	}
+	if spans != 1 || instants != 1 {
+		t.Fatalf("got %d spans, %d instants; want 1 and 1", spans, instants)
+	}
+	if meta != 4 { // worker-0, worker-1, driver, ooc-prefetch
+		t.Fatalf("got %d thread_name metadata events, want 4", meta)
+	}
+
+	// Nil tracer still writes a loadable, empty document.
+	buf.Reset()
+	var nilTr *Tracer
+	if err := nilTr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil-tracer chrome output invalid: %v", err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"aoadmm/internal/csf"
 	"aoadmm/internal/dense"
 	"aoadmm/internal/mttkrp"
+	"aoadmm/internal/obs"
 	"aoadmm/internal/tensor"
 )
 
@@ -30,7 +31,20 @@ type StreamStats struct {
 	// actual MemoryBytes of the CSF tree currently compiled from one.
 	PeakBytes int64
 
+	// Trace optionally records shard-pipeline spans (shard_load on the
+	// prefetcher's ring, shard_compute and prefetch_stall on the driver's);
+	// nil disables tracing. Not part of Snapshot.
+	Trace *obs.Tracer
+
 	resident int64
+}
+
+// tracer is the nil-StreamStats-safe accessor for Trace.
+func (st *StreamStats) tracer() *obs.Tracer {
+	if st == nil {
+		return nil
+	}
+	return st.Trace
 }
 
 func (st *StreamStats) grow(n int64) {
@@ -118,7 +132,9 @@ func (s *ShardedTensor) MTTKRP(mode int, factors []*dense.Matrix, out, scratch *
 		defer close(ch)
 		for i := 0; i < s.NumShards(); i++ {
 			bytes := shardPayloadBytes(order, s.Shard(i).NNZ)
+			loadSpan := st.tracer().Begin("ooc", "shard_load", mode, obs.TIDAux, int64(i))
 			coo, err := s.LoadShard(i)
+			loadSpan.End()
 			if err == nil {
 				st.grow(bytes)
 				st.countLoad(bytes)
@@ -143,10 +159,13 @@ func (s *ShardedTensor) MTTKRP(mode int, factors []*dense.Matrix, out, scratch *
 		}
 		if wait := time.Since(begin); wait > 50*time.Microsecond {
 			st.countStall(wait)
+			st.tracer().Emit("ooc", "prefetch_stall", mode, obs.TIDDriver, int64(p.idx), begin, wait)
 		}
 		if p.err != nil {
 			return p.err
 		}
+
+		computeSpan := st.tracer().Begin("ooc", "shard_compute", mode, obs.TIDDriver, int64(p.idx))
 
 		// Compile this shard's CSF tree rooted at the target mode. The
 		// shard COO is owned by this call, so Build may sort it in place —
@@ -160,6 +179,7 @@ func (s *ShardedTensor) MTTKRP(mode int, factors []*dense.Matrix, out, scratch *
 
 		st.shrink(treeBytes)
 		st.shrink(p.bytes)
+		computeSpan.End()
 	}
 	return nil
 }

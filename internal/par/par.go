@@ -96,7 +96,9 @@ func StaticT(tel *Telemetry, n, nThreads int, fn func(tid, begin, end int)) {
 			if tel != nil {
 				start := time.Now()
 				fn(tid, begin, end)
-				tel.add(tid, time.Since(start))
+				d := time.Since(start)
+				tel.add(tid, d)
+				tel.tracer.Emit("sched", "chunk", -1, tid, int64(end-begin), start, d)
 			} else {
 				fn(tid, begin, end)
 			}
@@ -154,7 +156,9 @@ func DynamicT(tel *Telemetry, n, chunk, nThreads int, fn func(tid, begin, end in
 			if tel != nil {
 				start := time.Now()
 				fn(0, b, e)
-				tel.add(0, time.Since(start))
+				d := time.Since(start)
+				tel.add(0, d)
+				tel.tracer.Emit("sched", "chunk", -1, 0, int64(e-b), start, d)
 			} else {
 				fn(0, b, e)
 			}
@@ -172,7 +176,9 @@ func DynamicT(tel *Telemetry, n, chunk, nThreads int, fn func(tid, begin, end in
 			if tel != nil {
 				start := time.Now()
 				fn(tid, b, e)
-				tel.add(tid, time.Since(start))
+				d := time.Since(start)
+				tel.add(tid, d)
+				tel.tracer.Emit("sched", "chunk", -1, tid, int64(e-b), start, d)
 			} else {
 				fn(tid, b, e)
 			}

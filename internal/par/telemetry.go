@@ -1,6 +1,10 @@
 package par
 
-import "time"
+import (
+	"time"
+
+	"aoadmm/internal/obs"
+)
 
 // Telemetry accumulates per-thread scheduler counters — chunks claimed and
 // busy (in-callback) time — across one or more StaticT/DynamicT fork-join
@@ -11,7 +15,30 @@ import "time"
 // other, which matches how the solvers use it (kernels are serialized by the
 // outer AO loop).
 type Telemetry struct {
-	slots []telemetrySlot
+	slots  []telemetrySlot
+	tracer *obs.Tracer
+}
+
+// SetTracer attaches a span tracer: every chunk the scheduler times is also
+// recorded as a "sched"/"chunk" span on the claiming worker's ring. A nil
+// tracer (the default) costs one nil check per chunk. Telemetry is the
+// carrier that moves the tracer from the solver driver through the kernel
+// option structs (mttkrp.Options.Telem, admm.Config.Telem) into the
+// fork-join regions.
+func (t *Telemetry) SetTracer(tr *obs.Tracer) {
+	if t != nil {
+		t.tracer = tr
+	}
+}
+
+// Tracer returns the attached tracer; nil on a nil Telemetry or when none
+// was set. Kernels use it to emit spans of their own (ADMM block spans) on
+// the same rings.
+func (t *Telemetry) Tracer() *obs.Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tracer
 }
 
 // telemetrySlot is padded so adjacent tids never share a cache line: chunk

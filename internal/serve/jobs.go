@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -220,6 +222,10 @@ type Job struct {
 	// resume holds checkpointed state recovered from disk; the next run of
 	// this job warm-restarts from it instead of random factors.
 	resume *kruskal.Checkpoint
+
+	// progress fans per-iteration trace points out to /jobs/{id}/progress
+	// streams; set at construction, never nil for manager-owned jobs.
+	progress *progressBroker
 }
 
 // JobView is the JSON shape of a job as returned by the API — and the record
@@ -291,6 +297,8 @@ func jobFromView(v JobView) *Job {
 		outer: v.OuterIters, converged: v.Converged,
 		ckptDir: v.CheckpointDir, ckptErr: v.CheckpointErr,
 		resumed: v.ResumedFromIter,
+
+		progress: newProgressBroker(),
 	}
 	if v.SubmittedUnixNs != 0 {
 		j.submitted = time.Unix(0, v.SubmittedUnixNs)
@@ -325,9 +333,15 @@ type ManagerConfig struct {
 	// Faults is the optional fault-injection registry shared with the
 	// journal and the solvers; nil disables injection.
 	Faults *faults.Injector
+	// Logger receives structured job-lifecycle logs, scoped per job id.
+	// Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c *ManagerConfig) fill() {
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	if c.Workers <= 0 {
 		c.Workers = 1
 	}
@@ -383,6 +397,7 @@ type Manager struct {
 	jnl     *Journal
 	cfg     ManagerConfig
 	faults  *faults.Injector
+	log     *slog.Logger
 
 	crashed  atomic.Bool
 	retries  atomic.Int64
@@ -415,12 +430,17 @@ func NewManager(reg *Registry, dataDir string, jnl *Journal, recovered []JobView
 		jnl:     jnl,
 		cfg:     cfg,
 		faults:  cfg.Faults,
+		log:     cfg.Logger,
 		baseCtx: ctx, baseCancel: cancel,
 	}
 	// The channel is sized past QueueCap so recovery can always re-enqueue
 	// every surviving job; Submit enforces QueueCap itself.
 	m.queue = make(chan *Job, cfg.QueueCap+len(recovered))
 	m.recover(recovered)
+	if rec := m.recovery; rec.Requeued+rec.Resumed+rec.Restarted+rec.Adopted+rec.Terminal > 0 {
+		m.log.Info("journal recovery", "requeued", rec.Requeued, "resumed", rec.Resumed,
+			"restarted", rec.Restarted, "adopted", rec.Adopted, "terminal", rec.Terminal)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go func() {
@@ -539,6 +559,7 @@ func (m *Manager) Submit(spec JobSpec) (JobView, error) {
 		spec:      spec,
 		status:    JobQueued,
 		submitted: time.Now(),
+		progress:  newProgressBroker(),
 	}
 	// Write-ahead: the job exists once it is journaled. On append failure
 	// the submission is rejected and nothing ran.
@@ -549,6 +570,8 @@ func (m *Manager) Submit(spec JobSpec) (JobView, error) {
 	m.queue <- job
 	m.jobs[job.id] = job
 	m.order = append(m.order, job.id)
+	m.log.Info("job submitted", "job", job.id, "algo", algoName(spec.Algo),
+		"rank", spec.Rank, "queue_depth", len(m.queue))
 	return job.View(), nil
 }
 
@@ -684,6 +707,7 @@ func (m *Manager) Shutdown(grace time.Duration) {
 	timers := m.timers
 	m.timers = map[string]*time.Timer{}
 	m.mu.Unlock()
+	m.log.Info("manager shutting down", "grace", grace)
 
 	// Jobs parked in retry backoff never reach a worker again: stop their
 	// timers and cancel them here.
@@ -828,6 +852,10 @@ func (m *Manager) runJob(job *Job) {
 	runningView := job.viewLocked()
 	job.mu.Unlock()
 
+	lg := m.log.With("job", job.id, "attempt", attempt)
+	lg.Info("job started", "algo", algoName(spec.Algo), "rank", spec.Rank,
+		"resumed_from_iter", runningView.ResumedFromIter)
+
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	if timeout > 0 {
 		ctx, cancel = context.WithTimeout(m.baseCtx, timeout)
@@ -867,13 +895,16 @@ func (m *Manager) runJob(job *Job) {
 			v := job.viewLocked()
 			job.mu.Unlock()
 			m.retries.Add(1)
+			backoff := m.backoff(attempt + 1)
+			lg.Warn("job attempt failed, retrying", "error", err, "backoff", backoff)
 			m.journalAppend(v)
-			m.requeueLater(job, m.backoff(attempt+1))
+			m.requeueLater(job, backoff)
 			return
 		}
 		job.status = JobFailed
 		v := job.viewLocked()
 		job.mu.Unlock()
+		lg.Error("job failed", "error", err, "timed_out", timedOut)
 		m.journalAppend(v)
 		return
 	}
@@ -909,6 +940,8 @@ func (m *Manager) runJob(job *Job) {
 		} else {
 			job.ckptErr = saveErr.Error()
 		}
+		lg.Info("job canceled", "outer_iters", res.OuterIters,
+			"rel_err", res.RelErr, "checkpoint", job.ckptDir)
 		m.journalAppend(job.viewLocked())
 		return
 	}
@@ -934,6 +967,7 @@ func (m *Manager) runJob(job *Job) {
 		job.errs = append(job.errs, fmt.Sprintf("attempt %d: register model: %v", attempt, regErr))
 		job.status = JobFailed
 		job.err = fmt.Sprintf("register model: %v", regErr)
+		lg.Error("job failed", "error", regErr)
 		m.journalAppend(job.viewLocked())
 		return
 	}
@@ -943,6 +977,8 @@ func (m *Manager) runJob(job *Job) {
 	}
 	job.status = JobDone
 	job.modelID = model.Meta.ID
+	lg.Info("job done", "model", model.Meta.ID, "rel_err", res.RelErr,
+		"outer_iters", res.OuterIters, "converged", res.Converged)
 	m.journalAppend(job.viewLocked())
 	os.RemoveAll(ckpt)
 }
@@ -1031,6 +1067,16 @@ func (m *Manager) runSolver(ctx context.Context, jobID string, attempt int, spec
 	if every <= 0 {
 		every = 5
 	}
+	// Live progress: every solver publishes its per-iteration trace point to
+	// the job's broker, feeding GET /jobs/{id}/progress.
+	var publish func(stats.TracePoint) bool
+	if j, ok := m.Get(jobID); ok {
+		pb := j.progress
+		publish = func(p stats.TracePoint) bool {
+			pb.publish(p)
+			return true
+		}
+	}
 	switch spec.Algo {
 	case "als":
 		alsOpts := core.ALSOptions{
@@ -1038,6 +1084,7 @@ func (m *Manager) runSolver(ctx context.Context, jobID string, attempt int, spec
 			Threads: spec.Threads, Seed: spec.Seed, Ridge: 1e-10,
 			MemBudgetBytes: spec.MemBudgetMB << 20,
 			CollectMetrics: spec.collectMetrics(), Ctx: ctx,
+			OnIteration: publish,
 		}
 		if sharded != nil {
 			return core.FactorizeALSOOC(sharded, alsOpts)
@@ -1051,6 +1098,7 @@ func (m *Manager) runSolver(ctx context.Context, jobID string, attempt int, spec
 			Rank: spec.Rank, MaxOuterIters: spec.MaxOuterIters, Tol: spec.Tol,
 			Threads: spec.Threads, Seed: spec.Seed,
 			CollectMetrics: spec.collectMetrics(), Ctx: ctx,
+			OnIteration: publish,
 		})
 	default:
 		opts := core.Options{
@@ -1066,6 +1114,7 @@ func (m *Manager) runSolver(ctx context.Context, jobID string, attempt int, spec
 			CheckpointAttempt: attempt,
 			Faults:            m.faults,
 			Ctx:               ctx,
+			OnIteration:       publish,
 		}
 		if resume != nil {
 			// Warm-restart from the recovered checkpoint: factors + duals +

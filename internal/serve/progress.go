@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"aoadmm/internal/stats"
+)
+
+// progressBroker fans a running job's per-iteration trace points out to any
+// number of concurrent /jobs/{id}/progress streams. Publishing appends the
+// point and wakes every waiting reader by closing (and replacing) the wake
+// channel; readers poll since() with the index of the last point they sent.
+// Points survive the run, so the endpoint replays the full history for jobs
+// that already finished.
+type progressBroker struct {
+	mu     sync.Mutex
+	points []stats.TracePoint
+	wake   chan struct{}
+}
+
+func newProgressBroker() *progressBroker {
+	return &progressBroker{wake: make(chan struct{})}
+}
+
+// publish appends one trace point and wakes all waiting readers.
+func (b *progressBroker) publish(p stats.TracePoint) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.points = append(b.points, p)
+	close(b.wake)
+	b.wake = make(chan struct{})
+	b.mu.Unlock()
+}
+
+// since returns the points not yet seen by a reader at index from, plus the
+// channel that will be closed on the next publish.
+func (b *progressBroker) since(from int) ([]stats.TracePoint, <-chan struct{}) {
+	if b == nil {
+		closed := make(chan struct{})
+		close(closed)
+		return nil, closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var pts []stats.TracePoint
+	if from < len(b.points) {
+		pts = append(pts, b.points[from:]...)
+	}
+	return pts, b.wake
+}
+
+// progressPoint is one NDJSON line of GET /jobs/{id}/progress.
+type progressPoint struct {
+	Iteration      int     `json:"iteration"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	RelErr         float64 `json:"rel_err"`
+	InnerIters     int     `json:"inner_iters,omitempty"`
+}
+
+// progressFinal is the terminating NDJSON line, sent once the job reaches a
+// terminal state.
+type progressFinal struct {
+	Status     string  `json:"status"`
+	RelErr     float64 `json:"rel_err,omitempty"`
+	OuterIters int     `json:"outer_iters,omitempty"`
+	Converged  bool    `json:"converged,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// handleProgress streams a job's convergence trace as NDJSON: one line per
+// outer iteration as it completes, then a final status line when the job
+// reaches a terminal state. The endpoint is registered outside the request
+// timeout (streams outlive it by design) and flushes after every batch so
+// clients see points live.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %s", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	sent := 0
+	emit := func(pts []stats.TracePoint) bool {
+		for _, p := range pts {
+			if err := enc.Encode(progressPoint{
+				Iteration:      p.Iteration,
+				ElapsedSeconds: p.Elapsed.Seconds(),
+				RelErr:         p.RelErr,
+				InnerIters:     p.InnerIters,
+			}); err != nil {
+				return false
+			}
+		}
+		sent += len(pts)
+		if len(pts) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	for {
+		pts, wake := j.progress.since(sent)
+		if !emit(pts) {
+			return
+		}
+		v := j.View()
+		switch JobStatus(v.Status) {
+		case JobDone, JobFailed, JobCanceled:
+			// Drain points published between since() and View(), then close
+			// the stream with the terminal summary.
+			pts, _ := j.progress.since(sent)
+			if !emit(pts) {
+				return
+			}
+			_ = enc.Encode(progressFinal{
+				Status: v.Status, RelErr: v.RelErr, OuterIters: v.OuterIters,
+				Converged: v.Converged, Error: v.Error,
+			})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		// Wake on the next publish; the ticker bounds how stale the terminal
+		// check can get for jobs that stop without a final trace point.
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}

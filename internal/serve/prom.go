@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+
+	"aoadmm/internal/obs"
+)
+
+// promContentType is the Prometheus text exposition format 0.0.4 MIME type.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// writePrometheus serves GET /metrics?format=prometheus: the daemon counters,
+// durability and out-of-core aggregates, query-latency histogram, and the
+// per-kernel totals accumulated across every finished job's metrics report,
+// rendered in the Prometheus text exposition format. See
+// docs/OBSERVABILITY.md for the metric catalogue.
+func (s *Server) writePrometheus(w http.ResponseWriter) {
+	reg := s.promRegistry()
+	if err := reg.Err(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", promContentType)
+	w.WriteHeader(http.StatusOK)
+	_ = reg.Write(w)
+}
+
+// promRegistry snapshots the daemon into a fresh exposition registry. Metrics
+// are rebuilt per scrape from the same sources the JSON /metrics endpoint
+// serves, so the two views can never drift.
+func (s *Server) promRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+
+	counts := s.mgr.StatusCounts()
+	for _, st := range []JobStatus{JobQueued, JobRunning, JobDone, JobFailed, JobCanceled} {
+		reg.GaugeVal("aoadmm_jobs", "Factorization jobs by lifecycle status.",
+			float64(counts[string(st)]), obs.L("status", string(st)))
+	}
+	reg.GaugeVal("aoadmm_queue_depth", "Jobs waiting for a worker.", float64(s.mgr.QueueDepth()))
+	reg.GaugeVal("aoadmm_models", "Models in the on-disk registry.", float64(s.reg.Len()))
+	reg.GaugeVal("aoadmm_workers", "Configured factorization worker-pool size.", float64(s.cfg.Workers))
+	reg.CounterVal("aoadmm_queries_total", "Completed model queries (entry + top-K).", float64(s.queries.Load()))
+
+	snap := s.queryLatency.Snapshot()
+	var buckets []obs.Bucket
+	for _, b := range snap.Buckets {
+		if b.LeSeconds == 0 { // the snapshot's trailing +Inf bucket
+			continue
+		}
+		buckets = append(buckets, obs.Bucket{Le: b.LeSeconds, Count: b.Count})
+	}
+	reg.HistogramVal("aoadmm_query_latency_seconds", "Model query latency.",
+		buckets, snap.Count, snap.SumSeconds)
+
+	path, appends, fails := s.mgr.jnl.Stats()
+	_ = path // the journal path is surfaced via /healthz, not as a label
+	reg.CounterVal("aoadmm_journal_appends_total", "Write-ahead journal records appended.", float64(appends))
+	reg.CounterVal("aoadmm_journal_append_failures_total", "Write-ahead journal append failures.", float64(fails))
+	reg.CounterVal("aoadmm_job_retries_total", "Job attempts requeued after a transient failure.", float64(s.mgr.retries.Load()))
+	reg.CounterVal("aoadmm_job_timeouts_total", "Job attempts stopped by the wall-clock budget.", float64(s.mgr.timeouts.Load()))
+	reg.CounterVal("aoadmm_worker_panics_total", "Worker panics contained as job errors.", float64(s.mgr.panics.Load()))
+
+	rec := s.mgr.Recovery()
+	for _, kv := range []struct {
+		kind string
+		n    int
+	}{
+		{"requeued", rec.Requeued}, {"resumed", rec.Resumed},
+		{"restarted", rec.Restarted}, {"adopted", rec.Adopted},
+		{"terminal", rec.Terminal},
+	} {
+		reg.GaugeVal("aoadmm_recovery_jobs", "Jobs reconstructed from the journal at startup, by outcome.",
+			float64(kv.n), obs.L("outcome", kv.kind))
+	}
+
+	reg.CounterVal("aoadmm_ooc_runs_total", "Completed out-of-core factorization runs.", float64(s.mgr.oocRuns.Load()))
+	reg.CounterVal("aoadmm_ooc_shard_loads_total", "Shard files read and decoded.", float64(s.mgr.oocShardLoads.Load()))
+	reg.CounterVal("aoadmm_ooc_shard_bytes_total", "Shard payload bytes read from disk.", float64(s.mgr.oocBytesRead.Load()))
+	reg.CounterVal("aoadmm_ooc_prefetch_stalls_total", "MTTKRP waits on a shard not yet prefetched.", float64(s.mgr.oocStalls.Load()))
+
+	s.promKernels(reg)
+	return reg
+}
+
+// promKernels aggregates every finished job's aoadmm-metrics/v1 report into
+// per-(kernel, mode) time/call totals, daemon-wide ADMM counters, and the
+// merged inner-iteration histogram.
+func (s *Server) promKernels(reg *obs.Registry) {
+	type key struct {
+		kernel string
+		mode   int
+	}
+	secs := map[key]float64{}
+	calls := map[key]int64{}
+	inner := map[float64]int64{}
+	var solves, blocks, rhoAdapt int64
+	for _, rep := range s.mgr.Reports() {
+		for _, kt := range rep.Kernels {
+			k := key{kt.Kernel, kt.Mode}
+			secs[k] += kt.Seconds
+			calls[k] += kt.Calls
+		}
+		solves += rep.ADMM.Solves
+		blocks += rep.ADMM.Blocks
+		rhoAdapt += rep.ADMM.RhoAdaptations
+		for its, n := range rep.ADMM.InnerIterHistogram {
+			if f, err := strconv.ParseFloat(its, 64); err == nil {
+				inner[f] += n
+			}
+		}
+	}
+
+	keys := make([]key, 0, len(secs))
+	for k := range secs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].kernel != keys[j].kernel {
+			return keys[i].kernel < keys[j].kernel
+		}
+		return keys[i].mode < keys[j].mode
+	})
+	for _, k := range keys {
+		labels := []obs.Label{obs.L("kernel", k.kernel), obs.L("mode", strconv.Itoa(k.mode))}
+		reg.CounterVal("aoadmm_kernel_seconds_total",
+			"Accumulated kernel wall time across finished jobs, per kernel per mode (mode -1 = not mode-attributable).",
+			secs[k], labels...)
+		reg.CounterVal("aoadmm_kernel_calls_total",
+			"Kernel invocations across finished jobs, per kernel per mode.",
+			float64(calls[k]), labels...)
+	}
+
+	reg.CounterVal("aoadmm_admm_solves_total", "Inner ADMM solves across finished jobs.", float64(solves))
+	reg.CounterVal("aoadmm_admm_blocks_total", "ADMM row blocks processed across finished jobs.", float64(blocks))
+	reg.CounterVal("aoadmm_admm_rho_adaptations_total", "Per-block penalty rescalings across finished jobs.", float64(rhoAdapt))
+
+	if len(inner) > 0 {
+		bounds := make([]float64, 0, len(inner))
+		for f := range inner {
+			bounds = append(bounds, f)
+		}
+		sort.Float64s(bounds)
+		buckets, count, sum := obs.CumulateInto(bounds, inner)
+		reg.HistogramVal("aoadmm_admm_inner_iterations",
+			"Inner iterations per ADMM block until convergence, across finished jobs.",
+			buckets, count, sum)
+	}
+}

@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -43,14 +46,18 @@ type Config struct {
 	// Faults optionally injects failures at the durability hook points
 	// (chaos tests); nil disables injection.
 	Faults *faults.Injector
+	// Logger receives structured daemon logs (job lifecycle transitions,
+	// recovery, shutdown). Nil discards them.
+	Logger *slog.Logger
 }
 
 // Server wires the registry, the job manager, and the query engine behind an
 // HTTP/JSON API. See docs/SERVING.md for the full surface.
 type Server struct {
-	cfg Config
-	reg *Registry
-	mgr *Manager
+	cfg     Config
+	reg     *Registry
+	mgr     *Manager
+	started time.Time
 
 	queries      atomic.Int64
 	queryLatency stats.LatencyHistogram
@@ -88,7 +95,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, reg: reg}
+	s := &Server{cfg: cfg, reg: reg, started: time.Now()}
 	for _, w := range warns {
 		s.warnings = append(s.warnings, w.Error())
 	}
@@ -103,6 +110,7 @@ func New(cfg Config) (*Server, error) {
 		RetryBackoffMax: cfg.RetryBackoffMax,
 		JobTimeout:      cfg.JobTimeout,
 		Faults:          cfg.Faults,
+		Logger:          cfg.Logger,
 	})
 	return s, nil
 }
@@ -122,8 +130,10 @@ func (s *Server) Crash() { s.mgr.Crash() }
 // Recovery reports what the job manager reconstructed from the journal.
 func (s *Server) Recovery() RecoveryReport { return s.mgr.Recovery() }
 
-// Handler returns the service's HTTP handler, with every request bounded by
-// the configured timeout.
+// Handler returns the service's HTTP handler. Every request is bounded by
+// the configured timeout except GET /jobs/{id}/progress, which streams for
+// the life of its job (and needs the http.Flusher that TimeoutHandler's
+// buffered writer hides); it is routed around the timeout wrapper.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -136,7 +146,40 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /models/{id}/entry", s.handleEntry)
 	mux.HandleFunc("POST /models/{id}/topk", s.handleTopK)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+	timed := http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET /jobs/{id}/progress", s.handleProgress)
+	outer.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// TimeoutHandler writes its timeout body with no Content-Type; the
+		// wrapper defaults it to JSON, matching every endpoint behind it.
+		timed.ServeHTTP(&jsonDefaultWriter{ResponseWriter: w}, r)
+	}))
+	return outer
+}
+
+// jsonDefaultWriter defaults the Content-Type to application/json at
+// WriteHeader time when no handler set one. Handlers that do set a type
+// (e.g. the Prometheus exposition) pass through untouched.
+type jsonDefaultWriter struct {
+	http.ResponseWriter
+	wroteHeader bool
+}
+
+func (w *jsonDefaultWriter) WriteHeader(code int) {
+	if !w.wroteHeader {
+		w.wroteHeader = true
+		if w.Header().Get("Content-Type") == "" {
+			w.Header().Set("Content-Type", "application/json")
+		}
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *jsonDefaultWriter) Write(b []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	return w.ResponseWriter.Write(b)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -152,11 +195,34 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	path, appends, fails := s.mgr.jnl.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"models": s.reg.Len(),
-		"queue":  s.mgr.QueueDepth(),
+		"status":         "ok",
+		"models":         s.reg.Len(),
+		"queue":          s.mgr.QueueDepth(),
+		"jobs":           s.mgr.StatusCounts(),
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"go_version":     runtime.Version(),
+		"vcs_revision":   vcsRevision(),
+		"goroutines":     runtime.NumGoroutine(),
+		"journal": map[string]any{
+			"path": path, "appends": appends, "append_failures": fails,
+		},
 	})
+}
+
+// vcsRevision reports the commit the binary was built from, when the build
+// embedded VCS stamps (go build of a checkout does; go test binaries and
+// stamp-less builds report "unknown").
+func vcsRevision() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				return kv.Value
+			}
+		}
+	}
+	return "unknown"
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -314,8 +380,13 @@ func (s *Server) recordQuery(start time.Time) {
 }
 
 // handleMetrics serves the daemon counters plus every finished job's
-// aoadmm-metrics/v1 report.
+// aoadmm-metrics/v1 report as JSON; ?format=prometheus switches to the
+// Prometheus text exposition format (see prom.go).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		s.writePrometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"daemon": map[string]any{
 			"jobs":          s.mgr.StatusCounts(),

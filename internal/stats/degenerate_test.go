@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPlotTraceSinglePoint renders a one-point trace: one star, no panic,
+// labels collapse to the (epsilon-widened) flat range.
+func TestPlotTraceSinglePoint(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(TracePoint{Iteration: 1, Elapsed: time.Millisecond, RelErr: 0.25})
+	var buf bytes.Buffer
+	if err := PlotTrace(&buf, tr, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "*") != 1 {
+		t.Fatalf("want exactly one point:\n%s", out)
+	}
+	if !strings.Contains(out, "(1..1)") {
+		t.Fatalf("caption should span a single iteration:\n%s", out)
+	}
+}
+
+// TestPlotTraceNonFinite is the regression test for the NaN/Inf panic:
+// non-finite relative errors (diverged fits) used to produce a NaN row index
+// and crash the grid write. They must render as blank columns instead.
+func TestPlotTraceNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+
+	// Mixed finite and non-finite samples: finite ones still render.
+	tr := &Trace{}
+	tr.Append(TracePoint{Iteration: 1, RelErr: 0.5})
+	tr.Append(TracePoint{Iteration: 2, RelErr: nan})
+	tr.Append(TracePoint{Iteration: 3, RelErr: inf})
+	tr.Append(TracePoint{Iteration: 4, RelErr: math.Inf(-1)})
+	tr.Append(TracePoint{Iteration: 5, RelErr: 0.1})
+	var buf bytes.Buffer
+	if err := PlotTrace(&buf, tr, 5, 4); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "*"); n != 2 {
+		t.Fatalf("want 2 finite points rendered, got %d:\n%s", n, buf.String())
+	}
+
+	// All non-finite: no renderable data, still no panic or error.
+	tr = &Trace{}
+	tr.Append(TracePoint{Iteration: 1, RelErr: nan})
+	tr.Append(TracePoint{Iteration: 2, RelErr: inf})
+	buf.Reset()
+	if err := PlotTrace(&buf, tr, 10, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no finite rel err") {
+		t.Fatalf("all-non-finite trace not reported:\n%s", buf.String())
+	}
+}
+
+// TestTraceDegenerate covers the query helpers on empty, single-point, and
+// NaN-bearing traces.
+func TestTraceDegenerate(t *testing.T) {
+	empty := &Trace{}
+	if p := empty.Final(); p != (TracePoint{}) {
+		t.Fatalf("empty Final = %+v, want zero", p)
+	}
+	if b := empty.BestRelErr(); b != 1.0 {
+		t.Fatalf("empty BestRelErr = %v, want 1", b)
+	}
+	if _, ok := empty.TimeToRelErr(0.5); ok {
+		t.Fatal("empty trace reached a target")
+	}
+	if _, ok := empty.ItersToRelErr(0.5); ok {
+		t.Fatal("empty trace reached a target")
+	}
+
+	single := &Trace{}
+	single.Append(TracePoint{Iteration: 7, Elapsed: 3 * time.Second, RelErr: 0.2})
+	if p := single.Final(); p.Iteration != 7 {
+		t.Fatalf("single Final = %+v", p)
+	}
+	if d, ok := single.TimeToRelErr(0.2); !ok || d != 3*time.Second {
+		t.Fatalf("TimeToRelErr = %v,%v", d, ok)
+	}
+	if it, ok := single.ItersToRelErr(0.2); !ok || it != 7 {
+		t.Fatalf("ItersToRelErr = %v,%v", it, ok)
+	}
+
+	// NaN never compares below a target and never becomes the best error.
+	nans := &Trace{}
+	nans.Append(TracePoint{Iteration: 1, RelErr: math.NaN()})
+	nans.Append(TracePoint{Iteration: 2, RelErr: 0.3})
+	if b := nans.BestRelErr(); b != 0.3 {
+		t.Fatalf("BestRelErr with NaN = %v, want 0.3", b)
+	}
+	if it, ok := nans.ItersToRelErr(0.5); !ok || it != 2 {
+		t.Fatalf("ItersToRelErr skipped past NaN wrong: %v,%v", it, ok)
+	}
+
+	// CSV of an empty trace is just the header.
+	var buf bytes.Buffer
+	if err := empty.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "iteration,seconds,relerr,inner_iters" {
+		t.Fatalf("empty CSV = %q", got)
+	}
+}
+
+// TestMetricsReportPartial asserts Report stays well-formed when only some
+// sections were recorded: absent sections must be empty (not nil maps that
+// break consumers, not fabricated samples).
+func TestMetricsReportPartial(t *testing.T) {
+	// Nil receiver: the disabled state still yields a schema'd skeleton.
+	var disabled *Metrics
+	r := disabled.Report()
+	if r.Schema != MetricsSchema {
+		t.Fatalf("schema = %q", r.Schema)
+	}
+	if r.ADMM.InnerIterHistogram == nil {
+		t.Fatal("nil-receiver report has nil histogram map")
+	}
+	if len(r.Kernels) != 0 || len(r.Scheduler.Threads) != 0 || r.OOC != nil {
+		t.Fatalf("nil-receiver report not empty: %+v", r)
+	}
+
+	// Kernels only: ADMM and scheduler sections stay zero, imbalance must not
+	// divide by zero on an empty thread set.
+	m := NewMetrics()
+	m.AddKernel(KernelMTTKRP, 0, 5*time.Millisecond)
+	m.AddKernel(KernelMTTKRP, 0, 5*time.Millisecond)
+	r = m.Report()
+	if len(r.Kernels) != 1 || r.Kernels[0].Calls != 2 {
+		t.Fatalf("kernels = %+v", r.Kernels)
+	}
+	if r.ADMM.Solves != 0 || len(r.ADMM.InnerIterHistogram) != 0 {
+		t.Fatalf("ADMM section not empty: %+v", r.ADMM)
+	}
+	if r.Scheduler.ImbalanceRatio != 0 {
+		t.Fatalf("imbalance on no threads = %v, want 0", r.Scheduler.ImbalanceRatio)
+	}
+
+	// ADMM only.
+	m = NewMetrics()
+	m.RecordADMMSolve([]int{3, 5, 3}, 1)
+	r = m.Report()
+	if len(r.Kernels) != 0 {
+		t.Fatalf("kernels fabricated: %+v", r.Kernels)
+	}
+	if r.ADMM.Solves != 1 || r.ADMM.Blocks != 3 {
+		t.Fatalf("ADMM = %+v", r.ADMM)
+	}
+	if r.ADMM.InnerIterHistogram["3"] != 2 || r.ADMM.InnerIterHistogram["5"] != 1 {
+		t.Fatalf("histogram = %+v", r.ADMM.InnerIterHistogram)
+	}
+
+	// Scheduler with one idle thread: idle workers are excluded from the
+	// imbalance ratio, so a single busy thread is perfectly balanced.
+	m = NewMetrics()
+	m.RecordSchedulerThread(0, 10, 100*time.Millisecond)
+	m.RecordSchedulerThread(1, 0, 0)
+	r = m.Report()
+	if len(r.Scheduler.Threads) != 2 {
+		t.Fatalf("threads = %+v", r.Scheduler.Threads)
+	}
+	if r.Scheduler.ImbalanceRatio != 1 {
+		t.Fatalf("imbalance = %v, want 1", r.Scheduler.ImbalanceRatio)
+	}
+
+	// Every partial report must serialize.
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round Report
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Schema != MetricsSchema {
+		t.Fatalf("round-trip schema = %q", round.Schema)
+	}
+}

@@ -22,7 +22,9 @@ func PlotTrace(w io.Writer, t *Trace, cols, rows int) error {
 	if rows < 3 {
 		rows = 3
 	}
-	// Downsample to at most cols buckets (min error per bucket).
+	// Downsample to at most cols buckets (min error per bucket). Non-finite
+	// errors (NaN/Inf from a diverged or not-yet-computed fit) are skipped;
+	// a bucket with no finite sample renders blank.
 	n := len(t.Points)
 	buckets := cols
 	if n < buckets {
@@ -35,9 +37,9 @@ func PlotTrace(w io.Writer, t *Trace, cols, rows int) error {
 		if hi <= lo {
 			hi = lo + 1
 		}
-		best := math.Inf(1)
+		best := math.Inf(1) // stays +Inf when the bucket has no finite sample
 		for i := lo; i < hi && i < n; i++ {
-			if e := t.Points[i].RelErr; e < best {
+			if e := t.Points[i].RelErr; finite(e) && e < best {
 				best = e
 			}
 		}
@@ -45,8 +47,15 @@ func PlotTrace(w io.Writer, t *Trace, cols, rows int) error {
 	}
 	yMin, yMax := math.Inf(1), math.Inf(-1)
 	for _, y := range ys {
+		if !finite(y) {
+			continue
+		}
 		yMin = math.Min(yMin, y)
 		yMax = math.Max(yMax, y)
+	}
+	if math.IsInf(yMin, 1) { // no finite sample anywhere
+		_, err := fmt.Fprintln(w, "(no finite rel err in trace)")
+		return err
 	}
 	if yMax == yMin {
 		yMax = yMin + 1e-12
@@ -57,9 +66,17 @@ func PlotTrace(w io.Writer, t *Trace, cols, rows int) error {
 		grid[r] = []byte(strings.Repeat(" ", buckets))
 	}
 	for b, y := range ys {
+		if !finite(y) {
+			continue
+		}
 		// Row 0 is the top (yMax).
 		frac := (yMax - y) / (yMax - yMin)
 		r := int(frac * float64(rows-1))
+		if r < 0 {
+			r = 0
+		} else if r >= rows {
+			r = rows - 1
+		}
 		grid[r][b] = '*'
 	}
 	for r, line := range grid {
@@ -78,3 +95,5 @@ func PlotTrace(w io.Writer, t *Trace, cols, rows int) error {
 		strings.Repeat(" ", 9), t.Points[n-1].Iteration)
 	return err
 }
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
