@@ -303,6 +303,51 @@ type CompletionQuery = kruskal.Query
 // behind cmd/aoadmmd's /models/{id}/topk endpoint.
 func TopKQuery(model *KruskalTensor, q CompletionQuery) ([]Match, error) { return model.TopK(q) }
 
+// RowIndex is a k-means cluster index over one mode's factor rows. Attaching
+// it to a CompletionQuery lets TopKQuery prune whole clusters by score upper
+// bound while returning exactly the matches a full scan would.
+type RowIndex = kruskal.RowIndex
+
+// IndexStats reports how an indexed query spent its work: clusters scanned
+// vs pruned, rows scored, and whether the index fell back to a full scan.
+type IndexStats = kruskal.IndexStats
+
+// BuildRowIndex clusters the rows of the model's given mode for indexed
+// top-K queries. clusters <= 0 picks sqrt(rows); threads <= 0 uses
+// GOMAXPROCS. The build is deterministic: no RNG, and identical results at
+// any thread count.
+func BuildRowIndex(model *KruskalTensor, mode, clusters, threads int) (*RowIndex, error) {
+	return model.BuildIndex(mode, clusters, threads)
+}
+
+// TopKQueryBatch answers several completion queries that share a target mode
+// in one pass over the target factor, loading each row once and scoring it
+// for every query. Results are identical to running TopKQuery per query.
+func TopKQueryBatch(model *KruskalTensor, qs []CompletionQuery) ([][]Match, error) {
+	return model.TopKBatch(qs)
+}
+
+// FoldInObservation is one observed tensor entry for a fold-in solve: full
+// coordinates in every mode except the fold mode, plus the observed value.
+type FoldInObservation = kruskal.FoldInObservation
+
+// FoldInOptions configures a fold-in solve: the fold mode, the proximal
+// operator enforcing the model's constraint on the new row, and the ADMM
+// stopping rule.
+type FoldInOptions = kruskal.FoldInOptions
+
+// FoldInResult carries the solved factor row and ADMM convergence info.
+type FoldInResult = kruskal.FoldInResult
+
+// FoldIn estimates a new factor row for an unseen entity from its observed
+// entries, holding every fitted factor frozen — the AO-ADMM row subproblem
+// solved once against the trained model. The returned row plugs into
+// CompletionQuery.Weights (after scaling by the model's lambda, see
+// (*KruskalTensor).RecommendWeights) to rank completions for the new entity.
+func FoldIn(model *KruskalTensor, obs []FoldInObservation, opt FoldInOptions) (*FoldInResult, error) {
+	return model.FoldIn(obs, opt)
+}
+
 // HoldoutMetrics summarizes a model's accuracy on held-out entries.
 type HoldoutMetrics = eval.Metrics
 

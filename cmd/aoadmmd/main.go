@@ -48,6 +48,8 @@ func main() {
 		logFormat   = flag.String("log-format", "text", "structured log format: text|json")
 		logLevel    = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
+		maxTopK     = flag.Int("max-topk", 4096, "largest k accepted by top-K and fold-in queries")
+		queryCache  = flag.Int("query-cache", 1024, "top-K result cache capacity in entries (negative disables)")
 	)
 	flag.Parse()
 
@@ -66,6 +68,8 @@ func main() {
 		RetryBackoff:   *retryBase,
 		JobTimeout:     *jobTimeout,
 		JournalPath:    *journal,
+		MaxTopK:        *maxTopK,
+		QueryCacheSize: *queryCache,
 		Logger:         logger,
 	}
 	if err := run(*addr, *pprofAddr, cfg, *grace, logger); err != nil {

@@ -1,0 +1,123 @@
+package kruskal
+
+import (
+	"fmt"
+
+	"aoadmm/internal/par"
+)
+
+// TopKBatch answers several top-K queries against the same target mode in
+// one pass over the target factor: each row is loaded once and scored
+// against every query's weight vector (a blocked weights × factorᵀ product
+// with per-query top-K selection fused in), instead of once per query. All
+// queries must share TargetMode and TargetLeaf; Anchors, Weights, and K may
+// differ per query. Results are identical to calling TopK per query — the
+// per-query score accumulation order is the same. Index and Stats fields
+// are ignored (the batch is already a single shared scan); Threads is taken
+// from the first query.
+func (k *Tensor) TopKBatch(qs []Query) ([][]Match, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	tm := qs[0].TargetMode
+	leaf := qs[0].TargetLeaf
+	for i := 1; i < len(qs); i++ {
+		if qs[i].TargetMode != tm {
+			return nil, fmt.Errorf("kruskal: batched queries mix target modes %d and %d", tm, qs[i].TargetMode)
+		}
+		if qs[i].TargetLeaf != leaf {
+			return nil, fmt.Errorf("kruskal: batched queries must share one target leaf")
+		}
+	}
+	target, err := k.queryTarget(qs[0])
+	if err != nil {
+		return nil, err
+	}
+
+	nq := len(qs)
+	rank := k.Rank()
+	weights := make([][]float64, nq)
+	actives := make([][]int32, nq)
+	maskLeaf := make([]bool, nq)
+	kks := make([]int, nq)
+	for b := range qs {
+		if _, err := k.queryTarget(qs[b]); err != nil {
+			return nil, fmt.Errorf("batched query %d: %w", b, err)
+		}
+		w, err := k.QueryWeights(qs[b])
+		if err != nil {
+			return nil, fmt.Errorf("batched query %d: %w", b, err)
+		}
+		weights[b] = w
+		actives[b] = activeComponents(w)
+		maskLeaf[b] = leaf != nil && len(actives[b]) < rank
+		kks[b] = qs[b].K
+		if kks[b] > target.Rows {
+			kks[b] = target.Rows
+		}
+	}
+
+	nThreads := par.Threads(qs[0].Threads)
+	if nThreads > target.Rows {
+		nThreads = target.Rows
+	}
+	if nThreads < 1 {
+		nThreads = 1
+	}
+	perThread := make([][]matchHeap, nThreads)
+	par.Do(nThreads, func(tid int) {
+		heaps := make([]matchHeap, nq)
+		for b := range heaps {
+			heaps[b] = make(matchHeap, 0, kks[b])
+		}
+		begin, end := par.Span(target.Rows, nThreads, tid)
+		for j := begin; j < end; j++ {
+			if leaf != nil {
+				bp, ep := leaf.RowPtr[j], leaf.RowPtr[j+1]
+				cols := leaf.ColIdx[bp:ep]
+				vals := leaf.Vals[bp:ep]
+				for b := 0; b < nq; b++ {
+					w := weights[b]
+					var s float64
+					if maskLeaf[b] {
+						for p, f := range cols {
+							if wf := w[f]; wf != 0 {
+								s += wf * vals[p]
+							}
+						}
+					} else {
+						for p, f := range cols {
+							s += w[f] * vals[p]
+						}
+					}
+					pushMatch(&heaps[b], kks[b], Match{Row: j, Score: s})
+				}
+			} else {
+				row := target.Row(j)
+				for b := 0; b < nq; b++ {
+					w := weights[b]
+					var s float64
+					for _, f := range actives[b] {
+						s += w[f] * row[f]
+					}
+					pushMatch(&heaps[b], kks[b], Match{Row: j, Score: s})
+				}
+			}
+		}
+		perThread[tid] = heaps
+	})
+
+	out := make([][]Match, nq)
+	for b := 0; b < nq; b++ {
+		merged := make([]Match, 0, nThreads*kks[b])
+		for t := 0; t < nThreads; t++ {
+			merged = append(merged, perThread[t][b]...)
+		}
+		sortMatches(merged)
+		if len(merged) > kks[b] {
+			merged = merged[:kks[b]]
+		}
+		out[b] = merged
+	}
+	return out, nil
+}

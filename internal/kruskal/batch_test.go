@@ -1,0 +1,123 @@
+package kruskal
+
+import (
+	"math/rand"
+	"testing"
+
+	"aoadmm/internal/sparse"
+)
+
+// TestTopKBatchMatchesSingle pins the batched scan against per-query TopK:
+// same matches, same scores, for mixed anchors and Ks.
+func TestTopKBatchMatchesSingle(t *testing.T) {
+	model := randomModel(t, []int{25, 400, 18}, 10, 1.0, true, 21)
+	rng := rand.New(rand.NewSource(8))
+	qs := make([]Query, 17)
+	for i := range qs {
+		qs[i] = Query{
+			Anchors:    map[int]int{0: rng.Intn(25), 2: rng.Intn(18)},
+			TargetMode: 1,
+			K:          1 + rng.Intn(40),
+			Threads:    3,
+		}
+		if i%4 == 0 {
+			delete(qs[i].Anchors, 2)
+		}
+	}
+	batch, err := model.TopKBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(qs) {
+		t.Fatalf("batch returned %d results for %d queries", len(batch), len(qs))
+	}
+	for i, q := range qs {
+		single, err := model.TopK(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matchesEqual(t, batch[i], single)
+		matchesEqual(t, batch[i], bruteTopK(model, q))
+	}
+}
+
+// TestTopKBatchCSRLeaf covers the shared-leaf path, including a sparse
+// anchor that exercises the masked loop for one query but not another.
+func TestTopKBatchCSRLeaf(t *testing.T) {
+	model := randomModel(t, []int{20, 600, 12}, 14, 0.12, true, 33)
+	leaf := sparse.FromDense(model.Factors[1], 0)
+	zeroed := model.Factors[0].Row(4)
+	for f := 0; f < len(zeroed); f += 2 {
+		zeroed[f] = 0
+	}
+	qs := []Query{
+		{Anchors: map[int]int{0: 4}, TargetMode: 1, K: 15, Threads: 2, TargetLeaf: leaf},
+		{Anchors: map[int]int{0: 7, 2: 2}, TargetMode: 1, K: 8, Threads: 2, TargetLeaf: leaf},
+		{Anchors: map[int]int{2: 9}, TargetMode: 1, K: 30, Threads: 2, TargetLeaf: leaf},
+	}
+	batch, err := model.TopKBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		single, err := model.TopK(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matchesEqual(t, batch[i], single)
+	}
+}
+
+// TestTopKBatchWeights mixes pre-folded weight queries with anchored ones.
+func TestTopKBatchWeights(t *testing.T) {
+	model := randomModel(t, []int{15, 300, 10}, 6, 1.0, false, 5)
+	anchored := Query{Anchors: map[int]int{0: 3}, TargetMode: 1, K: 12, Threads: 2}
+	w, err := model.QueryWeights(anchored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded := Query{Weights: w, TargetMode: 1, K: 12, Threads: 2}
+	batch, err := model.TopKBatch([]Query{anchored, folded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesEqual(t, batch[0], batch[1])
+	matchesEqual(t, batch[0], bruteTopK(model, anchored))
+}
+
+func TestTopKBatchSingleAndEmpty(t *testing.T) {
+	model := randomModel(t, []int{10, 50, 8}, 4, 1.0, false, 2)
+	q := Query{Anchors: map[int]int{0: 1}, TargetMode: 1, K: 5, Threads: 1}
+	batch, err := model.TopKBatch([]Query{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := model.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesEqual(t, batch[0], single)
+
+	empty, err := model.TopKBatch(nil)
+	if err != nil || empty != nil {
+		t.Fatalf("empty batch: %v %v", empty, err)
+	}
+}
+
+func TestTopKBatchErrors(t *testing.T) {
+	model := randomModel(t, []int{10, 50, 8}, 4, 1.0, false, 2)
+	ok := Query{Anchors: map[int]int{0: 1}, TargetMode: 1, K: 5}
+	cases := [][]Query{
+		{ok, {Anchors: map[int]int{0: 1}, TargetMode: 2, K: 5}},                                                    // mixed target modes
+		{ok, {Anchors: map[int]int{0: 99}, TargetMode: 1, K: 5}},                                                   // bad anchor row
+		{ok, {Anchors: nil, TargetMode: 1, K: 5}},                                                                  // no anchors
+		{ok, {Anchors: map[int]int{0: 1}, TargetMode: 1, K: 0}},                                                    // bad K
+		{ok, {Weights: []float64{1, 2}, TargetMode: 1, K: 5}},                                                      // wrong weight length
+		{ok, {Anchors: map[int]int{0: 1}, TargetMode: 1, K: 5, TargetLeaf: sparse.FromDense(model.Factors[1], 0)}}, // leaf mismatch within batch
+	}
+	for i, qs := range cases {
+		if _, err := model.TopKBatch(qs); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

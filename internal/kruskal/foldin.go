@@ -1,0 +1,176 @@
+// Fold-in: project an unseen entity onto a frozen factorization. Given
+// observations v_o of tensor entries whose coordinates fix a row in every
+// mode except the fold mode, each observation is linear in the unknown
+// row u:
+//
+//	v_o ≈ Σ_f u_f · λ_f · Π_{m ≠ mode} A_m(coords_o[m], f) = (G u)_o,
+//
+// so the new row solves min_u ½‖v − G u‖² + r(u) — exactly the per-row
+// regularized least-squares subproblem of the AO-ADMM sweep, with the design
+// matrix G playing the role of the Khatri-Rao product. The solve reuses the
+// baseline ADMM kernel (internal/admm) on a single row: K := Gᵀv, gram
+// GᵀG, and the model's prox operator r, so a fold-in respects the same
+// constraint (nonnegativity, ℓ₁, ...) the factors were fitted under —
+// unseen users get recommendations without a refit.
+
+package kruskal
+
+import (
+	"fmt"
+
+	"aoadmm/internal/admm"
+	"aoadmm/internal/dense"
+	"aoadmm/internal/prox"
+)
+
+// Fold-in solve defaults: tighter than the AO sweep's inner tolerance
+// because a fold-in is a one-shot serving call, not one pass of an
+// alternating loop that will revisit the mode.
+const (
+	DefaultFoldInTol      = 1e-9
+	DefaultFoldInMaxIters = 500
+)
+
+// FoldInObservation is one known tensor entry of the folded-in entity:
+// coordinates for every mode except the fold mode, plus the value.
+type FoldInObservation struct {
+	// Coords maps mode index -> row index; exactly the non-fold modes must
+	// be present.
+	Coords map[int]int `json:"coords"`
+	// Value is the observed tensor entry.
+	Value float64 `json:"value"`
+}
+
+// FoldInOptions configures a fold-in solve.
+type FoldInOptions struct {
+	// Mode is the mode the new row belongs to.
+	Mode int
+	// Operator is the constraint/regularizer for the new row (nil =
+	// unconstrained). Pass the operator the model was fitted under so the
+	// folded row lives in the same constraint set as the factor it joins.
+	Operator prox.Operator
+	// MaxIters caps ADMM iterations (<= 0 means DefaultFoldInMaxIters).
+	MaxIters int
+	// Tol is the ADMM residual tolerance (<= 0 means DefaultFoldInTol).
+	Tol float64
+}
+
+// FoldInResult is the solved row plus solver diagnostics.
+type FoldInResult struct {
+	// Row is the rank-length latent row of the folded-in entity.
+	Row []float64 `json:"row"`
+	// Iters is the ADMM iteration count.
+	Iters int `json:"iters"`
+	// Converged is false when MaxIters was hit.
+	Converged bool `json:"converged"`
+}
+
+// FoldIn solves for the latent row of an unseen entity in the given mode
+// from its observed entries, against frozen factors. The model is not
+// modified. To rank completions for the folded entity afterwards, pass
+// RecommendWeights(result.Row) as Query.Weights.
+func (k *Tensor) FoldIn(obs []FoldInObservation, opt FoldInOptions) (*FoldInResult, error) {
+	order := k.Order()
+	rank := k.Rank()
+	if opt.Mode < 0 || opt.Mode >= order {
+		return nil, fmt.Errorf("kruskal: fold-in mode %d out of range for order %d", opt.Mode, order)
+	}
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("kruskal: fold-in needs at least one observation")
+	}
+
+	// Design matrix: row o is the λ-scaled elementwise product of the
+	// anchored factor rows — the restriction of the Khatri-Rao product to
+	// the observed coordinates.
+	design := dense.New(len(obs), rank)
+	v := make([]float64, len(obs))
+	for o, ob := range obs {
+		if len(ob.Coords) != order-1 {
+			return nil, fmt.Errorf("kruskal: observation %d has %d coords, need one per mode except %d",
+				o, len(ob.Coords), opt.Mode)
+		}
+		row := design.Row(o)
+		for f := 0; f < rank; f++ {
+			if k.Lambda != nil {
+				row[f] = k.Lambda[f]
+			} else {
+				row[f] = 1
+			}
+		}
+		for m, i := range ob.Coords {
+			if m == opt.Mode {
+				return nil, fmt.Errorf("kruskal: observation %d anchors the fold mode %d", o, m)
+			}
+			if m < 0 || m >= order {
+				return nil, fmt.Errorf("kruskal: observation %d: mode %d out of range for order %d", o, m, order)
+			}
+			fm := k.Factors[m]
+			if i < 0 || i >= fm.Rows {
+				return nil, fmt.Errorf("kruskal: observation %d: row %d out of range for mode %d (length %d)",
+					o, i, m, fm.Rows)
+			}
+			fr := fm.Row(i)
+			for f := 0; f < rank; f++ {
+				row[f] *= fr[f]
+			}
+		}
+		v[o] = ob.Value
+	}
+
+	// Normal-equation pieces for the ADMM kernel: gram GᵀG and RHS Gᵀv as
+	// a single-row "MTTKRP".
+	gram := dense.Gram(design, 1)
+	rhs := dense.New(1, rank)
+	rr := rhs.Row(0)
+	for o := range obs {
+		dr := design.Row(o)
+		vo := v[o]
+		for f := 0; f < rank; f++ {
+			rr[f] += vo * dr[f]
+		}
+	}
+
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = DefaultFoldInTol
+	}
+	maxIters := opt.MaxIters
+	if maxIters <= 0 {
+		maxIters = DefaultFoldInMaxIters
+	}
+	h := dense.New(1, rank)
+	u := dense.New(1, rank)
+	st, err := admm.Run(h, u, rhs, gram, &admm.Workspace{}, admm.Config{
+		Prox:     opt.Operator,
+		Eps:      tol,
+		MaxIters: maxIters,
+		Threads:  1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kruskal: fold-in solve: %w", err)
+	}
+	return &FoldInResult{
+		Row:       append([]float64(nil), h.Row(0)...),
+		Iters:     st.Iterations,
+		Converged: st.Converged,
+	}, nil
+}
+
+// RecommendWeights turns a folded-in latent row into the weight vector a
+// top-K query over any other mode expects: w_f = λ_f · row_f (the folded
+// row takes the place of the anchor product).
+func (k *Tensor) RecommendWeights(row []float64) ([]float64, error) {
+	rank := k.Rank()
+	if len(row) != rank {
+		return nil, fmt.Errorf("kruskal: row has length %d, rank is %d", len(row), rank)
+	}
+	w := make([]float64, rank)
+	for f := 0; f < rank; f++ {
+		if k.Lambda != nil {
+			w[f] = k.Lambda[f] * row[f]
+		} else {
+			w[f] = row[f]
+		}
+	}
+	return w, nil
+}

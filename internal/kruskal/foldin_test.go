@@ -1,0 +1,276 @@
+package kruskal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aoadmm/internal/dense"
+	"aoadmm/internal/prox"
+)
+
+// foldInDesign rebuilds the fold-in design matrix and RHS with independent
+// At-style arithmetic, for use as a reference.
+func foldInDesign(k *Tensor, obs []FoldInObservation) (*dense.Matrix, []float64) {
+	rank := k.Rank()
+	g := dense.New(len(obs), rank)
+	v := make([]float64, len(obs))
+	for o, ob := range obs {
+		row := g.Row(o)
+		for f := 0; f < rank; f++ {
+			prod := 1.0
+			if k.Lambda != nil {
+				prod = k.Lambda[f]
+			}
+			for m, i := range ob.Coords {
+				prod *= k.Factors[m].At(i, f)
+			}
+			row[f] = prod
+		}
+		v[o] = ob.Value
+	}
+	return g, v
+}
+
+// randomObservations draws observations with random coordinates in every
+// non-fold mode and values v = design · planted (+ optional noise).
+func randomObservations(k *Tensor, mode, n int, planted []float64, noise float64, seed int64) []FoldInObservation {
+	rng := rand.New(rand.NewSource(seed))
+	obs := make([]FoldInObservation, n)
+	for o := range obs {
+		coords := make(map[int]int)
+		for m := 0; m < k.Order(); m++ {
+			if m != mode {
+				coords[m] = rng.Intn(k.Factors[m].Rows)
+			}
+		}
+		obs[o] = FoldInObservation{Coords: coords}
+	}
+	design, _ := foldInDesign(k, obs)
+	for o := range obs {
+		row := design.Row(o)
+		var val float64
+		for f, uf := range planted {
+			val += row[f] * uf
+		}
+		obs[o].Value = val + noise*rng.NormFloat64()
+	}
+	return obs
+}
+
+// TestFoldInUnconstrainedMatchesNormalEquations pins the ADMM fold-in
+// against a direct normal-equations refit: with no constraint the two must
+// agree to solver tolerance.
+func TestFoldInUnconstrainedMatchesNormalEquations(t *testing.T) {
+	model := randomModel(t, []int{20, 30, 15}, 5, 1.0, true, 17)
+	planted := []float64{0.8, -1.2, 0.3, 2.0, -0.5}
+	obs := randomObservations(model, 0, 40, planted, 0.05, 9)
+
+	got, err := model.FoldIn(obs, FoldInOptions{Mode: 0, Tol: 1e-12, MaxIters: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Converged {
+		t.Fatalf("solver did not converge in %d iters", got.Iters)
+	}
+
+	design, v := foldInDesign(model, obs)
+	gram := dense.Gram(design, 1)
+	rhs := make([]float64, model.Rank())
+	for o := range v {
+		row := design.Row(o)
+		for f := range rhs {
+			rhs[f] += v[o] * row[f]
+		}
+	}
+	ch, err := dense.NewCholesky(gram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.SolveVec(rhs)
+	for f := range rhs {
+		if math.Abs(got.Row[f]-rhs[f]) > 1e-6 {
+			t.Fatalf("component %d: admm %v vs normal equations %v", f, got.Row, rhs)
+		}
+	}
+}
+
+// TestFoldInNonNegRecoversPlantedRow: exact nonnegative observations of a
+// planted nonnegative row must be recovered exactly (the LS optimum is 0 and
+// unique, and it is feasible under the constraint).
+func TestFoldInNonNegRecoversPlantedRow(t *testing.T) {
+	model := randomModel(t, []int{20, 30, 15}, 5, 1.0, false, 23)
+	planted := []float64{1.5, 0, 0.7, 0, 2.2}
+	obs := randomObservations(model, 1, 30, planted, 0, 14)
+
+	got, err := model.FoldIn(obs, FoldInOptions{
+		Mode: 1, Operator: prox.NonNegative{}, Tol: 1e-12, MaxIters: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range planted {
+		if got.Row[f] < 0 {
+			t.Fatalf("nonneg fold-in produced negative component: %v", got.Row)
+		}
+		if math.Abs(got.Row[f]-planted[f]) > 1e-6 {
+			t.Fatalf("component %d: got %v, planted %v", f, got.Row, planted)
+		}
+	}
+}
+
+// TestFoldInL1MatchesISTA pins the ℓ₁-regularized fold-in against an
+// independent proximal-gradient (ISTA) solver of the same objective
+// ½‖v − Gu‖² + λ‖u‖₁.
+func TestFoldInL1MatchesISTA(t *testing.T) {
+	model := randomModel(t, []int{15, 25, 12}, 5, 1.0, false, 31)
+	planted := []float64{1.0, 0, -0.8, 0, 0.4}
+	obs := randomObservations(model, 0, 30, planted, 0.1, 77)
+	const lam = 0.1
+
+	got, err := model.FoldIn(obs, FoldInOptions{
+		Mode: 0, Operator: prox.L1{Lambda: lam}, Tol: 1e-12, MaxIters: 10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	design, v := foldInDesign(model, obs)
+	rank := model.Rank()
+	gram := dense.Gram(design, 1)
+	rhs := make([]float64, rank)
+	for o := range v {
+		row := design.Row(o)
+		for f := range rhs {
+			rhs[f] += v[o] * row[f]
+		}
+	}
+	// Step 1/L with L = trace(GᵀG), a safe upper bound on the top eigenvalue.
+	var lip float64
+	for f := 0; f < rank; f++ {
+		lip += gram.At(f, f)
+	}
+	u := make([]float64, rank)
+	grad := make([]float64, rank)
+	for it := 0; it < 200000; it++ {
+		for f := range grad {
+			var gv float64
+			gr := gram.Row(f)
+			for j := range u {
+				gv += gr[j] * u[j]
+			}
+			grad[f] = gv - rhs[f]
+		}
+		for f := range u {
+			x := u[f] - grad[f]/lip
+			th := lam / lip
+			switch {
+			case x > th:
+				u[f] = x - th
+			case x < -th:
+				u[f] = x + th
+			default:
+				u[f] = 0
+			}
+		}
+	}
+
+	objective := func(x []float64) float64 {
+		var obj float64
+		for o := range v {
+			row := design.Row(o)
+			var pred float64
+			for f := range x {
+				pred += row[f] * x[f]
+			}
+			obj += 0.5 * (v[o] - pred) * (v[o] - pred)
+		}
+		for _, xv := range x {
+			obj += lam * math.Abs(xv)
+		}
+		return obj
+	}
+	oa, oi := objective(got.Row), objective(u)
+	if math.Abs(oa-oi) > 1e-6*(1+math.Abs(oi)) {
+		t.Fatalf("objective mismatch: admm %v (%v) vs ista %v (%v)", oa, got.Row, oi, u)
+	}
+	for f := range u {
+		if math.Abs(got.Row[f]-u[f]) > 1e-4 {
+			t.Fatalf("component %d: admm %v vs ista %v", f, got.Row, u)
+		}
+	}
+}
+
+// TestFoldInRecommendEndToEnd folds in an entity whose observations are the
+// model's own reconstructed entries for an existing row; the recovered row
+// must match that row, and recommendations through RecommendWeights must
+// match the anchored query.
+func TestFoldInRecommendEndToEnd(t *testing.T) {
+	model := randomModel(t, []int{18, 120, 9}, 6, 1.0, true, 41)
+	const anchorRow = 6
+	rng := rand.New(rand.NewSource(55))
+	obs := make([]FoldInObservation, 80)
+	for o := range obs {
+		j, l := rng.Intn(120), rng.Intn(9)
+		obs[o] = FoldInObservation{
+			Coords: map[int]int{1: j, 2: l},
+			Value:  model.At([]int{anchorRow, j, l}),
+		}
+	}
+	res, err := model.FoldIn(obs, FoldInOptions{Mode: 0, Tol: 1e-12, MaxIters: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := model.Factors[0].Row(anchorRow)
+	for f := range truth {
+		if math.Abs(res.Row[f]-truth[f]) > 1e-6 {
+			t.Fatalf("folded row %v, factor row %v", res.Row, truth)
+		}
+	}
+
+	w, err := model.RecommendWeights(res.Row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := model.TopK(Query{Weights: w, TargetMode: 1, K: 10, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := model.TopK(Query{Anchors: map[int]int{0: anchorRow}, TargetMode: 1, K: 10, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Row != want[i].Row || math.Abs(got[i].Score-want[i].Score) > 1e-6 {
+			t.Fatalf("match %d: folded %+v vs anchored %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFoldInErrors(t *testing.T) {
+	model := randomModel(t, []int{5, 6, 7}, 3, 1.0, false, 3)
+	good := FoldInObservation{Coords: map[int]int{1: 2, 2: 3}, Value: 1}
+	cases := []struct {
+		obs []FoldInObservation
+		opt FoldInOptions
+	}{
+		{nil, FoldInOptions{Mode: 0}},                                                                    // no observations
+		{[]FoldInObservation{good}, FoldInOptions{Mode: 9}},                                              // bad mode
+		{[]FoldInObservation{{Coords: map[int]int{1: 2}, Value: 1}}, FoldInOptions{Mode: 0}},             // missing mode 2
+		{[]FoldInObservation{{Coords: map[int]int{0: 1, 1: 2}, Value: 1}}, FoldInOptions{Mode: 0}},       // anchors fold mode
+		{[]FoldInObservation{{Coords: map[int]int{1: 99, 2: 3}, Value: 1}}, FoldInOptions{Mode: 0}},      // row out of range
+		{[]FoldInObservation{{Coords: map[int]int{1: 2, 9: 3}, Value: 1}}, FoldInOptions{Mode: 0}},       // mode out of range
+		{[]FoldInObservation{{Coords: map[int]int{1: 2, 2: 3, 0: 1}, Value: 1}}, FoldInOptions{Mode: 0}}, // too many coords
+	}
+	for i, tc := range cases {
+		if _, err := model.FoldIn(tc.obs, tc.opt); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := model.RecommendWeights([]float64{1}); err == nil {
+		t.Error("short row accepted")
+	}
+}

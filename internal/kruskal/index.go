@@ -1,0 +1,364 @@
+// Cluster-pruned exact top-K. A RowIndex partitions a factor's rows into
+// k-means-style coarse clusters and keeps, per cluster, component-wise value
+// bounds [lo_f, hi_f] over its member rows. For a query weight vector w the
+// best score any member row can reach is bounded by
+//
+//	UB(c) = Σ_{f: w_f≠0} max(w_f·lo_f, w_f·hi_f),
+//
+// so once K candidates better than UB(c) are in hand the whole cluster is
+// skipped. Both the per-row score and UB are accumulated in the same
+// component order, and float multiply/add are monotone, so score(j) ≤ UB(c)
+// holds in floating point too — pruning on a strict UB < worst comparison
+// can never discard a row of the true top K (which is unique under the
+// score-desc/row-asc total order). The index is an accelerator only:
+// results are byte-identical to the brute-force scan.
+//
+// Everything is deterministic — strided centroid seeding and fixed Lloyd
+// iterations over a strided sample, no RNG — so rebuilding an index for the
+// same factor always yields the same partition.
+
+package kruskal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"aoadmm/internal/dense"
+	"aoadmm/internal/par"
+	"aoadmm/internal/sparse"
+)
+
+const (
+	indexMinClusters  = 8
+	indexMaxClusters  = 512
+	indexKMeansSample = 16384
+	indexKMeansIters  = 8
+	// indexFallbackFrac aborts the serial indexed path in favor of the
+	// parallel scan when the rows it would touch exceed this fraction of the
+	// mode; pruning that weak is slower than scanning everything in parallel.
+	indexFallbackFrac = 0.5
+)
+
+// RowIndex is an immutable cluster index over one factor's rows. Build it
+// once per (model, mode) — models are frozen after commit, so it never goes
+// stale.
+type RowIndex struct {
+	rows     int
+	rank     int
+	clusters []idxCluster
+}
+
+// idxCluster is one coarse partition: its member row indices (ascending) and
+// component-wise min/max over the member rows.
+type idxCluster struct {
+	rows   []int32
+	lo, hi []float64
+}
+
+// Clusters returns the number of non-empty clusters.
+func (ix *RowIndex) Clusters() int { return len(ix.clusters) }
+
+// Rows returns the number of indexed rows.
+func (ix *RowIndex) Rows() int { return ix.rows }
+
+// IndexStats reports what the indexed top-K path did for one query.
+type IndexStats struct {
+	// Clusters is the cluster count of the index consulted.
+	Clusters int `json:"clusters"`
+	// Scanned / Pruned partition the clusters: scored row-by-row vs skipped
+	// wholesale by the upper bound.
+	Scanned int `json:"scanned"`
+	Pruned  int `json:"pruned"`
+	// RowsScanned is the number of rows actually scored.
+	RowsScanned int `json:"rows_scanned"`
+	// Fallback is true when pruning was too weak and the query fell back to
+	// the parallel brute-force scan (Scanned/Pruned then reflect only the
+	// partial indexed attempt).
+	Fallback bool `json:"fallback"`
+}
+
+// BuildIndex builds a RowIndex over the given mode's factor. nClusters <= 0
+// picks sqrt(rows) clamped to [8, 512]; nThreads <= 0 means GOMAXPROCS.
+func (k *Tensor) BuildIndex(mode, nClusters, nThreads int) (*RowIndex, error) {
+	if mode < 0 || mode >= k.Order() {
+		return nil, fmt.Errorf("kruskal: index mode %d out of range for order %d", mode, k.Order())
+	}
+	return NewRowIndex(k.Factors[mode], nClusters, nThreads), nil
+}
+
+// NewRowIndex clusters f's rows. See BuildIndex for parameter defaults.
+func NewRowIndex(f *dense.Matrix, nClusters, nThreads int) *RowIndex {
+	n, rank := f.Rows, f.Cols
+	ix := &RowIndex{rows: n, rank: rank}
+	if n == 0 {
+		return ix
+	}
+	if nClusters <= 0 {
+		nClusters = int(math.Sqrt(float64(n)))
+		if nClusters < indexMinClusters {
+			nClusters = indexMinClusters
+		}
+		if nClusters > indexMaxClusters {
+			nClusters = indexMaxClusters
+		}
+	}
+	if nClusters > n {
+		nClusters = n
+	}
+	nThreads = par.Threads(nThreads)
+	if nThreads > n {
+		nThreads = n
+	}
+
+	// Strided seeding: centroid c starts at row floor(c·n/C). Deterministic
+	// and spread across the (arbitrary) row order.
+	cent := dense.New(nClusters, rank)
+	for c := 0; c < nClusters; c++ {
+		copy(cent.Row(c), f.Row(c*n/nClusters))
+	}
+
+	// Lloyd iterations on a strided sample keep build cost bounded on huge
+	// modes; the final assignment below visits every row regardless.
+	sampleN := n
+	if sampleN > indexKMeansSample {
+		sampleN = indexKMeansSample
+	}
+	sums := make([]float64, nClusters*rank)
+	counts := make([]int64, nClusters)
+	for it := 0; it < indexKMeansIters; it++ {
+		for i := range sums {
+			sums[i] = 0
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		partSums := make([][]float64, nThreads)
+		partCounts := make([][]int64, nThreads)
+		par.Do(nThreads, func(tid int) {
+			ps := make([]float64, nClusters*rank)
+			pc := make([]int64, nClusters)
+			begin, end := par.Span(sampleN, nThreads, tid)
+			for s := begin; s < end; s++ {
+				row := f.Row(s * n / sampleN)
+				c := nearestCentroid(cent, row)
+				pc[c]++
+				dst := ps[c*rank : (c+1)*rank]
+				for j, v := range row {
+					dst[j] += v
+				}
+			}
+			partSums[tid] = ps
+			partCounts[tid] = pc
+		})
+		for t := 0; t < nThreads; t++ {
+			for i, v := range partSums[t] {
+				sums[i] += v
+			}
+			for c, v := range partCounts[t] {
+				counts[c] += v
+			}
+		}
+		for c := 0; c < nClusters; c++ {
+			if counts[c] == 0 {
+				continue // empty centroid keeps its position
+			}
+			dst := cent.Row(c)
+			inv := 1 / float64(counts[c])
+			for j := range dst {
+				dst[j] = sums[c*rank+j] * inv
+			}
+		}
+	}
+
+	// Final assignment over every row, in parallel.
+	assign := make([]int32, n)
+	par.Do(nThreads, func(tid int) {
+		begin, end := par.Span(n, nThreads, tid)
+		for j := begin; j < end; j++ {
+			assign[j] = int32(nearestCentroid(cent, f.Row(j)))
+		}
+	})
+
+	// Materialize clusters: member lists in ascending row order plus
+	// component-wise bounds, dropping empty clusters.
+	sizes := make([]int, nClusters)
+	for _, c := range assign {
+		sizes[c]++
+	}
+	clusters := make([]idxCluster, nClusters)
+	for c := range clusters {
+		if sizes[c] == 0 {
+			continue
+		}
+		lo := make([]float64, rank)
+		hi := make([]float64, rank)
+		for j := range lo {
+			lo[j] = math.Inf(1)
+			hi[j] = math.Inf(-1)
+		}
+		clusters[c] = idxCluster{rows: make([]int32, 0, sizes[c]), lo: lo, hi: hi}
+	}
+	for j := 0; j < n; j++ {
+		cl := &clusters[assign[j]]
+		cl.rows = append(cl.rows, int32(j))
+		row := f.Row(j)
+		for i, v := range row {
+			if v < cl.lo[i] {
+				cl.lo[i] = v
+			}
+			if v > cl.hi[i] {
+				cl.hi[i] = v
+			}
+		}
+	}
+	for c := range clusters {
+		if sizes[c] > 0 {
+			ix.clusters = append(ix.clusters, clusters[c])
+		}
+	}
+	return ix
+}
+
+// nearestCentroid returns the index of the centroid closest to row in
+// squared Euclidean distance, lowest index on ties.
+func nearestCentroid(cent *dense.Matrix, row []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c := 0; c < cent.Rows; c++ {
+		cr := cent.Row(c)
+		var d float64
+		for j, v := range row {
+			diff := v - cr[j]
+			d += diff * diff
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// topKIndexed runs the cluster-pruned exact top-K. It returns ok=false when
+// pruning is too weak to beat the parallel scan; the caller then falls back.
+func (k *Tensor) topKIndexed(q Query, target *dense.Matrix, w []float64, active []int32, kk int) ([]Match, bool) {
+	ix := q.Index
+	nc := len(ix.clusters)
+	if q.Stats != nil {
+		q.Stats.Clusters = nc
+	}
+	if nc == 0 {
+		return nil, true // zero-row target: the empty result is exact
+	}
+	// A heap holding a large fraction of the mode makes the serial indexed
+	// path pointless; let the parallel scan handle it.
+	if float64(kk) >= indexFallbackFrac*float64(ix.rows) {
+		if q.Stats != nil {
+			q.Stats.Fallback = true
+		}
+		return nil, false
+	}
+
+	// Upper bounds per cluster, accumulated in the same active-component
+	// order as the row scores (monotonicity of the float ops then makes
+	// score(j) ≤ UB(c) exact — see the package comment).
+	ubs := make([]float64, nc)
+	for c := range ix.clusters {
+		cl := &ix.clusters[c]
+		var ub float64
+		for _, f := range active {
+			wf := w[f]
+			hv, lv := wf*cl.hi[f], wf*cl.lo[f]
+			if hv >= lv {
+				ub += hv
+			} else {
+				ub += lv
+			}
+		}
+		ubs[c] = ub
+	}
+	order := make([]int, nc)
+	for i := range order {
+		order[i] = i
+	}
+	// Best-bound first; index ascending on ties for determinism.
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if ubs[a] != ubs[b] {
+			return ubs[a] > ubs[b]
+		}
+		return a < b
+	})
+
+	score := rowScorer(target, q.TargetLeaf, w, active)
+	h := make(matchHeap, 0, kk)
+	scanned, rowsScanned := 0, 0
+	maxRows := int(indexFallbackFrac * float64(ix.rows))
+	pos := 0
+	for ; pos < nc; pos++ {
+		cl := &ix.clusters[order[pos]]
+		if len(h) == kk && ubs[order[pos]] < h[0].Score {
+			break // sorted descending: every later cluster is bounded lower
+		}
+		if rowsScanned > maxRows {
+			if q.Stats != nil {
+				q.Stats.Scanned = scanned
+				q.Stats.RowsScanned = rowsScanned
+				q.Stats.Fallback = true
+			}
+			return nil, false
+		}
+		for _, j := range cl.rows {
+			pushMatch(&h, kk, Match{Row: int(j), Score: score(int(j))})
+		}
+		scanned++
+		rowsScanned += len(cl.rows)
+	}
+	if q.Stats != nil {
+		q.Stats.Scanned = scanned
+		q.Stats.Pruned = nc - scanned
+		q.Stats.RowsScanned = rowsScanned
+	}
+	out := make([]Match, len(h))
+	copy(out, h)
+	sortMatches(out)
+	return out, true
+}
+
+// rowScorer returns the per-row scoring closure matching scanTopK's loops
+// term for term, so indexed and scanned paths produce bit-identical scores.
+func rowScorer(target *dense.Matrix, leaf *sparse.CSR, w []float64, active []int32) func(j int) float64 {
+	if leaf != nil {
+		if len(active) < len(w) {
+			return func(j int) float64 {
+				b, e := leaf.RowPtr[j], leaf.RowPtr[j+1]
+				cols := leaf.ColIdx[b:e]
+				vals := leaf.Vals[b:e]
+				var s float64
+				for p, f := range cols {
+					if wf := w[f]; wf != 0 {
+						s += wf * vals[p]
+					}
+				}
+				return s
+			}
+		}
+		return func(j int) float64 {
+			b, e := leaf.RowPtr[j], leaf.RowPtr[j+1]
+			cols := leaf.ColIdx[b:e]
+			vals := leaf.Vals[b:e]
+			var s float64
+			for p, f := range cols {
+				s += w[f] * vals[p]
+			}
+			return s
+		}
+	}
+	return func(j int) float64 {
+		row := target.Row(j)
+		var s float64
+		for _, f := range active {
+			s += w[f] * row[f]
+		}
+		return s
+	}
+}

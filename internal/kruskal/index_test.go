@@ -1,0 +1,213 @@
+package kruskal
+
+import (
+	"math/rand"
+	"testing"
+
+	"aoadmm/internal/sparse"
+)
+
+// clusterTargetFactor overwrites the target-mode factor with tightly
+// clustered rows (centroid + small noise), the regime a cluster index is
+// built for: per-cluster bounds are narrow, so most clusters prune.
+func clusterTargetFactor(k *Tensor, mode, nCenters int, noise float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	f := k.Factors[mode]
+	centers := make([][]float64, nCenters)
+	for c := range centers {
+		centers[c] = make([]float64, f.Cols)
+		for j := range centers[c] {
+			centers[c][j] = 4 * rng.NormFloat64()
+		}
+	}
+	for i := 0; i < f.Rows; i++ {
+		row := f.Row(i)
+		c := centers[rng.Intn(nCenters)]
+		for j := range row {
+			row[j] = c[j] + noise*rng.NormFloat64()
+		}
+	}
+}
+
+// TestIndexedTopKMatchesBruteForce runs every shape from the scan-path
+// equivalence table through the cluster index too: the indexed path must
+// return byte-identical matches to the brute-force oracle.
+func TestIndexedTopKMatchesBruteForce(t *testing.T) {
+	cases := []struct {
+		name     string
+		dims     []int
+		rank     int
+		density  float64
+		lambda   bool
+		anchors  map[int]int
+		target   int
+		k        int
+		threads  int
+		clusters int
+	}{
+		{"dense-order3", []int{40, 90, 25}, 8, 1.0, false, map[int]int{0: 3}, 1, 10, 4, 0},
+		{"dense-lambda", []int{40, 90, 25}, 8, 1.0, true, map[int]int{0: 3, 2: 7}, 1, 5, 3, 0},
+		{"sparse-factors", []int{30, 200, 20}, 12, 0.15, false, map[int]int{0: 11}, 1, 7, 4, 0},
+		{"order4", []int{15, 20, 25, 30}, 6, 0.8, true, map[int]int{0: 1, 1: 2}, 3, 9, 2, 0},
+		{"k-exceeds-dim", []int{10, 12, 8}, 4, 1.0, false, map[int]int{0: 0}, 2, 50, 4, 0},
+		{"single-thread", []int{25, 60, 10}, 5, 0.5, false, map[int]int{2: 4}, 1, 6, 1, 0},
+		{"one-cluster", []int{20, 300, 10}, 6, 1.0, false, map[int]int{0: 2}, 1, 12, 2, 1},
+		{"cluster-per-row", []int{10, 64, 10}, 4, 1.0, true, map[int]int{0: 1}, 1, 5, 2, 64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			model := randomModel(t, tc.dims, tc.rank, tc.density, tc.lambda, 42)
+			ix, err := model.BuildIndex(tc.target, tc.clusters, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st IndexStats
+			q := Query{
+				Anchors: tc.anchors, TargetMode: tc.target, K: tc.k,
+				Threads: tc.threads, Index: ix, Stats: &st,
+			}
+			got, err := model.TopK(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			matchesEqual(t, got, bruteTopK(model, q))
+		})
+	}
+}
+
+// TestIndexedTopKClusteredTarget exercises the regime the index exists for
+// and asserts both exactness and that pruning actually happened.
+func TestIndexedTopKClusteredTarget(t *testing.T) {
+	model := randomModel(t, []int{12, 8000, 9}, 8, 1.0, true, 11)
+	clusterTargetFactor(model, 1, 40, 0.01, 5)
+	ix, err := model.BuildIndex(1, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Rows() != 8000 || ix.Clusters() < 2 {
+		t.Fatalf("index rows=%d clusters=%d", ix.Rows(), ix.Clusters())
+	}
+	for _, anchors := range []map[int]int{{0: 0}, {0: 7, 2: 3}, {2: 8}} {
+		var st IndexStats
+		q := Query{Anchors: anchors, TargetMode: 1, K: 10, Threads: 4, Index: ix, Stats: &st}
+		got, err := model.TopK(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matchesEqual(t, got, bruteTopK(model, q))
+		if st.Fallback {
+			t.Fatalf("anchors %v: fell back to scan (stats %+v)", anchors, st)
+		}
+		if st.Pruned == 0 {
+			t.Fatalf("anchors %v: no clusters pruned on a tightly clustered target (stats %+v)", anchors, st)
+		}
+		if st.Scanned+st.Pruned != st.Clusters {
+			t.Fatalf("anchors %v: scanned+pruned != clusters: %+v", anchors, st)
+		}
+	}
+}
+
+// TestIndexedTopKCSRLeaf pins indexed == brute when the target is scored
+// through its CSR leaf, including with sparse (zero-component) weights.
+func TestIndexedTopKCSRLeaf(t *testing.T) {
+	model := randomModel(t, []int{30, 2000, 20}, 16, 0.1, true, 7)
+	leaf := sparse.FromDense(model.Factors[1], 0)
+	ix, err := model.BuildIndex(1, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sparse anchor row: zero some components so the masked CSR loop runs.
+	anchorRow := model.Factors[0].Row(5)
+	for f := 0; f < len(anchorRow); f += 2 {
+		anchorRow[f] = 0
+	}
+	q := Query{Anchors: map[int]int{0: 5, 2: 3}, TargetMode: 1, K: 25, Threads: 4,
+		TargetLeaf: leaf, Index: ix}
+	got, err := model.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesEqual(t, got, bruteTopK(model, q))
+
+	// And identical to the unindexed CSR path.
+	q.Index = nil
+	plain, err := model.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesEqual(t, got, plain)
+}
+
+// TestIndexedTopKRandomSweep drives many random queries (mixed anchors,
+// weights, K) through index and oracle.
+func TestIndexedTopKRandomSweep(t *testing.T) {
+	model := randomModel(t, []int{20, 3000, 15}, 8, 1.0, true, 99)
+	clusterTargetFactor(model, 1, 25, 0.05, 6)
+	ix, err := model.BuildIndex(1, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 40; trial++ {
+		q := Query{
+			Anchors:    map[int]int{0: rng.Intn(20), 2: rng.Intn(15)},
+			TargetMode: 1,
+			K:          1 + rng.Intn(30),
+			Threads:    1 + rng.Intn(4),
+			Index:      ix,
+		}
+		if trial%3 == 0 {
+			delete(q.Anchors, 2)
+		}
+		got, err := model.TopK(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matchesEqual(t, got, bruteTopK(model, q))
+	}
+}
+
+// TestBuildIndexDeterministic pins the no-RNG build: same factor, same
+// partition, every time.
+func TestBuildIndexDeterministic(t *testing.T) {
+	model := randomModel(t, []int{10, 5000, 10}, 6, 1.0, false, 4)
+	a, err := model.BuildIndex(1, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := model.BuildIndex(1, 0, 1) // thread count must not change the result
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Clusters() != b.Clusters() {
+		t.Fatalf("cluster counts differ: %d vs %d", a.Clusters(), b.Clusters())
+	}
+	for c := range a.clusters {
+		ra, rb := a.clusters[c].rows, b.clusters[c].rows
+		if len(ra) != len(rb) {
+			t.Fatalf("cluster %d sizes differ", c)
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("cluster %d member %d differs", c, i)
+			}
+		}
+	}
+}
+
+func TestIndexErrors(t *testing.T) {
+	model := randomModel(t, []int{5, 60, 7}, 3, 1.0, false, 1)
+	if _, err := model.BuildIndex(9, 0, 1); err == nil {
+		t.Error("bad mode accepted")
+	}
+	// An index over the wrong mode's shape must be rejected at query time.
+	ix, err := model.BuildIndex(2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.TopK(Query{
+		Anchors: map[int]int{0: 1}, TargetMode: 1, K: 3, Index: ix,
+	}); err == nil {
+		t.Error("mismatched index accepted")
+	}
+}

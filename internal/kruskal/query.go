@@ -10,7 +10,9 @@
 // over rows. Constrained factorizations make this fast in two ways the
 // kernel exploits: components zeroed in the anchor rows are compacted out of
 // the scoring loop, and a CSR image of a sparse target factor (the §IV-C
-// structure) touches only each row's stored non-zeros.
+// structure) touches only each row's stored non-zeros. A RowIndex (index.go)
+// adds a third lever: cluster-level score bounds that prune whole blocks of
+// rows without changing the result.
 package kruskal
 
 import (
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"aoadmm/internal/dense"
 	"aoadmm/internal/par"
 	"aoadmm/internal/sparse"
 )
@@ -35,40 +38,108 @@ type Match struct {
 // rank all rows of the target mode.
 type Query struct {
 	// Anchors maps mode index -> fixed row index in that mode. At least one
-	// anchor is required; the target mode cannot be anchored. Modes that are
-	// neither anchored nor the target do not influence the scores (their
-	// factors are marginalized out of the inner product).
+	// anchor is required unless Weights is set; the target mode cannot be
+	// anchored. Modes that are neither anchored nor the target do not
+	// influence the scores (their factors are marginalized out of the inner
+	// product).
 	Anchors map[int]int
 	// TargetMode is the mode whose rows are ranked.
 	TargetMode int
 	// K is the number of matches to return (clamped to the mode length).
 	K int
-	// Threads is the worker count (<= 0 means GOMAXPROCS).
+	// Threads is the worker count (<= 0 means GOMAXPROCS); it is further
+	// clamped to the target mode's row count, so a query can never spawn
+	// more workers than there are rows to score.
 	Threads int
 	// TargetLeaf, when non-nil, is a CSR image of the target mode's factor
 	// (built once at model-registration time); scoring then reads only each
 	// row's stored non-zeros. It must mirror k.Factors[TargetMode].
 	TargetLeaf *sparse.CSR
+	// Weights, when non-nil, is a pre-folded rank-length weight vector —
+	// lambda and anchors already multiplied in — and Anchors is ignored.
+	// Fold-in serving uses this: the folded row of an unseen entity replaces
+	// the anchor product.
+	Weights []float64
+	// Index, when non-nil, is a cluster index over the target factor's rows
+	// (see BuildIndex). TopK then prunes whole clusters whose score upper
+	// bound cannot reach the current top K. Results are byte-identical to
+	// the unindexed scan; the index only changes how much work is done.
+	Index *RowIndex
+	// Stats, when non-nil, receives what the indexed path did (clusters
+	// scanned vs pruned). Left zeroed when no index is used.
+	Stats *IndexStats
 }
 
 // TopK ranks the rows of the query's target mode by Λ-scaled inner product
 // with the anchored rows and returns the best K in decreasing score order.
 // Ties are broken toward the lower row index, making results deterministic
-// across thread counts. K larger than the mode length returns every row.
+// across thread counts and across the indexed/scan paths. K larger than the
+// mode length returns every row.
 func (k *Tensor) TopK(q Query) ([]Match, error) {
+	target, err := k.queryTarget(q)
+	if err != nil {
+		return nil, err
+	}
+	w, err := k.QueryWeights(q)
+	if err != nil {
+		return nil, err
+	}
+	active := activeComponents(w)
+	kk := q.K
+	if kk > target.Rows {
+		kk = target.Rows
+	}
+
+	if q.Stats != nil {
+		*q.Stats = IndexStats{}
+	}
+	if q.Index != nil {
+		if q.Index.rows != target.Rows || q.Index.rank != target.Cols {
+			return nil, fmt.Errorf("kruskal: index is over %d rows of rank %d, target factor is %dx%d",
+				q.Index.rows, q.Index.rank, target.Rows, target.Cols)
+		}
+		if ms, ok := k.topKIndexed(q, target, w, active, kk); ok {
+			return ms, nil
+		}
+		// Pruning was ineffective for this weight vector; the parallel scan
+		// below is faster than finishing cluster by cluster serially.
+	}
+	return scanTopK(target, q.TargetLeaf, w, active, kk, q.Threads), nil
+}
+
+// queryTarget validates the query's shape (target mode, K, leaf mirror) and
+// returns the target factor.
+func (k *Tensor) queryTarget(q Query) (*dense.Matrix, error) {
 	order := k.Order()
-	rank := k.Rank()
 	if q.TargetMode < 0 || q.TargetMode >= order {
 		return nil, fmt.Errorf("kruskal: target mode %d out of range for order %d", q.TargetMode, order)
-	}
-	if len(q.Anchors) == 0 {
-		return nil, fmt.Errorf("kruskal: query needs at least one anchor")
 	}
 	if q.K <= 0 {
 		return nil, fmt.Errorf("kruskal: K must be positive, got %d", q.K)
 	}
+	target := k.Factors[q.TargetMode]
+	if q.TargetLeaf != nil && (q.TargetLeaf.Rows != target.Rows || q.TargetLeaf.Cols != target.Cols) {
+		return nil, fmt.Errorf("kruskal: target leaf is %dx%d, factor is %dx%d",
+			q.TargetLeaf.Rows, q.TargetLeaf.Cols, target.Rows, target.Cols)
+	}
+	return target, nil
+}
 
-	// Fold lambda and every anchor row into one rank-length weight vector.
+// QueryWeights resolves the query's rank-length weight vector: q.Weights
+// verbatim when set, otherwise lambda and every anchor row folded into one
+// vector. The returned slice must not be mutated when q.Weights was set.
+func (k *Tensor) QueryWeights(q Query) ([]float64, error) {
+	order := k.Order()
+	rank := k.Rank()
+	if q.Weights != nil {
+		if len(q.Weights) != rank {
+			return nil, fmt.Errorf("kruskal: weights have length %d, rank is %d", len(q.Weights), rank)
+		}
+		return q.Weights, nil
+	}
+	if len(q.Anchors) == 0 {
+		return nil, fmt.Errorf("kruskal: query needs at least one anchor")
+	}
 	w := make([]float64, rank)
 	for f := 0; f < rank; f++ {
 		if k.Lambda != nil {
@@ -93,40 +164,58 @@ func (k *Tensor) TopK(q Query) ([]Match, error) {
 			w[f] *= row[f]
 		}
 	}
+	return w, nil
+}
 
-	target := k.Factors[q.TargetMode]
-	if q.TargetLeaf != nil && (q.TargetLeaf.Rows != target.Rows || q.TargetLeaf.Cols != target.Cols) {
-		return nil, fmt.Errorf("kruskal: target leaf is %dx%d, factor is %dx%d",
-			q.TargetLeaf.Rows, q.TargetLeaf.Cols, target.Rows, target.Cols)
-	}
-
-	// Compact the non-zero components: anchors fitted under sparsity
-	// constraints zero whole components of w, and the dense scoring loop
-	// then skips them entirely.
-	active := make([]int32, 0, rank)
+// activeComponents compacts the indices of non-zero weights: anchors fitted
+// under sparsity constraints zero whole components of w, and the scoring
+// loops then skip them entirely. Skipping a w[f] == 0 term is float-exact
+// (s + 0.0 == s for the finite factor values Validate admits), so compacted
+// and full loops produce identical scores.
+func activeComponents(w []float64) []int32 {
+	active := make([]int32, 0, len(w))
 	for f, v := range w {
 		if v != 0 {
 			active = append(active, int32(f))
 		}
 	}
+	return active
+}
 
-	kk := q.K
-	if kk > target.Rows {
-		kk = target.Rows
+// scanTopK is the brute-force parallel scan over every target row — the
+// oracle the indexed path is tested against, and the fallback when pruning
+// does not pay.
+func scanTopK(target *dense.Matrix, leaf *sparse.CSR, w []float64, active []int32, kk, threads int) []Match {
+	nThreads := par.Threads(threads)
+	if nThreads > target.Rows {
+		nThreads = target.Rows
 	}
-	nThreads := par.Threads(q.Threads)
+	if nThreads < 1 {
+		nThreads = 1
+	}
+	// With sparse anchors (len(active) < rank) the CSR loop masks out zero
+	// components too; otherwise the unmasked multiply-add is cheaper.
+	maskLeaf := leaf != nil && len(active) < len(w)
 	perThread := make([][]Match, nThreads)
 	par.Do(nThreads, func(tid int) {
 		begin, end := par.Span(target.Rows, nThreads, tid)
 		h := make(matchHeap, 0, kk)
 		for j := begin; j < end; j++ {
 			var s float64
-			if q.TargetLeaf != nil {
-				b, e := q.TargetLeaf.RowPtr[j], q.TargetLeaf.RowPtr[j+1]
-				cols := q.TargetLeaf.ColIdx[b:e]
-				vals := q.TargetLeaf.Vals[b:e]
-				for p, f := range cols {
-					s += w[f] * vals[p]
+			if leaf != nil {
+				b, e := leaf.RowPtr[j], leaf.RowPtr[j+1]
+				cols := leaf.ColIdx[b:e]
+				vals := leaf.Vals[b:e]
+				if maskLeaf {
+					for p, f := range cols {
+						if wf := w[f]; wf != 0 {
+							s += wf * vals[p]
+						}
+					}
+				} else {
+					for p, f := range cols {
+						s += w[f] * vals[p]
+					}
 				}
 			} else {
 				row := target.Row(j)
@@ -134,12 +223,7 @@ func (k *Tensor) TopK(q Query) ([]Match, error) {
 					s += w[f] * row[f]
 				}
 			}
-			if len(h) < kk {
-				heap.Push(&h, Match{Row: j, Score: s})
-			} else if kk > 0 && worse(h[0], Match{Row: j, Score: s}) {
-				h[0] = Match{Row: j, Score: s}
-				heap.Fix(&h, 0)
-			}
+			pushMatch(&h, kk, Match{Row: j, Score: s})
 		}
 		perThread[tid] = h
 	})
@@ -148,11 +232,27 @@ func (k *Tensor) TopK(q Query) ([]Match, error) {
 	for _, ms := range perThread {
 		merged = append(merged, ms...)
 	}
-	sort.Slice(merged, func(a, b int) bool { return worse(merged[b], merged[a]) })
+	sortMatches(merged)
 	if len(merged) > kk {
 		merged = merged[:kk]
 	}
-	return merged, nil
+	return merged
+}
+
+// pushMatch keeps h holding the best kk matches seen so far.
+func pushMatch(h *matchHeap, kk int, m Match) {
+	if len(*h) < kk {
+		heap.Push(h, m)
+	} else if kk > 0 && worse((*h)[0], m) {
+		(*h)[0] = m
+		heap.Fix(h, 0)
+	}
+}
+
+// sortMatches orders matches best-first (score descending, row ascending on
+// ties).
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(a, b int) bool { return worse(ms[b], ms[a]) })
 }
 
 // worse reports whether a ranks strictly below b: lower score, or equal

@@ -3,7 +3,9 @@ package kruskal
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync/atomic"
 	"testing"
 
 	"aoadmm/internal/dense"
@@ -161,6 +163,96 @@ func TestTopKZeroAnchorRow(t *testing.T) {
 		if m.Row != i || m.Score != 0 {
 			t.Fatalf("zero-anchor result %v", got)
 		}
+	}
+}
+
+func TestTopKWeightsQuery(t *testing.T) {
+	// A pre-folded weight vector must reproduce the anchored query exactly,
+	// and Anchors must be ignored when Weights is set.
+	model := randomModel(t, []int{25, 80, 12}, 7, 1.0, true, 13)
+	anchored := Query{Anchors: map[int]int{0: 4, 2: 9}, TargetMode: 1, K: 11, Threads: 2}
+	w, err := model.QueryWeights(anchored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := model.TopK(anchored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := model.TopK(Query{Weights: w, TargetMode: 1, K: 11, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesEqual(t, got, want)
+
+	// Weights take precedence over (even invalid) anchors.
+	got, err = model.TopK(Query{
+		Weights: w, Anchors: map[int]int{0: 9999}, TargetMode: 1, K: 11, Threads: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesEqual(t, got, want)
+
+	if _, err := model.TopK(Query{Weights: []float64{1}, TargetMode: 1, K: 3}); err == nil {
+		t.Error("wrong-length weights accepted")
+	}
+}
+
+func TestTopKSparseAnchorCSRLeaf(t *testing.T) {
+	// A sparse anchor row zeroes components of w; the CSR path must skip
+	// them (like the dense path's compaction) and still score identically.
+	model := randomModel(t, []int{30, 400, 20}, 16, 0.3, true, 19)
+	anchorRow := model.Factors[0].Row(8)
+	for f := 0; f < len(anchorRow); f += 2 {
+		anchorRow[f] = 0
+	}
+	q := Query{Anchors: map[int]int{0: 8}, TargetMode: 1, K: 20, Threads: 3}
+	denseRes, err := model.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.TargetLeaf = sparse.FromDense(model.Factors[1], 0)
+	csrRes, err := model.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesEqual(t, csrRes, denseRes)
+	matchesEqual(t, csrRes, bruteTopK(model, q))
+}
+
+func TestTopKThreadsClampedToRows(t *testing.T) {
+	// A hostile Threads value must not spawn more workers than target rows.
+	// Guard via goroutine count: with the clamp, a query against a 40-row
+	// mode adds at most ~40 goroutines; without it, this request would
+	// try to spawn 1<<20.
+	model := randomModel(t, []int{6, 40, 5}, 4, 1.0, false, 9)
+	baseline := runtime.NumGoroutine()
+	done := make(chan struct{})
+	var peak atomic.Int64
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if n := int64(runtime.NumGoroutine()); n > peak.Load() {
+					peak.Store(n)
+				}
+				runtime.Gosched()
+			}
+		}
+	}()
+	got, err := model.TopK(Query{
+		Anchors: map[int]int{0: 1}, TargetMode: 1, K: 5, Threads: 1 << 20,
+	})
+	close(done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesEqual(t, got, bruteTopK(model, Query{Anchors: map[int]int{0: 1}, TargetMode: 1, K: 5}))
+	if p := peak.Load(); p > int64(baseline)+100 {
+		t.Fatalf("goroutines peaked at %d (baseline %d): threads not clamped", p, baseline)
 	}
 }
 

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"aoadmm/internal/kruskal"
+)
+
+// batcherMaxBatch caps how many riders one batched scan serves; overflow
+// riders are picked up by the next drain round.
+const batcherMaxBatch = 64
+
+// topKBatcher coalesces concurrent top-K requests that share a (model,
+// target mode) into single passes over the target factor (kruskal.TopKBatch)
+// without adding any latency under low load: the first request for a key
+// executes immediately as the "leader", and only requests that arrive while
+// it is in flight enqueue as riders. When the leader finishes, its goroutine
+// drains the riders in batches until none remain. No timers, no gather
+// windows — an idle daemon serves every query on the single-query path.
+type topKBatcher struct {
+	mu     sync.Mutex
+	groups map[batchKey]*batchGroup
+
+	// batches / batchedQueries count executed multi-query scans and the
+	// queries they carried (solo leader executions are not counted).
+	batches        atomic.Int64
+	batchedQueries atomic.Int64
+}
+
+type batchKey struct {
+	model      string
+	targetMode int
+}
+
+type batchGroup struct {
+	riders []*topKRider
+}
+
+type topKRider struct {
+	q  kruskal.Query
+	ch chan topKOutcome
+}
+
+type topKOutcome struct {
+	matches []kruskal.Match
+	err     error
+}
+
+func newTopKBatcher() *topKBatcher {
+	return &topKBatcher{groups: make(map[batchKey]*batchGroup)}
+}
+
+// do serves one top-K query through the batcher. The query must already be
+// validated enough that batching it with others cannot fail the whole batch
+// (the handler pre-resolves weights via QueryWeights before calling).
+func (b *topKBatcher) do(m *Model, q kruskal.Query) ([]kruskal.Match, error) {
+	key := batchKey{model: m.Meta.ID, targetMode: q.TargetMode}
+	b.mu.Lock()
+	if g, ok := b.groups[key]; ok {
+		// A leader is in flight: ride its drain.
+		rider := &topKRider{q: q, ch: make(chan topKOutcome, 1)}
+		g.riders = append(g.riders, rider)
+		b.mu.Unlock()
+		out := <-rider.ch
+		return out.matches, out.err
+	}
+	b.groups[key] = &batchGroup{}
+	b.mu.Unlock()
+
+	// Leader: run the single query immediately (indexed path and all), then
+	// hand accumulated riders to a drain goroutine. The deferred handoff
+	// also runs if TopK panics, so riders are never stranded.
+	defer func() { go b.drain(key, m) }()
+	return m.K.TopK(q)
+}
+
+// drain repeatedly executes accumulated riders as batches until the group is
+// empty, then removes the key so the next arrival becomes a new leader.
+func (b *topKBatcher) drain(key batchKey, m *Model) {
+	for {
+		b.mu.Lock()
+		g := b.groups[key]
+		if g == nil || len(g.riders) == 0 {
+			delete(b.groups, key)
+			b.mu.Unlock()
+			return
+		}
+		riders := g.riders
+		if len(riders) > batcherMaxBatch {
+			g.riders = riders[batcherMaxBatch:]
+			riders = riders[:batcherMaxBatch]
+		} else {
+			g.riders = nil
+		}
+		b.mu.Unlock()
+		b.execute(m, riders)
+	}
+}
+
+func (b *topKBatcher) execute(m *Model, riders []*topKRider) {
+	if len(riders) == 1 {
+		matches, err := m.K.TopK(riders[0].q)
+		riders[0].ch <- topKOutcome{matches: matches, err: err}
+		return
+	}
+	qs := make([]kruskal.Query, len(riders))
+	for i, r := range riders {
+		qs[i] = r.q
+	}
+	results, err := m.K.TopKBatch(qs)
+	if err == nil {
+		b.batches.Add(1)
+		b.batchedQueries.Add(int64(len(riders)))
+	}
+	for i, r := range riders {
+		if err != nil {
+			r.ch <- topKOutcome{err: err}
+		} else {
+			r.ch <- topKOutcome{matches: results[i]}
+		}
+	}
+}

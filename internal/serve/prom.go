@@ -41,18 +41,29 @@ func (s *Server) promRegistry() *obs.Registry {
 	reg.GaugeVal("aoadmm_queue_depth", "Jobs waiting for a worker.", float64(s.mgr.QueueDepth()))
 	reg.GaugeVal("aoadmm_models", "Models in the on-disk registry.", float64(s.reg.Len()))
 	reg.GaugeVal("aoadmm_workers", "Configured factorization worker-pool size.", float64(s.cfg.Workers))
-	reg.CounterVal("aoadmm_queries_total", "Completed model queries (entry + top-K).", float64(s.queries.Load()))
+	reg.CounterVal("aoadmm_queries_total", "Completed model queries (entry + top-K + fold-in).", float64(s.queries.Load()))
+	reg.CounterVal("aoadmm_query_errors_total", "Model queries that failed (unknown model, bad request, solver error).", float64(s.queryErrors.Load()))
+	reg.CounterVal("aoadmm_foldins_total", "Fold-in solves served.", float64(s.foldins.Load()))
 
-	snap := s.queryLatency.Snapshot()
-	var buckets []obs.Bucket
-	for _, b := range snap.Buckets {
-		if b.LeSeconds == 0 { // the snapshot's trailing +Inf bucket
-			continue
-		}
-		buckets = append(buckets, obs.Bucket{Le: b.LeSeconds, Count: b.Count})
+	cacheHits, cacheMisses := s.cache.stats()
+	reg.CounterVal("aoadmm_topk_cache_hits_total", "Top-K requests answered from the result cache.", float64(cacheHits))
+	reg.CounterVal("aoadmm_topk_cache_misses_total", "Top-K requests that missed the result cache.", float64(cacheMisses))
+	reg.GaugeVal("aoadmm_topk_cache_entries", "Results currently held in the top-K cache.", float64(s.cache.len()))
+	reg.CounterVal("aoadmm_topk_batches_total", "Coalesced multi-query top-K scans executed.", float64(s.batcher.batches.Load()))
+	reg.CounterVal("aoadmm_topk_batched_queries_total", "Top-K queries served via a coalesced scan.", float64(s.batcher.batchedQueries.Load()))
+	reg.CounterVal("aoadmm_topk_clusters_scanned_total", "Index clusters scored row-by-row by indexed top-K queries.", float64(s.idxScanned.Load()))
+	reg.CounterVal("aoadmm_topk_clusters_pruned_total", "Index clusters skipped wholesale by score upper bound.", float64(s.idxPruned.Load()))
+
+	// Export (not Snapshot) deliberately: the exposition must carry the full
+	// fixed bucket schema on every scrape — including a fresh daemon's all-
+	// zero buckets — so histogram_quantile always sees one stable layout.
+	buckets, count, sum := s.queryLatency.Export()
+	pb := make([]obs.Bucket, len(buckets))
+	for i, b := range buckets {
+		pb[i] = obs.Bucket{Le: b.LeSeconds, Count: b.Count}
 	}
-	reg.HistogramVal("aoadmm_query_latency_seconds", "Model query latency.",
-		buckets, snap.Count, snap.SumSeconds)
+	reg.HistogramVal("aoadmm_query_latency_seconds", "Model query latency (successes and errors).",
+		pb, count, sum)
 
 	path, appends, fails := s.mgr.jnl.Stats()
 	_ = path // the journal path is surfaced via /healthz, not as a label

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"aoadmm/internal/kruskal"
+)
+
+// queryCache is an LRU cache of top-K results. Models are immutable after
+// registration, so a cached result never goes stale; the only eviction is
+// capacity pressure. Safe because the key covers everything that determines
+// the result — model ID, canonicalized anchors, target mode, and K — and
+// deliberately excludes knobs that only change how the work is done
+// (threads). A nil *queryCache is a disabled cache: get misses, put drops.
+type queryCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type qcEntry struct {
+	key     string
+	matches []kruskal.Match
+}
+
+// newQueryCache returns a cache holding up to capacity results, or nil
+// (disabled) when capacity <= 0.
+func newQueryCache(capacity int) *queryCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &queryCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// topKCacheKey canonicalizes a top-K request: anchors sorted by mode, so any
+// iteration order of the request map maps to the same key.
+func topKCacheKey(modelID string, anchors map[int]int, targetMode, k int) string {
+	modes := make([]int, 0, len(anchors))
+	for m := range anchors {
+		modes = append(modes, m)
+	}
+	sort.Ints(modes)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|t=%d|k=%d|a=", modelID, targetMode, k)
+	for i, m := range modes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d:%d", m, anchors[m])
+	}
+	return b.String()
+}
+
+func (c *queryCache) get(key string) ([]kruskal.Match, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if ok {
+		c.ll.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*qcEntry).matches, true
+}
+
+func (c *queryCache) put(key string, matches []kruskal.Match) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*qcEntry).matches = matches
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&qcEntry{key: key, matches: matches})
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*qcEntry).key)
+	}
+}
+
+func (c *queryCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *queryCache) stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}

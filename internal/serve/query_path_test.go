@@ -1,0 +1,553 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"aoadmm/internal/kruskal"
+	"aoadmm/internal/obs"
+	"aoadmm/internal/stats"
+)
+
+// registerTestModel registers a random model directly with the registry,
+// bypassing the job pipeline, so query-path tests don't pay for a fit.
+func registerTestModel(t *testing.T, s *Server, dims []int, rank int, constraint string, seed int64) *Model {
+	t.Helper()
+	k := kruskal.Random(dims, rank, rand.New(rand.NewSource(seed)))
+	m, err := s.reg.Register(ModelMeta{Algo: "aoadmm", Constraint: constraint}, k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestClampQueryThreads(t *testing.T) {
+	ceil := runtime.GOMAXPROCS(0)
+	for _, tc := range []struct{ in, want int }{
+		{0, ceil}, {-3, ceil}, {1, 1}, {ceil, ceil}, {ceil + 1, ceil}, {1 << 20, ceil},
+	} {
+		if got := clampQueryThreads(tc.in); got != tc.want {
+			t.Errorf("clampQueryThreads(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestTopKHostileThreadsRegression is the regression for the goroutine
+// amplification bug: a request asking for 2^20 workers must be served within
+// the daemon's scheduler width, not spawn a million goroutines.
+func TestTopKHostileThreadsRegression(t *testing.T) {
+	s, ts := newTestServer(t, t.TempDir())
+	m := registerTestModel(t, s, []int{20, 500, 10}, 6, "", 1)
+
+	baseline := runtime.NumGoroutine()
+	done := make(chan struct{})
+	var peak atomic.Int64
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if n := int64(runtime.NumGoroutine()); n > peak.Load() {
+					peak.Store(n)
+				}
+				runtime.Gosched()
+			}
+		}
+	}()
+	var out struct {
+		Matches []kruskal.Match `json:"matches"`
+	}
+	code, raw := doJSON(t, "POST", ts.URL+"/models/"+m.Meta.ID+"/topk", map[string]any{
+		"anchors": map[string]int{"0": 3}, "target_mode": 1, "k": 5, "threads": 1 << 20,
+	}, &out)
+	close(done)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	want, err := m.K.TopK(kruskal.Query{Anchors: map[int]int{0: 3}, TargetMode: 1, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Matches) != len(want) {
+		t.Fatalf("got %d matches, want %d", len(out.Matches), len(want))
+	}
+	for i := range want {
+		if out.Matches[i].Row != want[i].Row {
+			t.Fatalf("match %d: got %+v want %+v", i, out.Matches[i], want[i])
+		}
+	}
+	// The clamp bounds the spawn at GOMAXPROCS; allow generous slack for
+	// the server's own goroutines (pool workers, http).
+	if p := peak.Load(); p > int64(baseline+runtime.GOMAXPROCS(0)+150) {
+		t.Fatalf("goroutines peaked at %d (baseline %d): hostile threads not clamped", p, baseline)
+	}
+}
+
+func TestTopKRequestValidation(t *testing.T) {
+	s, ts := newTestServer(t, t.TempDir())
+	m := registerTestModel(t, s, []int{10, 40, 8}, 4, "", 2)
+	url := ts.URL + "/models/" + m.Meta.ID + "/topk"
+
+	for i, body := range []map[string]any{
+		{"anchors": map[string]int{"0": 1}, "target_mode": 1, "k": 1 << 20}, // absurd k
+		{"anchors": map[string]int{"0": 1}, "target_mode": 1, "k": 0},
+		{"anchors": map[string]int{"0": 1}, "target_mode": 1, "k": -5},
+		{"anchors": map[string]int{"0": 1}, "target_mode": 9, "k": 3},
+		{"anchors": map[string]int{"x": 1}, "target_mode": 1, "k": 3},
+		{"anchors": map[string]int{"0": 999}, "target_mode": 1, "k": 3},
+		{"anchors": map[string]int{}, "target_mode": 1, "k": 3},
+	} {
+		if code, raw := doJSON(t, "POST", url, body, nil); code != http.StatusBadRequest {
+			t.Errorf("case %d: status %d (%s)", i, code, raw)
+		}
+	}
+	if errs := s.queryErrors.Load(); errs < 7 {
+		t.Fatalf("query errors %d, want >= 7", errs)
+	}
+	// Errors must also contribute latency observations.
+	if snap := s.queryLatency.Snapshot(); snap.Count < 7 {
+		t.Fatalf("latency count %d, want >= 7", snap.Count)
+	}
+}
+
+func TestTopKResultCache(t *testing.T) {
+	s, ts := newTestServer(t, t.TempDir())
+	m := registerTestModel(t, s, []int{10, 200, 8}, 4, "", 3)
+	url := ts.URL + "/models/" + m.Meta.ID + "/topk"
+	body := map[string]any{"anchors": map[string]int{"0": 1}, "target_mode": 1, "k": 7}
+
+	var first, second struct {
+		Matches []kruskal.Match `json:"matches"`
+		Cached  bool            `json:"cached"`
+	}
+	if code, raw := doJSON(t, "POST", url, body, &first); code != http.StatusOK {
+		t.Fatalf("first: %d %s", code, raw)
+	}
+	if first.Cached {
+		t.Fatal("first request claims cached")
+	}
+	if code, raw := doJSON(t, "POST", url, body, &second); code != http.StatusOK {
+		t.Fatalf("second: %d %s", code, raw)
+	}
+	if !second.Cached {
+		t.Fatal("second identical request not served from cache")
+	}
+	if len(first.Matches) != len(second.Matches) {
+		t.Fatalf("cached result differs: %d vs %d", len(first.Matches), len(second.Matches))
+	}
+	for i := range first.Matches {
+		if first.Matches[i] != second.Matches[i] {
+			t.Fatalf("cached match %d differs: %+v vs %+v", i, first.Matches[i], second.Matches[i])
+		}
+	}
+	// A different K is a different key.
+	body["k"] = 8
+	var third struct {
+		Cached bool `json:"cached"`
+	}
+	if code, _ := doJSON(t, "POST", url, body, &third); code != http.StatusOK || third.Cached {
+		t.Fatalf("different-K request should miss (cached=%v)", third.Cached)
+	}
+	hits, misses := s.cache.stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("cache hits=%d misses=%d, want 1/2", hits, misses)
+	}
+	if got := s.cache.len(); got != 2 {
+		t.Fatalf("cache entries %d, want 2", got)
+	}
+}
+
+func TestQueryCacheLRUEviction(t *testing.T) {
+	c := newQueryCache(2)
+	c.put("a", []kruskal.Match{{Row: 1}})
+	c.put("b", []kruskal.Match{{Row: 2}})
+	if _, ok := c.get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", []kruskal.Match{{Row: 3}})
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should survive")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c should be present")
+	}
+	// Disabled cache: everything is a miss, nothing panics.
+	var nilCache *queryCache
+	nilCache.put("x", nil)
+	if _, ok := nilCache.get("x"); ok {
+		t.Fatal("nil cache hit")
+	}
+}
+
+func TestTopKCacheKeyCanonicalization(t *testing.T) {
+	a := topKCacheKey("m1", map[int]int{2: 7, 0: 3}, 1, 10)
+	b := topKCacheKey("m1", map[int]int{0: 3, 2: 7}, 1, 10)
+	if a != b {
+		t.Fatalf("anchor order changed the key: %q vs %q", a, b)
+	}
+	if a == topKCacheKey("m1", map[int]int{0: 3, 2: 7}, 1, 11) {
+		t.Fatal("K not in key")
+	}
+	if a == topKCacheKey("m2", map[int]int{0: 3, 2: 7}, 1, 10) {
+		t.Fatal("model not in key")
+	}
+}
+
+// TestRegistryBuildsIndexAndServesIdenticalResults forces index builds on a
+// small model and pins the served results against the unindexed kernel.
+func TestRegistryBuildsIndexAndServesIdenticalResults(t *testing.T) {
+	old := queryIndexMinRows
+	queryIndexMinRows = 8
+	defer func() { queryIndexMinRows = old }()
+
+	s, ts := newTestServer(t, t.TempDir())
+	m := registerTestModel(t, s, []int{15, 3000, 10}, 6, "", 4)
+	if m.Index(1) == nil {
+		t.Fatal("registry did not build an index for mode 1")
+	}
+
+	var out struct {
+		Matches []kruskal.Match `json:"matches"`
+	}
+	code, raw := doJSON(t, "POST", ts.URL+"/models/"+m.Meta.ID+"/topk", map[string]any{
+		"anchors": map[string]int{"0": 2, "2": 5}, "target_mode": 1, "k": 12,
+	}, &out)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	want, err := m.K.TopK(kruskal.Query{Anchors: map[int]int{0: 2, 2: 5}, TargetMode: 1, K: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Matches) != len(want) {
+		t.Fatalf("got %d matches, want %d", len(out.Matches), len(want))
+	}
+	for i := range want {
+		if out.Matches[i].Row != want[i].Row || math.Abs(out.Matches[i].Score-want[i].Score) > 1e-12 {
+			t.Fatalf("match %d: indexed-served %+v vs kernel %+v", i, out.Matches[i], want[i])
+		}
+	}
+	if s.idxScanned.Load()+s.idxPruned.Load() == 0 {
+		t.Fatal("index stats counters never moved")
+	}
+}
+
+// TestBatcherCoalescesRiders drives the batcher directly: while a leader is
+// marked in flight, concurrent queries must enqueue as riders and be served
+// by one batched scan with results identical to single-query TopK.
+func TestBatcherCoalescesRiders(t *testing.T) {
+	s, _ := newTestServer(t, t.TempDir())
+	m := registerTestModel(t, s, []int{12, 400, 9}, 5, "", 5)
+	b := newTopKBatcher()
+	key := batchKey{model: m.Meta.ID, targetMode: 1}
+
+	// Simulate an in-flight leader so every do() below becomes a rider.
+	b.mu.Lock()
+	b.groups[key] = &batchGroup{}
+	b.mu.Unlock()
+
+	const riders = 12
+	var wg sync.WaitGroup
+	results := make([][]kruskal.Match, riders)
+	errs := make([]error, riders)
+	for i := 0; i < riders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := kruskal.Query{Anchors: map[int]int{0: i}, TargetMode: 1, K: 5 + i, Threads: 2}
+			results[i], errs[i] = b.do(m, q)
+		}(i)
+	}
+	// Wait until every rider is enqueued, then run the leader's drain.
+	for {
+		b.mu.Lock()
+		n := len(b.groups[key].riders)
+		b.mu.Unlock()
+		if n == riders {
+			break
+		}
+		runtime.Gosched()
+	}
+	b.drain(key, m)
+	wg.Wait()
+
+	for i := 0; i < riders; i++ {
+		if errs[i] != nil {
+			t.Fatalf("rider %d: %v", i, errs[i])
+		}
+		want, err := m.K.TopK(kruskal.Query{Anchors: map[int]int{0: i}, TargetMode: 1, K: 5 + i, Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results[i]) != len(want) {
+			t.Fatalf("rider %d: %d matches, want %d", i, len(results[i]), len(want))
+		}
+		for j := range want {
+			if results[i][j] != want[j] {
+				t.Fatalf("rider %d match %d: batched %+v vs single %+v", i, j, results[i][j], want[j])
+			}
+		}
+	}
+	if b.batches.Load() == 0 || b.batchedQueries.Load() != riders {
+		t.Fatalf("batches=%d batchedQueries=%d, want >0/%d", b.batches.Load(), b.batchedQueries.Load(), riders)
+	}
+	b.mu.Lock()
+	if len(b.groups) != 0 {
+		t.Fatalf("groups not cleaned up: %v", b.groups)
+	}
+	b.mu.Unlock()
+}
+
+// TestConcurrentTopKCorrectUnderLoad fires many concurrent requests through
+// the full HTTP path (cache + batcher + index) and checks every response
+// against the kernel.
+func TestConcurrentTopKCorrectUnderLoad(t *testing.T) {
+	s, ts := newTestServer(t, t.TempDir())
+	m := registerTestModel(t, s, []int{16, 2500, 9}, 6, "", 6)
+	url := ts.URL + "/models/" + m.Meta.ID + "/topk"
+
+	const n = 32
+	var wg sync.WaitGroup
+	failures := make(chan string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			anchor := i % 16
+			var out struct {
+				Matches []kruskal.Match `json:"matches"`
+			}
+			code, raw := doJSON(t, "POST", url, map[string]any{
+				"anchors": map[string]int{"0": anchor}, "target_mode": 1, "k": 10,
+			}, &out)
+			if code != http.StatusOK {
+				failures <- fmt.Sprintf("status %d: %s", code, raw)
+				return
+			}
+			want, err := m.K.TopK(kruskal.Query{Anchors: map[int]int{0: anchor}, TargetMode: 1, K: 10})
+			if err != nil {
+				failures <- err.Error()
+				return
+			}
+			for j := range want {
+				if out.Matches[j].Row != want[j].Row {
+					failures <- fmt.Sprintf("anchor %d match %d: %+v vs %+v", anchor, j, out.Matches[j], want[j])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(failures)
+	for f := range failures {
+		t.Error(f)
+	}
+}
+
+func TestFoldInEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, t.TempDir())
+	m := registerTestModel(t, s, []int{18, 120, 9}, 5, "nonneg", 7)
+	url := ts.URL + "/models/" + m.Meta.ID + "/foldin"
+
+	// Observations are the model's own reconstructed entries for an existing
+	// mode-0 row: the fold-in must recover that row (the direct-refit
+	// reference) and its recommendations must match the anchored query.
+	const anchorRow = 4
+	rng := rand.New(rand.NewSource(70))
+	obsList := make([]map[string]any, 60)
+	for o := range obsList {
+		j, l := rng.Intn(120), rng.Intn(9)
+		obsList[o] = map[string]any{
+			"coords": map[string]int{"1": j, "2": l},
+			"value":  m.K.At([]int{anchorRow, j, l}),
+		}
+	}
+	var out struct {
+		Row        []float64       `json:"row"`
+		Iters      int             `json:"iters"`
+		Converged  bool            `json:"converged"`
+		Constraint string          `json:"constraint"`
+		TargetMode int             `json:"target_mode"`
+		Matches    []kruskal.Match `json:"matches"`
+	}
+	code, raw := doJSON(t, "POST", url, map[string]any{
+		"mode": 0, "observations": obsList, "tol": 1e-12, "max_iters": 5000,
+		"target_mode": 1, "k": 8,
+	}, &out)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if !out.Converged || out.Constraint != "nonneg" {
+		t.Fatalf("converged=%v constraint=%q", out.Converged, out.Constraint)
+	}
+	truth := m.K.Factors[0].Row(anchorRow)
+	for f := range truth {
+		if out.Row[f] < 0 {
+			t.Fatalf("nonneg fold-in returned negative component: %v", out.Row)
+		}
+		if math.Abs(out.Row[f]-truth[f]) > 1e-5 {
+			t.Fatalf("folded row %v, factor row %v", out.Row, truth)
+		}
+	}
+	want, err := m.K.TopK(kruskal.Query{Anchors: map[int]int{0: anchorRow}, TargetMode: 1, K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Matches) != len(want) {
+		t.Fatalf("%d matches, want %d", len(out.Matches), len(want))
+	}
+	for i := range want {
+		if out.Matches[i].Row != want[i].Row || math.Abs(out.Matches[i].Score-want[i].Score) > 1e-5 {
+			t.Fatalf("match %d: fold-in %+v vs anchored %+v", i, out.Matches[i], want[i])
+		}
+	}
+	if s.foldins.Load() != 1 {
+		t.Fatalf("foldins counter %d", s.foldins.Load())
+	}
+
+	// A constraint override changes the operator.
+	unconstrained := "none"
+	var out2 struct {
+		Constraint string `json:"constraint"`
+	}
+	code, raw = doJSON(t, "POST", url, map[string]any{
+		"mode": 0, "observations": obsList[:10], "constraint": unconstrained,
+	}, &out2)
+	if code != http.StatusOK || out2.Constraint != "none" {
+		t.Fatalf("constraint override: %d %s", code, raw)
+	}
+}
+
+func TestFoldInValidation(t *testing.T) {
+	s, ts := newTestServer(t, t.TempDir())
+	m := registerTestModel(t, s, []int{5, 6, 7}, 3, "", 8)
+	url := ts.URL + "/models/" + m.Meta.ID + "/foldin"
+	good := []map[string]any{{"coords": map[string]int{"1": 2, "2": 3}, "value": 1.0}}
+
+	cases := []map[string]any{
+		{"mode": 0},                       // no observations
+		{"mode": 9, "observations": good}, // bad mode
+		{"mode": 0, "observations": good, "max_iters": maxFoldInIters + 1},
+		{"mode": 0, "observations": []map[string]any{{"coords": map[string]int{"0": 1, "1": 2}, "value": 1.0}}}, // anchors fold mode
+		{"mode": 0, "observations": []map[string]any{{"coords": map[string]int{"1": 99, "2": 3}, "value": 1.0}}},
+		{"mode": 0, "observations": good, "constraint": "bogus()"},
+		{"mode": 0, "observations": good, "target_mode": 0}, // target == fold mode
+		{"mode": 0, "observations": good, "target_mode": 1, "k": 1 << 20},
+	}
+	errsBefore := s.queryErrors.Load()
+	for i, body := range cases {
+		if code, raw := doJSON(t, "POST", url, body, nil); code != http.StatusBadRequest {
+			t.Errorf("case %d: status %d (%s)", i, code, raw)
+		}
+	}
+	if got := s.queryErrors.Load() - errsBefore; got < int64(len(cases)) {
+		t.Fatalf("query errors moved by %d, want >= %d", got, len(cases))
+	}
+	// Unknown model is a 404 and also counted.
+	if code, _ := doJSON(t, "POST", ts.URL+"/models/nope/foldin", map[string]any{"mode": 0, "observations": good}, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown model: %d", code)
+	}
+}
+
+// TestPrometheusFreshSchema boots a daemon that has served zero queries and
+// asserts the exposition already carries the complete fixed bucket layout —
+// the regression for the elided-bucket scrape schema.
+func TestPrometheusFreshSchema(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if err := obs.ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	for _, bound := range stats.LatencyBucketBounds() {
+		line := fmt.Sprintf(`aoadmm_query_latency_seconds_bucket{le="%s"} 0`, formatPromFloat(bound))
+		if !strings.Contains(body, line) {
+			t.Fatalf("missing fixed bucket %q in fresh exposition:\n%s", line, body)
+		}
+	}
+	for _, line := range []string{
+		`aoadmm_query_latency_seconds_bucket{le="+Inf"} 0`,
+		"aoadmm_query_latency_seconds_count 0",
+		"aoadmm_query_errors_total 0",
+		"aoadmm_foldins_total 0",
+		"aoadmm_topk_cache_hits_total 0",
+		"aoadmm_topk_batches_total 0",
+		"aoadmm_topk_clusters_pruned_total 0",
+	} {
+		if !strings.Contains(body, line) {
+			t.Fatalf("missing %q in fresh exposition:\n%s", line, body)
+		}
+	}
+	if got := strings.Count(body, "aoadmm_query_latency_seconds_bucket{"); got != len(stats.LatencyBucketBounds())+1 {
+		t.Fatalf("bucket lines %d, want %d", got, len(stats.LatencyBucketBounds())+1)
+	}
+}
+
+// formatPromFloat mirrors the exposition writer's float formatting.
+func formatPromFloat(v float64) string {
+	return strings.TrimSuffix(fmt.Sprintf("%g", v), ".0")
+}
+
+// TestPrometheusSchemaStableAcrossScrapes: the bucket layout must not change
+// as observations land in higher buckets.
+func TestPrometheusSchemaStableAcrossScrapes(t *testing.T) {
+	s, ts := newTestServer(t, t.TempDir())
+	m := registerTestModel(t, s, []int{10, 50, 8}, 4, "", 9)
+
+	scrape := func() []string {
+		resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var les []string
+		for _, line := range strings.Split(string(raw), "\n") {
+			if strings.HasPrefix(line, "aoadmm_query_latency_seconds_bucket{le=") {
+				les = append(les, line[:strings.Index(line, "}")+1])
+			}
+		}
+		return les
+	}
+	before := scrape()
+	for i := 0; i < 5; i++ {
+		doJSON(t, "POST", ts.URL+"/models/"+m.Meta.ID+"/topk", map[string]any{
+			"anchors": map[string]int{"0": i}, "target_mode": 1, "k": 3,
+		}, nil)
+	}
+	after := scrape()
+	if len(before) != len(after) {
+		t.Fatalf("bucket layout changed: %d -> %d lines", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("bucket %d changed: %q -> %q", i, before[i], after[i])
+		}
+	}
+}

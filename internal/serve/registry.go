@@ -29,6 +29,12 @@ import (
 // the paper's §IV-C sparsity exploitation (same 20% operating point).
 const queryCSRThreshold = 0.20
 
+// queryIndexMinRows is the mode length at which the registry also builds a
+// cluster index over the factor's rows (kruskal.RowIndex): below it a brute
+// scan is already sub-millisecond and the index is pure overhead. A var so
+// tests can force index builds on small models.
+var queryIndexMinRows = 4096
+
 // ModelMeta is the durable description of a registered model, persisted as
 // meta.json beside the factor matrices.
 type ModelMeta struct {
@@ -64,7 +70,8 @@ type Model struct {
 	K      *kruskal.Tensor
 	Report *stats.Report
 
-	leaves []*sparse.CSR
+	leaves  []*sparse.CSR
+	indexes []*kruskal.RowIndex
 }
 
 // Leaf returns the mode's cached CSR image, or nil when the factor is dense
@@ -76,12 +83,30 @@ func (m *Model) Leaf(mode int) *sparse.CSR {
 	return m.leaves[mode]
 }
 
-// buildLeaves caches CSR images of every factor below the density threshold.
-func (m *Model) buildLeaves() {
+// Index returns the mode's cluster index, or nil when the mode is too short
+// to benefit from one.
+func (m *Model) Index(mode int) *kruskal.RowIndex {
+	if mode < 0 || mode >= len(m.indexes) {
+		return nil
+	}
+	return m.indexes[mode]
+}
+
+// buildQueryStructures caches the per-mode accelerators the query path uses:
+// CSR images of factors below the density threshold, and cluster indexes
+// over modes long enough for pruning to pay. Models are immutable after
+// registration, so both are built exactly once and never go stale.
+func (m *Model) buildQueryStructures() {
 	m.leaves = make([]*sparse.CSR, m.K.Order())
+	m.indexes = make([]*kruskal.RowIndex, m.K.Order())
 	for mode, f := range m.K.Factors {
 		if dense.Density(f, 0) < queryCSRThreshold {
 			m.leaves[mode] = sparse.FromDense(f, 0)
+		}
+		if f.Rows >= queryIndexMinRows {
+			if ix, err := m.K.BuildIndex(mode, 0, 0); err == nil {
+				m.indexes[mode] = ix
+			}
 		}
 	}
 }
@@ -173,7 +198,7 @@ func loadModelDir(dir string) (*Model, error) {
 			m.Report = &rep
 		}
 	}
-	m.buildLeaves()
+	m.buildQueryStructures()
 	return m, nil
 }
 
@@ -231,7 +256,7 @@ func (r *Registry) Register(meta ModelMeta, k *kruskal.Tensor, report *stats.Rep
 	}
 
 	m := &Model{Meta: meta, K: k.Clone(), Report: report}
-	m.buildLeaves()
+	m.buildQueryStructures()
 	r.models[meta.ID] = m
 	r.ids = append(r.ids, meta.ID)
 	sort.Strings(r.ids)

@@ -17,6 +17,7 @@ import (
 
 	"aoadmm/internal/faults"
 	"aoadmm/internal/kruskal"
+	"aoadmm/internal/prox"
 	"aoadmm/internal/stats"
 )
 
@@ -49,6 +50,13 @@ type Config struct {
 	// Logger receives structured daemon logs (job lifecycle transitions,
 	// recovery, shutdown). Nil discards them.
 	Logger *slog.Logger
+	// MaxTopK caps the K a top-K request may ask for (default 4096; a
+	// request above it is rejected with 400 rather than building an
+	// arbitrarily large heap per worker).
+	MaxTopK int
+	// QueryCacheSize is the top-K result cache capacity in entries
+	// (default 1024; negative disables the cache).
+	QueryCacheSize int
 }
 
 // Server wires the registry, the job manager, and the query engine behind an
@@ -60,7 +68,13 @@ type Server struct {
 	started time.Time
 
 	queries      atomic.Int64
+	queryErrors  atomic.Int64
+	foldins      atomic.Int64
+	idxScanned   atomic.Int64
+	idxPruned    atomic.Int64
 	queryLatency stats.LatencyHistogram
+	cache        *queryCache
+	batcher      *topKBatcher
 	warnings     []string
 }
 
@@ -81,6 +95,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 10 * time.Second
 	}
+	if cfg.MaxTopK <= 0 {
+		cfg.MaxTopK = 4096
+	}
+	if cfg.QueryCacheSize == 0 {
+		cfg.QueryCacheSize = 1024
+	}
 	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 		return nil, err
 	}
@@ -95,7 +115,13 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, reg: reg, started: time.Now()}
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		started: time.Now(),
+		cache:   newQueryCache(cfg.QueryCacheSize),
+		batcher: newTopKBatcher(),
+	}
 	for _, w := range warns {
 		s.warnings = append(s.warnings, w.Error())
 	}
@@ -145,6 +171,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /models/{id}", s.handleModel)
 	mux.HandleFunc("GET /models/{id}/entry", s.handleEntry)
 	mux.HandleFunc("POST /models/{id}/topk", s.handleTopK)
+	mux.HandleFunc("POST /models/{id}/foldin", s.handleFoldIn)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	timed := http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
 	outer := http.NewServeMux()
@@ -282,14 +309,16 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 
 // handleEntry reconstructs one tensor entry: GET /models/{id}/entry?at=i,j,k.
 func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	m, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
+		s.recordQueryError(start)
 		writeError(w, http.StatusNotFound, fmt.Errorf("no model %s", r.PathValue("id")))
 		return
 	}
-	start := time.Now()
 	coord, err := parseCoord(r.URL.Query().Get("at"), m.K.Dims())
 	if err != nil {
+		s.recordQueryError(start)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -326,15 +355,30 @@ type topKRequest struct {
 	Anchors map[string]int `json:"anchors"`
 	// TargetMode is the mode whose rows are ranked.
 	TargetMode int `json:"target_mode"`
-	// K is the number of matches to return.
+	// K is the number of matches to return; capped by Config.MaxTopK.
 	K int `json:"k"`
-	// Threads overrides the kernel's worker count (0 = GOMAXPROCS).
+	// Threads requests a kernel worker count (0 = daemon default). Clamped
+	// server-side to GOMAXPROCS — the client does not get to size the
+	// daemon's goroutine spend.
 	Threads int `json:"threads,omitempty"`
 }
 
+// clampQueryThreads bounds a client-supplied worker count to the daemon's
+// scheduler width. The kernel's own par.Threads only clamps low, so without
+// this a request could demand an arbitrary goroutine count.
+func clampQueryThreads(n int) int {
+	ceil := runtime.GOMAXPROCS(0)
+	if n <= 0 || n > ceil {
+		return ceil
+	}
+	return n
+}
+
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	m, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
+		s.recordQueryError(start)
 		writeError(w, http.StatusNotFound, fmt.Errorf("no model %s", r.PathValue("id")))
 		return
 	}
@@ -342,30 +386,74 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		s.recordQueryError(start)
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad topk request: %w", err))
+		return
+	}
+	if req.K > s.cfg.MaxTopK {
+		s.recordQueryError(start)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("k %d exceeds the daemon cap %d", req.K, s.cfg.MaxTopK))
+		return
+	}
+	if req.K <= 0 {
+		s.recordQueryError(start)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("k must be positive, got %d", req.K))
+		return
+	}
+	if req.TargetMode < 0 || req.TargetMode >= m.K.Order() {
+		s.recordQueryError(start)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("target mode %d out of range for order %d", req.TargetMode, m.K.Order()))
 		return
 	}
 	anchors := make(map[int]int, len(req.Anchors))
 	for k, v := range req.Anchors {
 		mode, err := strconv.Atoi(k)
 		if err != nil {
+			s.recordQueryError(start)
 			writeError(w, http.StatusBadRequest, fmt.Errorf("anchor mode %q: %v", k, err))
 			return
 		}
 		anchors[mode] = v
 	}
-	start := time.Now()
-	matches, err := m.K.TopK(kruskal.Query{
+
+	key := topKCacheKey(m.Meta.ID, anchors, req.TargetMode, req.K)
+	if matches, ok := s.cache.get(key); ok {
+		s.recordQuery(start)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"model":       m.Meta.ID,
+			"target_mode": req.TargetMode,
+			"matches":     matches,
+			"cached":      true,
+		})
+		return
+	}
+
+	var ixStats kruskal.IndexStats
+	q := kruskal.Query{
 		Anchors:    anchors,
 		TargetMode: req.TargetMode,
 		K:          req.K,
-		Threads:    req.Threads,
+		Threads:    clampQueryThreads(req.Threads),
 		TargetLeaf: m.Leaf(req.TargetMode),
-	})
-	if err != nil {
+		Index:      m.Index(req.TargetMode),
+		Stats:      &ixStats,
+	}
+	// Validate before entering the batcher: a bad query must fail alone,
+	// never as part of a shared batch.
+	if _, err := m.K.QueryWeights(q); err != nil {
+		s.recordQueryError(start)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	matches, err := s.batcher.do(m, q)
+	if err != nil {
+		s.recordQueryError(start)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.cache.put(key, matches)
+	s.idxScanned.Add(int64(ixStats.Scanned))
+	s.idxPruned.Add(int64(ixStats.Pruned))
 	s.recordQuery(start)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"model":       m.Meta.ID,
@@ -379,6 +467,188 @@ func (s *Server) recordQuery(start time.Time) {
 	s.queryLatency.Observe(time.Since(start))
 }
 
+// recordQueryError makes failed queries visible: they count toward the
+// error counter and still contribute latency, so error-rate and tail
+// alerting see them.
+func (s *Server) recordQueryError(start time.Time) {
+	s.queryErrors.Add(1)
+	s.queryLatency.Observe(time.Since(start))
+}
+
+// Fold-in resource caps: a fold-in builds an observations × rank design
+// matrix and runs an iterative solve inside the request timeout, so both
+// dimensions are bounded server-side.
+const (
+	maxFoldInObservations = 65536
+	maxFoldInIters        = 10000
+)
+
+// foldInRequest is the JSON body of POST /models/{id}/foldin.
+type foldInRequest struct {
+	// Mode is the mode the new entity belongs to.
+	Mode int `json:"mode"`
+	// Observations are the known entries; see kruskal.FoldInObservation
+	// (coords keyed by mode index as JSON strings).
+	Observations []foldInObservation `json:"observations"`
+	// Constraint overrides the model's constraint spec for the solve; nil
+	// uses the model's own (the factor the row joins was fitted under it).
+	Constraint *string `json:"constraint,omitempty"`
+	// MaxIters / Tol tune the ADMM solve (0 = defaults).
+	MaxIters int     `json:"max_iters,omitempty"`
+	Tol      float64 `json:"tol,omitempty"`
+	// TargetMode, when non-nil, also ranks that mode's rows for the folded
+	// entity and returns the top K matches.
+	TargetMode *int `json:"target_mode,omitempty"`
+	K          int  `json:"k,omitempty"`
+	Threads    int  `json:"threads,omitempty"`
+}
+
+// foldInObservation mirrors kruskal.FoldInObservation with string JSON keys
+// (JSON objects cannot have integer keys).
+type foldInObservation struct {
+	Coords map[string]int `json:"coords"`
+	Value  float64        `json:"value"`
+}
+
+// foldInOperator resolves the constraint spec for the folded mode: a
+// ";"-separated spec is per-mode, a bare spec applies to every mode.
+func foldInOperator(spec string, mode, order int) (prox.Operator, error) {
+	ops, err := parseConstraints(spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(ops) == 1 {
+		return ops[0], nil
+	}
+	if len(ops) != order {
+		return nil, fmt.Errorf("constraint spec has %d modes, model order is %d", len(ops), order)
+	}
+	return ops[mode], nil
+}
+
+func (s *Server) handleFoldIn(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	m, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		s.recordQueryError(start)
+		writeError(w, http.StatusNotFound, fmt.Errorf("no model %s", r.PathValue("id")))
+		return
+	}
+	var req foldInRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.recordQueryError(start)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad foldin request: %w", err))
+		return
+	}
+	if len(req.Observations) == 0 {
+		s.recordQueryError(start)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("foldin needs at least one observation"))
+		return
+	}
+	if len(req.Observations) > maxFoldInObservations {
+		s.recordQueryError(start)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%d observations exceed the daemon cap %d", len(req.Observations), maxFoldInObservations))
+		return
+	}
+	if req.MaxIters > maxFoldInIters {
+		s.recordQueryError(start)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("max_iters %d exceeds the daemon cap %d", req.MaxIters, maxFoldInIters))
+		return
+	}
+	obs := make([]kruskal.FoldInObservation, len(req.Observations))
+	for o, ob := range req.Observations {
+		coords := make(map[int]int, len(ob.Coords))
+		for k, v := range ob.Coords {
+			mode, err := strconv.Atoi(k)
+			if err != nil {
+				s.recordQueryError(start)
+				writeError(w, http.StatusBadRequest, fmt.Errorf("observation %d: coord mode %q: %v", o, k, err))
+				return
+			}
+			coords[mode] = v
+		}
+		obs[o] = kruskal.FoldInObservation{Coords: coords, Value: ob.Value}
+	}
+
+	spec := m.Meta.Constraint
+	if req.Constraint != nil {
+		spec = *req.Constraint
+	}
+	op, err := foldInOperator(spec, req.Mode, m.K.Order())
+	if err != nil {
+		s.recordQueryError(start)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := m.K.FoldIn(obs, kruskal.FoldInOptions{
+		Mode:     req.Mode,
+		Operator: op,
+		MaxIters: req.MaxIters,
+		Tol:      req.Tol,
+	})
+	if err != nil {
+		s.recordQueryError(start)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	resp := map[string]any{
+		"model":      m.Meta.ID,
+		"mode":       req.Mode,
+		"row":        res.Row,
+		"iters":      res.Iters,
+		"converged":  res.Converged,
+		"constraint": op.Name(),
+	}
+	if req.TargetMode != nil {
+		tm := *req.TargetMode
+		if tm == req.Mode {
+			s.recordQueryError(start)
+			writeError(w, http.StatusBadRequest, fmt.Errorf("target mode %d is the fold mode", tm))
+			return
+		}
+		k := req.K
+		if k <= 0 {
+			k = 10
+		}
+		if k > s.cfg.MaxTopK {
+			s.recordQueryError(start)
+			writeError(w, http.StatusBadRequest, fmt.Errorf("k %d exceeds the daemon cap %d", k, s.cfg.MaxTopK))
+			return
+		}
+		weights, err := m.K.RecommendWeights(res.Row)
+		if err != nil {
+			s.recordQueryError(start)
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		var ixStats kruskal.IndexStats
+		matches, err := m.K.TopK(kruskal.Query{
+			Weights:    weights,
+			TargetMode: tm,
+			K:          k,
+			Threads:    clampQueryThreads(req.Threads),
+			TargetLeaf: m.Leaf(tm),
+			Index:      m.Index(tm),
+			Stats:      &ixStats,
+		})
+		if err != nil {
+			s.recordQueryError(start)
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		s.idxScanned.Add(int64(ixStats.Scanned))
+		s.idxPruned.Add(int64(ixStats.Pruned))
+		resp["target_mode"] = tm
+		resp["matches"] = matches
+	}
+	s.foldins.Add(1)
+	s.recordQuery(start)
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // handleMetrics serves the daemon counters plus every finished job's
 // aoadmm-metrics/v1 report as JSON; ?format=prometheus switches to the
 // Prometheus text exposition format (see prom.go).
@@ -387,14 +657,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.writePrometheus(w)
 		return
 	}
+	cacheHits, cacheMisses := s.cache.stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"daemon": map[string]any{
 			"jobs":          s.mgr.StatusCounts(),
 			"queue_depth":   s.mgr.QueueDepth(),
 			"models":        s.reg.Len(),
 			"queries":       s.queries.Load(),
+			"query_errors":  s.queryErrors.Load(),
+			"foldins":       s.foldins.Load(),
 			"query_latency": s.queryLatency.Snapshot(),
 			"workers":       s.cfg.Workers,
+			"topk_cache": map[string]any{
+				"capacity": s.cfg.QueryCacheSize,
+				"entries":  s.cache.len(),
+				"hits":     cacheHits,
+				"misses":   cacheMisses,
+			},
+			"topk_batch": map[string]any{
+				"batches":         s.batcher.batches.Load(),
+				"batched_queries": s.batcher.batchedQueries.Load(),
+			},
+			"topk_index": map[string]any{
+				"clusters_scanned": s.idxScanned.Load(),
+				"clusters_pruned":  s.idxPruned.Load(),
+			},
 		},
 		"durability": s.mgr.DurabilityStats(),
 		"ooc":        s.mgr.OOCStats(),

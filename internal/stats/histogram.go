@@ -1,6 +1,10 @@
 package stats
 
 import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -27,6 +31,17 @@ var latencyBounds = []time.Duration{
 	1 * time.Second,
 	2500 * time.Millisecond,
 	5 * time.Second,
+}
+
+// LatencyBucketBounds returns the fixed finite bucket bounds in seconds,
+// ascending. Exporters that need a stable bucket schema (Prometheus) should
+// emit every bound on every scrape regardless of which buckets have counts.
+func LatencyBucketBounds() []float64 {
+	out := make([]float64, len(latencyBounds))
+	for i, d := range latencyBounds {
+		out[i] = d.Seconds()
+	}
+	return out
 }
 
 // LatencyHistogram is a fixed-bucket log-scale duration histogram, safe for
@@ -64,6 +79,40 @@ type LatencyBucket struct {
 	Count int64 `json:"count"`
 }
 
+// Seconds is a float64 duration that survives JSON even when infinite:
+// +Inf marshals as the string "+Inf" (encoding/json rejects the bare
+// float), and unmarshaling accepts both forms.
+type Seconds float64
+
+// IsInf reports whether the value is +Inf.
+func (s Seconds) IsInf() bool { return math.IsInf(float64(s), 1) }
+
+// MarshalJSON encodes finite values as numbers and +Inf as "+Inf".
+func (s Seconds) MarshalJSON() ([]byte, error) {
+	f := float64(s)
+	if math.IsInf(f, 1) {
+		return []byte(`"+Inf"`), nil
+	}
+	if math.IsInf(f, -1) || math.IsNaN(f) {
+		return nil, fmt.Errorf("stats: cannot marshal %v as seconds", f)
+	}
+	return json.Marshal(f)
+}
+
+// UnmarshalJSON accepts a JSON number or the string "+Inf".
+func (s *Seconds) UnmarshalJSON(b []byte) error {
+	if string(b) == `"+Inf"` {
+		*s = Seconds(math.Inf(1))
+		return nil
+	}
+	f, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return fmt.Errorf("stats: invalid seconds %q", b)
+	}
+	*s = Seconds(f)
+	return nil
+}
+
 // LatencySnapshot is the JSON-serializable state of a LatencyHistogram.
 type LatencySnapshot struct {
 	// Count is the total number of observations.
@@ -73,10 +122,15 @@ type LatencySnapshot struct {
 	// MeanSeconds is SumSeconds / Count (0 when empty).
 	MeanSeconds float64 `json:"mean_seconds"`
 	// P50Seconds / P95Seconds / P99Seconds are quantile estimates taken at
-	// the upper bound of the bucket containing the quantile.
-	P50Seconds float64 `json:"p50_seconds"`
-	P95Seconds float64 `json:"p95_seconds"`
-	P99Seconds float64 `json:"p99_seconds"`
+	// the upper bound of the bucket containing the quantile. A quantile that
+	// lands in the +Inf overflow bucket is reported as +Inf (JSON "+Inf"),
+	// never silently capped at the largest finite bound.
+	P50Seconds Seconds `json:"p50_seconds"`
+	P95Seconds Seconds `json:"p95_seconds"`
+	P99Seconds Seconds `json:"p99_seconds"`
+	// OverflowCount is the number of observations above the largest finite
+	// bound (the +Inf bucket mass).
+	OverflowCount int64 `json:"overflow_count,omitempty"`
 	// Buckets is the cumulative bucket table (Prometheus-style "le").
 	Buckets []LatencyBucket `json:"buckets"`
 }
@@ -95,6 +149,7 @@ func (h *LatencyHistogram) Snapshot() LatencySnapshot {
 		return s
 	}
 	s.MeanSeconds = s.SumSeconds / float64(total)
+	s.OverflowCount = counts[len(counts)-1]
 	var cum int64
 	last := 0
 	for i, c := range counts {
@@ -116,9 +171,36 @@ func (h *LatencyHistogram) Snapshot() LatencySnapshot {
 	return s
 }
 
-// quantileAt returns the upper bound of the bucket holding quantile q; the
-// +Inf bucket reports the largest finite bound.
-func quantileAt(counts []int64, total int64, q float64) float64 {
+// Export returns the full fixed-schema cumulative bucket counts (one per
+// finite bound, in LatencyBucketBounds order), the total observation count,
+// and the duration sum in seconds — all read under one lock, so the counts
+// are always consistent with the total (cumulative counts never exceed it).
+// Unlike Snapshot, no buckets are elided: a fresh histogram exports all
+// zeros. The +Inf bucket is implied by count.
+func (h *LatencyHistogram) Export() (buckets []LatencyBucket, count int64, sumSeconds float64) {
+	h.mu.Lock()
+	counts := append([]int64(nil), h.counts...)
+	count = h.total
+	sumSeconds = h.sum.Seconds()
+	h.mu.Unlock()
+
+	buckets = make([]LatencyBucket, len(latencyBounds))
+	var cum int64
+	for i := range latencyBounds {
+		if i < len(counts) {
+			cum += counts[i]
+		}
+		buckets[i] = LatencyBucket{LeSeconds: latencyBounds[i].Seconds(), Count: cum}
+	}
+	return buckets, count, sumSeconds
+}
+
+// quantileAt returns the upper bound of the bucket holding quantile q. A
+// quantile that falls in the +Inf overflow bucket is reported as +Inf: the
+// histogram genuinely does not know how slow those observations were, and
+// reporting the largest finite bound would hide exactly the outages a p99
+// exists to flag.
+func quantileAt(counts []int64, total int64, q float64) Seconds {
 	if total == 0 {
 		return 0
 	}
@@ -131,10 +213,10 @@ func quantileAt(counts []int64, total int64, q float64) float64 {
 		cum += c
 		if cum >= target {
 			if i < len(latencyBounds) {
-				return latencyBounds[i].Seconds()
+				return Seconds(latencyBounds[i].Seconds())
 			}
-			return latencyBounds[len(latencyBounds)-1].Seconds()
+			return Seconds(math.Inf(1))
 		}
 	}
-	return latencyBounds[len(latencyBounds)-1].Seconds()
+	return Seconds(math.Inf(1))
 }

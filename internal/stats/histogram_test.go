@@ -95,3 +95,96 @@ func TestLatencySnapshotJSON(t *testing.T) {
 		t.Fatalf("round trip %+v", back)
 	}
 }
+
+func TestQuantilesHonestAboveLargestBound(t *testing.T) {
+	var h LatencyHistogram
+	// Every observation is slower than the largest finite bound (5s). The
+	// old behavior capped p50/p95/p99 at 5s — exactly the outage signal a
+	// quantile exists to surface. All quantiles must report +Inf.
+	for i := 0; i < 20; i++ {
+		h.Observe(10 * time.Second)
+	}
+	s := h.Snapshot()
+	if !s.P50Seconds.IsInf() || !s.P95Seconds.IsInf() || !s.P99Seconds.IsInf() {
+		t.Fatalf("quantiles capped: p50=%v p95=%v p99=%v", s.P50Seconds, s.P95Seconds, s.P99Seconds)
+	}
+	if s.OverflowCount != 20 {
+		t.Fatalf("overflow count %d", s.OverflowCount)
+	}
+
+	// The snapshot must still survive JSON, with +Inf encoded as "+Inf".
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LatencySnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.P99Seconds.IsInf() || back.OverflowCount != 20 {
+		t.Fatalf("round trip %+v", back)
+	}
+}
+
+func TestQuantileMixedOverflow(t *testing.T) {
+	var h LatencyHistogram
+	// 90 fast, 10 beyond the last bound: p50 finite, p99 must be +Inf.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Minute)
+	}
+	s := h.Snapshot()
+	if s.P50Seconds.IsInf() {
+		t.Fatalf("p50 %v should be finite", s.P50Seconds)
+	}
+	if !s.P99Seconds.IsInf() {
+		t.Fatalf("p99 %v should be +Inf", s.P99Seconds)
+	}
+	if s.OverflowCount != 10 {
+		t.Fatalf("overflow count %d", s.OverflowCount)
+	}
+}
+
+func TestExportFullSchema(t *testing.T) {
+	bounds := LatencyBucketBounds()
+
+	// A fresh histogram must still export one bucket per finite bound, all
+	// zero — exporters need a stable schema from the first scrape.
+	var h LatencyHistogram
+	buckets, count, sum := h.Export()
+	if count != 0 || sum != 0 {
+		t.Fatalf("fresh export count=%d sum=%v", count, sum)
+	}
+	if len(buckets) != len(bounds) {
+		t.Fatalf("fresh export has %d buckets, want %d", len(buckets), len(bounds))
+	}
+	for i, b := range buckets {
+		if b.LeSeconds != bounds[i] || b.Count != 0 {
+			t.Fatalf("fresh bucket %d = %+v", i, b)
+		}
+	}
+
+	h.Observe(200 * time.Microsecond)
+	h.Observe(40 * time.Millisecond)
+	h.Observe(time.Minute) // +Inf bucket: implied by count, not in buckets
+	buckets, count, sum = h.Export()
+	if count != 3 {
+		t.Fatalf("count %d", count)
+	}
+	if sum <= 0 {
+		t.Fatalf("sum %v", sum)
+	}
+	if len(buckets) != len(bounds) {
+		t.Fatalf("export has %d buckets, want %d", len(buckets), len(bounds))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].Count < buckets[i-1].Count {
+			t.Fatalf("cumulative counts decrease at %d: %+v", i, buckets)
+		}
+	}
+	if last := buckets[len(buckets)-1]; last.Count != 2 {
+		t.Fatalf("finite tail count %d, want 2 (one observation overflows)", last.Count)
+	}
+}
