@@ -7,6 +7,12 @@
 //
 //	aoadmmd -addr :8642 -data /var/lib/aoadmmd
 //
+// The daemon can also run as one node of a networked distributed cluster
+// (docs/DISTRIBUTED.md):
+//
+//	aoadmmd -role coordinator -worker-listen :7077          # daemon + coordinator
+//	aoadmmd -role worker -coordinator-addr host:7077        # compute worker, no HTTP
+//
 // See docs/SERVING.md for the API surface and a curl quick-start, and
 // docs/OBSERVABILITY.md for logging, metrics scraping, and profiling. Jobs
 // are durable: every state transition is written to a fsync'd journal under
@@ -30,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"aoadmm/internal/distnet"
 	"aoadmm/internal/serve"
 )
 
@@ -50,6 +57,13 @@ func main() {
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
 		maxTopK     = flag.Int("max-topk", 4096, "largest k accepted by top-K and fold-in queries")
 		queryCache  = flag.Int("query-cache", 1024, "top-K result cache capacity in entries (negative disables)")
+
+		role       = flag.String("role", "standalone", "daemon role: standalone|coordinator|worker (see docs/DISTRIBUTED.md)")
+		coordAddr  = flag.String("coordinator-addr", "", "coordinator address a worker dials (role worker)")
+		workerAddr = flag.String("worker-listen", ":7077", "TCP address the coordinator accepts workers on (role coordinator)")
+		workerName = flag.String("worker-name", "", "worker display name reported to the coordinator (default the hostname)")
+		hbInterval = flag.Duration("heartbeat-interval", time.Second, "worker heartbeat cadence the coordinator advertises")
+		hbTimeout  = flag.Duration("heartbeat-timeout", 0, "silence after which the coordinator declares a worker dead (default 5x interval)")
 	)
 	flag.Parse()
 
@@ -57,6 +71,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aoadmmd:", err)
 		os.Exit(1)
+	}
+
+	if *role == "worker" {
+		if err := runWorker(*coordAddr, *workerName, logger); err != nil {
+			fmt.Fprintln(os.Stderr, "aoadmmd:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	cfg := serve.Config{
@@ -72,10 +94,66 @@ func main() {
 		QueryCacheSize: *queryCache,
 		Logger:         logger,
 	}
+
+	var coord *distnet.Coordinator
+	switch *role {
+	case "standalone", "":
+	case "coordinator":
+		coord, err = distnet.Listen(distnet.Config{
+			Listen:            *workerAddr,
+			HeartbeatInterval: *hbInterval,
+			HeartbeatTimeout:  *hbTimeout,
+			Logger:            logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aoadmmd:", err)
+			os.Exit(1)
+		}
+		defer coord.Close()
+		logger.Info("coordinator listening", "addr", coord.Addr())
+		cfg.Dist = coord
+	default:
+		fmt.Fprintf(os.Stderr, "aoadmmd: unknown role %q (want standalone|coordinator|worker)\n", *role)
+		os.Exit(1)
+	}
+
 	if err := run(*addr, *pprofAddr, cfg, *grace, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "aoadmmd:", err)
 		os.Exit(1)
 	}
+}
+
+// runWorker runs the compute-worker role: no HTTP surface, just a distnet
+// worker that dials the coordinator, serves shard-range assignments, and
+// reconnects until SIGINT/SIGTERM.
+func runWorker(coordAddr, name string, logger *slog.Logger) error {
+	if coordAddr == "" {
+		return fmt.Errorf("-role worker requires -coordinator-addr")
+	}
+	if name == "" {
+		name, _ = os.Hostname()
+	}
+	w := distnet.NewWorker(distnet.WorkerConfig{
+		CoordinatorAddr: coordAddr,
+		Name:            name,
+		Logger:          logger,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		logger.Info("worker shutting down", "signal", sig.String())
+		w.Close()
+		cancel()
+	}()
+	logger.Info("worker starting", "coordinator", coordAddr)
+	err := w.Run(ctx)
+	if errors.Is(err, context.Canceled) {
+		err = nil
+	}
+	return err
 }
 
 // buildLogger constructs the daemon's slog root from the -log-format and

@@ -1,38 +1,61 @@
-// Distributed: run the distributed-memory AO-ADMM simulation and watch the
-// communication profile — the paper's §IV-B observation that blocked ADMM
-// needs no communication beyond the MTTKRP exchange.
+// Distributed: run AO-ADMM on the real networked engine — a coordinator and
+// worker processes talking the distnet wire protocol over localhost TCP —
+// and check its communication profile against the analytic simulator. The
+// two agree byte-for-byte, demonstrating the paper's §IV-B observation on
+// real sockets: blocked ADMM needs no communication beyond the MTTKRP
+// exchange.
 //
 // Run with:
 //
-//	go run ./examples/distributed
+//	go run ./examples/distributed          # networked engine + simulator cross-check
+//	go run ./examples/distributed -sim     # analytic simulator only (original demo)
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"aoadmm"
 	"aoadmm/internal/dist"
+	"aoadmm/internal/distnet"
+	"aoadmm/internal/ooc"
 	"aoadmm/internal/prox"
+	"aoadmm/internal/tensor"
+)
+
+const (
+	rank  = 8
+	iters = 10
+	seed  = 1
 )
 
 func main() {
+	simOnly := flag.Bool("sim", false, "run only the analytic communication simulator (no sockets)")
+	flag.Parse()
+
 	x, err := aoadmm.Dataset("nell", aoadmm.ScaleSmall)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("tensor:", x)
 
+	if *simOnly {
+		simSweep(x)
+		return
+	}
+	networked(x)
+}
+
+// simSweep is the original demo: the analytic simulator across node counts.
+func simSweep(x *tensor.COO) {
 	fmt.Printf("\n%-6s %10s %12s %12s %12s %16s\n",
 		"nodes", "rel err", "mttkrp MB", "factor MB", "admm bytes", "baseline admm KB")
 	for _, nodes := range []int{1, 2, 4, 8, 16} {
-		res, err := dist.Run(x.Clone(), dist.Options{
-			Nodes:         nodes,
-			Rank:          8,
-			Constraints:   []prox.Operator{prox.NonNegative{}},
-			MaxOuterIters: 10,
-			Seed:          1,
-		})
+		res, err := simulate(x, nodes)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,4 +69,101 @@ func main() {
 	}
 	fmt.Println("\nblocked ADMM moves zero bytes during the inner iterations at every node")
 	fmt.Println("count; only the MTTKRP reduce-scatter and the factor allgather communicate.")
+}
+
+func simulate(x *tensor.COO, nodes int) (*dist.Result, error) {
+	return dist.Run(x.Clone(), dist.Options{
+		Nodes:         nodes,
+		Rank:          rank,
+		Constraints:   []prox.Operator{prox.NonNegative{}},
+		MaxOuterIters: iters,
+		Seed:          seed,
+	})
+}
+
+// networked runs the same factorization on real TCP sockets: an in-process
+// coordinator plus worker goroutines (the same code paths `aoadmmd -role
+// coordinator|worker` runs as separate processes), then cross-checks fit and
+// collective volume against the simulator.
+func networked(x *tensor.COO) {
+	const workers = 4
+
+	// The networked engine streams from a shard store; convert once.
+	dir, err := os.MkdirTemp("", "aoadmm-dist-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	shardDir := filepath.Join(dir, "x.aoshard")
+	st, err := ooc.ConvertCOO(x.Clone(), shardDir, ooc.ConvertOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The simulator consumes the store's canonical entry order so its float
+	// summation matches what the workers stream shard-by-shard.
+	canon, err := st.ReadAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	coord, err := distnet.Listen(distnet.Config{Listen: "127.0.0.1:0"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coord.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < workers; i++ {
+		w := distnet.NewWorker(distnet.WorkerConfig{
+			CoordinatorAddr: coord.Addr(),
+			Name:            fmt.Sprintf("w%d", i),
+		})
+		defer w.Close()
+		go w.Run(ctx)
+	}
+	fmt.Printf("\ncoordinator on %s, %d workers dialing in\n", coord.Addr(), workers)
+
+	res, err := coord.RunJob(distnet.JobOptions{
+		JobID:          "example",
+		ShardDir:       shardDir,
+		Rank:           rank,
+		Constraint:     "nonneg",
+		MaxOuterIters:  iters,
+		Seed:           seed,
+		Workers:        workers,
+		WaitForWorkers: workers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sim, err := dist.Run(canon, dist.Options{
+		Nodes:         workers,
+		Rank:          rank,
+		Constraints:   []prox.Operator{prox.NonNegative{}},
+		MaxOuterIters: iters,
+		Seed:          seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-22s %14s %14s\n", "", "networked", "simulator")
+	fmt.Printf("%-22s %14.6f %14.6f\n", "final rel err", res.RelErr, sim.RelErr)
+	fmt.Printf("%-22s %14d %14d\n", "mttkrp bytes", res.Comm.MTTKRPBytes, sim.Comm.MTTKRPBytes)
+	fmt.Printf("%-22s %14d %14d\n", "factor bytes", res.Comm.FactorBytes, sim.Comm.FactorBytes)
+	fmt.Printf("%-22s %14d %14d\n", "gram bytes", res.Comm.GramBytes, sim.Comm.GramBytes)
+	fmt.Printf("%-22s %14d %14d\n", "inner-ADMM bytes", res.Comm.ADMMBytes, sim.Comm.ADMMBytes)
+	fmt.Printf("%-22s %14d %14d\n", "messages", res.Comm.Messages, sim.Comm.Messages)
+	fmt.Printf("\nphysical TCP traffic: %.2f MB sent, %.2f MB received (incl. control frames)\n",
+		float64(res.WireBytesSent)/1e6, float64(res.WireBytesReceived)/1e6)
+
+	if res.Comm != sim.Comm {
+		log.Fatal("collective volume diverged from the simulator")
+	}
+	if res.Comm.ADMMBytes != 0 {
+		log.Fatal("inner ADMM moved bytes; the blocked variant must not communicate")
+	}
+	fmt.Println("\nnetworked collectives price identically to the simulator, and the inner")
+	fmt.Println("ADMM moved zero bytes over real sockets — §IV-B holds end to end.")
 }

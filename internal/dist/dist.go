@@ -18,22 +18,22 @@
 //  4. the updated rows are allgathered so the next MTTKRP sees full
 //     factors, and per-node Gram contributions are allreduced.
 //
-// All collectives run over Go channels through a coordinator that counts
-// every byte moved, so tests can verify both numerical equivalence with the
-// shared-memory solver and the communication-free ADMM property.
+// All collectives run over Go channels through a Pricer that counts every
+// byte moved, so tests can verify both numerical equivalence with the
+// shared-memory solver and the communication-free ADMM property. The
+// node-local steps and the pricing rules live in node.go, shared with the
+// real multi-process engine (internal/distnet) — this simulator is that
+// engine's numerical and communication-cost oracle.
 package dist
 
 import (
 	"fmt"
-	"math"
-	"math/rand"
 	"sync"
 
 	"aoadmm/internal/admm"
 	"aoadmm/internal/csf"
 	"aoadmm/internal/dense"
 	"aoadmm/internal/kruskal"
-	"aoadmm/internal/mttkrp"
 	"aoadmm/internal/prox"
 	"aoadmm/internal/tensor"
 )
@@ -48,10 +48,21 @@ type Options struct {
 	Constraints []prox.Operator
 	// MaxOuterIters caps outer iterations (<= 0 means 50).
 	MaxOuterIters int
+	// Tol, when > 0, stops once the relative error improves by less than
+	// Tol between outer iterations (core.Factorize's stopping rule). Zero
+	// — the default — runs MaxOuterIters unconditionally, preserving
+	// byte-for-byte communication parity across node counts.
+	Tol float64
 	// InnerEps / InnerMaxIters / BlockSize parameterize the local ADMM.
 	InnerEps      float64
 	InnerMaxIters int
 	BlockSize     int
+	// Mode0Ranges, when non-nil, fixes each node's mode-0 ownership range
+	// explicitly (len must equal Nodes, ranges must partition [0, Dims[0])
+	// in ascending order). The networked engine derives placement from the
+	// on-disk shard layout; passing the same ranges here lets parity tests
+	// price the identical decomposition. Nil means the even Partition.
+	Mode0Ranges [][2]int
 	// Seed drives initialization (matching core.Factorize's layout).
 	Seed int64
 }
@@ -81,21 +92,8 @@ type Result struct {
 	Factors    *kruskal.Tensor
 	RelErr     float64
 	OuterIters int
+	Converged  bool
 	Comm       CommStats
-}
-
-// coordinator counts the simulated network traffic of the collectives.
-type coordinator struct {
-	nodes int
-	mu    sync.Mutex
-	comm  *CommStats
-}
-
-func (c *coordinator) count(kind *int64, bytes int64) {
-	c.mu.Lock()
-	*kind += bytes
-	c.comm.Messages++
-	c.mu.Unlock()
 }
 
 // Run factorizes x on opts.Nodes simulated nodes and returns the factors
@@ -111,7 +109,7 @@ func Run(x *tensor.COO, opts Options) (*Result, error) {
 	if x.NNZ() == 0 {
 		return nil, fmt.Errorf("dist: empty tensor")
 	}
-	cons, err := broadcastConstraints(opts.Constraints, order)
+	cons, err := BroadcastConstraints(opts.Constraints, order)
 	if err != nil {
 		return nil, err
 	}
@@ -120,14 +118,21 @@ func Run(x *tensor.COO, opts Options) (*Result, error) {
 	}
 	n := opts.Nodes
 
-	// Partition every mode's rows contiguously across nodes.
-	owned := make([][][2]int, order) // owned[m][node] = [begin, end)
+	// Partition every mode's rows contiguously across nodes; mode 0 may be
+	// pinned by the caller (shard-derived placement parity).
+	owned := make([][][2]int, order)
 	for m := 0; m < order; m++ {
-		owned[m] = partition(x.Dims[m], n)
+		owned[m] = Partition(x.Dims[m], n)
+	}
+	if opts.Mode0Ranges != nil {
+		if err := validateRanges(opts.Mode0Ranges, n, x.Dims[0]); err != nil {
+			return nil, err
+		}
+		owned[0] = opts.Mode0Ranges
 	}
 
 	// Partition non-zeros by owner of their mode-0 slice.
-	parts := splitByMode0(x, owned[0])
+	parts := SplitByMode0(x, owned[0])
 
 	// Per-node CSF sets over local non-zeros (full global dims, so factor
 	// indices remain global).
@@ -138,14 +143,8 @@ func Run(x *tensor.COO, opts Options) (*Result, error) {
 
 	// Shared (replicated) factor state; mirrors core.Factorize's init,
 	// including the norm-matched rescaling of the random factors.
-	model := kruskal.Random(x.Dims, opts.Rank, rand.New(rand.NewSource(opts.Seed)))
 	xNormSq := x.NormSq()
-	if m0 := model.NormSq(1); m0 > 0 && xNormSq > 0 {
-		s := math.Pow(xNormSq/m0, 0.5/float64(order))
-		for _, f := range model.Factors {
-			dense.Scale(f, s)
-		}
-	}
+	model := InitModel(x.Dims, opts.Rank, opts.Seed, xNormSq)
 	duals := make([]*dense.Matrix, order)
 	grams := make([]*dense.Matrix, order)
 	for m := 0; m < order; m++ {
@@ -153,18 +152,17 @@ func Run(x *tensor.COO, opts Options) (*Result, error) {
 		grams[m] = dense.Gram(model.Factors[m], 1)
 	}
 
-	comm := &CommStats{}
-	coord := &coordinator{nodes: n, comm: comm}
+	pricer := &Pricer{}
 
 	res := &Result{Factors: model, RelErr: 1}
-	rowBytes := int64(opts.Rank * 8)
+	prevErr := res.RelErr
 
 	for outer := 1; outer <= opts.MaxOuterIters; outer++ {
 		res.OuterIters = outer
 		var lastK *dense.Matrix
 		var lastMode int
 		for m := 0; m < order; m++ {
-			g := gramProduct(grams, m)
+			g := GramProduct(grams, m)
 
 			// Phase 1: local partial MTTKRPs (parallel across nodes).
 			partials := make([]*dense.Matrix, n)
@@ -173,7 +171,7 @@ func Run(x *tensor.COO, opts Options) (*Result, error) {
 			for i := 0; i < n; i++ {
 				go func(i int) {
 					defer wg.Done()
-					partials[i] = localMTTKRP(trees[i].Tree(m), model.Factors, x.Dims[m], opts.Rank)
+					partials[i] = PartialMTTKRP(trees[i].Tree(m), model.Factors, x.Dims[m], opts.Rank)
 				}(i)
 			}
 			wg.Wait()
@@ -204,7 +202,7 @@ func Run(x *tensor.COO, opts Options) (*Result, error) {
 						dst[j] += v
 					}
 					if r < ob || r >= oe {
-						coord.count(&comm.MTTKRPBytes, rowBytes)
+						pricer.ReduceScatterRow(opts.Rank)
 					}
 				}
 			}
@@ -226,14 +224,11 @@ func Run(x *tensor.COO, opts Options) (*Result, error) {
 				go func(i int) {
 					defer wg.Done()
 					ob, oe := owned[m][i][0], owned[m][i][1]
-					if ob >= oe {
-						return
-					}
-					_, errs[i] = admm.RunBlocked(
+					errs[i] = LocalADMM(
 						model.Factors[m].RowBlock(ob, oe),
 						duals[m].RowBlock(ob, oe),
 						k.RowBlock(ob, oe),
-						g, nil, cfg)
+						g, cfg)
 				}(i)
 			}
 			wg.Wait()
@@ -247,19 +242,43 @@ func Run(x *tensor.COO, opts Options) (*Result, error) {
 			// allreduce the per-node Gram contributions.
 			for i := 0; i < n; i++ {
 				ob, oe := owned[m][i][0], owned[m][i][1]
-				coord.count(&comm.FactorBytes, int64(oe-ob)*rowBytes*int64(n-1))
+				pricer.AllgatherNode(oe-ob, opts.Rank, n)
 			}
 			grams[m] = dense.Gram(model.Factors[m], 1)
-			coord.count(&comm.GramBytes, int64(opts.Rank*opts.Rank*8)*int64(n-1)*2)
+			pricer.GramAllreduce(opts.Rank, n)
 
 			lastK, lastMode = k, m
 		}
 
 		inner := kruskal.InnerWithMTTKRP(lastK, model.Factors[lastMode])
 		res.RelErr = kruskal.RelErr(xNormSq, inner, kruskal.NormSqFromGrams(grams))
+		if opts.Tol > 0 && prevErr-res.RelErr < opts.Tol {
+			res.Converged = true
+			break
+		}
+		prevErr = res.RelErr
 	}
-	res.Comm = *comm
+	res.Comm = pricer.Stats()
 	return res, nil
+}
+
+// validateRanges checks that explicit mode-0 ranges partition [0, dim).
+func validateRanges(ranges [][2]int, nodes, dim int) error {
+	if len(ranges) != nodes {
+		return fmt.Errorf("dist: %d Mode0Ranges for %d nodes", len(ranges), nodes)
+	}
+	prev := 0
+	for i, r := range ranges {
+		if r[0] != prev || r[1] < r[0] || r[1] > dim {
+			return fmt.Errorf("dist: Mode0Ranges[%d] = [%d, %d) does not partition [0, %d) after %d",
+				i, r[0], r[1], dim, prev)
+		}
+		prev = r[1]
+	}
+	if prev != dim {
+		return fmt.Errorf("dist: Mode0Ranges end at %d, want %d", prev, dim)
+	}
+	return nil
 }
 
 // BaselineADMMCommBytes prices what the kernel-parallel baseline would have
@@ -272,86 +291,4 @@ func BaselineADMMCommBytes(nodes, modes, outerIters, innerIters int) int64 {
 	}
 	perIter := int64(2*(nodes-1)) * 32
 	return perIter * int64(modes) * int64(outerIters) * int64(innerIters)
-}
-
-func localMTTKRP(tree *csf.Tensor, factors []*dense.Matrix, rows, rank int) *dense.Matrix {
-	out := dense.New(rows, rank)
-	if tree.NNZ() == 0 {
-		return out
-	}
-	mttkrp.Compute(tree, factors, out, nil, mttkrp.Options{Threads: 1})
-	return out
-}
-
-func partition(n, parts int) [][2]int {
-	out := make([][2]int, parts)
-	q, r := n/parts, n%parts
-	begin := 0
-	for i := 0; i < parts; i++ {
-		end := begin + q
-		if i < r {
-			end++
-		}
-		out[i] = [2]int{begin, end}
-		begin = end
-	}
-	return out
-}
-
-func splitByMode0(x *tensor.COO, owned [][2]int) []*tensor.COO {
-	n := len(owned)
-	parts := make([]*tensor.COO, n)
-	for i := range parts {
-		parts[i] = tensor.NewCOO(x.Dims, 0)
-	}
-	ownerOf := make([]int, x.Dims[0])
-	for node, span := range owned {
-		for r := span[0]; r < span[1]; r++ {
-			ownerOf[r] = node
-		}
-	}
-	coord := make([]int, x.Order())
-	for p := 0; p < x.NNZ(); p++ {
-		for m := range coord {
-			coord[m] = int(x.Inds[m][p])
-		}
-		parts[ownerOf[coord[0]]].Append(coord, x.Vals[p])
-	}
-	return parts
-}
-
-func broadcastConstraints(cs []prox.Operator, order int) ([]prox.Operator, error) {
-	switch len(cs) {
-	case 0:
-		out := make([]prox.Operator, order)
-		for i := range out {
-			out[i] = prox.Unconstrained{}
-		}
-		return out, nil
-	case 1:
-		out := make([]prox.Operator, order)
-		for i := range out {
-			out[i] = cs[0]
-		}
-		return out, nil
-	case order:
-		return cs, nil
-	default:
-		return nil, fmt.Errorf("dist: %d constraints for order %d", len(cs), order)
-	}
-}
-
-func gramProduct(grams []*dense.Matrix, skip int) *dense.Matrix {
-	var out *dense.Matrix
-	for m, g := range grams {
-		if m == skip {
-			continue
-		}
-		if out == nil {
-			out = g.Clone()
-		} else {
-			dense.Hadamard(out, out, g)
-		}
-	}
-	return out
 }

@@ -119,11 +119,11 @@ func TestCommGrowsWithNodes(t *testing.T) {
 }
 
 func TestPartition(t *testing.T) {
-	p := partition(10, 3)
+	p := Partition(10, 3)
 	if p[0] != [2]int{0, 4} || p[1] != [2]int{4, 7} || p[2] != [2]int{7, 10} {
 		t.Fatalf("partition = %v", p)
 	}
-	p = partition(2, 4)
+	p = Partition(2, 4)
 	total := 0
 	for _, span := range p {
 		if span[1] < span[0] {
@@ -142,7 +142,7 @@ func TestSplitByMode0(t *testing.T) {
 	x.Append([]int{1, 1}, 2)
 	x.Append([]int{2, 2}, 3)
 	x.Append([]int{3, 0}, 4)
-	parts := splitByMode0(x, partition(4, 2))
+	parts := SplitByMode0(x, Partition(4, 2))
 	if parts[0].NNZ() != 2 || parts[1].NNZ() != 2 {
 		t.Fatalf("split sizes %d/%d", parts[0].NNZ(), parts[1].NNZ())
 	}
@@ -166,6 +166,46 @@ func TestOptionValidation(t *testing.T) {
 	}
 	if _, err := Run(x, Options{Nodes: 1, Rank: 2, Constraints: make([]prox.Operator, 2)}); err == nil {
 		t.Fatal("wrong constraint count accepted")
+	}
+}
+
+func TestExplicitMode0RangesMatchEvenPartition(t *testing.T) {
+	// Passing the even partition explicitly must change nothing — numbers
+	// or priced bytes — relative to the default; a bogus partition must be
+	// rejected.
+	x := alignedTensor(t)
+	opts := Options{
+		Nodes: 4, Rank: 4, Seed: 1, MaxOuterIters: 4, BlockSize: 20,
+	}
+	def, err := Run(x.Clone(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Mode0Ranges = Partition(x.Dims[0], 4)
+	exp, err := Run(x.Clone(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.RelErr != def.RelErr || exp.Comm != def.Comm {
+		t.Fatalf("explicit ranges diverged: relerr %v vs %v, comm %+v vs %+v",
+			exp.RelErr, def.RelErr, exp.Comm, def.Comm)
+	}
+	opts.Mode0Ranges = [][2]int{{0, 10}, {10, 20}, {20, 30}, {30, 40}} // short of Dims[0]
+	if _, err := Run(x.Clone(), opts); err == nil {
+		t.Fatal("non-partitioning Mode0Ranges accepted")
+	}
+}
+
+func TestTolStopsEarly(t *testing.T) {
+	x := alignedTensor(t)
+	res, err := Run(x, Options{
+		Nodes: 2, Rank: 5, Seed: 1, MaxOuterIters: 40, BlockSize: 20, Tol: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.OuterIters >= 40 {
+		t.Fatalf("loose Tol did not stop early: converged=%v iters=%d", res.Converged, res.OuterIters)
 	}
 }
 

@@ -1,0 +1,333 @@
+package distnet
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"aoadmm/internal/core"
+	"aoadmm/internal/dist"
+	"aoadmm/internal/ooc"
+	"aoadmm/internal/prox"
+	"aoadmm/internal/stats"
+	"aoadmm/internal/tensor"
+)
+
+// cluster is an in-process coordinator plus N worker goroutines speaking
+// real TCP over loopback.
+type cluster struct {
+	coord   *Coordinator
+	workers []*Worker
+}
+
+func startCluster(t *testing.T, n int) *cluster {
+	t.Helper()
+	coord, err := Listen(Config{
+		Listen:            "127.0.0.1:0",
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &cluster{coord: coord}
+	for i := 0; i < n; i++ {
+		w := NewWorker(WorkerConfig{
+			CoordinatorAddr: coord.Addr(),
+			Name:            fmt.Sprintf("w%d", i),
+			RetryInterval:   50 * time.Millisecond,
+		})
+		c.workers = append(c.workers, w)
+		go w.Run(ctx)
+	}
+	t.Cleanup(func() {
+		cancel()
+		for _, w := range c.workers {
+			w.Close()
+		}
+		coord.Close()
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for len(coord.LiveWorkers()) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d workers joined", len(coord.LiveWorkers()), n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return c
+}
+
+// shardStore converts a tensor into a .aoshard directory under the test's
+// temp dir and returns the opened store.
+func shardStore(t *testing.T, x *tensor.COO, targetShardBytes int64) *ooc.ShardedTensor {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "x.aoshard")
+	st, err := ooc.ConvertCOO(x, dir, ooc.ConvertOptions{TargetShardBytes: targetShardBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func planted(t *testing.T, dims []int, nnz int, seed int64) *tensor.COO {
+	t.Helper()
+	x, _, err := tensor.PlantedLowRank(tensor.GenOptions{
+		Dims: dims, NNZ: nnz, Rank: 3, Seed: seed, NoiseStd: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// TestNetworkedMatchesSimulatorAndCore is the engine's parity anchor: a
+// 3-worker run over real TCP must report exactly the simulator's priced
+// byte counts and land within 1e-9 of the shared-memory solver's fit, with
+// the inner-ADMM phase moving exactly zero bytes — on two datasets whose
+// worker boundaries align with the ADMM block grid.
+func TestNetworkedMatchesSimulatorAndCore(t *testing.T) {
+	cases := []struct {
+		dims      []int
+		blockSize int
+	}{
+		// Every mode length divides evenly by 3 workers into spans that are
+		// multiples of the block size, so the block grids coincide.
+		{[]int{60, 120, 180}, 20},
+		{[]int{90, 150, 60}, 10},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("dims=%v", tc.dims), func(t *testing.T) {
+			x := planted(t, tc.dims, 5000, 41)
+			st := shardStore(t, x, 0)
+			// The canonical non-zero set is what came back out of the store:
+			// simulator, core, and the networked engine all factorize it.
+			canon, err := st.ReadAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const workers, rank, iters = 3, 4, 6
+			seed := int64(7)
+
+			sim, err := dist.Run(canon.Clone(), dist.Options{
+				Nodes: workers, Rank: rank, Seed: seed, MaxOuterIters: iters,
+				BlockSize:   tc.blockSize,
+				Constraints: []prox.Operator{prox.NonNegative{}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := core.Factorize(canon.Clone(), core.Options{
+				Rank: rank, Seed: seed, MaxOuterIters: iters, BlockSize: tc.blockSize,
+				Constraints: []prox.Operator{prox.NonNegative{}},
+				Variant:     core.Blocked, Threads: 1, Tol: 1e-300,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			c := startCluster(t, workers)
+			res, err := c.coord.RunJob(JobOptions{
+				JobID: "parity", ShardDir: st.Dir(), Rank: rank, Constraint: "nonneg",
+				MaxOuterIters: iters, BlockSize: tc.blockSize, Seed: seed,
+				Workers: workers, WaitForWorkers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if res.Epochs != 1 || res.Reassignments != 0 || res.Workers != workers {
+				t.Fatalf("failure-free run: epochs=%d reassignments=%d workers=%d",
+					res.Epochs, res.Reassignments, res.Workers)
+			}
+			if math.Abs(res.RelErr-sim.RelErr) > 1e-12 {
+				t.Fatalf("networked relerr %v != simulator %v", res.RelErr, sim.RelErr)
+			}
+			if res.Comm != sim.Comm {
+				t.Fatalf("networked comm %+v != simulator %+v", res.Comm, sim.Comm)
+			}
+			if res.Comm.ADMMBytes != 0 {
+				t.Fatalf("inner ADMM moved %d bytes", res.Comm.ADMMBytes)
+			}
+			if math.Abs(res.RelErr-ref.RelErr) > 1e-9 {
+				t.Fatalf("networked relerr %v vs shared-memory %v", res.RelErr, ref.RelErr)
+			}
+			if res.WireBytesSent == 0 || res.WireBytesReceived == 0 {
+				t.Fatal("no physical wire traffic accounted")
+			}
+		})
+	}
+}
+
+// TestShardPlacementMatchesSimulator prices the nnz-balanced shard
+// placement identically in both engines by handing the simulator the same
+// mode-0 ranges the coordinator derives from the shard layout.
+func TestShardPlacementMatchesSimulator(t *testing.T) {
+	x := planted(t, []int{60, 90, 120}, 6000, 11)
+	st := shardStore(t, x, 8<<10) // small shards so the cut points are real
+	if st.NumShards() < 3 {
+		t.Fatalf("want >= 3 shards for a meaningful test, got %d", st.NumShards())
+	}
+	canon, err := st.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, rank, iters = 3, 3, 4
+	ranges := shardRanges(st, workers)
+	sim, err := dist.Run(canon.Clone(), dist.Options{
+		Nodes: workers, Rank: rank, Seed: 5, MaxOuterIters: iters, BlockSize: 10,
+		Mode0Ranges: ranges,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := startCluster(t, workers)
+	res, err := c.coord.RunJob(JobOptions{
+		JobID: "shards", ShardDir: st.Dir(), Rank: rank,
+		MaxOuterIters: iters, BlockSize: 10, Seed: 5,
+		Workers: workers, WaitForWorkers: workers, Placement: PlacementShards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.RelErr-sim.RelErr) > 1e-12 {
+		t.Fatalf("relerr %v != simulator %v", res.RelErr, sim.RelErr)
+	}
+	if res.Comm != sim.Comm {
+		t.Fatalf("comm %+v != simulator %+v", res.Comm, sim.Comm)
+	}
+}
+
+// TestWorkerFailureRecovers kills one worker mid-job and requires the
+// coordinator to reassign its shard range and warm-restart from the last
+// checkpoint, finishing with the same fit as an uninterrupted run (worker
+// spans stay block-aligned before and after the failure, so recovery does
+// not change the arithmetic).
+func TestWorkerFailureRecovers(t *testing.T) {
+	x := planted(t, []int{60, 90, 120}, 4000, 23)
+	st := shardStore(t, x, 0)
+
+	const rank, iters, blockSize = 3, 8, 5
+	opts := JobOptions{
+		JobID: "chaos", Rank: rank, ShardDir: st.Dir(), Constraint: "nonneg",
+		MaxOuterIters: iters, BlockSize: blockSize, Seed: 9,
+		Workers: 3, WaitForWorkers: 3,
+	}
+
+	ref := startCluster(t, 3)
+	want, err := ref.coord.RunJob(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := startCluster(t, 3)
+	kopts := opts
+	kopts.CheckpointDir = filepath.Join(t.TempDir(), "ckpt")
+	kopts.CheckpointEvery = 1
+	var once sync.Once
+	kopts.OnIteration = func(p stats.TracePoint) bool {
+		if p.Iteration == 2 {
+			once.Do(func() { c.workers[2].Close() })
+		}
+		return true
+	}
+	got, err := c.coord.RunJob(kopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Reassignments < 1 || got.Epochs < 2 {
+		t.Fatalf("no recovery happened: epochs=%d reassignments=%d", got.Epochs, got.Reassignments)
+	}
+	if got.OuterIters != iters {
+		t.Fatalf("resumed job ran %d iterations, want %d", got.OuterIters, iters)
+	}
+	if math.Abs(got.RelErr-want.RelErr) > 1e-9 {
+		t.Fatalf("recovered relerr %v vs uninterrupted %v", got.RelErr, want.RelErr)
+	}
+	if s := c.coord.Stats(); s.Reassignments < 1 || s.WorkersLive != 2 {
+		t.Fatalf("coordinator stats after recovery: %+v", s)
+	}
+}
+
+// TestJobSerializationAndReuse runs two jobs back to back over the same
+// connections: workers must drop the first job's state on Done and serve
+// the second identically.
+func TestJobSerializationAndReuse(t *testing.T) {
+	x := planted(t, []int{40, 40, 40}, 2000, 3)
+	st := shardStore(t, x, 0)
+	c := startCluster(t, 2)
+	opts := JobOptions{
+		ShardDir: st.Dir(), Rank: 3, MaxOuterIters: 3, BlockSize: 10, Seed: 1,
+		Workers: 2, WaitForWorkers: 2,
+	}
+	a, err := c.coord.RunJob(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.coord.RunJob(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RelErr != b.RelErr || a.Comm != b.Comm {
+		t.Fatalf("second job diverged: %v/%v, %+v/%+v", a.RelErr, b.RelErr, a.Comm, b.Comm)
+	}
+	if s := c.coord.Stats(); s.JobsTotal != 2 {
+		t.Fatalf("jobs total %d", s.JobsTotal)
+	}
+}
+
+// TestCancellation stops a job via context and reports Stopped.
+func TestCancellation(t *testing.T) {
+	x := planted(t, []int{40, 40, 40}, 2000, 3)
+	st := shardStore(t, x, 0)
+	c := startCluster(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	res, err := c.coord.RunJob(JobOptions{
+		ShardDir: st.Dir(), Rank: 3, MaxOuterIters: 500, BlockSize: 10,
+		Workers: 2, WaitForWorkers: 2, Ctx: ctx,
+		OnIteration: func(p stats.TracePoint) bool {
+			if p.Iteration == 2 {
+				cancel()
+			}
+			return true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped || res.OuterIters >= 500 {
+		t.Fatalf("cancellation ignored: stopped=%v iters=%d", res.Stopped, res.OuterIters)
+	}
+}
+
+// TestPlacementShardsPartition checks the nnz-balanced placement always
+// yields a partition of [0, Dims[0]) whatever the worker count.
+func TestPlacementShardsPartition(t *testing.T) {
+	x := planted(t, []int{50, 30, 20}, 3000, 2)
+	st := shardStore(t, x, 4<<10)
+	for _, n := range []int{1, 2, 3, 5, 8, 100} {
+		ranges := shardRanges(st, n)
+		if len(ranges) != n {
+			t.Fatalf("n=%d: %d ranges", n, len(ranges))
+		}
+		prev := 0
+		for i, r := range ranges {
+			if r[0] != prev || r[1] < r[0] {
+				t.Fatalf("n=%d: range %d = %v breaks the partition at %d", n, i, r, prev)
+			}
+			prev = r[1]
+		}
+		if prev != st.Dims()[0] {
+			t.Fatalf("n=%d: ranges end at %d, want %d", n, prev, st.Dims()[0])
+		}
+	}
+}

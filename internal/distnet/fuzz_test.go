@@ -1,0 +1,67 @@
+package distnet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireFrame throws arbitrary bytes at the frame decoder and, when a
+// frame survives, at the typed payload decoders behind it. Nothing here may
+// panic, and a hostile length field must never drive allocation beyond the
+// bytes actually present (enforced structurally by ReadFrame's chunked
+// reads; the fuzzer hunts for paths around it).
+func FuzzWireFrame(f *testing.F) {
+	// Valid frames of several types seed the corpus so mutations explore
+	// the accept path, not just early rejections.
+	seed := func(typ byte, payload []byte) {
+		var buf bytes.Buffer
+		if _, err := WriteFrame(&buf, typ, payload); err == nil {
+			f.Add(buf.Bytes())
+		}
+	}
+	seed(msgHeartbeat, nil)
+	seed(msgHello, hello{Name: "w0"}.encode())
+	seed(msgWelcome, welcome{WorkerID: 1, HeartbeatMs: 1000, MaxFrameBytes: 1 << 20}.encode())
+	seed(msgReady, ready{Epoch: 1, NNZ: 42, ShardBytes: 1024}.encode())
+	seed(msgMTTKRPReq, modeReq{Epoch: 1, Iter: 2, Mode: 0}.encode())
+	seed(msgPartial, partial{Epoch: 1, Mode: 0, Rows: []int32{0, 3}, Vals: []float64{1, 2, 3, 4}}.encode(2))
+	seed(msgError, errMsg{Text: "boom"}.encode())
+	f.Add([]byte("AODN"))
+	f.Add(bytes.Repeat([]byte{0xff}, frameHeaderLen+frameCRCLen))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Cap at 1 MiB so fuzz iterations stay cheap; the cap itself is an
+		// input worth varying relative to the advertised length.
+		typ, payload, n, err := ReadFrame(bytes.NewReader(data), 1<<20)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("frame consumed %d of %d bytes", n, len(data))
+		}
+		// A structurally valid frame: the typed decoders must also be
+		// panic-free and allocation-bounded for arbitrary payloads.
+		switch typ {
+		case msgHello:
+			decodeHello(payload)
+		case msgWelcome:
+			decodeWelcome(payload)
+		case msgAssign:
+			decodeAssign(payload)
+		case msgReady:
+			decodeReady(payload)
+		case msgMTTKRPReq:
+			decodeModeReq(payload)
+		case msgPartial:
+			decodePartial(payload)
+		case msgADMMReq:
+			decodeADMMReq(payload)
+		case msgFactorRows:
+			decodeFactorRows(payload)
+		case msgFactorBcast:
+			decodeFactorBcast(payload)
+		case msgError:
+			decodeErrMsg(payload)
+		}
+	})
+}

@@ -1,0 +1,431 @@
+package distnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"aoadmm/internal/dense"
+)
+
+// Message payload encodings, little-endian throughout. Strings are u32
+// length + bytes; matrices are u32 rows, u32 cols, rows*cols float64s. The
+// decoder validates every length against the remaining payload before
+// allocating, so a hostile frame cannot drive allocation beyond its own
+// (already frame-capped) size.
+
+// enc is an append-only payload builder.
+type enc struct{ b []byte }
+
+func (e *enc) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)   { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *enc) mat(m *dense.Matrix) {
+	e.u32(uint32(m.Rows))
+	e.u32(uint32(m.Cols))
+	for r := 0; r < m.Rows; r++ {
+		for _, v := range m.Row(r) {
+			e.f64(v)
+		}
+	}
+}
+
+// dec is a bounds-checked payload reader; the first failure sticks.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.b)-d.off < n {
+		d.fail("distnet: payload truncated: need %d bytes at offset %d of %d", n, d.off, len(d.b))
+		return nil
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+func (d *dec) u32() uint32 {
+	if b := d.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (d *dec) u64() uint64 {
+	if b := d.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (d *dec) i64() int64   { return int64(d.u64()) }
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) str() string {
+	n := d.u32()
+	if d.err == nil && int(n) > len(d.b)-d.off {
+		d.fail("distnet: string length %d exceeds remaining payload %d", n, len(d.b)-d.off)
+		return ""
+	}
+	return string(d.take(int(n)))
+}
+
+// maxMatDim bounds decoded matrix dimensions: anything larger cannot fit in
+// a frame anyway, and rejecting early keeps rows*cols arithmetic safe.
+const maxMatDim = 1 << 30
+
+func (d *dec) mat() *dense.Matrix {
+	rows, cols := d.u32(), d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if rows > maxMatDim || cols > maxMatDim {
+		d.fail("distnet: implausible matrix %dx%d", rows, cols)
+		return nil
+	}
+	need := int64(rows) * int64(cols) * 8
+	if need > int64(len(d.b)-d.off) {
+		d.fail("distnet: matrix %dx%d needs %d bytes, %d remain", rows, cols, need, len(d.b)-d.off)
+		return nil
+	}
+	m := dense.New(int(rows), int(cols))
+	for i := range m.Data {
+		m.Data[i] = d.f64()
+	}
+	return m
+}
+
+func (d *dec) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("distnet: %d trailing payload bytes", len(d.b)-d.off)
+	}
+	return nil
+}
+
+// hello is the worker's join message.
+type hello struct {
+	Name string
+}
+
+func (m hello) encode() []byte {
+	e := &enc{}
+	e.str(m.Name)
+	return e.b
+}
+
+func decodeHello(b []byte) (hello, error) {
+	d := &dec{b: b}
+	m := hello{Name: d.str()}
+	return m, d.finish()
+}
+
+// welcome acknowledges a join.
+type welcome struct {
+	WorkerID      uint32
+	HeartbeatMs   uint32
+	MaxFrameBytes uint32
+}
+
+func (m welcome) encode() []byte {
+	e := &enc{}
+	e.u32(m.WorkerID)
+	e.u32(m.HeartbeatMs)
+	e.u32(m.MaxFrameBytes)
+	return e.b
+}
+
+func decodeWelcome(b []byte) (welcome, error) {
+	d := &dec{b: b}
+	m := welcome{WorkerID: d.u32(), HeartbeatMs: d.u32(), MaxFrameBytes: d.u32()}
+	return m, d.finish()
+}
+
+// assign hands a worker its epoch: job parameters, its contiguous mode-0
+// non-zero range and per-mode factor-row ownership, and the authoritative
+// replicated state (factors + duals) to start the epoch from.
+type assign struct {
+	JobID         string
+	Epoch         uint32
+	Slot          uint32
+	Workers       uint32
+	ShardDir      string
+	Constraint    string
+	Rank          uint32
+	BlockSize     uint32
+	InnerMaxIters uint32
+	Threads       uint32
+	InnerEps      float64
+	Dims          []int
+	Mode0         [2]int64
+	Owned         [][2]int64
+	Factors       []*dense.Matrix
+	Duals         []*dense.Matrix
+}
+
+func (m assign) encode() []byte {
+	e := &enc{}
+	e.str(m.JobID)
+	e.u32(m.Epoch)
+	e.u32(m.Slot)
+	e.u32(m.Workers)
+	e.str(m.ShardDir)
+	e.str(m.Constraint)
+	e.u32(m.Rank)
+	e.u32(m.BlockSize)
+	e.u32(m.InnerMaxIters)
+	e.u32(m.Threads)
+	e.f64(m.InnerEps)
+	e.u32(uint32(len(m.Dims)))
+	for _, d := range m.Dims {
+		e.u64(uint64(d))
+	}
+	e.i64(m.Mode0[0])
+	e.i64(m.Mode0[1])
+	for _, span := range m.Owned {
+		e.i64(span[0])
+		e.i64(span[1])
+	}
+	for _, f := range m.Factors {
+		e.mat(f)
+	}
+	for _, u := range m.Duals {
+		e.mat(u)
+	}
+	return e.b
+}
+
+func decodeAssign(b []byte) (assign, error) {
+	d := &dec{b: b}
+	m := assign{
+		JobID: d.str(), Epoch: d.u32(), Slot: d.u32(), Workers: d.u32(),
+		ShardDir: d.str(), Constraint: d.str(),
+		Rank: d.u32(), BlockSize: d.u32(), InnerMaxIters: d.u32(), Threads: d.u32(),
+		InnerEps: d.f64(),
+	}
+	order := d.u32()
+	const maxOrder = 16
+	if d.err == nil && (order < 1 || order > maxOrder) {
+		d.fail("distnet: implausible order %d", order)
+	}
+	if d.err != nil {
+		return m, d.err
+	}
+	m.Dims = make([]int, order)
+	for i := range m.Dims {
+		m.Dims[i] = int(d.u64())
+	}
+	m.Mode0 = [2]int64{d.i64(), d.i64()}
+	m.Owned = make([][2]int64, order)
+	for i := range m.Owned {
+		m.Owned[i] = [2]int64{d.i64(), d.i64()}
+	}
+	m.Factors = make([]*dense.Matrix, order)
+	for i := range m.Factors {
+		m.Factors[i] = d.mat()
+	}
+	m.Duals = make([]*dense.Matrix, order)
+	for i := range m.Duals {
+		m.Duals[i] = d.mat()
+	}
+	return m, d.finish()
+}
+
+// ready reports a worker's successful shard load for an epoch.
+type ready struct {
+	Epoch      uint32
+	NNZ        int64
+	ShardBytes int64
+}
+
+func (m ready) encode() []byte {
+	e := &enc{}
+	e.u32(m.Epoch)
+	e.i64(m.NNZ)
+	e.i64(m.ShardBytes)
+	return e.b
+}
+
+func decodeReady(b []byte) (ready, error) {
+	d := &dec{b: b}
+	m := ready{Epoch: d.u32(), NNZ: d.i64(), ShardBytes: d.i64()}
+	return m, d.finish()
+}
+
+// modeReq asks a worker for its partial MTTKRP of one mode.
+type modeReq struct {
+	Epoch uint32
+	Iter  uint32
+	Mode  uint32
+}
+
+func (m modeReq) encode() []byte {
+	e := &enc{}
+	e.u32(m.Epoch)
+	e.u32(m.Iter)
+	e.u32(m.Mode)
+	return e.b
+}
+
+func decodeModeReq(b []byte) (modeReq, error) {
+	d := &dec{b: b}
+	m := modeReq{Epoch: d.u32(), Iter: d.u32(), Mode: d.u32()}
+	return m, d.finish()
+}
+
+// partial carries the non-zero rows of one worker's partial MTTKRP: the
+// sparse reduce-scatter contribution.
+type partial struct {
+	Epoch uint32
+	Mode  uint32
+	Rows  []int32
+	Vals  []float64 // len(Rows) * rank, row-major
+}
+
+func (m partial) encode(rank int) []byte {
+	e := &enc{}
+	e.u32(m.Epoch)
+	e.u32(m.Mode)
+	e.u32(uint32(rank))
+	e.u32(uint32(len(m.Rows)))
+	for _, r := range m.Rows {
+		e.u32(uint32(r))
+	}
+	for _, v := range m.Vals {
+		e.f64(v)
+	}
+	return e.b
+}
+
+func decodePartial(b []byte) (partial, int, error) {
+	d := &dec{b: b}
+	m := partial{Epoch: d.u32(), Mode: d.u32()}
+	rank := d.u32()
+	count := d.u32()
+	if d.err != nil {
+		return m, 0, d.err
+	}
+	if rank < 1 || rank > maxMatDim {
+		return m, 0, fmt.Errorf("distnet: implausible partial rank %d", rank)
+	}
+	need := int64(count) * (4 + int64(rank)*8)
+	if need > int64(len(d.b)-d.off) {
+		return m, 0, fmt.Errorf("distnet: partial of %d rows needs %d bytes, %d remain",
+			count, need, len(d.b)-d.off)
+	}
+	m.Rows = make([]int32, count)
+	for i := range m.Rows {
+		m.Rows[i] = int32(d.u32())
+	}
+	m.Vals = make([]float64, int(count)*int(rank))
+	for i := range m.Vals {
+		m.Vals[i] = d.f64()
+	}
+	return m, int(rank), d.finish()
+}
+
+// admmReq hands a worker its owned K rows and the Gram product for one
+// mode's communication-free local ADMM.
+type admmReq struct {
+	Epoch uint32
+	Mode  uint32
+	G     *dense.Matrix
+	K     *dense.Matrix // owned rows only
+}
+
+func (m admmReq) encode() []byte {
+	e := &enc{}
+	e.u32(m.Epoch)
+	e.u32(m.Mode)
+	e.mat(m.G)
+	e.mat(m.K)
+	return e.b
+}
+
+func decodeADMMReq(b []byte) (admmReq, error) {
+	d := &dec{b: b}
+	m := admmReq{Epoch: d.u32(), Mode: d.u32(), G: d.mat(), K: d.mat()}
+	return m, d.finish()
+}
+
+// factorRows returns a worker's updated owned rows: the factor block (the
+// allgather contribution) and the matching dual block (control-plane state
+// for coordinator-side checkpointing, not a priced collective).
+type factorRows struct {
+	Epoch  uint32
+	Mode   uint32
+	Factor *dense.Matrix
+	Dual   *dense.Matrix
+}
+
+func (m factorRows) encode() []byte {
+	e := &enc{}
+	e.u32(m.Epoch)
+	e.u32(m.Mode)
+	e.mat(m.Factor)
+	e.mat(m.Dual)
+	return e.b
+}
+
+func decodeFactorRows(b []byte) (factorRows, error) {
+	d := &dec{b: b}
+	m := factorRows{Epoch: d.u32(), Mode: d.u32(), Factor: d.mat(), Dual: d.mat()}
+	return m, d.finish()
+}
+
+// factorBcast replicates one mode's fully updated factor to every worker.
+type factorBcast struct {
+	Epoch  uint32
+	Mode   uint32
+	Factor *dense.Matrix
+}
+
+func (m factorBcast) encode() []byte {
+	e := &enc{}
+	e.u32(m.Epoch)
+	e.u32(m.Mode)
+	e.mat(m.Factor)
+	return e.b
+}
+
+func decodeFactorBcast(b []byte) (factorBcast, error) {
+	d := &dec{b: b}
+	m := factorBcast{Epoch: d.u32(), Mode: d.u32(), Factor: d.mat()}
+	return m, d.finish()
+}
+
+// errMsg carries a fatal, human-readable condition.
+type errMsg struct {
+	Text string
+}
+
+func (m errMsg) encode() []byte {
+	e := &enc{}
+	e.str(m.Text)
+	return e.b
+}
+
+func decodeErrMsg(b []byte) (errMsg, error) {
+	d := &dec{b: b}
+	m := errMsg{Text: d.str()}
+	return m, d.finish()
+}

@@ -1,0 +1,168 @@
+package distnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+
+	"aoadmm/internal/dense"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello distributed world")
+	n, err := WriteFrame(&buf, msgAssign, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != buf.Len() || n != frameHeaderLen+len(payload)+frameCRCLen {
+		t.Fatalf("write accounted %d bytes, buffer has %d", n, buf.Len())
+	}
+	typ, got, rn, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != msgAssign || !bytes.Equal(got, payload) || rn != n {
+		t.Fatalf("round trip: type %d payload %q bytes %d", typ, got, rn)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, msgHeartbeat, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, _, err := ReadFrame(&buf, 0)
+	if err != nil || typ != msgHeartbeat || len(payload) != 0 {
+		t.Fatalf("empty frame: type %d payload %v err %v", typ, payload, err)
+	}
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	frame := func() []byte {
+		var buf bytes.Buffer
+		if _, err := WriteFrame(&buf, msgPartial, []byte{1, 2, 3, 4, 5}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	// Flip one bit anywhere: the CRC must catch it.
+	for i := 0; i < len(frame()); i++ {
+		b := frame()
+		b[i] ^= 0x10
+		if _, _, _, err := ReadFrame(bytes.NewReader(b), 0); err == nil {
+			t.Fatalf("corruption at byte %d accepted", i)
+		}
+	}
+
+	// Truncation at every boundary must fail, not hang or panic.
+	full := frame()
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, _, err := ReadFrame(bytes.NewReader(full[:cut]), 0); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestFrameRejectsHostileLength(t *testing.T) {
+	// A header advertising a huge payload must fail before allocating it.
+	hdr := make([]byte, frameHeaderLen)
+	copy(hdr, wireMagic)
+	hdr[4] = msgPartial
+	hdr[5] = wireVersion
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(DefaultMaxFrameLen+1))
+	if _, _, _, err := ReadFrame(bytes.NewReader(hdr), 0); err == nil ||
+		!strings.Contains(err.Error(), "exceeds max") {
+		t.Fatalf("hostile length: %v", err)
+	}
+	// Within max but the stream ends: truncated, bounded allocation.
+	binary.LittleEndian.PutUint32(hdr[8:], 32<<20)
+	if _, _, _, err := ReadFrame(io.MultiReader(bytes.NewReader(hdr), bytes.NewReader(make([]byte, 100))), 0); err == nil {
+		t.Fatal("truncated huge frame accepted")
+	}
+}
+
+func TestFrameRejectsWrongMagicAndVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, msgHello, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), buf.Bytes()...)
+	copy(bad, "NOPE")
+	if _, _, _, err := ReadFrame(bytes.NewReader(bad), 0); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	bad = append([]byte(nil), buf.Bytes()...)
+	bad[5] = 99
+	if _, _, _, err := ReadFrame(bytes.NewReader(bad), 0); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestWriteFrameRejectsOversizedPayload(t *testing.T) {
+	if _, err := WriteFrame(io.Discard, msgPartial, make([]byte, DefaultMaxFrameLen+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestAssignRoundTrip(t *testing.T) {
+	f0 := dense.New(4, 2)
+	f1 := dense.New(3, 2)
+	for i := range f0.Data {
+		f0.Data[i] = float64(i) + 0.5
+	}
+	in := assign{
+		JobID: "job-7", Epoch: 3, Slot: 1, Workers: 2,
+		ShardDir: "/tmp/x.aoshard", Constraint: "nonneg+l1:0.1",
+		Rank: 2, BlockSize: 5, InnerMaxIters: 10, Threads: 1, InnerEps: 1e-3,
+		Dims:    []int{4, 3},
+		Mode0:   [2]int64{2, 4},
+		Owned:   [][2]int64{{2, 4}, {0, 2}},
+		Factors: []*dense.Matrix{f0, f1},
+		Duals:   []*dense.Matrix{dense.New(4, 2), dense.New(3, 2)},
+	}
+	out, err := decodeAssign(in.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.JobID != in.JobID || out.Epoch != in.Epoch || out.Slot != in.Slot ||
+		out.Constraint != in.Constraint || out.Mode0 != in.Mode0 ||
+		len(out.Dims) != 2 || out.Dims[0] != 4 || out.Dims[1] != 3 ||
+		out.Owned[0] != in.Owned[0] || out.Owned[1] != in.Owned[1] {
+		t.Fatalf("assign round trip mismatch: %+v", out)
+	}
+	if !bytes.Equal(matBytes(out.Factors[0]), matBytes(f0)) {
+		t.Fatal("factor data mismatch")
+	}
+}
+
+func TestPartialRoundTrip(t *testing.T) {
+	in := partial{Epoch: 1, Mode: 2, Rows: []int32{0, 7, 9}, Vals: []float64{1, 2, 3, 4, 5, 6}}
+	out, rank, err := decodePartial(in.encode(2))
+	if err != nil || rank != 2 {
+		t.Fatalf("decode: rank %d err %v", rank, err)
+	}
+	if len(out.Rows) != 3 || out.Rows[1] != 7 || out.Vals[5] != 6 {
+		t.Fatalf("partial round trip mismatch: %+v", out)
+	}
+}
+
+func TestDecoderRejectsTrailingBytes(t *testing.T) {
+	b := ready{Epoch: 1, NNZ: 10, ShardBytes: 100}.encode()
+	if _, err := decodeReady(append(b, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func matBytes(m *dense.Matrix) []byte {
+	var buf bytes.Buffer
+	for r := 0; r < m.Rows; r++ {
+		for _, v := range m.Row(r) {
+			binary.Write(&buf, binary.LittleEndian, v)
+		}
+	}
+	return buf.Bytes()
+}

@@ -393,3 +393,58 @@ func deterministicMatrix(rows, cols int, seed int64) *dense.Matrix {
 	}
 	return m
 }
+
+func TestLoadRangeHandoff(t *testing.T) {
+	coo := genTensor(t, []int{60, 25, 20}, 4000, 3)
+	dir := filepath.Join(t.TempDir(), "shards")
+	st, err := ConvertCOO(coo, dir, ConvertOptions{TargetShardBytes: 4 << 10})
+	if err != nil {
+		t.Fatalf("ConvertCOO: %v", err)
+	}
+	if st.NumShards() < 3 {
+		t.Fatalf("want >= 3 shards to exercise boundary filtering, got %d", st.NumShards())
+	}
+
+	// Three contiguous worker ranges must partition the non-zeros exactly,
+	// whatever the shard boundaries are.
+	ranges := [][2]int{{0, 21}, {21, 44}, {44, 60}}
+	var total int
+	for _, span := range ranges {
+		part, bytesRead, err := st.LoadRange(span[0], span[1])
+		if err != nil {
+			t.Fatalf("LoadRange%v: %v", span, err)
+		}
+		if bytesRead <= 0 {
+			t.Fatalf("LoadRange%v read %d bytes", span, bytesRead)
+		}
+		for p, r := range part.Inds[0] {
+			if int(r) < span[0] || int(r) >= span[1] {
+				t.Fatalf("range %v non-zero %d has mode-0 index %d", span, p, r)
+			}
+		}
+		total += part.NNZ()
+	}
+	if total != coo.NNZ() {
+		t.Fatalf("ranges cover %d non-zeros, want %d", total, coo.NNZ())
+	}
+
+	// Shard selection is a contiguous run intersecting the range.
+	ids := st.ShardsInRange(0, 1)
+	if len(ids) != 1 || ids[0] != 0 {
+		t.Fatalf("ShardsInRange(0,1) = %v", ids)
+	}
+	if got := st.ShardsInRange(0, 60); len(got) != st.NumShards() {
+		t.Fatalf("full range selects %d of %d shards", len(got), st.NumShards())
+	}
+
+	// Degenerate and hostile ranges.
+	if empty, _, err := st.LoadRange(10, 10); err != nil || empty.NNZ() != 0 {
+		t.Fatalf("empty range: nnz=%v err=%v", empty.NNZ(), err)
+	}
+	if _, _, err := st.LoadRange(-1, 10); err == nil {
+		t.Fatal("negative lo accepted")
+	}
+	if _, _, err := st.LoadRange(0, 61); err == nil {
+		t.Fatal("hi beyond dim accepted")
+	}
+}

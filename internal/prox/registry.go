@@ -6,6 +6,31 @@ import (
 	"strings"
 )
 
+// ParseList builds the per-mode operator list from a CLI-style constraint
+// spec: a single Parse spec applied to every mode, or a ";"-separated list
+// with one spec per mode. It is the shared grammar of the serving daemon's
+// job specs and the distributed engine's wire-level job assignments, so a
+// constraint string round-trips identically through both.
+func ParseList(spec string) ([]Operator, error) {
+	if !strings.Contains(spec, ";") {
+		c, err := Parse(spec)
+		if err != nil {
+			return nil, err
+		}
+		return []Operator{c}, nil
+	}
+	parts := strings.Split(spec, ";")
+	out := make([]Operator, len(parts))
+	for m, p := range parts {
+		c, err := Parse(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("mode %d: %w", m, err)
+		}
+		out[m] = c
+	}
+	return out, nil
+}
+
 // Parse builds an Operator from a textual spec, as used by the CLIs:
 //
 //	none | nonneg | l1:<lambda> | nonneg+l1:<lambda> | l2:<lambda> |

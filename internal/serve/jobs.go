@@ -17,6 +17,7 @@ import (
 
 	"aoadmm/internal/core"
 	"aoadmm/internal/datasets"
+	"aoadmm/internal/distnet"
 	"aoadmm/internal/faults"
 	"aoadmm/internal/kruskal"
 	"aoadmm/internal/ooc"
@@ -88,6 +89,14 @@ type JobSpec struct {
 	// (default 5). Checkpoints make cancellation, daemon shutdown, and crash
 	// recovery lossless.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// DistWorkers > 1 runs the job on the networked distributed engine
+	// across up to that many connected workers (the daemon must run with
+	// -role coordinator). The input is converted to shards if it is not one
+	// already. AO-ADMM blocked variant only; see docs/DISTRIBUTED.md.
+	DistWorkers int `json:"dist_workers,omitempty"`
+	// Placement picks the distributed mode-0 decomposition: "even" row
+	// ranges (default) or "shards" (nnz-balanced whole-shard runs).
+	Placement string `json:"placement,omitempty"`
 	// TimeoutSec is this job's wall-clock budget per attempt in seconds,
 	// overriding the daemon-wide -job-timeout (0 = inherit the daemon
 	// default). A timed-out job fails terminally.
@@ -157,6 +166,32 @@ func (s *JobSpec) validate() error {
 			return err
 		}
 	}
+	if s.DistWorkers < 0 {
+		return fmt.Errorf("dist_workers must be >= 0, got %d", s.DistWorkers)
+	}
+	switch s.Placement {
+	case "", distnet.PlacementEven, distnet.PlacementShards:
+	default:
+		return fmt.Errorf("unknown placement %q (want %q or %q)",
+			s.Placement, distnet.PlacementEven, distnet.PlacementShards)
+	}
+	if s.DistWorkers > 1 {
+		// The networked engine implements exactly the blocked AO-ADMM path
+		// the paper distributes; everything else must fail at submission,
+		// not after burning attempts.
+		switch {
+		case s.Algo != "" && s.Algo != "aoadmm":
+			return fmt.Errorf("dist_workers requires algo aoadmm, got %q", s.Algo)
+		case s.Variant == "base" || s.Variant == "baseline":
+			return fmt.Errorf("dist_workers requires the blocked variant (the baseline needs per-inner-iteration allreduces)")
+		case s.ExploitSparsity:
+			return fmt.Errorf("dist_workers does not support exploit_sparsity")
+		case s.AdaptiveRho:
+			return fmt.Errorf("dist_workers does not support adaptive_rho")
+		}
+	} else if s.Placement != "" {
+		return fmt.Errorf("placement requires dist_workers > 1")
+	}
 	return nil
 }
 
@@ -174,23 +209,7 @@ func parseScale(s string) (datasets.Scale, error) {
 }
 
 func parseConstraints(spec string) ([]prox.Operator, error) {
-	if !strings.Contains(spec, ";") {
-		c, err := prox.Parse(spec)
-		if err != nil {
-			return nil, err
-		}
-		return []prox.Operator{c}, nil
-	}
-	parts := strings.Split(spec, ";")
-	out := make([]prox.Operator, len(parts))
-	for m, p := range parts {
-		c, err := prox.Parse(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("mode %d: %w", m, err)
-		}
-		out[m] = c
-	}
-	return out, nil
+	return prox.ParseList(spec)
 }
 
 // Job is one factorization job. Mutable fields are guarded by mu; handlers
@@ -333,6 +352,9 @@ type ManagerConfig struct {
 	// Faults is the optional fault-injection registry shared with the
 	// journal and the solvers; nil disables injection.
 	Faults *faults.Injector
+	// Dist is the networked distributed engine's coordinator; nil means
+	// dist_workers job specs are rejected at submission.
+	Dist *distnet.Coordinator
 	// Logger receives structured job-lifecycle logs, scoped per job id.
 	// Nil discards them.
 	Logger *slog.Logger
@@ -397,6 +419,7 @@ type Manager struct {
 	jnl     *Journal
 	cfg     ManagerConfig
 	faults  *faults.Injector
+	dist    *distnet.Coordinator
 	log     *slog.Logger
 
 	crashed  atomic.Bool
@@ -430,6 +453,7 @@ func NewManager(reg *Registry, dataDir string, jnl *Journal, recovered []JobView
 		jnl:     jnl,
 		cfg:     cfg,
 		faults:  cfg.Faults,
+		dist:    cfg.Dist,
 		log:     cfg.Logger,
 		baseCtx: ctx, baseCancel: cancel,
 	}
@@ -544,6 +568,9 @@ func (m *Manager) journalAppend(v JobView) error {
 func (m *Manager) Submit(spec JobSpec) (JobView, error) {
 	if err := spec.validate(); err != nil {
 		return JobView{}, err
+	}
+	if spec.DistWorkers > 1 && m.dist == nil {
+		return JobView{}, fmt.Errorf("serve: dist_workers requires the daemon to run as a coordinator (-role coordinator)")
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -1042,7 +1069,10 @@ func (m *Manager) resolveSpecTensor(spec JobSpec, jobID string) (x *tensor.COO, 
 		return nil, nil, cleanup, err
 	}
 	budget := spec.MemBudgetMB << 20
-	if !ooc.Decide(x.Order(), int64(x.NNZ()), budget).OutOfCore {
+	// Distributed jobs always run from shards: placement is defined over the
+	// shard directory's mode-0 ranges and workers load their spans from disk,
+	// so an in-core admission decision is overridden here.
+	if spec.DistWorkers <= 1 && !ooc.Decide(x.Order(), int64(x.NNZ()), budget).OutOfCore {
 		return x, nil, cleanup, nil
 	}
 	if spec.Algo == "hals" {
@@ -1101,6 +1131,9 @@ func (m *Manager) runSolver(ctx context.Context, jobID string, attempt int, spec
 			OnIteration: publish,
 		})
 	default:
+		if spec.DistWorkers > 1 {
+			return m.runDistSolver(ctx, jobID, spec, resume, sharded, publish, every)
+		}
 		opts := core.Options{
 			Rank: spec.Rank, MaxOuterIters: spec.MaxOuterIters, Tol: spec.Tol,
 			Threads: spec.Threads, BlockSize: spec.BlockSize, Seed: spec.Seed,
@@ -1152,6 +1185,57 @@ func (m *Manager) runSolver(ctx context.Context, jobID string, attempt int, spec
 		}
 		return core.Factorize(x, opts)
 	}
+}
+
+// runDistSolver hands an aoadmm job to the networked distributed engine and
+// maps its result back into the core.Result shape the job machinery expects.
+// resolveSpecTensor guarantees sharded is non-nil for dist_workers > 1.
+func (m *Manager) runDistSolver(ctx context.Context, jobID string, spec JobSpec, resume *kruskal.Checkpoint, sharded *ooc.ShardedTensor, publish func(stats.TracePoint) bool, every int) (*core.Result, error) {
+	if sharded == nil {
+		return nil, fmt.Errorf("serve: distributed job %s resolved to an in-core tensor", jobID)
+	}
+	// JobOptions treats Tol <= 0 as "never stop early" (the simulator's
+	// convention); a serve job with tol omitted must instead get the same
+	// default stopping rule core.Factorize applies.
+	tol := spec.Tol
+	if tol <= 0 {
+		tol = core.DefaultTol
+	}
+	res, err := m.dist.RunJob(distnet.JobOptions{
+		JobID:           jobID,
+		ShardDir:        sharded.Dir(),
+		Rank:            spec.Rank,
+		Constraint:      spec.Constraint,
+		MaxOuterIters:   spec.MaxOuterIters,
+		Tol:             tol,
+		BlockSize:       spec.BlockSize,
+		Threads:         spec.Threads,
+		Seed:            spec.Seed,
+		Workers:         spec.DistWorkers,
+		WaitForWorkers:  spec.DistWorkers,
+		Placement:       spec.Placement,
+		CheckpointDir:   m.checkpointDir(jobID),
+		CheckpointEvery: every,
+		Resume:          resume,
+		Ctx:             ctx,
+		OnIteration:     publish,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.log.Info("distributed job finished", "job", jobID,
+		"workers", res.Workers, "epochs", res.Epochs,
+		"reassignments", res.Reassignments,
+		"collective_bytes", res.Comm.Total(),
+		"wire_sent", res.WireBytesSent, "wire_recv", res.WireBytesReceived)
+	return &core.Result{
+		Factors:    res.Factors,
+		Duals:      res.Duals,
+		RelErr:     res.RelErr,
+		OuterIters: res.OuterIters,
+		Converged:  res.Converged,
+		Stopped:    res.Stopped,
+	}, nil
 }
 
 func loadSpecTensor(spec JobSpec) (*tensor.COO, error) {

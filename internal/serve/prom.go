@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 
+	"aoadmm/internal/distnet"
 	"aoadmm/internal/obs"
 )
 
@@ -91,8 +92,50 @@ func (s *Server) promRegistry() *obs.Registry {
 	reg.CounterVal("aoadmm_ooc_shard_bytes_total", "Shard payload bytes read from disk.", float64(s.mgr.oocBytesRead.Load()))
 	reg.CounterVal("aoadmm_ooc_prefetch_stalls_total", "MTTKRP waits on a shard not yet prefetched.", float64(s.mgr.oocStalls.Load()))
 
+	s.promDist(reg)
 	s.promKernels(reg)
 	return reg
+}
+
+// promDist exposes the networked distributed engine's counters. The series
+// are emitted unconditionally — a standalone daemon scrapes as all zeros — so
+// the exposition schema is identical whether or not -role coordinator is set
+// and absence-based alerting cannot misfire.
+func (s *Server) promDist(reg *obs.Registry) {
+	var st distnet.Stats
+	if s.cfg.Dist != nil {
+		st = s.cfg.Dist.Stats()
+	}
+	reg.GaugeVal("aoadmm_dist_workers_live", "Distributed workers currently connected and heartbeating.", float64(st.WorkersLive))
+	reg.CounterVal("aoadmm_dist_jobs_total", "Distributed factorization jobs started on this coordinator.", float64(st.JobsTotal))
+	reg.CounterVal("aoadmm_dist_epochs_total", "Worker-set assignment epochs across distributed jobs (one per job plus one per recovery).", float64(st.Epochs))
+	reg.CounterVal("aoadmm_dist_reassignments_total", "Shard-range reassignments after a worker death.", float64(st.Reassignments))
+	reg.CounterVal("aoadmm_dist_heartbeat_misses_total", "Workers declared dead by heartbeat timeout.", float64(st.HeartbeatMisses))
+	for _, kv := range []struct {
+		coll  string
+		bytes int64
+	}{
+		{"mttkrp", st.Collectives.MTTKRPBytes},
+		{"factor", st.Collectives.FactorBytes},
+		{"gram", st.Collectives.GramBytes},
+		{"admm", st.Collectives.ADMMBytes},
+	} {
+		reg.CounterVal("aoadmm_dist_collective_bytes_total",
+			"Logical collective volume in the simulator's pricing schema, by collective (admm stays 0 for the blocked variant).",
+			float64(kv.bytes), obs.L("collective", kv.coll))
+	}
+	reg.CounterVal("aoadmm_dist_collective_messages_total", "Discrete logical transfers across all collectives.", float64(st.Collectives.Messages))
+	for _, kv := range []struct {
+		dir   string
+		bytes int64
+	}{
+		{"sent", st.WireBytesSent},
+		{"received", st.WireBytesReceived},
+	} {
+		reg.CounterVal("aoadmm_dist_wire_bytes_total",
+			"Physical TCP frame bytes at the coordinator, including control traffic.",
+			float64(kv.bytes), obs.L("direction", kv.dir))
+	}
 }
 
 // promKernels aggregates every finished job's aoadmm-metrics/v1 report into

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aoadmm/internal/distnet"
 	"aoadmm/internal/faults"
 	"aoadmm/internal/kruskal"
 	"aoadmm/internal/prox"
@@ -47,6 +48,10 @@ type Config struct {
 	// Faults optionally injects failures at the durability hook points
 	// (chaos tests); nil disables injection.
 	Faults *faults.Injector
+	// Dist, when non-nil, makes the daemon a distributed coordinator: jobs
+	// with dist_workers > 1 run on it and its counters surface under the
+	// /metrics "dist" section. Nil rejects such jobs at submission.
+	Dist *distnet.Coordinator
 	// Logger receives structured daemon logs (job lifecycle transitions,
 	// recovery, shutdown). Nil discards them.
 	Logger *slog.Logger
@@ -136,6 +141,7 @@ func New(cfg Config) (*Server, error) {
 		RetryBackoffMax: cfg.RetryBackoffMax,
 		JobTimeout:      cfg.JobTimeout,
 		Faults:          cfg.Faults,
+		Dist:            cfg.Dist,
 		Logger:          cfg.Logger,
 	})
 	return s, nil
@@ -685,6 +691,43 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		},
 		"durability": s.mgr.DurabilityStats(),
 		"ooc":        s.mgr.OOCStats(),
+		"dist":       s.distStats(),
 		"jobs":       s.mgr.Reports(),
 	})
+}
+
+// distStats builds the /metrics "dist" section. The section is always
+// present — a standalone daemon reports enabled=false with zeroed counters —
+// so dashboards and smoke checks can rely on the schema.
+func (s *Server) distStats() map[string]any {
+	out := map[string]any{
+		"enabled": s.cfg.Dist != nil,
+	}
+	var st distnet.Stats
+	var workers []distnet.WorkerInfo
+	if s.cfg.Dist != nil {
+		st = s.cfg.Dist.Stats()
+		workers = s.cfg.Dist.LiveWorkers()
+		out["listen_addr"] = s.cfg.Dist.Addr()
+	}
+	if workers == nil {
+		workers = []distnet.WorkerInfo{}
+	}
+	out["workers_live"] = st.WorkersLive
+	out["workers"] = workers
+	out["jobs_total"] = st.JobsTotal
+	out["reassignments"] = st.Reassignments
+	out["heartbeat_misses"] = st.HeartbeatMisses
+	out["epochs"] = st.Epochs
+	out["wire_bytes"] = map[string]int64{
+		"sent": st.WireBytesSent, "received": st.WireBytesReceived,
+	}
+	out["collectives"] = map[string]int64{
+		"mttkrp_bytes": st.Collectives.MTTKRPBytes,
+		"factor_bytes": st.Collectives.FactorBytes,
+		"gram_bytes":   st.Collectives.GramBytes,
+		"admm_bytes":   st.Collectives.ADMMBytes,
+		"messages":     st.Collectives.Messages,
+	}
+	return out
 }
