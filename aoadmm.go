@@ -122,6 +122,32 @@ const (
 	StructHybrid = core.StructHybrid
 )
 
+// Kernel backend format names accepted by Options.KernelFormat (and the
+// ALS/HALS equivalents). Names outside this set resolve through the backend
+// registry — see KernelBackends and ApplyKernelBackend.
+const (
+	// FormatCSF selects per-mode compressed sparse fiber trees (default).
+	FormatCSF = core.FormatCSF
+	// FormatALTO selects the adaptive linearized tensor format: one
+	// bit-interleaved representation serving every mode's MTTKRP.
+	FormatALTO = core.FormatALTO
+	// FormatAuto picks CSF or ALTO per tensor from a structural cost model.
+	FormatAuto = core.FormatAuto
+)
+
+// KernelBackends lists the registered MTTKRP kernel backends, sorted:
+// the natives ("csf", "alto", "auto") plus registry extensions such as
+// "probe" (measured per-mode selection).
+func KernelBackends() []string { return autoselect.Backends() }
+
+// ApplyKernelBackend resolves a backend name through the registry onto opts:
+// native names set Options.KernelFormat, registered builders set
+// Options.EngineBuilder. Unknown names return an error listing the
+// registered set; the empty name is the default and leaves opts untouched.
+func ApplyKernelBackend(opts *Options, name string) error {
+	return autoselect.Apply(opts, name)
+}
+
 // Scale selects a built-in dataset proxy's size.
 type Scale = datasets.Scale
 

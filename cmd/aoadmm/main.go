@@ -36,6 +36,7 @@ func main() {
 		blockSize  = flag.Int("block-size", 50, "blocked ADMM rows per block")
 		seed       = flag.Int64("seed", 1, "random seed for factor initialization")
 		singleCSF  = flag.Bool("single-csf", false, "use one CSF tree for all modes (lower memory)")
+		format     = flag.String("format", "", "MTTKRP kernel backend: csf|alto|auto|probe (default csf; see docs/FORMATS.md)")
 		autoBlock  = flag.Bool("auto-block", false, "choose block size from the analytical model")
 		autoStruct = flag.Bool("auto-structure", false, "choose DENSE/CSR/CSR-H from the cost model")
 		algo       = flag.String("algo", "aoadmm", "solver: aoadmm|hals|als")
@@ -54,7 +55,7 @@ func main() {
 		constraint: *constraint, variant: *variant, structure: *structure,
 		sparsity: *sparsity, threads: *threads, maxOuter: *maxOuter,
 		tol: *tol, blockSize: *blockSize, seed: *seed, output: *output,
-		quiet: *quiet, singleCSF: *singleCSF, autoBlock: *autoBlock,
+		quiet: *quiet, singleCSF: *singleCSF, format: *format, autoBlock: *autoBlock,
 		autoStruct: *autoStruct, algo: *algo, adaptiveRho: *adaptive,
 		profile: *profile, trace: *trace, ooc: *oocFlag, memBudgetMB: *memBudget,
 	}); err != nil {
@@ -77,6 +78,7 @@ type runConfig struct {
 	quiet                            bool
 	singleCSF, autoBlock, autoStruct bool
 	adaptiveRho                      bool
+	format                           string
 	algo                             string
 	profile                          string
 	trace                            string
@@ -148,6 +150,9 @@ func run(c runConfig) error {
 	opts.SingleCSF = c.singleCSF
 	opts.AutoBlockSize = c.autoBlock
 	opts.AdaptiveRho = c.adaptiveRho
+	if err := aoadmm.ApplyKernelBackend(&opts, c.format); err != nil {
+		return err
+	}
 	if c.autoStruct {
 		opts.ExploitSparsity = true
 		opts.StructureSelector = aoadmm.AutoStructureSelector()
@@ -173,12 +178,13 @@ func run(c runConfig) error {
 		}
 		res, err = aoadmm.FactorizeHALS(x, aoadmm.HALSOptions{
 			Rank: rank, MaxOuterIters: maxOuter, Tol: tol, Threads: threads, Seed: seed,
-			CollectMetrics: c.profile != "", Tracer: tracer,
+			CollectMetrics: c.profile != "", Tracer: tracer, KernelFormat: c.format,
 		})
 	case "als":
 		alsOpts := aoadmm.ALSOptions{
 			Rank: rank, MaxOuterIters: maxOuter, Tol: tol, Threads: threads, Seed: seed, Ridge: 1e-10,
 			MemBudgetBytes: budgetBytes, CollectMetrics: c.profile != "", Tracer: tracer,
+			KernelFormat: c.format,
 		}
 		if sharded != nil {
 			res, err = aoadmm.FactorizeALSOOC(sharded, alsOpts)
@@ -192,6 +198,9 @@ func run(c runConfig) error {
 		return err
 	}
 	fmt.Printf("done: relerr=%.6f outer=%d converged=%v\n", res.RelErr, res.OuterIters, res.Converged)
+	if c.format != "" && len(res.KernelBackends) > 0 {
+		fmt.Printf("kernel backends: %s\n", strings.Join(res.KernelBackends, " "))
+	}
 	if r := res.OOC; r != nil {
 		fmt.Printf("ooc: shards=%d loads=%d read=%.1fMiB stalls=%d stall=%.2fs peak=%.1fMiB\n",
 			r.Shards, r.ShardLoads, float64(r.ShardBytesRead)/(1<<20),

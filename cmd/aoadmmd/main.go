@@ -62,6 +62,7 @@ func main() {
 		coordAddr  = flag.String("coordinator-addr", "", "coordinator address a worker dials (role worker)")
 		workerAddr = flag.String("worker-listen", ":7077", "TCP address the coordinator accepts workers on (role coordinator)")
 		workerName = flag.String("worker-name", "", "worker display name reported to the coordinator (default the hostname)")
+		workerFmt  = flag.String("worker-format", "", "MTTKRP kernel a worker compiles its shard range into: csf (default) | alto | auto (role worker; see docs/FORMATS.md)")
 		hbInterval = flag.Duration("heartbeat-interval", time.Second, "worker heartbeat cadence the coordinator advertises")
 		hbTimeout  = flag.Duration("heartbeat-timeout", 0, "silence after which the coordinator declares a worker dead (default 5x interval)")
 	)
@@ -74,7 +75,7 @@ func main() {
 	}
 
 	if *role == "worker" {
-		if err := runWorker(*coordAddr, *workerName, logger); err != nil {
+		if err := runWorker(*coordAddr, *workerName, *workerFmt, logger); err != nil {
 			fmt.Fprintln(os.Stderr, "aoadmmd:", err)
 			os.Exit(1)
 		}
@@ -126,9 +127,14 @@ func main() {
 // runWorker runs the compute-worker role: no HTTP surface, just a distnet
 // worker that dials the coordinator, serves shard-range assignments, and
 // reconnects until SIGINT/SIGTERM.
-func runWorker(coordAddr, name string, logger *slog.Logger) error {
+func runWorker(coordAddr, name, kernelFormat string, logger *slog.Logger) error {
 	if coordAddr == "" {
 		return fmt.Errorf("-role worker requires -coordinator-addr")
+	}
+	switch kernelFormat {
+	case "", "csf", "alto", "auto":
+	default:
+		return fmt.Errorf("unknown -worker-format %q (want csf|alto|auto)", kernelFormat)
 	}
 	if name == "" {
 		name, _ = os.Hostname()
@@ -136,6 +142,7 @@ func runWorker(coordAddr, name string, logger *slog.Logger) error {
 	w := distnet.NewWorker(distnet.WorkerConfig{
 		CoordinatorAddr: coordAddr,
 		Name:            name,
+		KernelFormat:    kernelFormat,
 		Logger:          logger,
 	})
 	ctx, cancel := context.WithCancel(context.Background())

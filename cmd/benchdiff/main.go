@@ -1,0 +1,229 @@
+// Command benchdiff turns `go test -bench` output into a machine-portable
+// kernel-performance baseline and gates regressions against it.
+//
+// Usage:
+//
+//	go test ./internal/alto -bench . -benchtime 0.5s -count 5 > bench.out
+//	benchdiff -write BENCH_kernels.json < bench.out    # refresh the baseline
+//	benchdiff -check BENCH_kernels.json < bench.out    # CI gate
+//
+// Absolute ns/op numbers are machine-specific, so the gate compares the
+// ALTO/CSF *ratio* per scenario instead: both kernels run on the same
+// machine in the same process, so their ratio cancels the hardware out. A
+// check fails when any scenario's current ratio exceeds the baseline ratio
+// by more than -threshold (default 15%) — i.e. ALTO lost ground against CSF
+// — or when a baseline scenario disappears from the input.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed benchmark record, schema aoadmm-bench/v1.
+type Baseline struct {
+	Schema string `json:"schema"`
+	// Benchmarks maps the full benchmark name (GOMAXPROCS suffix stripped)
+	// to its median ns/op — informational, machine-specific.
+	Benchmarks map[string]BenchStat `json:"benchmarks"`
+	// Ratios maps a scenario (the benchmark name with "/fmt=..." removed)
+	// to median-ALTO-ns / median-CSF-ns — the machine-portable quantity the
+	// gate compares.
+	Ratios map[string]float64 `json:"ratios"`
+}
+
+// BenchStat records one benchmark's median across repeated runs.
+type BenchStat struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	Samples int     `json:"samples"`
+}
+
+const schema = "aoadmm-bench/v1"
+
+func main() {
+	var (
+		write     = flag.String("write", "", "write the parsed baseline to this JSON file")
+		check     = flag.String("check", "", "compare stdin's bench output against this baseline JSON")
+		input     = flag.String("input", "", "read bench output from this file instead of stdin")
+		threshold = flag.Float64("threshold", 0.15, "allowed relative ALTO/CSF ratio regression before -check fails")
+	)
+	flag.Parse()
+
+	if err := run(*write, *check, *input, *threshold, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(write, check, input string, threshold float64, stdin io.Reader, stdout io.Writer) error {
+	if (write == "") == (check == "") {
+		return fmt.Errorf("pass exactly one of -write or -check")
+	}
+	src := stdin
+	if input != "" {
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+
+	cur, err := parseBench(src)
+	if err != nil {
+		return err
+	}
+	if len(cur.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	if write != "" {
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(write, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s: %d benchmarks, %d ratios\n", write, len(cur.Benchmarks), len(cur.Ratios))
+		return nil
+	}
+
+	data, err := os.ReadFile(check)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", check, err)
+	}
+	if base.Schema != schema {
+		return fmt.Errorf("%s: schema %q, want %q", check, base.Schema, schema)
+	}
+	return diff(&base, cur, threshold, stdout)
+}
+
+// diff compares current ratios against the baseline, reporting every
+// scenario and failing on regressions beyond the threshold.
+func diff(base, cur *Baseline, threshold float64, w io.Writer) error {
+	scenarios := make([]string, 0, len(base.Ratios))
+	for s := range base.Ratios {
+		scenarios = append(scenarios, s)
+	}
+	sort.Strings(scenarios)
+
+	var failures []string
+	for _, s := range scenarios {
+		baseR := base.Ratios[s]
+		curR, ok := cur.Ratios[s]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run", s))
+			continue
+		}
+		delta := curR/baseR - 1
+		status := "ok"
+		if delta > threshold {
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf(
+				"%s: alto/csf ratio %.3f vs baseline %.3f (%+.1f%% > %.0f%% allowed)",
+				s, curR, baseR, delta*100, threshold*100))
+		}
+		fmt.Fprintf(w, "%-40s baseline %.3f  current %.3f  (%+.1f%%)  %s\n",
+			s, baseR, curR, delta*100, status)
+	}
+	for s, r := range cur.Ratios {
+		if _, ok := base.Ratios[s]; !ok {
+			fmt.Fprintf(w, "%-40s (new, not in baseline)  current %.3f\n", s, r)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(w, "all %d scenario ratios within %.0f%% of baseline\n", len(scenarios), threshold*100)
+	return nil
+}
+
+// benchLine matches one `go test -bench` result line; the trailing
+// -GOMAXPROCS suffix is stripped so baselines survive runner core-count
+// changes.
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench collects the median ns/op per benchmark name and derives the
+// per-scenario ALTO/CSF ratios.
+func parseBench(r io.Reader) (*Baseline, error) {
+	samples := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		samples[m[1]] = append(samples[m[1]], ns)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := &Baseline{Schema: schema, Benchmarks: map[string]BenchStat{}, Ratios: map[string]float64{}}
+	for name, ns := range samples {
+		out.Benchmarks[name] = BenchStat{NsPerOp: median(ns), Samples: len(ns)}
+	}
+	for name, stat := range out.Benchmarks {
+		scenario, ok := scenarioOf(name, "alto")
+		if !ok {
+			continue
+		}
+		csfName := strings.Replace(name, "fmt=alto", "fmt=csf", 1)
+		csf, ok := out.Benchmarks[csfName]
+		if !ok || csf.NsPerOp == 0 {
+			continue
+		}
+		out.Ratios[scenario] = stat.NsPerOp / csf.NsPerOp
+	}
+	return out, nil
+}
+
+// scenarioOf strips the "/fmt=<f>" component from a benchmark name, giving
+// the scenario key both formats share. Reports false when the name does not
+// carry the format f.
+func scenarioOf(name, f string) (string, bool) {
+	tag := "fmt=" + f
+	parts := strings.Split(name, "/")
+	kept := parts[:0]
+	found := false
+	for _, p := range parts {
+		if p == tag {
+			found = true
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return strings.Join(kept, "/"), found
+}
+
+// median returns the middle value (mean of the middle two for even counts).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cannedBench is representative `go test -bench -count=3` output: noise
+// lines, two scenarios x two formats, three repeats each, plus a build
+// benchmark pair.
+const cannedBench = `goos: linux
+goarch: amd64
+pkg: aoadmm/internal/alto
+cpu: whatever
+BenchmarkMTTKRP/shape=uniform/fmt=csf-4         	      40	  12000000 ns/op	 200.29 MB/s
+BenchmarkMTTKRP/shape=uniform/fmt=csf-4         	      40	  13000000 ns/op	 199.00 MB/s
+BenchmarkMTTKRP/shape=uniform/fmt=csf-4         	      40	  12500000 ns/op	 201.10 MB/s
+BenchmarkMTTKRP/shape=uniform/fmt=alto-4        	      20	  24000000 ns/op	 100.00 MB/s
+BenchmarkMTTKRP/shape=uniform/fmt=alto-4        	      20	  26000000 ns/op	  99.00 MB/s
+BenchmarkMTTKRP/shape=uniform/fmt=alto-4        	      20	  25000000 ns/op	  98.00 MB/s
+BenchmarkMTTKRP/shape=skewed/fmt=csf-4          	      20	  29000000 ns/op	  80.00 MB/s
+BenchmarkMTTKRP/shape=skewed/fmt=csf-4          	      20	  28000000 ns/op	  81.00 MB/s
+BenchmarkMTTKRP/shape=skewed/fmt=csf-4          	      20	  30000000 ns/op	  82.00 MB/s
+BenchmarkMTTKRP/shape=skewed/fmt=alto-4         	      25	  24000000 ns/op	  90.00 MB/s
+BenchmarkMTTKRP/shape=skewed/fmt=alto-4         	      25	  23000000 ns/op	  91.00 MB/s
+BenchmarkMTTKRP/shape=skewed/fmt=alto-4         	      25	  25000000 ns/op	  92.00 MB/s
+BenchmarkBuild/fmt=csf-4                        	      30	  20000000 ns/op
+BenchmarkBuild/fmt=alto-4                       	      30	  22000000 ns/op
+PASS
+ok  	aoadmm/internal/alto	12.3s
+`
+
+func TestParseBenchMediansAndRatios(t *testing.T) {
+	b, err := parseBench(strings.NewReader(cannedBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(b.Benchmarks); got != 6 {
+		t.Fatalf("benchmarks = %d, want 6", got)
+	}
+	st, ok := b.Benchmarks["BenchmarkMTTKRP/shape=uniform/fmt=csf"]
+	if !ok {
+		t.Fatalf("uniform csf bench missing (GOMAXPROCS suffix not stripped?): %v", b.Benchmarks)
+	}
+	if st.NsPerOp != 12500000 || st.Samples != 3 {
+		t.Fatalf("uniform csf median = %v samples %d, want 12500000 / 3", st.NsPerOp, st.Samples)
+	}
+
+	wantRatios := map[string]float64{
+		"BenchmarkMTTKRP/shape=uniform": 2.0,      // 25e6 / 12.5e6
+		"BenchmarkMTTKRP/shape=skewed":  24. / 29, // 24e6 / 29e6
+		"BenchmarkBuild":                1.1,      // 22e6 / 20e6
+	}
+	if len(b.Ratios) != len(wantRatios) {
+		t.Fatalf("ratios = %v, want keys %v", b.Ratios, wantRatios)
+	}
+	for k, want := range wantRatios {
+		if got, ok := b.Ratios[k]; !ok || math.Abs(got-want) > 1e-9 {
+			t.Errorf("ratio[%s] = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestCheckPassAndFail(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_kernels.json")
+
+	// Write the baseline from the canned output.
+	var out strings.Builder
+	if err := run(baseline, "", "", 0.15, strings.NewReader(cannedBench), &out); err != nil {
+		t.Fatalf("write: %v\n%s", err, out.String())
+	}
+
+	// Same output checks clean.
+	out.Reset()
+	if err := run("", baseline, "", 0.15, strings.NewReader(cannedBench), &out); err != nil {
+		t.Fatalf("self-check failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "within 15% of baseline") {
+		t.Fatalf("missing pass summary:\n%s", out.String())
+	}
+
+	// Slow every skewed ALTO repeat by 30%: the skewed ratio regresses past
+	// the 15% gate while uniform stays put.
+	regressed := strings.ReplaceAll(cannedBench, "shape=skewed/fmt=alto-4         	      25	  2", "shape=skewed/fmt=alto-4         	      25	  3")
+	out.Reset()
+	err := run("", baseline, "", 0.15, strings.NewReader(regressed), &out)
+	if err == nil {
+		t.Fatalf("regressed run passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "shape=skewed") || strings.Contains(err.Error(), "shape=uniform") {
+		t.Fatalf("wrong scenario flagged: %v", err)
+	}
+}
+
+func TestCheckFailsOnMissingScenario(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	var out strings.Builder
+	if err := run(baseline, "", "", 0.15, strings.NewReader(cannedBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	// Drop all skewed lines: the gate must notice the scenario vanished.
+	var kept []string
+	for _, line := range strings.Split(cannedBench, "\n") {
+		if !strings.Contains(line, "shape=skewed") {
+			kept = append(kept, line)
+		}
+	}
+	err := run("", baseline, "", 0.15, strings.NewReader(strings.Join(kept, "\n")), &out)
+	if err == nil || !strings.Contains(err.Error(), "missing from current run") {
+		t.Fatalf("missing scenario not flagged: %v", err)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run("", "", "", 0.15, strings.NewReader(""), os.Stderr); err == nil {
+		t.Fatal("neither -write nor -check accepted")
+	}
+	if err := run("a", "b", "", 0.15, strings.NewReader(""), os.Stderr); err == nil {
+		t.Fatal("both -write and -check accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "x.json"), "", "", 0.15, strings.NewReader("no benches here"), os.Stderr); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}

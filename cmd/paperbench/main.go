@@ -7,7 +7,8 @@
 //	paperbench -scale medium fig3 fig6    # selected experiments
 //	paperbench -csv out/ table2           # also write CSV series
 //
-// Experiments: table1, fig3, fig4, fig5, fig6, table2, dist, solvers, all.
+// Experiments: table1, fig3, fig4, fig5, fig6, table2, dist, solvers,
+// blocksize, recovery, kernels, all.
 package main
 
 import (
@@ -120,8 +121,12 @@ func run(scale string, rank, threads, maxOuter int, csvDir, only, profile, trace
 			if err := experiments.Recovery(cfg); err != nil {
 				return err
 			}
+		case "kernels":
+			if err := experiments.Kernels(cfg); err != nil {
+				return err
+			}
 		default:
-			return fmt.Errorf("unknown experiment %q (want table1|fig3|fig4|fig5|fig6|table2|dist|solvers|blocksize|recovery|all)", exp)
+			return fmt.Errorf("unknown experiment %q (want table1|fig3|fig4|fig5|fig6|table2|dist|solvers|blocksize|recovery|kernels|all)", exp)
 		}
 	}
 	if profile != "" {

@@ -1,0 +1,387 @@
+// Package alto implements an ALTO-style adaptive linearized tensor format
+// ("Accelerating Sparse Tensor Decomposition Using Adaptive Linearized
+// Representation", PAPERS.md): every non-zero's multi-mode coordinate is
+// packed into one bit-interleaved linearized key, the non-zeros are sorted
+// once by key, and the sorted sequence is cut into nnz-balanced intervals
+// with precomputed per-interval per-mode fiber bounds.
+//
+// Unlike CSF (package csf), which compiles one tree per output mode and pays
+// per-mode traversal asymmetry plus slice-partition load imbalance on skewed
+// tensors, a single ALTO representation drives MTTKRP for every mode: the
+// kernel walks the non-zeros in linearized order (contiguous memory),
+// extracts each mode's index with a handful of shift/mask operations, and
+// load-balances by splitting non-zeros — not slices — across workers.
+package alto
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"aoadmm/internal/tensor"
+)
+
+// MaxKeyBits is the widest supported linearized key. Tensors whose summed
+// per-mode bit widths exceed 64 promote to a two-word (hi, lo) key; beyond
+// 128 bits Build refuses the tensor.
+const MaxKeyBits = 128
+
+// DefaultBlockBits is the granularity of the bit interleaving: modes receive
+// their key bits in round-robin blocks of this many bits, starting at the
+// least-significant end. Larger blocks mean fewer extraction segments per
+// mode (cheaper decode — Go has no pext instruction); smaller blocks mix the
+// modes more finely so sorted keys cluster into tighter multi-mode blocks.
+const DefaultBlockBits = 8
+
+// Options configures Build.
+type Options struct {
+	// BlockBits overrides the interleaving block granularity
+	// (DefaultBlockBits when <= 0).
+	BlockBits int
+	// Intervals overrides the number of nnz-balanced partition intervals
+	// (<= 0 picks a heuristic from the non-zero count).
+	Intervals int
+}
+
+// segment describes one contiguous run of a mode's index bits inside the
+// linearized key: index |= ((word >> shift) & mask) << out, where word is the
+// low or high key word. A mode's index is the OR over its segments.
+type segment struct {
+	shift uint8  // bit offset within the source word
+	out   uint8  // bit offset within the decoded index
+	hi    bool   // read from the high key word (128-bit keys only)
+	mask  uint32 // width mask, already shifted down to the LSB
+}
+
+// Tensor is a sparse tensor in ALTO form: linearized keys sorted ascending,
+// parallel values, and the interval partition. One Tensor serves MTTKRP for
+// all modes; it is immutable after Build.
+type Tensor struct {
+	Dims []int
+	// Bits[m] is the key width allocated to mode m: ceil(log2(Dims[m])),
+	// minimum 1.
+	Bits []int
+	// KeyBits is the total key width; > 64 engages the two-word key path.
+	KeyBits int
+
+	keysLo []uint64
+	keysHi []uint64 // nil while KeyBits <= 64
+	vals   []float64
+
+	segs [][]segment // per-mode extraction plans
+
+	// parts are the interval boundaries over the sorted non-zeros:
+	// interval t covers [parts[t], parts[t+1]).
+	parts []int
+	// bounds holds, for interval t and mode m, the inclusive index range
+	// touched by the interval's non-zeros: bounds[(t*order+m)*2] is the
+	// minimum, +1 the maximum. MTTKRP sizes interval-private accumulation
+	// buffers from the output mode's range.
+	bounds []int32
+}
+
+// Build compiles a COO tensor into ALTO form. Unlike csf.Build it returns
+// errors instead of panicking: the format sits behind a fuzzed decode path,
+// so hostile inputs (out-of-range indices, duplicate coordinates, tensors too
+// large to linearize) must be rejected, not crash the process.
+func Build(x *tensor.COO, opts Options) (*Tensor, error) {
+	if x == nil {
+		return nil, fmt.Errorf("alto: nil tensor")
+	}
+	if x.Order() < 2 {
+		return nil, fmt.Errorf("alto: tensor must have >= 2 modes, got %d", x.Order())
+	}
+	for m, d := range x.Dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("alto: non-positive dimension %d for mode %d", d, m)
+		}
+	}
+	if x.NNZ() == 0 {
+		return nil, fmt.Errorf("alto: empty tensor")
+	}
+	if err := x.Validate(); err != nil {
+		return nil, fmt.Errorf("alto: %w", err)
+	}
+
+	order := x.Order()
+	t := &Tensor{
+		Dims: append([]int(nil), x.Dims...),
+		Bits: make([]int, order),
+	}
+	for m, d := range x.Dims {
+		b := bits.Len(uint(d - 1))
+		if b == 0 {
+			b = 1 // a dim-1 mode still owns one key bit
+		}
+		t.Bits[m] = b
+		t.KeyBits += b
+	}
+	if t.KeyBits > MaxKeyBits {
+		return nil, fmt.Errorf("alto: tensor needs %d key bits, max %d (dims %v)", t.KeyBits, MaxKeyBits, x.Dims)
+	}
+
+	blockBits := opts.BlockBits
+	if blockBits <= 0 {
+		blockBits = DefaultBlockBits
+	}
+	t.segs = planSegments(t.Bits, blockBits)
+
+	nnz := x.NNZ()
+	t.keysLo = make([]uint64, nnz)
+	t.vals = make([]float64, nnz)
+	wide := t.KeyBits > 64
+	if wide {
+		t.keysHi = make([]uint64, nnz)
+	}
+	coord := make([]int, order)
+	for p := 0; p < nnz; p++ {
+		for m := range coord {
+			coord[m] = int(x.Inds[m][p])
+		}
+		lo, hi := t.linearize(coord)
+		t.keysLo[p] = lo
+		if wide {
+			t.keysHi[p] = hi
+		}
+	}
+
+	perm := make([]int, nnz)
+	for i := range perm {
+		perm[i] = i
+	}
+	if wide {
+		sort.Slice(perm, func(a, b int) bool {
+			pa, pb := perm[a], perm[b]
+			if t.keysHi[pa] != t.keysHi[pb] {
+				return t.keysHi[pa] < t.keysHi[pb]
+			}
+			return t.keysLo[pa] < t.keysLo[pb]
+		})
+	} else {
+		sort.Slice(perm, func(a, b int) bool { return t.keysLo[perm[a]] < t.keysLo[perm[b]] })
+	}
+	lo := make([]uint64, nnz)
+	var hi []uint64
+	if wide {
+		hi = make([]uint64, nnz)
+	}
+	for i, p := range perm {
+		lo[i] = t.keysLo[p]
+		t.vals[i] = x.Vals[p]
+		if wide {
+			hi[i] = t.keysHi[p]
+		}
+	}
+	t.keysLo, t.keysHi = lo, hi
+
+	// Linearization is a bijection, so duplicate coordinates are exactly
+	// adjacent equal keys in the sorted order.
+	for p := 1; p < nnz; p++ {
+		if t.keysLo[p] == t.keysLo[p-1] && (!wide || t.keysHi[p] == t.keysHi[p-1]) {
+			c := make([]int, order)
+			t.Coord(p, c)
+			return nil, fmt.Errorf("alto: duplicate coordinate %v", c)
+		}
+	}
+
+	t.partition(opts.Intervals)
+	return t, nil
+}
+
+// planSegments assigns each mode's key bits in round-robin blocks starting at
+// the least-significant end, then folds the per-mode blocks into extraction
+// segments. Blocks that would straddle the 64-bit word boundary of a wide key
+// are split so every segment reads from exactly one word.
+func planSegments(modeBits []int, blockBits int) [][]segment {
+	order := len(modeBits)
+	segs := make([][]segment, order)
+	remaining := append([]int(nil), modeBits...)
+	done := make([]int, order) // decoded bits already placed per mode
+	pos := 0                   // next free key bit
+	left := 0
+	for _, b := range modeBits {
+		left += b
+	}
+	for left > 0 {
+		for m := 0; m < order && left > 0; m++ {
+			if remaining[m] == 0 {
+				continue
+			}
+			w := blockBits
+			if w > remaining[m] {
+				w = remaining[m]
+			}
+			// Never let one extraction span both key words.
+			if pos < 64 && pos+w > 64 {
+				w = 64 - pos
+			}
+			s := segment{
+				shift: uint8(pos % 64),
+				out:   uint8(done[m]),
+				hi:    pos >= 64,
+				mask:  uint32(1)<<w - 1,
+			}
+			// Merge with the previous segment when the block landed
+			// contiguously in both the key and the decoded index (happens
+			// once every other mode is exhausted).
+			if n := len(segs[m]); n > 0 {
+				prev := &segs[m][n-1]
+				pw := bits.Len32(prev.mask)
+				if prev.hi == s.hi && uint8(pw)+prev.shift == s.shift && uint8(pw)+prev.out == s.out {
+					prev.mask |= s.mask << pw
+					remaining[m] -= w
+					done[m] += w
+					pos += w
+					left -= w
+					continue
+				}
+			}
+			segs[m] = append(segs[m], s)
+			remaining[m] -= w
+			done[m] += w
+			pos += w
+			left -= w
+		}
+	}
+	return segs
+}
+
+// linearize packs a coordinate into a (lo, hi) key pair.
+func (t *Tensor) linearize(coord []int) (lo, hi uint64) {
+	for m, c := range coord {
+		for _, s := range t.segs[m] {
+			piece := (uint64(c) >> s.out) & uint64(s.mask)
+			if s.hi {
+				hi |= piece << s.shift
+			} else {
+				lo |= piece << s.shift
+			}
+		}
+	}
+	return lo, hi
+}
+
+// extract decodes mode m's index from a key pair using the precomputed
+// segment plan.
+func extract(segs []segment, lo, hi uint64) int32 {
+	var idx uint64
+	for _, s := range segs {
+		w := lo
+		if s.hi {
+			w = hi
+		}
+		idx |= ((w >> s.shift) & uint64(s.mask)) << s.out
+	}
+	return int32(idx)
+}
+
+// Coord decodes the coordinate of sorted non-zero p into dst (length Order).
+func (t *Tensor) Coord(p int, dst []int) {
+	lo := t.keysLo[p]
+	var hi uint64
+	if t.keysHi != nil {
+		hi = t.keysHi[p]
+	}
+	for m := range dst {
+		dst[m] = int(extract(t.segs[m], lo, hi))
+	}
+}
+
+// partition cuts the sorted non-zeros into n near-equal intervals (heuristic
+// when n <= 0) and precomputes each interval's per-mode index bounds.
+func (t *Tensor) partition(n int) {
+	nnz := len(t.vals)
+	if n <= 0 {
+		// Enough intervals that dynamic scheduling load-balances well past
+		// typical core counts, small enough that per-interval bookkeeping
+		// and recombination stay negligible.
+		n = nnz / 4096
+		if n < 1 {
+			n = 1
+		}
+		if n > 256 {
+			n = 256
+		}
+	}
+	if n > nnz {
+		n = nnz
+	}
+	order := len(t.Dims)
+	t.parts = make([]int, n+1)
+	for i := 0; i <= n; i++ {
+		t.parts[i] = i * nnz / n
+	}
+	t.bounds = make([]int32, n*order*2)
+	coord := make([]int, order)
+	for iv := 0; iv < n; iv++ {
+		b := t.bounds[iv*order*2 : (iv+1)*order*2]
+		for m := 0; m < order; m++ {
+			b[2*m] = int32(t.Dims[m]) // min, start past the end
+			b[2*m+1] = -1             // max
+		}
+		for p := t.parts[iv]; p < t.parts[iv+1]; p++ {
+			t.Coord(p, coord)
+			for m, c := range coord {
+				if int32(c) < b[2*m] {
+					b[2*m] = int32(c)
+				}
+				if int32(c) > b[2*m+1] {
+					b[2*m+1] = int32(c)
+				}
+			}
+		}
+	}
+}
+
+// Order returns the number of modes.
+func (t *Tensor) Order() int { return len(t.Dims) }
+
+// NNZ returns the number of stored non-zeros.
+func (t *Tensor) NNZ() int { return len(t.vals) }
+
+// NumIntervals returns the partition's interval count.
+func (t *Tensor) NumIntervals() int { return len(t.parts) - 1 }
+
+// IntervalBounds returns interval iv's inclusive index range for mode m.
+func (t *Tensor) IntervalBounds(iv, m int) (min, max int32) {
+	order := len(t.Dims)
+	return t.bounds[(iv*order+m)*2], t.bounds[(iv*order+m)*2+1]
+}
+
+// MemoryBytes estimates the resident size of the compiled format.
+func (t *Tensor) MemoryBytes() int64 {
+	n := int64(len(t.vals))
+	b := n * 8 // vals
+	b += int64(len(t.keysLo)) * 8
+	b += int64(len(t.keysHi)) * 8
+	b += int64(len(t.parts)) * 8
+	b += int64(len(t.bounds)) * 4
+	return b
+}
+
+// ToCOO decodes the full tensor back to coordinate form, in linearized key
+// order. Build(ToCOO()) reproduces the identical Tensor; round-trip losslessness
+// is pinned by FuzzAltoRoundTrip.
+func (t *Tensor) ToCOO() *tensor.COO {
+	out := tensor.NewCOO(t.Dims, t.NNZ())
+	coord := make([]int, t.Order())
+	for p := 0; p < t.NNZ(); p++ {
+		t.Coord(p, coord)
+		out.Append(coord, t.vals[p])
+	}
+	return out
+}
+
+// String summarizes the compiled format.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("ALTO{dims=%v, nnz=%d, keybits=%d, intervals=%d}",
+		t.Dims, t.NNZ(), t.KeyBits, t.NumIntervals())
+}
+
+// FlopCount estimates the floating-point work of one rank-F MTTKRP over the
+// format: order·F multiplies plus F adds per non-zero (the linearized kernel
+// has no fiber-level reuse, trading flops for mode-agnostic contiguous
+// walks).
+func FlopCount(t *Tensor, rank int) int64 {
+	return int64(t.Order()+1) * int64(rank) * int64(t.NNZ())
+}

@@ -1,0 +1,123 @@
+package alto_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aoadmm/internal/alto"
+	"aoadmm/internal/csf"
+	"aoadmm/internal/dense"
+	"aoadmm/internal/mttkrp"
+	"aoadmm/internal/tensor"
+)
+
+// benchScenario pins one tensor shape the CI bench gate tracks. The two
+// shapes bracket the CSF/ALTO crossover:
+//
+//   - uniform: small dims, dense fibers (avg fiber length ~100) — CSF's
+//     amortized tree walk should win.
+//   - skewed: planted power-law over large dims, hypersparse (avg fiber
+//     length ~1) — CSF pays a full node path per non-zero while ALTO's
+//     linear scan stays flat, so ALTO should win.
+//
+// cmd/benchdiff compares the ALTO/CSF ns-per-op ratio per scenario against
+// the committed baseline, which keeps the gate machine-portable.
+type benchScenario struct {
+	name string
+	gen  tensor.GenOptions
+}
+
+const benchRank = 16
+
+func benchScenarios() []benchScenario {
+	return []benchScenario{
+		{
+			name: "uniform",
+			gen: tensor.GenOptions{
+				Dims: []int{96, 96, 96}, NNZ: 400_000, Seed: 11,
+			},
+		},
+		{
+			name: "skewed",
+			gen: tensor.GenOptions{
+				Dims: []int{65_536, 65_536, 256}, NNZ: 300_000,
+				Skew: []float64{1.1, 1.1, 1.4}, Seed: 12,
+			},
+		},
+	}
+}
+
+// BenchmarkMTTKRP is the kernel head-to-head the CI bench-gate job runs: one
+// iteration performs a full all-mode MTTKRP sweep, the unit of work one AO
+// outer iteration spends in the kernel.
+func BenchmarkMTTKRP(b *testing.B) {
+	for _, sc := range benchScenarios() {
+		x, err := tensor.Uniform(sc.gen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		order := x.Order()
+		factors := make([]*dense.Matrix, order)
+		rng := rand.New(rand.NewSource(99))
+		maxDim := 0
+		for m := 0; m < order; m++ {
+			factors[m] = dense.New(x.Dims[m], benchRank)
+			for i := range factors[m].Data {
+				factors[m].Data[i] = rng.Float64()
+			}
+			if x.Dims[m] > maxDim {
+				maxDim = x.Dims[m]
+			}
+		}
+		out := dense.New(maxDim, benchRank)
+
+		b.Run(fmt.Sprintf("shape=%s/fmt=csf", sc.name), func(b *testing.B) {
+			set := csf.BuildSet(x.Clone())
+			b.SetBytes(int64(x.NNZ()) * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for m := 0; m < order; m++ {
+					k := out.RowBlock(0, x.Dims[m])
+					mttkrp.Compute(set.Tree(m), factors, k, nil, mttkrp.Options{Threads: 1})
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("shape=%s/fmt=alto", sc.name), func(b *testing.B) {
+			t, err := alto.Build(x.Clone(), alto.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(x.NNZ()) * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for m := 0; m < order; m++ {
+					k := out.RowBlock(0, x.Dims[m])
+					t.MTTKRP(m, factors, k, mttkrp.Options{Threads: 1})
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBuild tracks one-time compilation cost for both formats on the
+// skewed shape (where sort-dominated ALTO construction is most expensive).
+func BenchmarkBuild(b *testing.B) {
+	sc := benchScenarios()[1]
+	x, err := tensor.Uniform(sc.gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fmt=csf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			csf.BuildSet(x.Clone())
+		}
+	})
+	b.Run("fmt=alto", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := alto.Build(x.Clone(), alto.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

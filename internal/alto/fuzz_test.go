@@ -1,0 +1,77 @@
+package alto
+
+import (
+	"fmt"
+	"testing"
+
+	"aoadmm/internal/tensor"
+)
+
+// FuzzAltoRoundTrip drives Build with raw-byte-derived tensors, including
+// hostile ones the public constructors would never produce: out-of-range and
+// negative indices, duplicate coordinates, and empty inputs. The invariant
+// is two-sided — invalid tensors must be rejected with an error (never a
+// panic, never silent acceptance), and valid tensors must round-trip
+// COO → ALTO → COO losslessly, values bit-exact.
+func FuzzAltoRoundTrip(f *testing.F) {
+	f.Add([]byte{3, 4, 4, 4, 0, 1, 2, 10, 3, 2, 1, 20}) // two valid non-zeros
+	f.Add([]byte{3, 4, 4, 4, 0, 1, 2, 10, 0, 1, 2, 20}) // duplicate coordinate
+	f.Add([]byte{3, 4, 4, 4, 0, 9, 0, 10})              // out-of-range index
+	f.Add([]byte{2, 1, 1, 0, 0, 5})                     // dim-1 modes
+	f.Add([]byte{4, 16, 2, 7, 31, 1, 1, 1, 1, 9})       // 4 modes
+	f.Add([]byte{2, 200, 200})                          // no non-zeros
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		order := 2 + int(data[0])%3 // 2..4 modes
+		if len(data) < 1+order {
+			return
+		}
+		dims := make([]int, order)
+		for m := 0; m < order; m++ {
+			dims[m] = 1 + int(data[1+m])%64
+		}
+		rest := data[1+order:]
+		stride := order + 1 // order index bytes + one value byte
+		nnz := len(rest) / stride
+
+		x := &tensor.COO{Dims: dims}
+		x.Inds = make([][]int32, order)
+		valid := nnz > 0
+		seen := map[string]bool{}
+		for p := 0; p < nnz; p++ {
+			rec := rest[p*stride : (p+1)*stride]
+			key := ""
+			for m := 0; m < order; m++ {
+				// Raw byte, deliberately NOT clamped to the dim: bytes >=
+				// dims[m] must make Build reject the tensor.
+				idx := int32(rec[m])
+				x.Inds[m] = append(x.Inds[m], idx)
+				if idx >= int32(dims[m]) {
+					valid = false
+				}
+				key += fmt.Sprintf("%d,", idx)
+			}
+			x.Vals = append(x.Vals, float64(rec[order])+0.5)
+			if seen[key] {
+				valid = false // duplicate coordinate
+			}
+			seen[key] = true
+		}
+
+		at, err := Build(x, Options{})
+		if !valid {
+			if err == nil {
+				t.Fatalf("Build accepted invalid tensor dims=%v nnz=%d", dims, nnz)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Build rejected valid tensor dims=%v nnz=%d: %v", dims, nnz, err)
+		}
+		if !sameCOO(x, at.ToCOO()) {
+			t.Fatalf("round trip not lossless for dims=%v nnz=%d", dims, nnz)
+		}
+	})
+}

@@ -1,0 +1,260 @@
+// ALTO MTTKRP: one linearized representation drives K = X(m)·(⊙_{n≠m} Aₙ)
+// for every mode m. The kernel walks the sorted non-zeros contiguously,
+// decodes each mode's index with precomputed shift/mask segments, and
+// multiplies the remaining modes' factor rows elementwise.
+//
+// Parallel execution splits non-zeros — not slices — across workers: each
+// partition interval accumulates into a private buffer bounded by the
+// interval's precomputed output-index range, and a second pass recombines
+// the buffers into the output in fixed interval order (deterministic for any
+// thread count). When the bounds are too loose for that to pay (long uniform
+// fibers spread every interval across most of the output), the kernel falls
+// back to per-thread full-output privatization, the same strategy as
+// mttkrp.ComputeMode.
+package alto
+
+import (
+	"fmt"
+
+	"aoadmm/internal/dense"
+	"aoadmm/internal/mttkrp"
+	"aoadmm/internal/par"
+)
+
+// MTTKRP computes out = X(mode)·(⊙_{n≠mode} Aₙ) over the compiled format.
+// factors holds one dense factor per mode (the output mode's entry is
+// unused); out must be Dims[mode] x F and is overwritten. Shape mismatches
+// panic, mirroring mttkrp.Compute — they are programming errors, not data
+// errors (hostile data is rejected by Build).
+func (t *Tensor) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix, opts mttkrp.Options) {
+	order := t.Order()
+	rank := out.Cols
+	if mode < 0 || mode >= order {
+		panic(fmt.Sprintf("alto: mode %d out of range for order-%d tensor", mode, order))
+	}
+	if out.Rows != t.Dims[mode] {
+		panic(fmt.Sprintf("alto: out has %d rows, mode %d has %d", out.Rows, mode, t.Dims[mode]))
+	}
+	for m, f := range factors {
+		if m == mode || f == nil {
+			continue
+		}
+		if f.Cols != rank {
+			panic(fmt.Sprintf("alto: factor %d rank %d != %d", m, f.Cols, rank))
+		}
+		if f.Rows != t.Dims[m] {
+			panic(fmt.Sprintf("alto: factor %d has %d rows, mode needs %d", m, f.Rows, t.Dims[m]))
+		}
+	}
+
+	threads := par.Threads(opts.Threads)
+	nIv := t.NumIntervals()
+	if threads == 1 || nIv == 1 {
+		out.Zero()
+		if out.Stride == rank {
+			t.accRange(mode, 0, t.NNZ(), factors, out.Data, 0, rank)
+		} else {
+			// Strided view (row block of a larger scratch matrix):
+			// accumulate compactly, then copy rows out.
+			buf := make([]float64, out.Rows*rank)
+			t.accRange(mode, 0, t.NNZ(), factors, buf, 0, rank)
+			for i := 0; i < out.Rows; i++ {
+				copy(out.Row(i), buf[i*rank:(i+1)*rank])
+			}
+		}
+		return
+	}
+
+	// Decide the parallel strategy from the precomputed bounds: total
+	// interval-private buffer rows vs per-thread full-output privatization.
+	bufRows := 0
+	for iv := 0; iv < nIv; iv++ {
+		lo, hi := t.IntervalBounds(iv, mode)
+		if hi >= lo {
+			bufRows += int(hi-lo) + 1
+		}
+	}
+	if bufRows <= threads*out.Rows {
+		t.mttkrpBounded(mode, factors, out, rank, threads, opts.Telem)
+		return
+	}
+	t.mttkrpPrivatized(mode, factors, out, rank, threads, opts.Telem)
+}
+
+// mttkrpBounded runs the interval-private accumulation + bounded
+// recombination path. Phase 1 claims intervals dynamically (nnz-balanced by
+// construction, so imbalance only comes from cache effects); phase 2 sweeps
+// output rows statically, adding every overlapping interval buffer in
+// interval order.
+func (t *Tensor) mttkrpBounded(mode int, factors []*dense.Matrix, out *dense.Matrix, rank, threads int, tel *par.Telemetry) {
+	nIv := t.NumIntervals()
+	bufs := make([][]float64, nIv)
+	base := make([]int32, nIv)
+	par.DynamicItemsT(tel, nIv, threads, func(tid, iv int) {
+		lo, hi := t.IntervalBounds(iv, mode)
+		if hi < lo {
+			return
+		}
+		buf := make([]float64, (int(hi-lo)+1)*rank)
+		t.accRange(mode, t.parts[iv], t.parts[iv+1], factors, buf, lo, rank)
+		bufs[iv] = buf
+		base[iv] = lo
+	})
+
+	out.Zero()
+	par.Static(out.Rows, threads, func(tid, rb, re int) {
+		for iv := 0; iv < nIv; iv++ {
+			buf := bufs[iv]
+			if buf == nil {
+				continue
+			}
+			lo := int(base[iv])
+			hi := lo + len(buf)/rank // exclusive
+			b, e := rb, re
+			if lo > b {
+				b = lo
+			}
+			if hi < e {
+				e = hi
+			}
+			for i := b; i < e; i++ {
+				dst := out.Row(i)
+				src := buf[(i-lo)*rank : (i-lo)*rank+rank]
+				for q, v := range src {
+					dst[q] += v
+				}
+			}
+		}
+	})
+}
+
+// mttkrpPrivatized gives each worker a full private output matrix and
+// reduces them in tid order — the fallback when interval bounds cover most
+// of the output mode and bounded buffers would cost more than privatization.
+func (t *Tensor) mttkrpPrivatized(mode int, factors []*dense.Matrix, out *dense.Matrix, rank, threads int, tel *par.Telemetry) {
+	nIv := t.NumIntervals()
+	if threads > nIv {
+		threads = nIv
+	}
+	priv := make([]*dense.Matrix, threads)
+	par.DynamicItemsT(tel, nIv, threads, func(tid, iv int) {
+		if priv[tid] == nil {
+			priv[tid] = dense.New(out.Rows, rank)
+		}
+		t.accRange(mode, t.parts[iv], t.parts[iv+1], factors, priv[tid].Data, 0, rank)
+	})
+	out.Zero()
+	par.Static(out.Rows, threads, func(tid, rb, re int) {
+		for _, p := range priv {
+			if p == nil {
+				continue
+			}
+			for i := rb; i < re; i++ {
+				dst := out.Row(i)
+				for q, v := range p.Row(i) {
+					dst[q] += v
+				}
+			}
+		}
+	})
+}
+
+// accRange accumulates the contributions of sorted non-zeros [b, e) for the
+// given output mode into acc, a row-major buffer of rank-length rows where
+// output row i lands at acc[(i-base)*rank:].
+func (t *Tensor) accRange(mode, b, e int, factors []*dense.Matrix, acc []float64, base int32, rank int) {
+	if t.Order() == 3 && t.keysHi == nil {
+		t.acc3Narrow(mode, b, e, factors, acc, base, rank)
+		return
+	}
+	t.accGeneric(mode, b, e, factors, acc, base, rank)
+}
+
+// acc3Narrow is the specialized hot path: order-3 tensors with 64-bit keys.
+// The segment loops are written inline (extract is too large to inline and a
+// call per mode per non-zero would dominate the integer work).
+func (t *Tensor) acc3Narrow(mode, b, e int, factors []*dense.Matrix, acc []float64, base int32, rank int) {
+	n1, n2 := otherModes(mode)
+	segO, seg1, seg2 := t.segs[mode], t.segs[n1], t.segs[n2]
+	f1, f2 := factors[n1], factors[n2]
+	keys, vals := t.keysLo, t.vals
+	for p := b; p < e; p++ {
+		k := keys[p]
+		var i0, i1, i2 uint64
+		for _, s := range segO {
+			i0 |= ((k >> s.shift) & uint64(s.mask)) << s.out
+		}
+		for _, s := range seg1 {
+			i1 |= ((k >> s.shift) & uint64(s.mask)) << s.out
+		}
+		for _, s := range seg2 {
+			i2 |= ((k >> s.shift) & uint64(s.mask)) << s.out
+		}
+		r1 := f1.Row(int(i1))
+		r2 := f2.Row(int(i2))
+		dst := acc[(int(i0)-int(base))*rank:]
+		dst = dst[:rank:rank]
+		v := vals[p]
+		if len(r2) >= len(r1) { // eliminate bounds checks on r2
+			r2 = r2[:len(r1)]
+		}
+		for q, x := range r1 {
+			dst[q] += v * x * r2[q]
+		}
+	}
+}
+
+// accGeneric handles arbitrary order and wide (two-word) keys: decode every
+// mode, scale the first non-output factor row by the value, elementwise-
+// multiply the rest, and add into the output row.
+func (t *Tensor) accGeneric(mode, b, e int, factors []*dense.Matrix, acc []float64, base int32, rank int) {
+	order := t.Order()
+	z := make([]float64, rank)
+	idx := make([]int32, order)
+	wide := t.keysHi != nil
+	for p := b; p < e; p++ {
+		lo := t.keysLo[p]
+		var hi uint64
+		if wide {
+			hi = t.keysHi[p]
+		}
+		for m := 0; m < order; m++ {
+			idx[m] = extract(t.segs[m], lo, hi)
+		}
+		v := t.vals[p]
+		first := true
+		for m := 0; m < order; m++ {
+			if m == mode {
+				continue
+			}
+			row := factors[m].Row(int(idx[m]))
+			if first {
+				for q, x := range row {
+					z[q] = v * x
+				}
+				first = false
+				continue
+			}
+			for q, x := range row {
+				z[q] *= x
+			}
+		}
+		dst := acc[(int(idx[mode])-int(base))*rank : (int(idx[mode])-int(base))*rank+rank]
+		for q, x := range z {
+			dst[q] += x
+		}
+	}
+}
+
+// otherModes returns the two non-output modes of an order-3 tensor in
+// ascending order.
+func otherModes(mode int) (int, int) {
+	switch mode {
+	case 0:
+		return 1, 2
+	case 1:
+		return 0, 2
+	default:
+		return 0, 1
+	}
+}

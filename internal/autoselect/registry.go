@@ -1,0 +1,228 @@
+package autoselect
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"aoadmm/internal/core"
+	"aoadmm/internal/csf"
+	"aoadmm/internal/dense"
+	"aoadmm/internal/mttkrp"
+	"aoadmm/internal/stats"
+	"aoadmm/internal/tensor"
+)
+
+// Backend is one registered MTTKRP kernel backend. The registry is the open
+// end of the kernel-format system: core natively resolves "csf", "alto", and
+// "auto", while everything else — including the measured "probe" selector
+// defined here — reaches the solvers through a Build function installed on
+// core.Options.EngineBuilder.
+type Backend struct {
+	// Name is the format name users pass (e.g. via -format). Required,
+	// unique.
+	Name string
+	// Description is a one-line summary for -format help output.
+	Description string
+	// Build constructs the engine for this backend. nil marks a natively
+	// resolved format: Apply passes the name through as
+	// core.Options.KernelFormat and core's own switch handles it.
+	Build core.EngineBuilder
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Backend{}
+)
+
+// Register adds a backend to the registry. Registering an empty or duplicate
+// name is an error — a silent overwrite would let two packages fight over a
+// format name without either noticing.
+func Register(b Backend) error {
+	if b.Name == "" {
+		return fmt.Errorf("autoselect: backend name must be non-empty")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[b.Name]; dup {
+		return fmt.Errorf("autoselect: backend %q already registered", b.Name)
+	}
+	registry[b.Name] = b
+	return nil
+}
+
+// mustRegister is Register for package-init registrations of the built-ins,
+// where a failure is a programming error.
+func mustRegister(b Backend) {
+	if err := Register(b); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a backend by name. Unknown names fail loudly with the full
+// list of registered names — never a silent fallback to a default kernel.
+func Lookup(name string) (Backend, error) {
+	regMu.RLock()
+	b, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return Backend{}, fmt.Errorf("autoselect: unknown kernel backend %q (registered: %v)", name, Backends())
+	}
+	return b, nil
+}
+
+// Backends returns the registered backend names, sorted.
+func Backends() []string {
+	regMu.RLock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	regMu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Apply resolves name through the registry and configures opts to use it:
+// native backends set KernelFormat, registered builders set EngineBuilder.
+// The empty name is the default (CSF) and leaves opts untouched.
+func Apply(opts *core.Options, name string) error {
+	if name == "" {
+		return nil
+	}
+	b, err := Lookup(name)
+	if err != nil {
+		return err
+	}
+	if b.Build != nil {
+		opts.EngineBuilder = b.Build
+		return nil
+	}
+	opts.KernelFormat = b.Name
+	return nil
+}
+
+func init() {
+	mustRegister(Backend{
+		Name:        core.FormatCSF,
+		Description: "compressed sparse fiber trees, one per mode (the default)",
+	})
+	mustRegister(Backend{
+		Name:        core.FormatALTO,
+		Description: "adaptive linearized tensor: one bit-interleaved representation for every mode",
+	})
+	mustRegister(Backend{
+		Name:        core.FormatAuto,
+		Description: "pick csf or alto from the perfmodel kernel cost model",
+	})
+	mustRegister(Backend{
+		Name:        "probe",
+		Description: "pick csf or alto per mode from measured one-shot MTTKRP probe runs",
+		Build:       buildProbeEngine,
+	})
+}
+
+// probeEngine routes each mode's MTTKRP to the backend that won that mode's
+// measured probe. Mixed picks keep both compiled representations resident;
+// unanimous picks drop the loser at build time.
+type probeEngine struct {
+	csf, alto core.Engine
+	pick      []string // per-mode winner: core.FormatCSF or core.FormatALTO
+}
+
+func (e *probeEngine) engineFor(m int) core.Engine {
+	if e.pick[m] == core.FormatALTO {
+		return e.alto
+	}
+	return e.csf
+}
+
+func (e *probeEngine) LeafTree(m int) *csf.Tensor {
+	return e.engineFor(m).LeafTree(m)
+}
+
+func (e *probeEngine) MTTKRP(m int, factors []*dense.Matrix, k *dense.Matrix, leaf mttkrp.LeafFactor, mo mttkrp.Options) error {
+	return e.engineFor(m).MTTKRP(m, factors, k, leaf, mo)
+}
+
+func (e *probeEngine) OOCReport() *stats.OOCReport { return nil }
+
+func (e *probeEngine) Backend(m int) string { return "probe-" + e.pick[m] }
+
+// buildProbeEngine compiles both the CSF and ALTO representations, times one
+// MTTKRP per (backend, mode) on throwaway factors, and routes each mode to
+// its measured winner. This trades a few warm-up kernel invocations for a
+// decision grounded in this machine's memory system rather than a cost
+// model — the empirical complement of the "auto" backend.
+func buildProbeEngine(x *tensor.COO, opts core.Options) (core.Engine, error) {
+	order := x.Order()
+	csfEng := core.NewCSFEngine(x, false)
+	altoEng, err := core.NewALTOEngine(x)
+	if err != nil {
+		// Tensors the linearized format cannot hold (e.g. > 128 key bits)
+		// still factorize: the probe degenerates to CSF everywhere.
+		return csfEng, nil
+	}
+
+	rank := opts.Rank
+	if rank <= 0 {
+		rank = 8
+	}
+	factors := make([]*dense.Matrix, order)
+	for m := 0; m < order; m++ {
+		factors[m] = dense.New(x.Dims[m], rank)
+		for i := range factors[m].Data {
+			// Deterministic non-trivial fill; the probe only times, never
+			// inspects values.
+			factors[m].Data[i] = 1 + float64(i%7)*0.125
+		}
+	}
+	maxDim := 0
+	for _, d := range x.Dims {
+		if d > maxDim {
+			maxDim = d
+		}
+	}
+	out := dense.New(maxDim, rank)
+	mo := mttkrp.Options{Threads: opts.Threads}
+
+	pick := make([]string, order)
+	allCSF, allALTO := true, true
+	for m := 0; m < order; m++ {
+		k := out.RowBlock(0, x.Dims[m])
+		tCSF := probeMode(csfEng, m, factors, k, mo)
+		tALTO := probeMode(altoEng, m, factors, k, mo)
+		if tALTO < tCSF {
+			pick[m] = core.FormatALTO
+			allCSF = false
+		} else {
+			pick[m] = core.FormatCSF
+			allALTO = false
+		}
+	}
+	if allCSF {
+		return csfEng, nil
+	}
+	if allALTO {
+		return altoEng, nil
+	}
+	return &probeEngine{csf: csfEng, alto: altoEng, pick: pick}, nil
+}
+
+// probeMode times the faster of two MTTKRP runs for one (engine, mode): the
+// first run warms the representation's pages, the minimum discards transient
+// scheduling noise.
+func probeMode(eng core.Engine, m int, factors []*dense.Matrix, k *dense.Matrix, mo mttkrp.Options) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < 2; i++ {
+		start := time.Now()
+		if err := eng.MTTKRP(m, factors, k, nil, mo); err != nil {
+			return best
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,173 @@
+package autoselect
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"aoadmm/internal/core"
+	"aoadmm/internal/dense"
+	"aoadmm/internal/mttkrp"
+	"aoadmm/internal/tensor"
+)
+
+func TestBuiltinsRegistered(t *testing.T) {
+	for _, name := range []string{"csf", "alto", "auto", "probe"} {
+		b, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("builtin %q not registered: %v", name, err)
+		}
+		if b.Description == "" {
+			t.Fatalf("builtin %q has no description", name)
+		}
+	}
+	names := Backends()
+	if len(names) < 4 {
+		t.Fatalf("Backends() = %v, want at least the four builtins", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Backends() not sorted: %v", names)
+		}
+	}
+}
+
+// TestUnknownBackendFailsLoudly is the regression test for the open
+// registry: an unrecognized format name must surface as an error naming the
+// registered backends, never a silent fallback to CSF.
+func TestUnknownBackendFailsLoudly(t *testing.T) {
+	if _, err := Lookup("blcok-csf"); err == nil {
+		t.Fatal("Lookup of unknown backend succeeded")
+	} else if !strings.Contains(err.Error(), "blcok-csf") || !strings.Contains(err.Error(), "csf") {
+		t.Fatalf("error does not name the offender and the known set: %v", err)
+	}
+
+	var opts core.Options
+	if err := Apply(&opts, "no-such-backend"); err == nil {
+		t.Fatal("Apply of unknown backend succeeded")
+	}
+	if opts.KernelFormat != "" || opts.EngineBuilder != nil {
+		t.Fatal("failed Apply mutated the options")
+	}
+
+	// The same misspelling fed straight to core must also fail loudly.
+	x := smallTensor(t, 0)
+	_, err := core.Factorize(x, core.Options{Rank: 3, MaxOuterIters: 1, KernelFormat: "blcok-csf"})
+	if err == nil || !strings.Contains(err.Error(), "blcok-csf") {
+		t.Fatalf("core accepted unknown format: err=%v", err)
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndEmpty(t *testing.T) {
+	if err := Register(Backend{Name: ""}); err == nil {
+		t.Fatal("empty name registered")
+	}
+	if err := Register(Backend{Name: "csf"}); err == nil {
+		t.Fatal("duplicate registration of csf succeeded")
+	}
+}
+
+func TestApplyNativeAndBuilder(t *testing.T) {
+	var opts core.Options
+	if err := Apply(&opts, "alto"); err != nil {
+		t.Fatal(err)
+	}
+	if opts.KernelFormat != core.FormatALTO || opts.EngineBuilder != nil {
+		t.Fatalf("native apply set format=%q builder=%v", opts.KernelFormat, opts.EngineBuilder != nil)
+	}
+
+	opts = core.Options{}
+	if err := Apply(&opts, "probe"); err != nil {
+		t.Fatal(err)
+	}
+	if opts.EngineBuilder == nil {
+		t.Fatal("probe apply did not install an engine builder")
+	}
+
+	opts = core.Options{KernelFormat: "csf"}
+	if err := Apply(&opts, ""); err != nil {
+		t.Fatal(err)
+	}
+	if opts.KernelFormat != "csf" {
+		t.Fatal("empty name must leave options untouched")
+	}
+}
+
+// TestProbeBackendMatchesCSF factorizes the same tensor through the probe
+// backend and the CSF default; whichever kernels the probe picks, the fits
+// must agree (the kernels are parity-tested to 1e-12, so the trajectories
+// are identical).
+func TestProbeBackendMatchesCSF(t *testing.T) {
+	x := smallTensor(t, 1)
+	base := core.Options{Rank: 4, MaxOuterIters: 8, Seed: 7, Threads: 1}
+
+	ref, err := core.Factorize(x.Clone(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probed := base
+	if err := Apply(&probed, "probe"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.Factorize(x.Clone(), probed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.RelErr-ref.RelErr) > 1e-9 {
+		t.Fatalf("probe relerr %v vs csf %v (backends %v)", got.RelErr, ref.RelErr, got.KernelBackends)
+	}
+	if len(got.KernelBackends) != x.Order() {
+		t.Fatalf("probe run reported backends %v", got.KernelBackends)
+	}
+}
+
+// TestProbeEngineParity checks the probe engine's MTTKRP directly against the
+// plain CSF engine on every mode.
+func TestProbeEngineParity(t *testing.T) {
+	x := smallTensor(t, 2)
+	order := x.Order()
+	rank := 5
+
+	eng, err := buildProbeEngine(x.Clone(), core.Options{Rank: rank, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := core.NewCSFEngine(x.Clone(), false)
+
+	rng := rand.New(rand.NewSource(3))
+	factors := make([]*dense.Matrix, order)
+	for m := 0; m < order; m++ {
+		factors[m] = dense.New(x.Dims[m], rank)
+		for i := range factors[m].Data {
+			factors[m].Data[i] = rng.NormFloat64()
+		}
+	}
+	for m := 0; m < order; m++ {
+		want := dense.New(x.Dims[m], rank)
+		got := dense.New(x.Dims[m], rank)
+		if err := ref.MTTKRP(m, factors, want, nil, mttkrp.Options{Threads: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.MTTKRP(m, factors, got, nil, mttkrp.Options{Threads: 1}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if math.Abs(want.Data[i]-got.Data[i]) > 1e-12*(1+math.Abs(want.Data[i])) {
+				t.Fatalf("mode %d element %d: probe %v vs csf %v (backend %s)",
+					m, i, got.Data[i], want.Data[i], eng.Backend(m))
+			}
+		}
+	}
+}
+
+func smallTensor(t *testing.T, seed int64) *tensor.COO {
+	t.Helper()
+	x, err := tensor.Uniform(tensor.GenOptions{
+		Dims: []int{14, 11, 9}, NNZ: 300, Seed: 40 + seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}

@@ -47,6 +47,10 @@ type ALSOptions struct {
 	// Tracer, when non-nil, records outer-iteration, kernel, and scheduler
 	// spans exactly as Options.Tracer does for AO-ADMM runs.
 	Tracer *obs.Tracer
+	// KernelFormat selects the MTTKRP backend exactly as Options.KernelFormat
+	// does for AO-ADMM runs: "", "csf", "alto", or "auto"; unknown names
+	// fail loudly.
+	KernelFormat string
 }
 
 // FactorizeALS computes an unconstrained CPD with alternating least squares:
@@ -67,7 +71,9 @@ func FactorizeALS(x *tensor.COO, opts ALSOptions) (*Result, error) {
 	return factorizeALS(engineSpec{
 		dims:   x.Dims,
 		normSq: x.NormSq(),
-		build:  func() mttkrpEngine { return newInMemoryEngine(x, false) },
+		build: func() (Engine, error) {
+			return buildInMemoryEngine(x, opts.KernelFormat, false, opts.Rank, opts.Threads)
+		},
 	}, opts)
 }
 
@@ -78,10 +84,15 @@ func FactorizeALSOOC(st *ooc.ShardedTensor, opts ALSOptions) (*Result, error) {
 	if err := validateSharded(st); err != nil {
 		return nil, err
 	}
+	if !validOOCFormat(opts.KernelFormat) {
+		return nil, fmt.Errorf("core: unknown out-of-core kernel format %q (known: csf, alto, auto)", opts.KernelFormat)
+	}
 	return factorizeALS(engineSpec{
 		dims:   st.Dims(),
 		normSq: st.NormSq(),
-		build:  func() mttkrpEngine { return newOOCEngine(st, opts.Rank, opts.MemBudgetBytes, opts.Tracer) },
+		build: func() (Engine, error) {
+			return newOOCEngine(st, opts.Rank, opts.MemBudgetBytes, opts.Tracer, opts.KernelFormat), nil
+		},
 	}, opts)
 }
 
@@ -110,10 +121,14 @@ func factorizeALS(spec engineSpec, opts ALSOptions) (*Result, error) {
 		tel.SetTracer(tr)
 	}
 	start := time.Now()
-	var eng mttkrpEngine
+	var eng Engine
+	var buildErr error
 	timedKernel(tr, bd, stats.PhaseSetup, met, stats.KernelCSFSetup, stats.ModeNone, func() {
-		eng = spec.build()
+		eng, buildErr = spec.build()
 	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
 
 	rng := rand.New(rand.NewSource(opts.Seed))
 	model := kruskal.Random(spec.dims, opts.Rank, rng)
@@ -149,7 +164,7 @@ func factorizeALS(spec engineSpec, opts ALSOptions) (*Result, error) {
 			var mttkrpErr error
 			timedKernel(tr, bd, stats.PhaseMTTKRP, met, stats.KernelMTTKRP, m, func() {
 				withKernelLabels("mttkrp", m, func() {
-					mttkrpErr = eng.mttkrp(m, model.Factors, k, nil,
+					mttkrpErr = eng.MTTKRP(m, model.Factors, k, nil,
 						mttkrp.Options{Threads: opts.Threads, Telem: tel})
 				})
 			})
@@ -204,7 +219,9 @@ func factorizeALS(spec engineSpec, opts ALSOptions) (*Result, error) {
 		res.FactorDensities[m] = dense.Density(model.Factors[m], 0)
 	}
 	recordScheduler(met, tel)
-	if r := eng.oocReport(); r != nil {
+	res.KernelBackends = backendNames(eng, order)
+	met.SetBackends(res.KernelBackends)
+	if r := eng.OOCReport(); r != nil {
 		res.OOC = r
 		met.SetOOC(r)
 	}

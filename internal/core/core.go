@@ -126,8 +126,21 @@ type Options struct {
 	// mode, maximizing compression) and computes every mode's MTTKRP from
 	// it with privatized accumulation — SPLATT's memory-efficient operating
 	// point, roughly one third of the default one-tree-per-mode footprint
-	// at the cost of extra reduction work on non-root modes.
+	// at the cost of extra reduction work on non-root modes. Only applies
+	// to the CSF kernel format.
 	SingleCSF bool
+	// KernelFormat selects the MTTKRP backend: "" or "csf" (compressed
+	// sparse fiber trees, the default), "alto" (the adaptive linearized
+	// format of internal/alto), or "auto" (pick per tensor from the
+	// perfmodel kernel cost model). Out-of-core runs compile each resident
+	// shard in this format. Any other name requires EngineBuilder and fails
+	// loudly without one — formats never fall back silently.
+	KernelFormat string
+	// EngineBuilder, when non-nil, constructs the MTTKRP engine for
+	// in-memory runs instead of the native KernelFormat switch. The
+	// autoselect backend registry produces builders for registered names
+	// (including probe-based selection); ignored out-of-core.
+	EngineBuilder EngineBuilder
 	// AutoBlockSize, when set, chooses the blocked-ADMM block size per mode
 	// from the analytical model of internal/blockmodel (the paper's §VI
 	// future-work item) instead of the fixed BlockSize.
@@ -297,6 +310,10 @@ type Result struct {
 	// SparseMTTKRPs counts MTTKRP invocations that used a compressed leaf
 	// factor.
 	SparseMTTKRPs int
+	// KernelBackends names the MTTKRP backend that served each mode
+	// ("csf", "csf-single", "alto", "ooc-csf", ...), as chosen by the
+	// kernel format options or the autoselect registry.
+	KernelBackends []string
 }
 
 // sparseImage caches one mode's compressed factor representation together
@@ -311,11 +328,12 @@ type sparseImage struct {
 
 // engineSpec bundles what the shared loop needs to know about the data
 // tensor without holding it: its shape, its norm, and how to compile the
-// MTTKRP engine that will stand in for it.
+// MTTKRP engine that will stand in for it. build may fail — e.g. an ALTO
+// compile of a tensor too large to linearize, or an unknown format name.
 type engineSpec struct {
 	dims   []int
 	normSq float64
-	build  func() mttkrpEngine
+	build  func() (Engine, error)
 }
 
 // Factorize runs AO-ADMM (Algorithm 2) on an in-memory tensor.
@@ -332,7 +350,7 @@ func Factorize(x *tensor.COO, opts Options) (*Result, error) {
 	return factorize(engineSpec{
 		dims:   x.Dims,
 		normSq: x.NormSq(),
-		build:  func() mttkrpEngine { return newInMemoryEngine(x, opts.SingleCSF) },
+		build:  func() (Engine, error) { return newEngine(x, opts) },
 	}, opts)
 }
 
@@ -346,10 +364,15 @@ func FactorizeOOC(st *ooc.ShardedTensor, opts Options) (*Result, error) {
 	if err := validateSharded(st); err != nil {
 		return nil, err
 	}
+	if !validOOCFormat(opts.KernelFormat) {
+		return nil, fmt.Errorf("core: unknown out-of-core kernel format %q (known: csf, alto, auto)", opts.KernelFormat)
+	}
 	return factorize(engineSpec{
 		dims:   st.Dims(),
 		normSq: st.NormSq(),
-		build:  func() mttkrpEngine { return newOOCEngine(st, opts.Rank, opts.MemBudgetBytes, opts.Tracer) },
+		build: func() (Engine, error) {
+			return newOOCEngine(st, opts.Rank, opts.MemBudgetBytes, opts.Tracer, opts.KernelFormat), nil
+		},
 	}, opts)
 }
 
@@ -375,13 +398,16 @@ func factorize(spec engineSpec, opts Options) (*Result, error) {
 	}
 	start := time.Now()
 
-	// Compile the MTTKRP engine: CSF trees for in-memory runs (one per
-	// mode, or a single shortest-mode tree under SingleCSF), the shard
-	// streamer for out-of-core runs.
-	var eng mttkrpEngine
+	// Compile the MTTKRP engine: CSF trees or the ALTO linearized format
+	// for in-memory runs, the shard streamer for out-of-core runs.
+	var eng Engine
+	var buildErr error
 	timedKernel(tr, bd, stats.PhaseSetup, met, stats.KernelCSFSetup, stats.ModeNone, func() {
-		eng = spec.build()
+		eng, buildErr = spec.build()
 	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
 
 	var model *kruskal.Tensor
 	xNormSq := spec.normSq
@@ -471,8 +497,8 @@ func factorize(spec engineSpec, opts Options) (*Result, error) {
 			var mttkrpErr error
 			timedKernel(tr, bd, stats.PhaseMTTKRP, met, stats.KernelMTTKRP, m, func() {
 				withKernelLabels("mttkrp", m, func() {
-					leaf = leafFor(opts, eng.leafTree(m), model, versions, images, res)
-					mttkrpErr = eng.mttkrp(m, model.Factors, k, leaf,
+					leaf = leafFor(opts, eng.LeafTree(m), model, versions, images, res)
+					mttkrpErr = eng.MTTKRP(m, model.Factors, k, leaf,
 						mttkrp.Options{Threads: opts.Threads, Telem: tel})
 				})
 			})
@@ -586,7 +612,9 @@ func factorize(spec engineSpec, opts Options) (*Result, error) {
 		res.FactorDensities[m] = dense.Density(model.Factors[m], 0)
 	}
 	recordScheduler(met, tel)
-	if r := eng.oocReport(); r != nil {
+	res.KernelBackends = backendNames(eng, order)
+	met.SetBackends(res.KernelBackends)
+	if r := eng.OOCReport(); r != nil {
 		res.OOC = r
 		met.SetOOC(r)
 	}

@@ -3,33 +3,88 @@ package core
 import (
 	"fmt"
 
+	"aoadmm/internal/alto"
 	"aoadmm/internal/csf"
 	"aoadmm/internal/dense"
 	"aoadmm/internal/mttkrp"
 	"aoadmm/internal/obs"
 	"aoadmm/internal/ooc"
+	"aoadmm/internal/perfmodel"
 	"aoadmm/internal/stats"
 	"aoadmm/internal/tensor"
 )
 
-// mttkrpEngine abstracts where the data tensor lives during the AO loop: in
-// memory as CSF trees, or on disk as mode-0-range shards streamed one at a
-// time. The outer solvers are written against this interface, so in-memory
-// and out-of-core runs share one loop body (and therefore one convergence
-// and observability path).
-type mttkrpEngine interface {
-	// leafTree returns the resident CSF tree that mode m's MTTKRP will
-	// traverse, or nil for streaming engines, where no single tree exists
-	// across the whole product and compressed leaf-factor images therefore
-	// do not apply.
-	leafTree(m int) *csf.Tensor
-	// mttkrp computes mode m's MTTKRP of the data tensor with the model
+// Kernel backend format names accepted by Options.KernelFormat. Additional
+// backends plug in through Options.EngineBuilder (see internal/autoselect's
+// registry); names outside this set without a builder fail loudly.
+const (
+	// FormatCSF compiles the tensor into compressed sparse fiber trees —
+	// one per mode, or a single tree under SingleCSF. The default.
+	FormatCSF = perfmodel.FormatCSF
+	// FormatALTO compiles the tensor into the adaptive linearized format
+	// (internal/alto): one bit-interleaved representation serving every
+	// mode's MTTKRP.
+	FormatALTO = perfmodel.FormatALTO
+	// FormatAuto picks CSF or ALTO from the perfmodel kernel cost model
+	// measured on the tensor's structure (internal/perfmodel).
+	FormatAuto = "auto"
+)
+
+// Engine abstracts where the data tensor lives during the AO loop and which
+// kernel computes MTTKRP: in memory as CSF trees, in memory as the ALTO
+// linearized format, or on disk as mode-0-range shards streamed one at a
+// time. The outer solvers are written against this interface, so every
+// engine shares one loop body (and therefore one convergence and
+// observability path). Engines outside this package register through
+// internal/autoselect and reach the solvers via Options.EngineBuilder.
+type Engine interface {
+	// LeafTree returns the resident CSF tree that mode m's MTTKRP will
+	// traverse, or nil for engines with no per-mode tree (ALTO, streaming),
+	// where compressed leaf-factor images do not apply.
+	LeafTree(m int) *csf.Tensor
+	// MTTKRP computes mode m's MTTKRP of the data tensor with the model
 	// factors into k, overwriting it.
-	mttkrp(m int, factors []*dense.Matrix, k *dense.Matrix, leaf mttkrp.LeafFactor, mo mttkrp.Options) error
-	// oocReport snapshots the engine's shard-I/O counters; nil for
+	MTTKRP(m int, factors []*dense.Matrix, k *dense.Matrix, leaf mttkrp.LeafFactor, mo mttkrp.Options) error
+	// OOCReport snapshots the engine's shard-I/O counters; nil for
 	// in-memory engines (the report is the OOC section of the metrics
 	// schema and Result.OOC).
-	oocReport() *stats.OOCReport
+	OOCReport() *stats.OOCReport
+	// Backend names the kernel backend serving mode m ("csf",
+	// "csf-single", "alto", "ooc-csf", ...) for metrics and result
+	// reporting.
+	Backend(m int) string
+}
+
+// EngineBuilder constructs the MTTKRP engine for an in-memory factorization.
+// The autoselect backend registry produces builders for registered format
+// names; Options.EngineBuilder overrides the native format switch entirely.
+type EngineBuilder func(x *tensor.COO, opts Options) (Engine, error)
+
+// newEngine resolves Options.KernelFormat / Options.EngineBuilder for an
+// in-memory run. Unknown format names are an error, never a silent fallback.
+func newEngine(x *tensor.COO, opts Options) (Engine, error) {
+	if opts.EngineBuilder != nil {
+		return opts.EngineBuilder(x, opts)
+	}
+	return buildInMemoryEngine(x, opts.KernelFormat, opts.SingleCSF, opts.Rank, opts.Threads)
+}
+
+// buildInMemoryEngine constructs the engine for one of the natively known
+// formats. single only applies to the CSF format.
+func buildInMemoryEngine(x *tensor.COO, format string, single bool, rank, threads int) (Engine, error) {
+	switch format {
+	case "", FormatCSF:
+		return NewCSFEngine(x, single), nil
+	case FormatALTO:
+		return NewALTOEngine(x)
+	case FormatAuto:
+		if perfmodel.ChooseKernelFormat(x, rank, threads) == FormatALTO {
+			return NewALTOEngine(x)
+		}
+		return NewCSFEngine(x, single), nil
+	default:
+		return nil, fmt.Errorf("core: unknown kernel format %q (known: csf, alto, auto; others need an EngineBuilder from the autoselect registry)", format)
+	}
 }
 
 // inMemoryEngine is the classical path: the full tensor compiled into CSF —
@@ -41,7 +96,9 @@ type inMemoryEngine struct {
 	single bool
 }
 
-func newInMemoryEngine(x *tensor.COO, single bool) *inMemoryEngine {
+// NewCSFEngine compiles x into CSF trees (one per mode, or a single
+// shortest-mode tree when single is set).
+func NewCSFEngine(x *tensor.COO, single bool) Engine {
 	e := &inMemoryEngine{single: single}
 	if single {
 		shortest := 0
@@ -57,14 +114,14 @@ func newInMemoryEngine(x *tensor.COO, single bool) *inMemoryEngine {
 	return e
 }
 
-func (e *inMemoryEngine) leafTree(m int) *csf.Tensor {
+func (e *inMemoryEngine) LeafTree(m int) *csf.Tensor {
 	if e.single {
 		return e.trees
 	}
 	return e.set.Tree(m)
 }
 
-func (e *inMemoryEngine) mttkrp(m int, factors []*dense.Matrix, k *dense.Matrix, leaf mttkrp.LeafFactor, mo mttkrp.Options) error {
+func (e *inMemoryEngine) MTTKRP(m int, factors []*dense.Matrix, k *dense.Matrix, leaf mttkrp.LeafFactor, mo mttkrp.Options) error {
 	if e.single {
 		mttkrp.ComputeMode(e.trees, m, factors, k, leaf, mo)
 	} else {
@@ -73,38 +130,84 @@ func (e *inMemoryEngine) mttkrp(m int, factors []*dense.Matrix, k *dense.Matrix,
 	return nil
 }
 
-func (e *inMemoryEngine) oocReport() *stats.OOCReport { return nil }
+func (e *inMemoryEngine) OOCReport() *stats.OOCReport { return nil }
+
+func (e *inMemoryEngine) Backend(int) string {
+	if e.single {
+		return "csf-single"
+	}
+	return FormatCSF
+}
+
+// altoEngine drives every mode's MTTKRP from one ALTO linearized
+// representation. Leaf-factor images do not apply (LeafTree is nil — there
+// is no leaf mode; every non-zero touches all factors symmetrically), so
+// ExploitSparsity is inert under this engine, as it is out-of-core.
+type altoEngine struct {
+	t *alto.Tensor
+}
+
+// NewALTOEngine compiles x into the ALTO linearized format.
+func NewALTOEngine(x *tensor.COO) (Engine, error) {
+	t, err := alto.Build(x, alto.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &altoEngine{t: t}, nil
+}
+
+func (e *altoEngine) LeafTree(int) *csf.Tensor { return nil }
+
+func (e *altoEngine) MTTKRP(m int, factors []*dense.Matrix, k *dense.Matrix, _ mttkrp.LeafFactor, mo mttkrp.Options) error {
+	e.t.MTTKRP(m, factors, k, mo)
+	return nil
+}
+
+func (e *altoEngine) OOCReport() *stats.OOCReport { return nil }
+
+func (e *altoEngine) Backend(int) string { return FormatALTO }
 
 // oocEngine streams a sharded on-disk tensor: per MTTKRP, shards are loaded
-// one at a time (prefetched on a background goroutine), compiled to a CSF
-// tree, and their partial products accumulated. Leaf factors are always
-// dense — the compressed-image cache keys off a resident tree that streaming
-// does not have.
+// one at a time (prefetched on a background goroutine), compiled to the
+// configured kernel format, and their partial products accumulated. Leaf
+// factors are always dense — the compressed-image cache keys off a resident
+// tree that streaming does not have.
 type oocEngine struct {
 	st      *ooc.ShardedTensor
 	scratch *dense.Matrix // maxDim x rank backing; RowBlock'd per mode
 	stats   ooc.StreamStats
 	budget  int64
+	format  string // per-shard kernel format: csf, alto, or auto
 }
 
-func newOOCEngine(st *ooc.ShardedTensor, rank int, budgetBytes int64, tr *obs.Tracer) *oocEngine {
+func newOOCEngine(st *ooc.ShardedTensor, rank int, budgetBytes int64, tr *obs.Tracer, format string) *oocEngine {
 	e := &oocEngine{
 		st:      st,
 		scratch: dense.New(maxDim(st.Dims()), rank),
 		budget:  budgetBytes,
+		format:  format,
 	}
 	e.stats.Trace = tr
 	return e
 }
 
-func (e *oocEngine) leafTree(int) *csf.Tensor { return nil }
-
-func (e *oocEngine) mttkrp(m int, factors []*dense.Matrix, k *dense.Matrix, leaf mttkrp.LeafFactor, mo mttkrp.Options) error {
-	scratch := e.scratch.RowBlock(0, k.Rows)
-	return e.st.MTTKRP(m, factors, k, scratch, mo, &e.stats)
+// validOOCFormat reports whether the format name is streamable per shard.
+func validOOCFormat(format string) bool {
+	switch format {
+	case "", FormatCSF, FormatALTO, FormatAuto:
+		return true
+	}
+	return false
 }
 
-func (e *oocEngine) oocReport() *stats.OOCReport {
+func (e *oocEngine) LeafTree(int) *csf.Tensor { return nil }
+
+func (e *oocEngine) MTTKRP(m int, factors []*dense.Matrix, k *dense.Matrix, leaf mttkrp.LeafFactor, mo mttkrp.Options) error {
+	scratch := e.scratch.RowBlock(0, k.Rows)
+	return e.st.MTTKRPKernel(e.format, m, factors, k, scratch, mo, &e.stats)
+}
+
+func (e *oocEngine) OOCReport() *stats.OOCReport {
 	snap := e.stats.Snapshot()
 	return &stats.OOCReport{
 		Shards:               e.st.NumShards(),
@@ -115,7 +218,26 @@ func (e *oocEngine) oocReport() *stats.OOCReport {
 		PeakTrackedBytes:     snap.PeakBytes,
 		EstimateBytes:        ooc.InMemoryBytes(e.st.Order(), e.st.NNZ()),
 		BudgetBytes:          e.budget,
+		ShardKernels:         snap.ShardKernels,
 	}
+}
+
+func (e *oocEngine) Backend(int) string {
+	f := e.format
+	if f == "" {
+		f = FormatCSF
+	}
+	return "ooc-" + f
+}
+
+// backendNames snapshots the engine's per-mode backend choice for Result and
+// metrics reporting.
+func backendNames(eng Engine, order int) []string {
+	names := make([]string, order)
+	for m := 0; m < order; m++ {
+		names[m] = eng.Backend(m)
+	}
+	return names
 }
 
 // validateSharded applies the shared preconditions of the out-of-core entry

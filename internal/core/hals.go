@@ -7,7 +7,6 @@ import (
 	"math/rand"
 	"time"
 
-	"aoadmm/internal/csf"
 	"aoadmm/internal/dense"
 	"aoadmm/internal/kruskal"
 	"aoadmm/internal/mttkrp"
@@ -41,6 +40,10 @@ type HALSOptions struct {
 	// Tracer, when non-nil, records outer-iteration, kernel, and scheduler
 	// spans exactly as Options.Tracer does for AO-ADMM runs.
 	Tracer *obs.Tracer
+	// KernelFormat selects the MTTKRP backend exactly as Options.KernelFormat
+	// does for AO-ADMM runs: "", "csf", "alto", or "auto"; unknown names
+	// fail loudly.
+	KernelFormat string
 }
 
 // FactorizeHALS computes a non-negative CPD with hierarchical alternating
@@ -87,10 +90,14 @@ func FactorizeHALS(x *tensor.COO, opts HALSOptions) (*Result, error) {
 		tel.SetTracer(tr)
 	}
 	start := time.Now()
-	var trees *csf.Set
+	var eng Engine
+	var buildErr error
 	timedKernel(tr, bd, stats.PhaseSetup, met, stats.KernelCSFSetup, stats.ModeNone, func() {
-		trees = csf.BuildSet(x.Clone())
+		eng, buildErr = buildInMemoryEngine(x, opts.KernelFormat, false, rank, opts.Threads)
 	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
 
 	rng := rand.New(rand.NewSource(opts.Seed))
 	model := kruskal.Random(x.Dims, rank, rng)
@@ -120,12 +127,16 @@ func FactorizeHALS(x *tensor.COO, opts HALSOptions) (*Result, error) {
 				g = gramProduct(grams, m)
 			})
 			k := kmat.RowBlock(0, x.Dims[m])
+			var mttkrpErr error
 			timedKernel(tr, bd, stats.PhaseMTTKRP, met, stats.KernelMTTKRP, m, func() {
 				withKernelLabels("mttkrp", m, func() {
-					mttkrp.Compute(trees.Tree(m), model.Factors, k, nil,
+					mttkrpErr = eng.MTTKRP(m, model.Factors, k, nil,
 						mttkrp.Options{Threads: opts.Threads, Telem: tel})
 				})
 			})
+			if mttkrpErr != nil {
+				return nil, fmt.Errorf("core: HALS mode %d outer %d: %w", m, outer, mttkrpErr)
+			}
 			timedKernel(tr, bd, stats.PhaseADMM, met, stats.KernelHALSUpdate, m, func() {
 				withKernelLabels("hals", m, func() {
 					halsUpdate(model.Factors[m], k, g, opts.Threads, tel)
@@ -166,6 +177,8 @@ func FactorizeHALS(x *tensor.COO, opts HALSOptions) (*Result, error) {
 		res.FactorDensities[m] = dense.Density(model.Factors[m], 0)
 	}
 	recordScheduler(met, tel)
+	res.KernelBackends = backendNames(eng, order)
+	met.SetBackends(res.KernelBackends)
 	return res, nil
 }
 

@@ -15,10 +15,12 @@ import (
 	"sync"
 
 	"aoadmm/internal/admm"
+	"aoadmm/internal/alto"
 	"aoadmm/internal/csf"
 	"aoadmm/internal/dense"
 	"aoadmm/internal/kruskal"
 	"aoadmm/internal/mttkrp"
+	"aoadmm/internal/perfmodel"
 	"aoadmm/internal/prox"
 	"aoadmm/internal/tensor"
 )
@@ -94,6 +96,80 @@ func PartialMTTKRP(tree *csf.Tensor, factors []*dense.Matrix, rows, rank int) *d
 	mttkrp.Compute(tree, factors, out, nil, mttkrp.Options{Threads: 1})
 	return out
 }
+
+// LocalKernel abstracts a node's compiled MTTKRP representation: the
+// shard-range non-zeros compiled once at assignment time into either
+// per-mode CSF trees or the ALTO linearized format. The two kernels agree to
+// floating-point summation order (parity-tested to 1e-12 relative), so a
+// cluster may mix kernel formats across workers — but a run that must match
+// the in-process simulator bit for bit needs the CSF default everywhere.
+type LocalKernel interface {
+	// PartialMTTKRP computes the node's mode-m partial product over rows
+	// global rows, ready for the reduce-scatter.
+	PartialMTTKRP(m int, factors []*dense.Matrix, rows, rank int) *dense.Matrix
+	// NNZ is the node-local non-zero count.
+	NNZ() int
+	// Format names the compiled representation ("csf" or "alto").
+	Format() string
+}
+
+// NewLocalKernel compiles a node's partition into the named kernel format:
+// "" or "csf" builds per-mode CSF trees (the default), "alto" the linearized
+// format, and "auto" asks the perfmodel cost model, which sees this node's
+// local sparsity structure — a skewed partition may pick differently than
+// its neighbors. The partition is owned by the call and may be sorted in
+// place. Unknown formats fail loudly.
+func NewLocalKernel(part *tensor.COO, format string, rank int) (LocalKernel, error) {
+	if format == "auto" {
+		if part.NNZ() == 0 {
+			format = perfmodel.FormatCSF
+		} else {
+			format = perfmodel.ChooseKernelFormat(part, rank, 1)
+		}
+	}
+	switch format {
+	case "", perfmodel.FormatCSF:
+		return &csfKernel{set: csf.BuildSet(part), nnz: part.NNZ()}, nil
+	case perfmodel.FormatALTO:
+		if part.NNZ() == 0 {
+			// The linearized builder rejects empty tensors; an empty
+			// partition contributes all-zero partials either way.
+			return &csfKernel{set: csf.BuildSet(part), nnz: 0}, nil
+		}
+		t, err := alto.Build(part, alto.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("dist: alto kernel: %w", err)
+		}
+		return &altoKernel{t: t}, nil
+	default:
+		return nil, fmt.Errorf("dist: unknown kernel format %q (known: csf, alto, auto)", format)
+	}
+}
+
+type csfKernel struct {
+	set *csf.Set
+	nnz int
+}
+
+func (k *csfKernel) PartialMTTKRP(m int, factors []*dense.Matrix, rows, rank int) *dense.Matrix {
+	return PartialMTTKRP(k.set.Tree(m), factors, rows, rank)
+}
+
+func (k *csfKernel) NNZ() int       { return k.nnz }
+func (k *csfKernel) Format() string { return perfmodel.FormatCSF }
+
+type altoKernel struct {
+	t *alto.Tensor
+}
+
+func (k *altoKernel) PartialMTTKRP(m int, factors []*dense.Matrix, rows, rank int) *dense.Matrix {
+	out := dense.New(rows, rank)
+	k.t.MTTKRP(m, factors, out, mttkrp.Options{Threads: 1})
+	return out
+}
+
+func (k *altoKernel) NNZ() int       { return k.t.NNZ() }
+func (k *altoKernel) Format() string { return perfmodel.FormatALTO }
 
 // LocalADMM runs the communication-free blocked ADMM step on one node's
 // owned row block (the paper's §IV-B property: every block's convergence is

@@ -25,6 +25,10 @@ type cluster struct {
 }
 
 func startCluster(t *testing.T, n int) *cluster {
+	return startClusterFormat(t, n, "")
+}
+
+func startClusterFormat(t *testing.T, n int, kernelFormat string) *cluster {
 	t.Helper()
 	coord, err := Listen(Config{
 		Listen:            "127.0.0.1:0",
@@ -41,6 +45,7 @@ func startCluster(t *testing.T, n int) *cluster {
 			CoordinatorAddr: coord.Addr(),
 			Name:            fmt.Sprintf("w%d", i),
 			RetryInterval:   50 * time.Millisecond,
+			KernelFormat:    kernelFormat,
 		})
 		c.workers = append(c.workers, w)
 		go w.Run(ctx)
@@ -162,6 +167,43 @@ func TestNetworkedMatchesSimulatorAndCore(t *testing.T) {
 				t.Fatal("no physical wire traffic accounted")
 			}
 		})
+	}
+}
+
+// TestALTOWorkersMatchCSF runs the same job on a CSF-kernel cluster and an
+// ALTO-kernel cluster. The two kernels accumulate partial products in
+// different floating-point orders, so the fits agree to solver tolerance
+// rather than bit-for-bit — the guarantee mixed-format clusters rely on.
+func TestALTOWorkersMatchCSF(t *testing.T) {
+	x := planted(t, []int{60, 90, 120}, 5000, 17)
+	st := shardStore(t, x, 0)
+
+	const workers, rank, iters, blockSize = 3, 4, 6, 10
+	opts := JobOptions{
+		JobID: "fmt-parity", ShardDir: st.Dir(), Rank: rank, Constraint: "nonneg",
+		MaxOuterIters: iters, BlockSize: blockSize, Seed: 9,
+		Workers: workers, WaitForWorkers: workers,
+	}
+
+	cCSF := startClusterFormat(t, workers, "csf")
+	refRes, err := cCSF.coord.RunJob(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cALTO := startClusterFormat(t, workers, "alto")
+	altoRes, err := cALTO.coord.RunJob(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if math.Abs(altoRes.RelErr-refRes.RelErr) > 1e-6 {
+		t.Fatalf("alto-kernel relerr %v vs csf %v", altoRes.RelErr, refRes.RelErr)
+	}
+	// The kernel choice is worker-local: the priced communication schedule
+	// must be identical.
+	if altoRes.Comm != refRes.Comm {
+		t.Fatalf("alto comm %+v != csf comm %+v", altoRes.Comm, refRes.Comm)
 	}
 }
 

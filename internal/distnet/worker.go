@@ -10,7 +10,6 @@ import (
 	"time"
 
 	"aoadmm/internal/admm"
-	"aoadmm/internal/csf"
 	"aoadmm/internal/dense"
 	"aoadmm/internal/dist"
 	"aoadmm/internal/ooc"
@@ -30,7 +29,13 @@ type WorkerConfig struct {
 	// MaxFrameLen bounds accepted frame payloads (default
 	// DefaultMaxFrameLen).
 	MaxFrameLen int
-	Logger      *slog.Logger
+	// KernelFormat picks the MTTKRP representation this worker compiles its
+	// shard range into: "" or "csf" (default), "alto", or "auto" (cost-model
+	// choice on the local partition). Selection is worker-local — no
+	// protocol change — and the CSF default keeps runs bit-identical to the
+	// in-process simulator.
+	KernelFormat string
+	Logger       *slog.Logger
 }
 
 func (c *WorkerConfig) fill() {
@@ -109,8 +114,9 @@ func (w *Worker) Run(ctx context.Context) error {
 }
 
 // workerJob is the state one Assign establishes: this worker's shard-range
-// CSF trees, its per-mode ownership spans, and the replicated factor/dual
-// state the coordinator keeps refreshed.
+// compiled MTTKRP kernel (CSF trees or ALTO, per WorkerConfig.KernelFormat),
+// its per-mode ownership spans, and the replicated factor/dual state the
+// coordinator keeps refreshed.
 type workerJob struct {
 	epoch         uint32
 	jobID         string
@@ -119,7 +125,7 @@ type workerJob struct {
 	owned         [][2]int
 	factors       []*dense.Matrix
 	duals         []*dense.Matrix
-	trees         *csf.Set
+	kernel        dist.LocalKernel
 	cons          []prox.Operator
 	blockSize     int
 	innerMaxIters int
@@ -238,9 +244,10 @@ func (w *Worker) session(ctx context.Context) error {
 				continue
 			}
 			job = j
-			r := ready{Epoch: a.Epoch, NNZ: int64(j.trees.Tree(0).NNZ()), ShardBytes: j.shardBytes}
+			r := ready{Epoch: a.Epoch, NNZ: int64(j.kernel.NNZ()), ShardBytes: j.shardBytes}
 			w.cfg.Logger.Info("distnet: assigned",
-				"job", j.jobID, "epoch", j.epoch, "mode0", a.Mode0, "nnz", r.NNZ)
+				"job", j.jobID, "epoch", j.epoch, "mode0", a.Mode0, "nnz", r.NNZ,
+				"kernel", j.kernel.Format())
 			if err := send(msgReady, r.encode()); err != nil {
 				return err
 			}
@@ -260,7 +267,7 @@ func (w *Worker) session(ctx context.Context) error {
 				}
 				continue
 			}
-			p := dist.PartialMTTKRP(job.trees.Tree(m), job.factors, job.dims[m], job.rank)
+			p := job.kernel.PartialMTTKRP(m, job.factors, job.dims[m], job.rank)
 			msg := sparsePartial(p, job.epoch, uint32(m))
 			if err := send(msgPartial, msg.encode(job.rank)); err != nil {
 				return err
@@ -344,8 +351,8 @@ func (w *Worker) session(ctx context.Context) error {
 }
 
 // loadAssignment realizes one Assign: open the shard store, stream exactly
-// the shards covering this worker's mode-0 range, build the CSF trees, and
-// adopt the replicated state.
+// the shards covering this worker's mode-0 range, compile the configured
+// MTTKRP kernel over it, and adopt the replicated state.
 func (w *Worker) loadAssignment(a assign) (*workerJob, error) {
 	if a.Rank < 1 {
 		return nil, fmt.Errorf("rank %d", a.Rank)
@@ -399,6 +406,10 @@ func (w *Worker) loadAssignment(a assign) (*workerJob, error) {
 	if threads < 1 {
 		threads = 1
 	}
+	kernel, err := dist.NewLocalKernel(part, w.cfg.KernelFormat, int(a.Rank))
+	if err != nil {
+		return nil, err
+	}
 	return &workerJob{
 		epoch:         a.Epoch,
 		jobID:         a.JobID,
@@ -407,7 +418,7 @@ func (w *Worker) loadAssignment(a assign) (*workerJob, error) {
 		owned:         owned,
 		factors:       a.Factors,
 		duals:         a.Duals,
-		trees:         csf.BuildSet(part),
+		kernel:        kernel,
 		cons:          cons,
 		blockSize:     int(a.BlockSize),
 		innerMaxIters: int(a.InnerMaxIters),

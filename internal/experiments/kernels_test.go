@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestKernels(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	if err := Kernels(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Kernel head-to-head", "uniform", "power-law", "model_pick"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// The cost model must be consulted for both shapes; its pick is one of
+	// the two kernel names on every row.
+	if !strings.Contains(out, "csf") || !strings.Contains(out, "alto") {
+		t.Fatalf("kernel names missing from table:\n%s", out)
+	}
+}

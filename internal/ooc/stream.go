@@ -5,10 +5,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aoadmm/internal/alto"
 	"aoadmm/internal/csf"
 	"aoadmm/internal/dense"
 	"aoadmm/internal/mttkrp"
 	"aoadmm/internal/obs"
+	"aoadmm/internal/perfmodel"
 	"aoadmm/internal/tensor"
 )
 
@@ -31,12 +33,20 @@ type StreamStats struct {
 	// actual MemoryBytes of the CSF tree currently compiled from one.
 	PeakBytes int64
 
+	// ShardKernels counts shard kernel compilations by format ("csf",
+	// "alto"): with format "auto" each shard picks its own backend, so the
+	// histogram reveals the per-shard decisions. Populated on Snapshot
+	// copies only; live counts are kept in atomic fields.
+	ShardKernels map[string]int64
+
 	// Trace optionally records shard-pipeline spans (shard_load on the
 	// prefetcher's ring, shard_compute and prefetch_stall on the driver's);
 	// nil disables tracing. Not part of Snapshot.
 	Trace *obs.Tracer
 
-	resident int64
+	resident  int64
+	shardCSF  int64
+	shardALTO int64
 }
 
 // tracer is the nil-StreamStats-safe accessor for Trace.
@@ -83,18 +93,40 @@ func (st *StreamStats) countStall(d time.Duration) {
 	atomic.AddInt64(&st.StallNanos, int64(d))
 }
 
+func (st *StreamStats) countKernel(format string) {
+	if st == nil {
+		return
+	}
+	if format == "alto" {
+		atomic.AddInt64(&st.shardALTO, 1)
+	} else {
+		atomic.AddInt64(&st.shardCSF, 1)
+	}
+}
+
 // Snapshot returns a torn-read-safe copy of the counters.
 func (st *StreamStats) Snapshot() StreamStats {
 	if st == nil {
 		return StreamStats{}
 	}
-	return StreamStats{
+	snap := StreamStats{
 		ShardLoads:     atomic.LoadInt64(&st.ShardLoads),
 		BytesRead:      atomic.LoadInt64(&st.BytesRead),
 		PrefetchStalls: atomic.LoadInt64(&st.PrefetchStalls),
 		StallNanos:     atomic.LoadInt64(&st.StallNanos),
 		PeakBytes:      atomic.LoadInt64(&st.PeakBytes),
 	}
+	csf, alto := atomic.LoadInt64(&st.shardCSF), atomic.LoadInt64(&st.shardALTO)
+	if csf > 0 || alto > 0 {
+		snap.ShardKernels = make(map[string]int64, 2)
+		if csf > 0 {
+			snap.ShardKernels["csf"] = csf
+		}
+		if alto > 0 {
+			snap.ShardKernels["alto"] = alto
+		}
+	}
+	return snap
 }
 
 // prefetched is one shard loaded ahead of the consumer, paired with its
@@ -107,18 +139,37 @@ type prefetched struct {
 }
 
 // MTTKRP computes the full matricized-tensor-times-Khatri-Rao product for
-// one mode by streaming shards: load shard i (prefetched on a background
-// goroutine while shard i-1 computes), compile its CSF tree, run the
+// one mode by streaming shards with the CSF kernel. It is shorthand for
+// MTTKRPKernel with format "csf".
+func (s *ShardedTensor) MTTKRP(mode int, factors []*dense.Matrix, out, scratch *dense.Matrix, mo mttkrp.Options, st *StreamStats) error {
+	return s.MTTKRPKernel("csf", mode, factors, out, scratch, mo, st)
+}
+
+// MTTKRPKernel computes the full matricized-tensor-times-Khatri-Rao product
+// for one mode by streaming shards: load shard i (prefetched on a background
+// goroutine while shard i-1 computes), compile its kernel structure, run the
 // in-memory kernel for its partial product into scratch, and accumulate into
-// out. At most two shard COOs are resident (double buffering) plus one CSF
-// tree; the high-water mark is recorded in st.PeakBytes.
+// out. At most two shard COOs are resident (double buffering) plus one
+// compiled structure; the high-water mark is recorded in st.PeakBytes.
+//
+// format selects the per-shard kernel: "" or "csf" compiles a CSF tree
+// rooted at the target mode, "alto" compiles a linearized ALTO tensor, and
+// "auto" lets the perfmodel cost model choose per shard — shards with
+// different sparsity structure may legitimately pick different backends
+// within one call (the decisions land in st.ShardKernels). Unknown formats
+// fail loudly.
 //
 // out and scratch must both be Dims()[mode] x rank. The existing kernels are
-// reused unchanged: mttkrp.Compute zeroes its output, so partials land in
-// scratch and are AXPY-accumulated.
-func (s *ShardedTensor) MTTKRP(mode int, factors []*dense.Matrix, out, scratch *dense.Matrix, mo mttkrp.Options, st *StreamStats) error {
+// reused unchanged: both zero their output, so partials land in scratch and
+// are AXPY-accumulated.
+func (s *ShardedTensor) MTTKRPKernel(format string, mode int, factors []*dense.Matrix, out, scratch *dense.Matrix, mo mttkrp.Options, st *StreamStats) error {
 	if mode < 0 || mode >= s.Order() {
 		return fmt.Errorf("ooc: mode %d out of range [0, %d)", mode, s.Order())
+	}
+	switch format {
+	case "", "csf", "alto", "auto":
+	default:
+		return fmt.Errorf("ooc: unknown kernel format %q (known: csf, alto, auto)", format)
 	}
 	order := s.Order()
 
@@ -167,19 +218,46 @@ func (s *ShardedTensor) MTTKRP(mode int, factors []*dense.Matrix, out, scratch *
 
 		computeSpan := st.tracer().Begin("ooc", "shard_compute", mode, obs.TIDDriver, int64(p.idx))
 
-		// Compile this shard's CSF tree rooted at the target mode. The
-		// shard COO is owned by this call, so Build may sort it in place —
-		// no defensive clone.
-		tree := csf.Build(p.coo, csf.DefaultPerm(order, mode))
-		treeBytes := int64(tree.MemoryBytes())
-		st.grow(treeBytes)
+		// Resolve "auto" per shard: different shards of one tensor can
+		// have very different fiber structure, so each gets its own
+		// cost-model decision.
+		shardFormat := format
+		if format == "auto" {
+			shardFormat = perfmodel.ChooseKernelFormat(p.coo, out.Cols, mo.Threads)
+		}
 
-		mttkrp.Compute(tree, factors, scratch, nil, mo)
-		dense.AXPY(out, 1, scratch)
+		// Compile this shard's kernel structure. The shard COO is owned by
+		// this call, so the CSF build may sort it in place — no defensive
+		// clone (the ALTO build never mutates its input).
+		var kernelErr error
+		switch shardFormat {
+		case "alto":
+			at, err := alto.Build(p.coo, alto.Options{})
+			if err != nil {
+				kernelErr = fmt.Errorf("ooc: shard %d alto build: %w", p.idx, err)
+				break
+			}
+			altoBytes := int64(at.MemoryBytes())
+			st.grow(altoBytes)
+			st.countKernel("alto")
+			at.MTTKRP(mode, factors, scratch, mo)
+			dense.AXPY(out, 1, scratch)
+			st.shrink(altoBytes)
+		default: // "" or "csf"
+			tree := csf.Build(p.coo, csf.DefaultPerm(order, mode))
+			treeBytes := int64(tree.MemoryBytes())
+			st.grow(treeBytes)
+			st.countKernel("csf")
+			mttkrp.Compute(tree, factors, scratch, nil, mo)
+			dense.AXPY(out, 1, scratch)
+			st.shrink(treeBytes)
+		}
 
-		st.shrink(treeBytes)
 		st.shrink(p.bytes)
 		computeSpan.End()
+		if kernelErr != nil {
+			return kernelErr
+		}
 	}
 	return nil
 }

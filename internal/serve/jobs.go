@@ -81,6 +81,10 @@ type JobSpec struct {
 	ExploitSparsity bool   `json:"exploit_sparsity,omitempty"`
 	Structure       string `json:"structure,omitempty"`
 	AdaptiveRho     bool   `json:"adaptive_rho,omitempty"`
+	// Format selects the MTTKRP kernel backend: csf (default) | alto | auto
+	// (cost-model selection per tensor, or per shard when out-of-core).
+	// In-process solvers only; distributed workers pick their own format.
+	Format string `json:"format,omitempty"`
 	// CollectMetrics records an aoadmm-metrics/v1 report served at /metrics
 	// once the job finishes. Defaults to true; set to false explicitly to
 	// skip the ~10-30% collection overhead.
@@ -160,6 +164,14 @@ func (s *JobSpec) validate() error {
 	case "", "dense", "csr", "hybrid", "csr-h":
 	default:
 		return fmt.Errorf("unknown structure %q", s.Structure)
+	}
+	switch s.Format {
+	case "", core.FormatCSF, core.FormatALTO, core.FormatAuto:
+	default:
+		return fmt.Errorf("unknown format %q (want csf|alto|auto)", s.Format)
+	}
+	if s.Format != "" && s.DistWorkers > 1 {
+		return fmt.Errorf("dist_workers does not support per-job format selection (workers pick their own kernel)")
 	}
 	if s.Constraint != "" {
 		if _, err := parseConstraints(s.Constraint); err != nil {
@@ -1114,7 +1126,7 @@ func (m *Manager) runSolver(ctx context.Context, jobID string, attempt int, spec
 			Threads: spec.Threads, Seed: spec.Seed, Ridge: 1e-10,
 			MemBudgetBytes: spec.MemBudgetMB << 20,
 			CollectMetrics: spec.collectMetrics(), Ctx: ctx,
-			OnIteration: publish,
+			OnIteration: publish, KernelFormat: spec.Format,
 		}
 		if sharded != nil {
 			return core.FactorizeALSOOC(sharded, alsOpts)
@@ -1128,7 +1140,7 @@ func (m *Manager) runSolver(ctx context.Context, jobID string, attempt int, spec
 			Rank: spec.Rank, MaxOuterIters: spec.MaxOuterIters, Tol: spec.Tol,
 			Threads: spec.Threads, Seed: spec.Seed,
 			CollectMetrics: spec.collectMetrics(), Ctx: ctx,
-			OnIteration: publish,
+			OnIteration: publish, KernelFormat: spec.Format,
 		})
 	default:
 		if spec.DistWorkers > 1 {
@@ -1139,6 +1151,7 @@ func (m *Manager) runSolver(ctx context.Context, jobID string, attempt int, spec
 			Threads: spec.Threads, BlockSize: spec.BlockSize, Seed: spec.Seed,
 			ExploitSparsity:   spec.ExploitSparsity,
 			AdaptiveRho:       spec.AdaptiveRho,
+			KernelFormat:      spec.Format,
 			MemBudgetBytes:    spec.MemBudgetMB << 20,
 			CollectMetrics:    spec.collectMetrics(),
 			CheckpointDir:     m.checkpointDir(jobID),

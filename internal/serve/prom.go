@@ -149,12 +149,16 @@ func (s *Server) promKernels(reg *obs.Registry) {
 	secs := map[key]float64{}
 	calls := map[key]int64{}
 	inner := map[float64]int64{}
+	backends := map[string]int64{}
 	var solves, blocks, rhoAdapt int64
 	for _, rep := range s.mgr.Reports() {
 		for _, kt := range rep.Kernels {
 			k := key{kt.Kernel, kt.Mode}
 			secs[k] += kt.Seconds
 			calls[k] += kt.Calls
+		}
+		for _, b := range rep.Backends {
+			backends[b]++
 		}
 		solves += rep.ADMM.Solves
 		blocks += rep.ADMM.Blocks
@@ -184,6 +188,17 @@ func (s *Server) promKernels(reg *obs.Registry) {
 		reg.CounterVal("aoadmm_kernel_calls_total",
 			"Kernel invocations across finished jobs, per kernel per mode.",
 			float64(calls[k]), labels...)
+	}
+
+	bnames := make([]string, 0, len(backends))
+	for b := range backends {
+		bnames = append(bnames, b)
+	}
+	sort.Strings(bnames)
+	for _, b := range bnames {
+		reg.CounterVal("aoadmm_mttkrp_backend_total",
+			"Mode-backend assignments across finished jobs, by MTTKRP kernel backend (csf, alto, ooc-auto, ...). One increment per mode per job.",
+			float64(backends[b]), obs.L("backend", b))
 	}
 
 	reg.CounterVal("aoadmm_admm_solves_total", "Inner ADMM solves across finished jobs.", float64(solves))

@@ -76,6 +76,7 @@ type Metrics struct {
 	threads        map[int]ThreadSample
 	sparsity       []DensitySample
 	ooc            *OOCReport
+	backends       []string
 }
 
 // NewMetrics returns an empty, enabled metrics collector.
@@ -165,6 +166,18 @@ func (m *Metrics) SetOOC(r *OOCReport) {
 	m.mu.Unlock()
 }
 
+// SetBackends records the per-mode MTTKRP backend names the engine chose
+// ("csf", "alto", "ooc-csf", ...); they appear as the "backends" section of
+// the aoadmm-metrics/v1 report. The last call wins.
+func (m *Metrics) SetBackends(names []string) {
+	if m == nil || len(names) == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.backends = append([]string(nil), names...)
+	m.mu.Unlock()
+}
+
 // OOCReport summarizes out-of-core (shard-streaming) execution: shard I/O
 // volume, prefetch pipeline health, and the memory-admission accounting that
 // chose this path. Present only for runs that streamed shards.
@@ -188,6 +201,10 @@ type OOCReport struct {
 	// for this tensor; BudgetBytes the configured budget (0 = unlimited).
 	EstimateBytes int64 `json:"estimate_bytes"`
 	BudgetBytes   int64 `json:"budget_bytes"`
+	// ShardKernels counts resident-shard kernel compilations by format
+	// ("csf", "alto") — under format "auto" the per-shard cost model may
+	// mix formats within one run.
+	ShardKernels map[string]int64 `json:"shard_kernels,omitempty"`
 }
 
 // Report is the JSON-serializable snapshot of a Metrics collector
@@ -206,6 +223,9 @@ type Report struct {
 	Sparsity []DensitySample `json:"sparsity"`
 	// OOC is the out-of-core execution report; omitted for in-memory runs.
 	OOC *OOCReport `json:"ooc,omitempty"`
+	// Backends names the MTTKRP backend that served each mode (index =
+	// mode); omitted for runs recorded before backend selection existed.
+	Backends []string `json:"backends,omitempty"`
 }
 
 // KernelTiming is one (kernel, mode) accumulator.
@@ -303,6 +323,7 @@ func (m *Metrics) Report() *Report {
 		cp := *m.ooc
 		r.OOC = &cp
 	}
+	r.Backends = append([]string(nil), m.backends...)
 	return r
 }
 
