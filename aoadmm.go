@@ -37,6 +37,7 @@ import (
 	"aoadmm/internal/ooc"
 	"aoadmm/internal/prox"
 	"aoadmm/internal/stats"
+	"aoadmm/internal/stream"
 	"aoadmm/internal/tensor"
 )
 
@@ -223,6 +224,20 @@ func OpenSharded(dir string) (*ShardedTensor, error) { return ooc.Open(dir) }
 
 // IsShardDir reports whether path looks like a shard directory.
 func IsShardDir(path string) bool { return ooc.IsShardDir(path) }
+
+// StreamInfo is a read-only summary of a streaming lineage directory — the
+// delta journal and materialized generations behind a live served model
+// (docs/STREAMING.md).
+type StreamInfo = stream.Info
+
+// IsStreamDir reports whether path is a streaming lineage directory (as
+// written under the daemon's <data>/stream/).
+func IsStreamDir(path string) bool { return stream.IsStreamDir(path) }
+
+// ReadStreamInfo summarizes a streaming lineage directory without opening it
+// for writes: applied/pending delta batches, decay, journal size, and the
+// materialized generations present on disk.
+func ReadStreamInfo(path string) (*StreamInfo, error) { return stream.ReadInfo(path) }
 
 // ConvertToShards streams a ".tns" or ".aotn" file of arbitrary size into a
 // sorted shard directory via external merge sort, never holding more than

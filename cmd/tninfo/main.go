@@ -12,6 +12,9 @@
 // per-mode CSF trees) from the out-of-core admission estimator; with
 // -mem-budget it additionally prints the admission decision. A sharded
 // .aoshard directory is accepted in place of a file and its layout is shown.
+// A streaming lineage directory (a daemon's <data>/stream/<root>/, see
+// docs/STREAMING.md) is also accepted: the delta-journal state and
+// materialized generations are printed instead of tensor statistics.
 package main
 
 import (
@@ -38,6 +41,27 @@ func main() {
 	}
 }
 
+// streamInfo reports a streaming lineage directory (a daemon's
+// <data>/stream/<root>/): delta-journal state and materialized generations,
+// read without taking the serving daemon's locks.
+func streamInfo(path string) error {
+	info, err := aoadmm.ReadStreamInfo(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stream lineage: %s\n", info.Root)
+	fmt.Printf("dims:     %v\n", info.Dims)
+	fmt.Printf("decay:    %g\n", info.Decay)
+	fmt.Printf("applied:  seq %d (base gen %d)\n", info.AppliedSeq, info.BaseGen)
+	fmt.Printf("latest:   seq %d\n", info.LatestSeq)
+	fmt.Printf("pending:  %d batch(es), %d nnz\n", info.PendingBatches, info.PendingNNZ)
+	fmt.Printf("journal:  %.1f KiB\n", float64(info.JournalBytes)/(1<<10))
+	if len(info.Gens) > 0 {
+		fmt.Printf("materialized generations: %v\n", info.Gens)
+	}
+	return nil
+}
+
 func run(path, dataset, scale string, memMB int64) error {
 	var x *aoadmm.Tensor
 	var err error
@@ -57,6 +81,8 @@ func run(path, dataset, scale string, memMB int64) error {
 		x, err = aoadmm.Dataset(dataset, s)
 	case path != "":
 		switch {
+		case aoadmm.IsStreamDir(path):
+			return streamInfo(path)
 		case aoadmm.IsShardDir(path):
 			var st *aoadmm.ShardedTensor
 			st, err = aoadmm.OpenSharded(path)

@@ -164,6 +164,12 @@ type Options struct {
 	// trajectory exactly; without them the duals restart at zero and the run
 	// re-converges. Shapes must match the factors.
 	InitDuals []*dense.Matrix
+	// DualScale multiplies the restored InitDuals by a constant in (0, 1]
+	// before the first sweep (0 or 1 = use them verbatim). Streaming refits
+	// set it to the sliding-window decay applied to the base tensor since the
+	// parent model trained, so the carried-over duals match the re-weighted
+	// objective they warm-start; see docs/STREAMING.md.
+	DualScale float64
 	// StartIter anchors the outer-iteration counter when resuming: the loop
 	// runs iterations StartIter+1 through MaxOuterIters, and OuterIters,
 	// checkpoints, and trace points report cumulative iteration numbers. The
@@ -255,6 +261,9 @@ func (o *Options) fill(order int) error {
 	}
 	if o.MaxOuterIters <= 0 {
 		o.MaxOuterIters = DefaultMaxOuterIters
+	}
+	if o.DualScale < 0 || o.DualScale > 1 {
+		return fmt.Errorf("core: DualScale must be in (0, 1], got %g", o.DualScale)
 	}
 	if o.Tol <= 0 {
 		o.Tol = DefaultTol
@@ -433,6 +442,9 @@ func factorize(spec engineSpec, opts Options) (*Result, error) {
 	for m := 0; m < order; m++ {
 		if opts.InitDuals != nil {
 			duals[m] = opts.InitDuals[m].Clone()
+			if opts.DualScale > 0 && opts.DualScale != 1 {
+				dense.Scale(duals[m], opts.DualScale)
+			}
 		} else {
 			duals[m] = dense.New(spec.dims[m], opts.Rank)
 		}

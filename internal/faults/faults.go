@@ -33,6 +33,17 @@ const (
 	// CrashAfterCommit fires after the model is registered but before the
 	// terminal journal record: a crash here must NOT duplicate the model.
 	CrashAfterCommit Point = "crash.after-commit"
+	// StreamAppend fires before a delta-journal batch is written: a failure
+	// here must reject the append with the journal untouched.
+	StreamAppend Point = "stream.append"
+	// StreamMaterialize fires before a materialized delta generation is
+	// renamed into place: a failure leaves only a .build temp dir that the
+	// next materialization rebuilds from scratch.
+	StreamMaterialize Point = "stream.materialize"
+	// StreamStateSave fires before a stream lineage's state.json is swapped:
+	// a crash here must leave the previous applied-seq (and therefore the
+	// journal's pending batches) intact.
+	StreamStateSave Point = "stream.state-save"
 )
 
 // ErrCrash is the sentinel an armed crash point returns; the component that

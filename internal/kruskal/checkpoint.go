@@ -76,6 +76,14 @@ func (c Checkpoint) write(dir string) error {
 	return nil
 }
 
+// Write lays the checkpoint out under dir without any atomicity protocol —
+// for callers that stage the directory themselves (the model registry writes
+// factors + duals inside its own temp-dir-and-rename swap). Use
+// SaveCheckpointAtomic everywhere a reader may race the write.
+func (c Checkpoint) Write(dir string) error {
+	return c.write(dir)
+}
+
 // SaveCheckpointAtomic writes the checkpoint under dir with the same
 // crash-consistent stage-and-swap protocol as SaveAtomic: a reader (or a
 // daemon restarted after a crash mid-save) only ever observes the previous

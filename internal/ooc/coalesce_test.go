@@ -1,0 +1,101 @@
+package ooc
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// TestConverterCoalesce checks the streaming converter's duplicate-coordinate
+// mode: same-coordinate records sum into one non-zero, and the header's nnz
+// and normSq describe the post-coalesce tensor.
+func TestConverterCoalesce(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out.aoshard")
+	cv, err := NewConverter([]int{4, 3, 2}, dir, ConvertOptions{Coalesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(i, j, k int32, v float64) {
+		t.Helper()
+		if err := cv.Add([]int32{i, j, k}, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// {0,0,0} appears three times (scattered in the input order), {1,2,1}
+	// twice, {3,0,1} once.
+	add(0, 0, 0, 1)
+	add(1, 2, 1, 5)
+	add(0, 0, 0, 2)
+	add(3, 0, 1, 7)
+	add(1, 2, 1, -5) // cancels to zero — still stored, values are additive
+	add(0, 0, 0, 4)
+
+	st, err := cv.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NNZ() != 3 {
+		t.Fatalf("nnz %d, want 3 after coalescing 6 records", st.NNZ())
+	}
+	x, err := st.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[[3]int32]float64{}
+	for p := 0; p < x.NNZ(); p++ {
+		got[[3]int32{x.Inds[0][p], x.Inds[1][p], x.Inds[2][p]}] = x.Vals[p]
+	}
+	want := map[[3]int32]float64{
+		{0, 0, 0}: 7,
+		{1, 2, 1}: 0,
+		{3, 0, 1}: 7,
+	}
+	var normSq float64
+	for c, w := range want {
+		if got[c] != w {
+			t.Errorf("coord %v = %v, want %v", c, got[c], w)
+		}
+		normSq += w * w
+	}
+	if math.Abs(st.NormSq()-normSq) > 1e-12 {
+		t.Fatalf("normSq %v, want %v (post-coalesce)", st.NormSq(), normSq)
+	}
+}
+
+// TestConverterNoCoalesceKeepsDuplicates pins the default behavior: without
+// Coalesce, duplicate coordinates stay separate records.
+func TestConverterNoCoalesceKeepsDuplicates(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out.aoshard")
+	cv, err := NewConverter([]int{4, 3, 2}, dir, ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := cv.Add([]int32{0, 0, 0}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := cv.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NNZ() != 3 {
+		t.Fatalf("nnz %d, want 3 duplicate records", st.NNZ())
+	}
+}
+
+// TestConverterAbortCleansUp checks Abort removes the partial output.
+func TestConverterAbortCleansUp(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out.aoshard")
+	cv, err := NewConverter([]int{4, 3, 2}, dir, ConvertOptions{Coalesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cv.Add([]int32{0, 0, 0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	cv.Abort()
+	if IsShardDir(dir) {
+		t.Fatal("aborted conversion left a shard dir behind")
+	}
+}

@@ -30,6 +30,12 @@ type ConvertOptions struct {
 	TargetShardBytes int64
 	// TmpDir holds external-sort run files (default: outDir + ".tmp").
 	TmpDir string
+	// Coalesce sums duplicate coordinates into one record instead of keeping
+	// both. Duplicates are additive under MTTKRP but would double-count in
+	// the stored NormSq, so merged streams (base tensor + delta batches) must
+	// convert with Coalesce set. The header's nnz/normSq then reflect the
+	// post-coalesce records.
+	Coalesce bool
 }
 
 func (o ConvertOptions) fill(outDir string) ConvertOptions {
@@ -127,6 +133,43 @@ func convertAOTN(path, outDir string, opts ConvertOptions) (*ShardedTensor, erro
 		return nil, fmt.Errorf("ooc: %s: empty input", path)
 	}
 	return c.finish()
+}
+
+// Converter is the exported streaming conversion handle: callers push
+// records one at a time (e.g. a base tensor followed by delta batches) and
+// Finish sorts, optionally coalesces, and shards them. Dims must be declared
+// up front; records are validated against them on Add.
+type Converter struct {
+	c *converter
+}
+
+// NewConverter opens a streaming conversion into outDir.
+func NewConverter(dims []int, outDir string, opts ConvertOptions) (*Converter, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("ooc: converter needs declared dims")
+	}
+	c, err := newConverter(dims, outDir, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Converter{c: c}, nil
+}
+
+// Add pushes one record (0-based coords). The coord slice is copied.
+func (cv *Converter) Add(coord []int32, val float64) error {
+	return cv.c.add(coord, val)
+}
+
+// Finish sorts/merges everything pushed so far into shards and opens the
+// resulting store. The Converter is spent afterwards.
+func (cv *Converter) Finish() (*ShardedTensor, error) {
+	return cv.c.finish()
+}
+
+// Abort discards temporary sort state after a failed conversion. The partly
+// written outDir is left for the caller to remove (it owns the directory).
+func (cv *Converter) Abort() {
+	cv.c.abort()
 }
 
 // converter accumulates records into a budget-sized chunk, spilling sorted
@@ -301,9 +344,10 @@ func (c *converter) finish() (*ShardedTensor, error) {
 	}
 
 	w := &shardWriter{
-		dir:    c.outDir,
-		order:  c.order,
-		target: c.opts.TargetShardBytes,
+		dir:      c.outDir,
+		order:    c.order,
+		target:   c.opts.TargetShardBytes,
+		coalesce: c.opts.Coalesce,
 	}
 	w.reset()
 
@@ -333,7 +377,13 @@ func (c *converter) finish() (*ShardedTensor, error) {
 		return nil, err
 	}
 
-	h := &Header{Dims: dims, NNZ: c.nnz, NormSq: c.normSq, Shards: w.shards}
+	nnz, normSq := c.nnz, c.normSq
+	if c.opts.Coalesce {
+		// Duplicates were summed inside the writer; the converter's running
+		// totals count pre-coalesce records, so take the writer's.
+		nnz, normSq = w.outNNZ, w.outNormSq
+	}
+	h := &Header{Dims: dims, NNZ: nnz, NormSq: normSq, Shards: w.shards}
 	hpath := filepath.Join(c.outDir, HeaderFileName)
 	if err := os.WriteFile(hpath, EncodeHeader(h), 0o644); err != nil {
 		return nil, err
@@ -439,14 +489,17 @@ func mergeRuns(runs []string, order int, w *shardWriter) error {
 
 // shardWriter buffers sorted records and flushes mode-0-aligned shards.
 type shardWriter struct {
-	dir    string
-	order  int
-	target int64
+	dir      string
+	order    int
+	target   int64
+	coalesce bool
 
-	inds   [][]int32
-	vals   []float64
-	lo     int64
-	shards []ShardInfo
+	inds      [][]int32
+	vals      []float64
+	lo        int64
+	shards    []ShardInfo
+	outNNZ    int64
+	outNormSq float64
 }
 
 func (w *shardWriter) reset() {
@@ -458,6 +511,12 @@ func (w *shardWriter) reset() {
 // never split a mode-0 slice).
 func (w *shardWriter) add(coord []int32, val float64) error {
 	n := len(w.vals)
+	if w.coalesce && n > 0 && w.sameAsLast(coord) {
+		// Sorted input puts duplicates adjacently, and a flush only cuts on a
+		// mode-0 change, so equal coords never straddle a shard boundary.
+		w.vals[n-1] += val
+		return nil
+	}
 	if n > 0 && int64(n)*recordBytes(w.order) >= w.target && coord[0] != w.inds[0][n-1] {
 		if err := w.flush(int64(coord[0])); err != nil {
 			return err
@@ -470,11 +529,27 @@ func (w *shardWriter) add(coord []int32, val float64) error {
 	return nil
 }
 
+// sameAsLast reports whether coord equals the last buffered record's coords.
+func (w *shardWriter) sameAsLast(coord []int32) bool {
+	n := len(w.vals)
+	for m, idx := range coord {
+		if w.inds[m][n-1] != idx {
+			return false
+		}
+	}
+	return true
+}
+
 // flush writes the buffered records as one CRC'd shard covering [lo, hi).
 func (w *shardWriter) flush(hi int64) error {
 	nnz := len(w.vals)
 	if nnz == 0 {
 		return nil
+	}
+	// Post-coalesce totals accumulate here, where the records are final.
+	w.outNNZ += int64(nnz)
+	for _, v := range w.vals {
+		w.outNormSq += v * v
 	}
 	path := filepath.Join(w.dir, ShardFileName(len(w.shards)))
 	f, err := os.Create(path)

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -23,6 +24,7 @@ import (
 	"aoadmm/internal/ooc"
 	"aoadmm/internal/prox"
 	"aoadmm/internal/stats"
+	"aoadmm/internal/stream"
 	"aoadmm/internal/tensor"
 )
 
@@ -105,6 +107,15 @@ type JobSpec struct {
 	// overriding the daemon-wide -job-timeout (0 = inherit the daemon
 	// default). A timed-out job fails terminally.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// RefitModelID turns the job into a streaming refit of the named model's
+	// lineage (docs/STREAMING.md): the input is the lineage's base tensor
+	// plus its pending delta batches (decay-weighted, materialized to shards
+	// out of core), the solver warm-starts from the live head's factors and
+	// scaled duals, and the result registers as the next version. The
+	// dataset/tensor_path, rank, constraint, and algo fields are inherited
+	// from the lineage and must be unset; max_outer, tol, threads,
+	// block_size, checkpoint_every, and timeout_sec still override.
+	RefitModelID string `json:"refit_model_id,omitempty"`
 }
 
 func (s *JobSpec) collectMetrics() bool { return s.CollectMetrics == nil || *s.CollectMetrics }
@@ -112,6 +123,26 @@ func (s *JobSpec) collectMetrics() bool { return s.CollectMetrics == nil || *s.C
 // validate rejects specs that can never run. Input-dependent failures
 // (unreadable tensor file, solver errors) surface when the job runs.
 func (s *JobSpec) validate() error {
+	if s.RefitModelID != "" {
+		// A refit inherits its input, rank, constraint, and solver from the
+		// lineage; only run-shaping knobs may be set alongside it.
+		switch {
+		case s.Dataset != "" || s.TensorPath != "":
+			return fmt.Errorf("refit_model_id selects the input; don't pass dataset or tensor_path")
+		case s.Rank != 0:
+			return fmt.Errorf("refit_model_id inherits the lineage rank; don't pass rank")
+		case s.Constraint != "":
+			return fmt.Errorf("refit_model_id inherits the lineage constraint")
+		case s.Algo != "" && s.Algo != "aoadmm":
+			return fmt.Errorf("refits require algo aoadmm, got %q", s.Algo)
+		case s.DistWorkers > 1:
+			return fmt.Errorf("refits do not support dist_workers")
+		}
+		if s.TimeoutSec < 0 {
+			return fmt.Errorf("timeout_sec must be >= 0, got %v", s.TimeoutSec)
+		}
+		return nil
+	}
 	switch {
 	case s.Dataset == "" && s.TensorPath == "":
 		return fmt.Errorf("need dataset or tensor_path")
@@ -254,6 +285,11 @@ type Job struct {
 	// this job warm-restarts from it instead of random factors.
 	resume *kruskal.Checkpoint
 
+	// refit carries the lineage bookkeeping a streaming refit resolved while
+	// executing (parent, next version, delta provenance); the commit path
+	// folds it into the registered meta and advances the stream state.
+	refit *refitState
+
 	// progress fans per-iteration trace points out to /jobs/{id}/progress
 	// streams; set at construction, never nil for manager-owned jobs.
 	progress *progressBroker
@@ -367,6 +403,19 @@ type ManagerConfig struct {
 	// Dist is the networked distributed engine's coordinator; nil means
 	// dist_workers job specs are rejected at submission.
 	Dist *distnet.Coordinator
+	// Stream is the streaming-ingestion store; nil means refit_model_id job
+	// specs are rejected at submission.
+	Stream *stream.Store
+	// KeepVersions is the lineage retention policy applied on refit commit:
+	// the newest N versions survive, pinned versions and the head always
+	// survive (default 3).
+	KeepVersions int
+	// OnRefitCommit fires after a refit's version swap: the lineage root,
+	// the superseded head, the new head, and the GC'd version ids. The
+	// server uses it to invalidate cached query results and count commits.
+	OnRefitCommit func(root, oldHeadID, newHeadID string, gced []string)
+	// OnRefitFailure fires when a refit job fails terminally.
+	OnRefitFailure func(refitModelID string)
 	// Logger receives structured job-lifecycle logs, scoped per job id.
 	// Nil discards them.
 	Logger *slog.Logger
@@ -390,6 +439,9 @@ func (c *ManagerConfig) fill() {
 	}
 	if c.RetryBackoffMax <= 0 {
 		c.RetryBackoffMax = 30 * time.Second
+	}
+	if c.KeepVersions <= 0 {
+		c.KeepVersions = 3
 	}
 }
 
@@ -432,6 +484,7 @@ type Manager struct {
 	cfg     ManagerConfig
 	faults  *faults.Injector
 	dist    *distnet.Coordinator
+	stream  *stream.Store
 	log     *slog.Logger
 
 	crashed  atomic.Bool
@@ -466,6 +519,7 @@ func NewManager(reg *Registry, dataDir string, jnl *Journal, recovered []JobView
 		cfg:     cfg,
 		faults:  cfg.Faults,
 		dist:    cfg.Dist,
+		stream:  cfg.Stream,
 		log:     cfg.Logger,
 		baseCtx: ctx, baseCancel: cancel,
 	}
@@ -521,6 +575,16 @@ func (m *Manager) recover(views []JobView) {
 				job.finished = time.Now()
 				m.recovery.Adopted++
 				m.journalAppend(job.View())
+				// An adopted refit crashed between the version swap and the
+				// stream commit: re-commit the (idempotent) stream state so
+				// the folded batches leave the pending set.
+				if model.Meta.AsOfSeq > 0 {
+					m.commitRefit(&refitState{
+						Root:     model.Meta.RootID,
+						ParentID: model.Meta.ParentID,
+						AsOfSeq:  model.Meta.AsOfSeq,
+					}, model)
+				}
 				continue
 			}
 			// Resume from the last checkpoint when one is loadable; a torn
@@ -583,6 +647,28 @@ func (m *Manager) Submit(spec JobSpec) (JobView, error) {
 	}
 	if spec.DistWorkers > 1 && m.dist == nil {
 		return JobView{}, fmt.Errorf("serve: dist_workers requires the daemon to run as a coordinator (-role coordinator)")
+	}
+	if spec.RefitModelID != "" {
+		// Fail fast: a refit of a model with nothing to fold in (or of a
+		// non-AO-ADMM model, which has no duals to warm-start) would burn
+		// worker attempts before surfacing.
+		if m.stream == nil {
+			return JobView{}, fmt.Errorf("serve: streaming is not enabled")
+		}
+		head, ok := m.reg.Head(spec.RefitModelID)
+		if !ok {
+			return JobView{}, fmt.Errorf("serve: no model %s", spec.RefitModelID)
+		}
+		if head.Meta.Algo != "aoadmm" {
+			return JobView{}, fmt.Errorf("serve: refits require an aoadmm model, %s is %s", head.Meta.ID, head.Meta.Algo)
+		}
+		snap, err := m.stream.Snapshot(head.Meta.RootID)
+		if err != nil {
+			return JobView{}, fmt.Errorf("serve: model %s has no streamed deltas (append first)", spec.RefitModelID)
+		}
+		if snap.PendingBatches == 0 {
+			return JobView{}, fmt.Errorf("serve: lineage %s has no pending delta batches", head.Meta.RootID)
+		}
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -945,6 +1031,9 @@ func (m *Manager) runJob(job *Job) {
 		job.mu.Unlock()
 		lg.Error("job failed", "error", err, "timed_out", timedOut)
 		m.journalAppend(v)
+		if spec.RefitModelID != "" && m.cfg.OnRefitFailure != nil {
+			m.cfg.OnRefitFailure(spec.RefitModelID)
+		}
 		return
 	}
 
@@ -992,7 +1081,7 @@ func (m *Manager) runJob(job *Job) {
 		m.crashAsync()
 		return
 	}
-	model, regErr := m.reg.Register(ModelMeta{
+	meta := ModelMeta{
 		Name:            spec.Name,
 		JobID:           job.id,
 		Algo:            algoName(spec.Algo),
@@ -1001,18 +1090,40 @@ func (m *Manager) runJob(job *Job) {
 		OuterIters:      res.OuterIters,
 		Converged:       res.Converged,
 		FactorDensities: res.FactorDensities,
-	}, res.Factors, job.report)
+	}
+	if rs := job.refit; rs != nil {
+		// A refit registers as the lineage's next version, inheriting the
+		// family identity and recording the delta provenance.
+		meta.Algo = "aoadmm"
+		meta.Constraint = rs.Constraint
+		if meta.Name == "" {
+			meta.Name = rs.Name
+		}
+		meta.Version = rs.Version
+		meta.ParentID = rs.ParentID
+		meta.RootID = rs.Root
+		meta.AsOfSeq = rs.AsOfSeq
+		meta.DeltaBatches = rs.Batches
+		meta.DeltaNNZ = rs.DeltaNNZ
+	}
+	model, regErr := m.reg.RegisterModel(meta, res.Factors, res.Duals, job.report)
 	if regErr != nil {
 		job.errs = append(job.errs, fmt.Sprintf("attempt %d: register model: %v", attempt, regErr))
 		job.status = JobFailed
 		job.err = fmt.Sprintf("register model: %v", regErr)
 		lg.Error("job failed", "error", regErr)
 		m.journalAppend(job.viewLocked())
+		if spec.RefitModelID != "" && m.cfg.OnRefitFailure != nil {
+			m.cfg.OnRefitFailure(spec.RefitModelID)
+		}
 		return
 	}
 	if err := m.faults.Fire(faults.CrashAfterCommit); err != nil {
 		m.crashAsync()
 		return
+	}
+	if rs := job.refit; rs != nil {
+		m.commitRefit(rs, model)
 	}
 	job.status = JobDone
 	job.modelID = model.Meta.ID
@@ -1051,6 +1162,16 @@ func (m *Manager) executeAttempt(ctx context.Context, jobID string, attempt int,
 // budget admits it out-of-core — the streaming engines run instead, and the
 // shard I/O counters are folded into the daemon-wide aggregates.
 func (m *Manager) execute(ctx context.Context, jobID string, attempt int, spec JobSpec, resume *kruskal.Checkpoint) (*core.Result, error) {
+	if spec.RefitModelID != "" {
+		res, err := m.executeRefit(ctx, jobID, attempt, spec, resume)
+		if err == nil && res.OOC != nil {
+			m.oocRuns.Add(1)
+			m.oocShardLoads.Add(res.OOC.ShardLoads)
+			m.oocBytesRead.Add(res.OOC.ShardBytesRead)
+			m.oocStalls.Add(res.OOC.PrefetchStalls)
+		}
+		return res, err
+	}
 	x, sharded, cleanup, err := m.resolveSpecTensor(spec, jobID)
 	if err != nil {
 		return nil, err
@@ -1249,6 +1370,253 @@ func (m *Manager) runDistSolver(ctx context.Context, jobID string, spec JobSpec,
 		Converged:  res.Converged,
 		Stopped:    res.Stopped,
 	}, nil
+}
+
+// refitState is the lineage bookkeeping a refit attempt resolves before the
+// solver runs: who the new version descends from, which seq it is trained as
+// of, and the delta provenance recorded in its meta.
+type refitState struct {
+	Root       string
+	Name       string
+	Constraint string
+	ParentID   string
+	Version    int
+	AsOfSeq    int64
+	Batches    int
+	DeltaNNZ   int64
+}
+
+// commitRefit finishes a refit's version swap after the model is registered:
+// the stream state advances (idempotently — a recovery re-commit of an
+// adopted model is a no-op), the retention policy prunes superseded
+// versions, and the server's commit hook fires (cache invalidation,
+// counters). Called with job.mu held on the runJob path; it takes neither
+// m.mu nor job.mu itself.
+func (m *Manager) commitRefit(rs *refitState, model *Model) {
+	if m.stream != nil {
+		if _, err := m.stream.Commit(rs.Root, rs.AsOfSeq); err != nil {
+			// The model is registered and serving; a failed stream commit only
+			// means the folded batches stay pending and the next refit re-folds
+			// them (decay-weighted the same way). Log, don't fail the job.
+			m.log.Warn("stream commit failed", "lineage", rs.Root,
+				"as_of", rs.AsOfSeq, "error", err)
+		}
+	}
+	gced := m.reg.GCVersions(model.Meta.ID, m.cfg.KeepVersions)
+	if len(gced) > 0 {
+		m.log.Info("lineage retention gc", "lineage", rs.Root,
+			"keep", m.cfg.KeepVersions, "removed", gced)
+	}
+	if m.cfg.OnRefitCommit != nil {
+		m.cfg.OnRefitCommit(rs.Root, rs.ParentID, model.Meta.ID, gced)
+	}
+}
+
+// RefitInFlight reports the id of a queued or running refit job covering the
+// given lineage root, if any. The refit triggers use it as their dedupe; it
+// is deliberately stateless (a scan of the job table) so it stays correct
+// across crash recovery, which reconstructs the table before workers start.
+func (m *Manager) RefitInFlight(root string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, id := range m.order {
+		j := m.jobs[id]
+		j.mu.Lock()
+		st, target := j.status, j.spec.RefitModelID
+		j.mu.Unlock()
+		if target == "" || (st != JobQueued && st != JobRunning) {
+			continue
+		}
+		if tm, ok := m.reg.Get(target); ok {
+			if tm.Meta.RootID == root {
+				return id, true
+			}
+		} else if target == root {
+			// Target version GC'd since submission; fall back to comparing
+			// the id itself (roots are never GC'd out of their own lineage
+			// while a head exists, but be conservative).
+			return id, true
+		}
+	}
+	return "", false
+}
+
+// refitBaseSource resolves the base tensor a refit folds deltas over: the
+// lineage's last materialized generation when one exists (so decay
+// accumulates multiplicatively across refits), otherwise the original
+// training source recorded at lineage creation. Shard-backed bases stream
+// one shard at a time; file/dataset bases load once, matching the footprint
+// of the original training job.
+func (m *Manager) refitBaseSource(snap stream.Snapshot) (stream.Source, error) {
+	if snap.BaseGenDir != "" {
+		st, err := ooc.Open(snap.BaseGenDir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: lineage %s base generation: %w", snap.Root, err)
+		}
+		return stream.ShardSource{T: st}, nil
+	}
+	if len(snap.SourceSpec) == 0 {
+		return nil, fmt.Errorf("serve: lineage %s has no recorded source spec", snap.Root)
+	}
+	var src JobSpec
+	if err := json.Unmarshal(snap.SourceSpec, &src); err != nil {
+		return nil, fmt.Errorf("serve: lineage %s source spec: %w", snap.Root, err)
+	}
+	if src.TensorPath != "" && ooc.IsShardDir(src.TensorPath) {
+		st, err := ooc.Open(src.TensorPath)
+		if err != nil {
+			return nil, err
+		}
+		return stream.ShardSource{T: st}, nil
+	}
+	x, err := loadSpecTensor(src)
+	if err != nil {
+		return nil, err
+	}
+	return stream.COOSource{T: x}, nil
+}
+
+// executeRefit runs one attempt of a streaming refit: materialize the
+// lineage's base plus pending decay-weighted deltas into a shard generation,
+// then run the out-of-core AO-ADMM solver warm-started from the live head's
+// factors and decay-scaled duals. The head's solver shaping (variant,
+// structure, kernel format, rho policy) is inherited from the lineage's
+// recorded source spec; the refit spec's run knobs override.
+func (m *Manager) executeRefit(ctx context.Context, jobID string, attempt int, spec JobSpec, resume *kruskal.Checkpoint) (*core.Result, error) {
+	if m.stream == nil {
+		return nil, fmt.Errorf("serve: streaming is not enabled")
+	}
+	head, ok := m.reg.Head(spec.RefitModelID)
+	if !ok {
+		return nil, fmt.Errorf("serve: no model %s", spec.RefitModelID)
+	}
+	if head.Meta.Algo != "aoadmm" {
+		return nil, fmt.Errorf("serve: refits require an aoadmm model, %s is %s", head.Meta.ID, head.Meta.Algo)
+	}
+	root := head.Meta.RootID
+	snap, err := m.stream.Snapshot(root)
+	if err != nil {
+		return nil, err
+	}
+	base, err := m.refitBaseSource(snap)
+	if err != nil {
+		return nil, err
+	}
+	mat, err := m.stream.Materialize(root, base)
+	if err != nil {
+		return nil, fmt.Errorf("serve: materialize lineage %s: %w", root, err)
+	}
+	m.log.Info("refit input materialized", "job", jobID, "lineage", root,
+		"as_of", mat.AsOfSeq, "batches", mat.Batches, "delta_nnz", mat.DeltaNNZ,
+		"base_scale", mat.BaseScale, "gen", mat.Dir)
+
+	// The lineage's recorded training spec shapes the solver; zero-valued on
+	// pre-stream lineages, which simply means library defaults.
+	var src JobSpec
+	if len(snap.SourceSpec) > 0 {
+		if err := json.Unmarshal(snap.SourceSpec, &src); err != nil {
+			return nil, fmt.Errorf("serve: lineage %s source spec: %w", root, err)
+		}
+	}
+	pick := func(override, inherited int) int {
+		if override != 0 {
+			return override
+		}
+		return inherited
+	}
+	every := pick(spec.CheckpointEvery, src.CheckpointEvery)
+	if every <= 0 {
+		every = 5
+	}
+	format := spec.Format
+	if format == "" {
+		format = src.Format
+	}
+	var publish func(stats.TracePoint) bool
+	if j, ok := m.Get(jobID); ok {
+		pb := j.progress
+		publish = func(p stats.TracePoint) bool {
+			pb.publish(p)
+			return true
+		}
+	}
+	opts := core.Options{
+		Rank:              head.K.Rank(),
+		MaxOuterIters:     pick(spec.MaxOuterIters, src.MaxOuterIters),
+		Tol:               spec.Tol,
+		Threads:           pick(spec.Threads, src.Threads),
+		BlockSize:         pick(spec.BlockSize, src.BlockSize),
+		Seed:              spec.Seed,
+		ExploitSparsity:   src.ExploitSparsity,
+		AdaptiveRho:       src.AdaptiveRho,
+		KernelFormat:      format,
+		MemBudgetBytes:    spec.MemBudgetMB << 20,
+		CollectMetrics:    spec.collectMetrics(),
+		CheckpointDir:     m.checkpointDir(jobID),
+		CheckpointEvery:   every,
+		CheckpointJobID:   jobID,
+		CheckpointAttempt: attempt,
+		Faults:            m.faults,
+		Ctx:               ctx,
+		OnIteration:       publish,
+	}
+	if spec.Tol == 0 {
+		opts.Tol = src.Tol
+	}
+	if head.Meta.Constraint != "" {
+		cs, err := parseConstraints(head.Meta.Constraint)
+		if err != nil {
+			return nil, fmt.Errorf("serve: lineage constraint %q: %w", head.Meta.Constraint, err)
+		}
+		opts.Constraints = cs
+	}
+	switch src.Variant {
+	case "base", "baseline":
+		opts.Variant = core.Baseline
+	}
+	switch src.Structure {
+	case "dense":
+		opts.Structure = core.StructDense
+	case "hybrid", "csr-h":
+		opts.Structure = core.StructHybrid
+	default:
+		opts.Structure = core.StructCSR
+	}
+	if resume != nil {
+		// A crash-recovered refit attempt resumes its own checkpoint; the
+		// checkpointed duals already carry the base scale from the first run.
+		opts.InitFactors = resume.Factors
+		opts.InitDuals = resume.Duals
+		if resume.Meta != nil {
+			opts.StartIter = resume.Meta.Iteration
+			opts.PrevRelErr = resume.Meta.RelErr
+		}
+	} else {
+		// The warm start that makes incremental refits cheap: the live head's
+		// factors seed the outer loop, and its converged duals — scaled by the
+		// same decay the base tensor faded by — seed the ADMM state. The
+		// iteration budget starts fresh (StartIter 0): convergence from a warm
+		// start is what the budget measures.
+		opts.InitFactors = head.K
+		opts.InitDuals = head.Duals
+		opts.DualScale = mat.BaseScale
+	}
+
+	if j, ok := m.Get(jobID); ok {
+		j.mu.Lock()
+		j.refit = &refitState{
+			Root:       root,
+			Name:       head.Meta.Name,
+			Constraint: head.Meta.Constraint,
+			ParentID:   head.Meta.ID,
+			Version:    head.Meta.Version + 1,
+			AsOfSeq:    mat.AsOfSeq,
+			Batches:    mat.Batches,
+			DeltaNNZ:   mat.DeltaNNZ,
+		}
+		j.mu.Unlock()
+	}
+	return core.FactorizeOOC(mat.Tensor, opts)
 }
 
 func loadSpecTensor(spec JobSpec) (*tensor.COO, error) {

@@ -7,6 +7,7 @@ import (
 
 	"aoadmm/internal/distnet"
 	"aoadmm/internal/obs"
+	"aoadmm/internal/stream"
 )
 
 // promContentType is the Prometheus text exposition format 0.0.4 MIME type.
@@ -93,8 +94,38 @@ func (s *Server) promRegistry() *obs.Registry {
 	reg.CounterVal("aoadmm_ooc_prefetch_stalls_total", "MTTKRP waits on a shard not yet prefetched.", float64(s.mgr.oocStalls.Load()))
 
 	s.promDist(reg)
+	s.promStream(reg)
 	s.promKernels(reg)
 	return reg
+}
+
+// promStream exposes the streaming-ingestion and refit counters. Like the
+// dist section, every series is emitted unconditionally — a daemon that
+// never saw an append scrapes as all zeros, including each trigger label —
+// so the exposition schema is stable and absence-based alerting cannot
+// misfire.
+func (s *Server) promStream(reg *obs.Registry) {
+	st := s.stream.Stats()
+	reg.GaugeVal("aoadmm_stream_lineages", "Model lineages with a delta journal on disk.", float64(st.Lineages))
+	reg.CounterVal("aoadmm_stream_appends_total", "Delta batches accepted into lineage journals.", float64(st.Appends))
+	reg.CounterVal("aoadmm_stream_append_nnz_total", "Delta non-zeros accepted into lineage journals.", float64(st.AppendNNZ))
+	reg.GaugeVal("aoadmm_stream_pending_batches", "Appended batches not yet folded into a committed refit.", float64(st.PendingBatches))
+	reg.GaugeVal("aoadmm_stream_pending_nnz", "Appended non-zeros not yet folded into a committed refit.", float64(st.PendingNNZ))
+	for _, kv := range []struct {
+		trigger string
+		n       int64
+	}{
+		{stream.TriggerNNZ, s.refitNNZ.Load()},
+		{stream.TriggerStaleness, s.refitStaleness.Load()},
+		{stream.TriggerManual, s.refitManual.Load()},
+	} {
+		reg.CounterVal("aoadmm_stream_refits_total",
+			"Refit jobs submitted, by trigger (nnz threshold, staleness window, manual request).",
+			float64(kv.n), obs.L("trigger", kv.trigger))
+	}
+	reg.CounterVal("aoadmm_stream_refit_commits_total", "Refits that registered a new lineage head.", float64(s.refitCommits.Load()))
+	reg.CounterVal("aoadmm_stream_refit_failures_total", "Refit jobs that failed terminally.", float64(s.refitFailures.Load()))
+	reg.CounterVal("aoadmm_stream_versions_gced_total", "Model versions removed by keep-last-N retention.", float64(s.versionsGCed.Load()))
 }
 
 // promDist exposes the networked distributed engine's counters. The series

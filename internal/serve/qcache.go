@@ -11,12 +11,17 @@ import (
 	"aoadmm/internal/kruskal"
 )
 
-// queryCache is an LRU cache of top-K results. Models are immutable after
-// registration, so a cached result never goes stale; the only eviction is
-// capacity pressure. Safe because the key covers everything that determines
-// the result — model ID, canonicalized anchors, target mode, and K — and
-// deliberately excludes knobs that only change how the work is done
-// (threads). A nil *queryCache is a disabled cache: get misses, put drops.
+// queryCache is an LRU cache of top-K results. A registered model version is
+// immutable, so a cached result for a concrete version never goes stale —
+// but a model ID alone stopped naming a concrete version when streaming
+// refits arrived. The query path therefore resolves "follow latest" to the
+// head version's own unique ID before keying the cache, and refit commits
+// additionally call invalidateModel on the superseded head so stale entries
+// free their memory immediately instead of aging out. Safe because the key
+// covers everything that determines the result — resolved model ID,
+// canonicalized anchors, target mode, and K — and deliberately excludes
+// knobs that only change how the work is done (threads). A nil *queryCache
+// is a disabled cache: get misses, put drops.
 type queryCache struct {
 	mu       sync.Mutex
 	capacity int
@@ -99,6 +104,26 @@ func (c *queryCache) put(key string, matches []kruskal.Match) {
 		c.ll.Remove(back)
 		delete(c.items, back.Value.(*qcEntry).key)
 	}
+}
+
+// invalidateModel drops every cached result for the given concrete model id
+// (the "%s|" key prefix). Called when a refit supersedes a version.
+func (c *queryCache) invalidateModel(modelID string) int {
+	if c == nil {
+		return 0
+	}
+	prefix := modelID + "|"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var dropped int
+	for key, el := range c.items {
+		if strings.HasPrefix(key, prefix) {
+			c.ll.Remove(el)
+			delete(c.items, key)
+			dropped++
+		}
+	}
+	return dropped
 }
 
 func (c *queryCache) len() int {

@@ -59,6 +59,24 @@ type ModelMeta struct {
 	FactorDensities []float64 `json:"factor_densities,omitempty"`
 	// CreatedUnixNano is the registration time.
 	CreatedUnixNano int64 `json:"created_unix_nano"`
+
+	// Lineage fields (streaming refits, docs/STREAMING.md). Version numbers
+	// a model within its family, starting at 1; ParentID names the version
+	// the refit warm-started from; RootID names version 1 (every pre-lineage
+	// model is its own root, normalized at load). A refit commit moves the
+	// lineage head to the new version; queries follow the head by default or
+	// pin a version explicitly.
+	Version  int    `json:"version,omitempty"`
+	ParentID string `json:"parent_id,omitempty"`
+	RootID   string `json:"root_id,omitempty"`
+	// Pinned protects the version from retention GC (and answers version
+	// spec "pinned"); toggled via POST /models/{id}/pin.
+	Pinned bool `json:"pinned,omitempty"`
+	// AsOfSeq is the newest delta-journal batch folded into this version's
+	// training input; DeltaBatches/DeltaNNZ record the delta provenance.
+	AsOfSeq      int64 `json:"as_of_seq,omitempty"`
+	DeltaBatches int   `json:"delta_batches,omitempty"`
+	DeltaNNZ     int64 `json:"delta_nnz,omitempty"`
 }
 
 // Model is one registered model held in memory: metadata, the Kruskal
@@ -69,6 +87,10 @@ type Model struct {
 	Meta   ModelMeta
 	K      *kruskal.Tensor
 	Report *stats.Report
+	// Duals are the per-mode scaled ADMM duals at convergence (nil for ALS/
+	// HALS models and pre-duals registrations): the warm-start state the
+	// next streaming refit scales by the window decay.
+	Duals []*dense.Matrix
 
 	leaves  []*sparse.CSR
 	indexes []*kruskal.RowIndex
@@ -121,6 +143,7 @@ type Registry struct {
 	dir    string
 	models map[string]*Model
 	ids    []string
+	heads  map[string]string // root id -> highest-version model id
 	seq    int
 }
 
@@ -132,7 +155,7 @@ func OpenRegistry(dir string) (*Registry, []error, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, err
 	}
-	r := &Registry{dir: dir, models: make(map[string]*Model)}
+	r := &Registry{dir: dir, models: make(map[string]*Model), heads: make(map[string]string)}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
@@ -157,11 +180,41 @@ func OpenRegistry(dir string) (*Registry, []error, error) {
 		if m.Meta.ID == "" {
 			m.Meta.ID = name
 		}
+		normalizeLineage(&m.Meta)
 		r.models[m.Meta.ID] = m
 		r.ids = append(r.ids, m.Meta.ID)
 	}
 	sort.Strings(r.ids)
+	for _, id := range r.ids {
+		r.updateHeadLocked(r.models[id].Meta)
+	}
 	return r, warnings, nil
+}
+
+// normalizeLineage back-fills the lineage fields of pre-streaming metas so
+// every model is version 1 of its own single-member family.
+func normalizeLineage(meta *ModelMeta) {
+	if meta.Version <= 0 {
+		meta.Version = 1
+	}
+	if meta.RootID == "" {
+		meta.RootID = meta.ID
+	}
+}
+
+// updateHeadLocked advances the lineage head if meta outranks the current
+// one. Caller holds r.mu.
+func (r *Registry) updateHeadLocked(meta ModelMeta) {
+	cur, ok := r.heads[meta.RootID]
+	if !ok {
+		r.heads[meta.RootID] = meta.ID
+		return
+	}
+	c := r.models[cur]
+	if c == nil || meta.Version > c.Meta.Version ||
+		(meta.Version == c.Meta.Version && meta.ID > cur) {
+		r.heads[meta.RootID] = meta.ID
+	}
 }
 
 // modelSeq extracts the numeric suffix of a registry-assigned id.
@@ -177,11 +230,15 @@ func modelSeq(id string) (int, bool) {
 }
 
 func loadModelDir(dir string) (*Model, error) {
-	k, err := kruskal.Load(filepath.Join(dir, "factors"))
+	// Factors load through the checkpoint reader so the optional dual
+	// matrices written beside them (streaming warm-start state) come back
+	// too; plain pre-duals model dirs load with Duals nil.
+	ck, err := kruskal.LoadCheckpoint(filepath.Join(dir, "factors"))
 	if err != nil {
 		return nil, err
 	}
-	m := &Model{K: k}
+	k := ck.Factors
+	m := &Model{K: k, Duals: ck.Duals}
 	raw, err := os.ReadFile(filepath.Join(dir, "meta.json"))
 	if err != nil {
 		return nil, fmt.Errorf("meta.json: %w", err)
@@ -223,6 +280,15 @@ func checkMetaShape(meta ModelMeta, k *kruskal.Tensor) error {
 // Register persists a fitted model and makes it queryable. The meta's ID and
 // creation time are assigned here.
 func (r *Registry) Register(meta ModelMeta, k *kruskal.Tensor, report *stats.Report) (*Model, error) {
+	return r.RegisterModel(meta, k, nil, report)
+}
+
+// RegisterModel is Register plus the converged ADMM duals, persisted beside
+// the factors so streaming refits can warm-start from the live model's full
+// state. Lineage fields pass through meta: a refit sets Version/ParentID/
+// RootID and the delta provenance; a fresh model leaves them zero and is
+// normalized to version 1 of its own family.
+func (r *Registry) RegisterModel(meta ModelMeta, k *kruskal.Tensor, duals []*dense.Matrix, report *stats.Report) (*Model, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
@@ -233,6 +299,7 @@ func (r *Registry) Register(meta ModelMeta, k *kruskal.Tensor, report *stats.Rep
 	meta.Dims = k.Dims()
 	meta.Rank = k.Rank()
 	meta.CreatedUnixNano = time.Now().UnixNano()
+	normalizeLineage(&meta)
 
 	final := filepath.Join(r.dir, meta.ID)
 	tmp, err := os.MkdirTemp(r.dir, ".reg-*")
@@ -240,7 +307,8 @@ func (r *Registry) Register(meta ModelMeta, k *kruskal.Tensor, report *stats.Rep
 		return nil, err
 	}
 	defer os.RemoveAll(tmp)
-	if err := k.Save(filepath.Join(tmp, "factors")); err != nil {
+	ck := kruskal.Checkpoint{Factors: k, Duals: duals}
+	if err := ck.Write(filepath.Join(tmp, "factors")); err != nil {
 		return nil, err
 	}
 	if err := writeJSONFile(filepath.Join(tmp, "meta.json"), meta); err != nil {
@@ -256,10 +324,14 @@ func (r *Registry) Register(meta ModelMeta, k *kruskal.Tensor, report *stats.Rep
 	}
 
 	m := &Model{Meta: meta, K: k.Clone(), Report: report}
+	for _, d := range duals {
+		m.Duals = append(m.Duals, d.Clone())
+	}
 	m.buildQueryStructures()
 	r.models[meta.ID] = m
 	r.ids = append(r.ids, meta.ID)
 	sort.Strings(r.ids)
+	r.updateHeadLocked(meta)
 	return m, nil
 }
 
@@ -304,6 +376,178 @@ func (r *Registry) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.models)
+}
+
+// ErrNoModel distinguishes "model/version not found" (HTTP 404) from an
+// invalid version spec (HTTP 400) on the resolve path.
+var ErrNoModel = fmt.Errorf("serve: no such model")
+
+// Resolve maps a model id plus a version spec onto the concrete model to
+// serve. Specs:
+//
+//	"" or "latest"  the lineage head (the atomic post-refit swap: version
+//	                resolution happens per request against the head map)
+//	"this"          exactly id, even when superseded (per-request pinning)
+//	"pinned"        the newest pinned version in id's lineage
+//	"N" or "vN"     version N in id's lineage
+func (r *Registry) Resolve(id, version string) (*Model, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.models[id]
+	if !ok {
+		return nil, ErrNoModel
+	}
+	switch version {
+	case "", "latest":
+		if head, ok := r.models[r.heads[m.Meta.RootID]]; ok {
+			return head, nil
+		}
+		return m, nil
+	case "this":
+		return m, nil
+	case "pinned":
+		var best *Model
+		for _, sib := range r.models {
+			if sib.Meta.RootID == m.Meta.RootID && sib.Meta.Pinned &&
+				(best == nil || sib.Meta.Version > best.Meta.Version) {
+				best = sib
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("%w: lineage %s has no pinned version", ErrNoModel, m.Meta.RootID)
+		}
+		return best, nil
+	default:
+		n, err := strconv.Atoi(strings.TrimPrefix(version, "v"))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("serve: bad version spec %q (want latest, this, pinned, or v<N>)", version)
+		}
+		for _, sib := range r.models {
+			if sib.Meta.RootID == m.Meta.RootID && sib.Meta.Version == n {
+				return sib, nil
+			}
+		}
+		return nil, fmt.Errorf("%w: lineage %s has no version %d", ErrNoModel, m.Meta.RootID, n)
+	}
+}
+
+// Head returns the lineage head of the given model id.
+func (r *Registry) Head(id string) (*Model, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.models[id]
+	if !ok {
+		return nil, false
+	}
+	head, ok := r.models[r.heads[m.Meta.RootID]]
+	if !ok {
+		return m, true
+	}
+	return head, true
+}
+
+// Lineage returns every version in the given model's family in version
+// order.
+func (r *Registry) Lineage(id string) ([]ModelMeta, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.models[id]
+	if !ok {
+		return nil, false
+	}
+	var out []ModelMeta
+	for _, sid := range r.ids {
+		if sib := r.models[sid]; sib.Meta.RootID == m.Meta.RootID {
+			out = append(out, sib.Meta)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Version < out[b].Version })
+	return out, true
+}
+
+// SetPinned toggles a version's GC protection, durably rewriting its
+// meta.json. The in-memory model is replaced by a shallow copy so readers
+// holding the old pointer never observe a mutation.
+func (r *Registry) SetPinned(id string, pinned bool) (*Model, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.models[id]
+	if !ok {
+		return nil, ErrNoModel
+	}
+	if m.Meta.Pinned == pinned {
+		return m, nil
+	}
+	next := *m
+	next.Meta.Pinned = pinned
+	tmp := filepath.Join(r.dir, id, ".meta.json.tmp")
+	if err := writeJSONFile(tmp, next.Meta); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, filepath.Join(r.dir, id, "meta.json")); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	r.models[id] = &next
+	return &next, nil
+}
+
+// GCVersions applies the keep-last-N retention policy to the given model's
+// lineage: superseded versions beyond the newest keep are removed from disk
+// and the registry. The head and pinned versions are never deleted, and
+// in-flight queries holding a removed *Model keep serving from memory.
+// Returns the removed ids.
+func (r *Registry) GCVersions(id string, keep int) []string {
+	if keep < 1 {
+		keep = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.models[id]
+	if !ok {
+		return nil
+	}
+	var family []*Model
+	for _, sid := range r.ids {
+		if sib := r.models[sid]; sib.Meta.RootID == m.Meta.RootID {
+			family = append(family, sib)
+		}
+	}
+	sort.Slice(family, func(a, b int) bool { return family[a].Meta.Version > family[b].Meta.Version })
+	headID := r.heads[m.Meta.RootID]
+	var gced []string
+	for i, sib := range family {
+		if i < keep || sib.Meta.Pinned || sib.Meta.ID == headID {
+			continue
+		}
+		if err := r.removeLocked(sib.Meta.ID); err != nil {
+			continue
+		}
+		gced = append(gced, sib.Meta.ID)
+	}
+	return gced
+}
+
+// removeLocked deletes one model from disk and memory. Caller holds r.mu.
+func (r *Registry) removeLocked(id string) error {
+	dir := filepath.Join(r.dir, id)
+	// Rename-then-remove so a crash mid-delete leaves a ".old" suffix the
+	// startup scan already skips, never a half-deleted live model dir.
+	trash := dir + ".old"
+	os.RemoveAll(trash)
+	if err := os.Rename(dir, trash); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	os.RemoveAll(trash)
+	delete(r.models, id)
+	for i, mid := range r.ids {
+		if mid == id {
+			r.ids = append(r.ids[:i], r.ids[i+1:]...)
+			break
+		}
+	}
+	return nil
 }
 
 func writeJSONFile(path string, v any) error {

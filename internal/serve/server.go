@@ -20,6 +20,7 @@ import (
 	"aoadmm/internal/kruskal"
 	"aoadmm/internal/prox"
 	"aoadmm/internal/stats"
+	"aoadmm/internal/stream"
 )
 
 // Config sizes the service.
@@ -62,6 +63,22 @@ type Config struct {
 	// QueryCacheSize is the top-K result cache capacity in entries
 	// (default 1024; negative disables the cache).
 	QueryCacheSize int
+	// KeepVersions is the lineage retention policy applied when a streaming
+	// refit commits: the newest N versions of the lineage survive, plus any
+	// pinned version and the head (default 3).
+	KeepVersions int
+	// RefitNNZ triggers an automatic refit once a lineage's pending delta
+	// non-zeros reach this count (0 disables the nnz trigger).
+	RefitNNZ int64
+	// RefitStaleness triggers an automatic refit once a lineage's oldest
+	// pending batch is older than this window (0 disables the staleness
+	// trigger).
+	RefitStaleness time.Duration
+	// StreamDecay is the default per-batch exponential decay lambda in (0,1]
+	// applied at refit: a batch appended s seqs before the refit's as-of seq
+	// is weighted by lambda^s (default 1 = no decay). A lineage may override
+	// it at creation via the first append's "decay" field.
+	StreamDecay float64
 }
 
 // Server wires the registry, the job manager, and the query engine behind an
@@ -70,6 +87,7 @@ type Server struct {
 	cfg     Config
 	reg     *Registry
 	mgr     *Manager
+	stream  *stream.Store
 	started time.Time
 
 	queries      atomic.Int64
@@ -81,6 +99,15 @@ type Server struct {
 	cache        *queryCache
 	batcher      *topKBatcher
 	warnings     []string
+
+	// Streaming refit counters: trigger submissions by reason, commits,
+	// terminal failures, and versions removed by retention GC.
+	refitNNZ       atomic.Int64
+	refitStaleness atomic.Int64
+	refitManual    atomic.Int64
+	refitCommits   atomic.Int64
+	refitFailures  atomic.Int64
+	versionsGCed   atomic.Int64
 }
 
 // New opens (or creates) the data dir, reloads every persisted model,
@@ -133,6 +160,25 @@ func New(cfg Config) (*Server, error) {
 	for _, w := range jwarns {
 		s.warnings = append(s.warnings, w.Error())
 	}
+	// The stream store opens before the manager so recovery's idempotent
+	// refit re-commits find their lineages; its trigger callback submits
+	// through s.mgr, which triggerRefit nil-guards until workers exist.
+	st, swarns, err := stream.Open(stream.Config{
+		Dir:            filepath.Join(cfg.DataDir, "stream"),
+		Decay:          cfg.StreamDecay,
+		RefitNNZ:       cfg.RefitNNZ,
+		RefitStaleness: cfg.RefitStaleness,
+		Faults:         cfg.Faults,
+		Logger:         cfg.Logger,
+		OnTrigger:      func(root, reason string) { s.triggerRefit(root, reason) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.stream = st
+	for _, w := range swarns {
+		s.warnings = append(s.warnings, w.Error())
+	}
 	s.mgr = NewManager(reg, cfg.DataDir, jnl, recovered, ManagerConfig{
 		Workers:         cfg.Workers,
 		QueueCap:        cfg.QueueCap,
@@ -142,9 +188,64 @@ func New(cfg Config) (*Server, error) {
 		JobTimeout:      cfg.JobTimeout,
 		Faults:          cfg.Faults,
 		Dist:            cfg.Dist,
+		Stream:          st,
+		KeepVersions:    cfg.KeepVersions,
+		OnRefitCommit:   s.onRefitCommit,
+		OnRefitFailure:  func(string) { s.refitFailures.Add(1) },
 		Logger:          cfg.Logger,
 	})
 	return s, nil
+}
+
+// onRefitCommit is the manager's post-swap hook: the superseded head's and
+// every GC'd version's cached query results are dropped (the satellite fix
+// for the stale-cache bug: "follow latest" queries key the cache by the
+// resolved head id, so the old head's entries must not survive its
+// dethroning as reachable garbage) and the commit counters advance.
+func (s *Server) onRefitCommit(root, oldHeadID, newHeadID string, gced []string) {
+	s.cache.invalidateModel(oldHeadID)
+	for _, id := range gced {
+		s.cache.invalidateModel(id)
+	}
+	s.refitCommits.Add(1)
+	s.versionsGCed.Add(int64(len(gced)))
+}
+
+// triggerRefit is the policy engine's submission path: dedupe against an
+// in-flight refit of the same lineage, then enqueue a warm-started refit job
+// for its head.
+func (s *Server) triggerRefit(root, reason string) {
+	mgr := s.mgr
+	if mgr == nil {
+		// A staleness tick can fire between stream.Open and NewManager.
+		return
+	}
+	if _, busy := mgr.RefitInFlight(root); busy {
+		return
+	}
+	head, ok := s.reg.Head(root)
+	if !ok {
+		return
+	}
+	if _, err := mgr.Submit(JobSpec{RefitModelID: head.Meta.ID}); err != nil {
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("refit trigger rejected", "lineage", root,
+				"reason", reason, "error", err)
+		}
+		return
+	}
+	s.countTrigger(reason)
+}
+
+func (s *Server) countTrigger(reason string) {
+	switch reason {
+	case stream.TriggerNNZ:
+		s.refitNNZ.Add(1)
+	case stream.TriggerStaleness:
+		s.refitStaleness.Add(1)
+	default:
+		s.refitManual.Add(1)
+	}
 }
 
 // Registry exposes the model store (startup logging, tests).
@@ -153,11 +254,24 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Warnings lists model directories skipped at startup.
 func (s *Server) Warnings() []string { return append([]string(nil), s.warnings...) }
 
-// Shutdown drains the job manager; see Manager.Shutdown.
-func (s *Server) Shutdown(grace time.Duration) { s.mgr.Shutdown(grace) }
+// Stream exposes the ingestion store (startup logging, tests).
+func (s *Server) Stream() *stream.Store { return s.stream }
+
+// Shutdown drains the job manager and closes the stream store; see
+// Manager.Shutdown.
+func (s *Server) Shutdown(grace time.Duration) {
+	s.mgr.Shutdown(grace)
+	s.stream.Close()
+}
 
 // Crash simulates an abrupt process death for chaos tests; see Manager.Crash.
-func (s *Server) Crash() { s.mgr.Crash() }
+// The stream store's handles are closed without flushing anything — every
+// stream write is already fsync'd at append time, so this is exactly what a
+// kill -9 leaves behind.
+func (s *Server) Crash() {
+	s.mgr.Crash()
+	s.stream.Close()
+}
 
 // Recovery reports what the job manager reconstructed from the journal.
 func (s *Server) Recovery() RecoveryReport { return s.mgr.Recovery() }
@@ -178,6 +292,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /models/{id}/entry", s.handleEntry)
 	mux.HandleFunc("POST /models/{id}/topk", s.handleTopK)
 	mux.HandleFunc("POST /models/{id}/foldin", s.handleFoldIn)
+	mux.HandleFunc("POST /models/{id}/append", s.handleAppend)
+	mux.HandleFunc("POST /models/{id}/refit", s.handleRefit)
+	mux.HandleFunc("GET /models/{id}/lineage", s.handleLineage)
+	mux.HandleFunc("POST /models/{id}/pin", s.handlePin)
+	mux.HandleFunc("POST /models/{id}/unpin", s.handleUnpin)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	timed := http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
 	outer := http.NewServeMux()
@@ -304,10 +423,31 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"models": s.reg.List()})
 }
 
+// resolveModel resolves a model id + version spec ("", "latest", "this",
+// "pinned", "N", "vN") through the lineage registry, mapping resolution
+// failures to an HTTP status.
+func (s *Server) resolveModel(id, version string) (*Model, int, error) {
+	m, err := s.reg.Resolve(id, version)
+	if err != nil {
+		if errors.Is(err, ErrNoModel) {
+			return nil, http.StatusNotFound, err
+		}
+		return nil, http.StatusBadRequest, err
+	}
+	return m, http.StatusOK, nil
+}
+
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
-	m, ok := s.reg.Get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no model %s", r.PathValue("id")))
+	// The metadata endpoint defaults to the exact version named by the path
+	// (inspecting an old version must not silently show the head);
+	// ?version=latest opts into following the lineage.
+	version := r.URL.Query().Get("version")
+	if version == "" {
+		version = "this"
+	}
+	m, status, err := s.resolveModel(r.PathValue("id"), version)
+	if err != nil {
+		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, m.Meta)
@@ -316,10 +456,12 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 // handleEntry reconstructs one tensor entry: GET /models/{id}/entry?at=i,j,k.
 func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	m, ok := s.reg.Get(r.PathValue("id"))
-	if !ok {
+	// Queries follow the lineage head by default; ?version=this|pinned|N
+	// pins one (docs/STREAMING.md).
+	m, status, err := s.resolveModel(r.PathValue("id"), r.URL.Query().Get("version"))
+	if err != nil {
 		s.recordQueryError(start)
-		writeError(w, http.StatusNotFound, fmt.Errorf("no model %s", r.PathValue("id")))
+		writeError(w, status, err)
 		return
 	}
 	coord, err := parseCoord(r.URL.Query().Get("at"), m.K.Dims())
@@ -330,7 +472,9 @@ func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
 	}
 	val := m.K.At(coord)
 	s.recordQuery(start)
-	writeJSON(w, http.StatusOK, map[string]any{"coord": coord, "value": val})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model": m.Meta.ID, "coord": coord, "value": val,
+	})
 }
 
 func parseCoord(raw string, dims []int) ([]int, error) {
@@ -367,6 +511,10 @@ type topKRequest struct {
 	// server-side to GOMAXPROCS — the client does not get to size the
 	// daemon's goroutine spend.
 	Threads int `json:"threads,omitempty"`
+	// Version selects the lineage version to query: "latest" (default, the
+	// empty string), "this", "pinned", or a version number. The response's
+	// model field reports the concrete version that served.
+	Version string `json:"version,omitempty"`
 }
 
 // clampQueryThreads bounds a client-supplied worker count to the daemon's
@@ -382,18 +530,21 @@ func clampQueryThreads(n int) int {
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	m, ok := s.reg.Get(r.PathValue("id"))
-	if !ok {
-		s.recordQueryError(start)
-		writeError(w, http.StatusNotFound, fmt.Errorf("no model %s", r.PathValue("id")))
-		return
-	}
 	var req topKRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.recordQueryError(start)
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad topk request: %w", err))
+		return
+	}
+	// Resolve after decoding: the body's version field selects the concrete
+	// model, and the cache below keys on the resolved id — which is the
+	// mechanism that keeps "follow latest" results from outliving a refit.
+	m, status, err := s.resolveModel(r.PathValue("id"), req.Version)
+	if err != nil {
+		s.recordQueryError(start)
+		writeError(w, status, err)
 		return
 	}
 	if req.K > s.cfg.MaxTopK {
@@ -507,6 +658,9 @@ type foldInRequest struct {
 	TargetMode *int `json:"target_mode,omitempty"`
 	K          int  `json:"k,omitempty"`
 	Threads    int  `json:"threads,omitempty"`
+	// Version selects the lineage version to fold into ("latest" by
+	// default); see topKRequest.Version.
+	Version string `json:"version,omitempty"`
 }
 
 // foldInObservation mirrors kruskal.FoldInObservation with string JSON keys
@@ -534,18 +688,18 @@ func foldInOperator(spec string, mode, order int) (prox.Operator, error) {
 
 func (s *Server) handleFoldIn(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	m, ok := s.reg.Get(r.PathValue("id"))
-	if !ok {
-		s.recordQueryError(start)
-		writeError(w, http.StatusNotFound, fmt.Errorf("no model %s", r.PathValue("id")))
-		return
-	}
 	var req foldInRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.recordQueryError(start)
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad foldin request: %w", err))
+		return
+	}
+	m, status, err := s.resolveModel(r.PathValue("id"), req.Version)
+	if err != nil {
+		s.recordQueryError(start)
+		writeError(w, status, err)
 		return
 	}
 	if len(req.Observations) == 0 {
@@ -655,6 +809,220 @@ func (s *Server) handleFoldIn(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// appendRequest is the JSON body of POST /models/{id}/append: one delta
+// batch of coordinate/value pairs for the model's lineage.
+type appendRequest struct {
+	// Inds is the batch in mode-major layout: Inds[m][p] is the mode-m index
+	// of the p-th non-zero (the .tns column convention, zero-based).
+	Inds [][]int32 `json:"inds"`
+	// Vals are the corresponding values; additive with whatever the lineage
+	// already holds at the same coordinate.
+	Vals []float64 `json:"vals"`
+	// Decay optionally sets the lineage's decay lambda at creation (first
+	// append); on an existing lineage it must match or be omitted.
+	Decay float64 `json:"decay,omitempty"`
+	// Refit requests an immediate refit after this batch lands, regardless
+	// of the automatic triggers.
+	Refit bool `json:"refit,omitempty"`
+}
+
+// handleAppend ingests a delta batch into the model's lineage, creating the
+// lineage on first use. The batch is fsync'd into the delta journal before
+// the request returns; materialization into refit input happens later, out
+// of core, when a refit runs.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no model %s", r.PathValue("id")))
+		return
+	}
+	if m.Meta.Algo != "aoadmm" {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("model %s is %s; streaming refits require aoadmm (no duals to warm-start otherwise)", m.Meta.ID, m.Meta.Algo))
+		return
+	}
+	var req appendRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad append request: %w", err))
+		return
+	}
+	root := m.Meta.RootID
+	if _, exists := s.stream.Get(root); !exists {
+		// First append: record the lineage's base — the root version's
+		// training spec — so a refit can re-stream the original tensor under
+		// the decay weighting. Without it no refit could ever run, so fail
+		// the append now rather than poison the lineage.
+		spec, err := s.rootSourceSpec(root)
+		if err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		rm, _ := s.reg.Get(root)
+		if rm == nil {
+			rm = m
+		}
+		if _, err := s.stream.Ensure(root, rm.K.Dims(), req.Decay, spec); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	} else if req.Decay != 0 {
+		// Validate the decay against the existing lineage (mismatch is 400).
+		if _, err := s.stream.Ensure(root, m.K.Dims(), req.Decay, nil); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	res, err := s.stream.Append(root, req.Inds, req.Vals)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, stream.ErrNoLineage) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	resp := map[string]any{
+		"lineage":         root,
+		"seq":             res.Seq,
+		"pending_batches": res.PendingBatches,
+		"pending_nnz":     res.PendingNNZ,
+		"triggered":       res.Triggered,
+	}
+	if req.Refit {
+		s.triggerRefit(root, stream.TriggerManual)
+		if jobID, busy := s.mgr.RefitInFlight(root); busy {
+			resp["refit_job"] = jobID
+		}
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// rootSourceSpec recovers the training spec of a lineage's root version from
+// the job table, stripped to the input + solver shaping a refit reuses.
+func (s *Server) rootSourceSpec(root string) (json.RawMessage, error) {
+	rm, ok := s.reg.Get(root)
+	if !ok {
+		return nil, fmt.Errorf("lineage root %s is no longer registered", root)
+	}
+	j, ok := s.mgr.Get(rm.Meta.JobID)
+	if !ok {
+		return nil, fmt.Errorf("model %s's training job %s is not in the journal; cannot stream against an unknown base", root, rm.Meta.JobID)
+	}
+	spec := j.View().Spec
+	spec.Name = ""
+	spec.RefitModelID = ""
+	return json.Marshal(spec)
+}
+
+// refitRequest is the JSON body of POST /models/{id}/refit. All fields are
+// optional run-shaping overrides; the input, rank, and constraint come from
+// the lineage.
+type refitRequest struct {
+	MaxOuter        int     `json:"max_outer,omitempty"`
+	Tol             float64 `json:"tol,omitempty"`
+	Threads         int     `json:"threads,omitempty"`
+	BlockSize       int     `json:"block_size,omitempty"`
+	CheckpointEvery int     `json:"checkpoint_every,omitempty"`
+	TimeoutSec      float64 `json:"timeout_sec,omitempty"`
+}
+
+// handleRefit submits an explicit warm-started refit of the model's lineage:
+// 202 with the job view, or 409 when one is already queued or running.
+func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no model %s", r.PathValue("id")))
+		return
+	}
+	var req refitRequest
+	if r.ContentLength != 0 {
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad refit request: %w", err))
+			return
+		}
+	}
+	if jobID, busy := s.mgr.RefitInFlight(m.Meta.RootID); busy {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": "a refit of this lineage is already in flight",
+			"job":   jobID,
+		})
+		return
+	}
+	view, err := s.mgr.Submit(JobSpec{
+		RefitModelID:    m.Meta.ID,
+		MaxOuterIters:   req.MaxOuter,
+		Tol:             req.Tol,
+		Threads:         req.Threads,
+		BlockSize:       req.BlockSize,
+		CheckpointEvery: req.CheckpointEvery,
+		TimeoutSec:      req.TimeoutSec,
+	})
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrQueueFull) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	s.countTrigger(stream.TriggerManual)
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+// handleLineage returns the model's full version chain (oldest first) plus
+// the live streaming state of its delta journal, when one exists.
+func (s *Server) handleLineage(w http.ResponseWriter, r *http.Request) {
+	metas, ok := s.reg.Lineage(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no model %s", r.PathValue("id")))
+		return
+	}
+	root := metas[0].RootID
+	resp := map[string]any{
+		"root":     root,
+		"versions": metas,
+	}
+	if head, ok := s.reg.Head(root); ok {
+		resp["head"] = head.Meta.ID
+	}
+	if snap, err := s.stream.Snapshot(root); err == nil {
+		resp["stream"] = map[string]any{
+			"decay":           snap.Decay,
+			"applied_seq":     snap.AppliedSeq,
+			"latest_seq":      snap.LatestSeq,
+			"pending_batches": snap.PendingBatches,
+			"pending_nnz":     snap.PendingNNZ,
+		}
+	}
+	if jobID, busy := s.mgr.RefitInFlight(root); busy {
+		resp["refit_in_flight"] = jobID
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePin(w http.ResponseWriter, r *http.Request)   { s.setPinned(w, r, true) }
+func (s *Server) handleUnpin(w http.ResponseWriter, r *http.Request) { s.setPinned(w, r, false) }
+
+// setPinned marks a concrete version as retention-exempt (or clears the
+// mark): pinned versions survive keep-last-N GC and are addressable via
+// version="pinned".
+func (s *Server) setPinned(w http.ResponseWriter, r *http.Request, pinned bool) {
+	m, err := s.reg.SetPinned(r.PathValue("id"), pinned)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNoModel) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, m.Meta)
+}
+
 // handleMetrics serves the daemon counters plus every finished job's
 // aoadmm-metrics/v1 report as JSON; ?format=prometheus switches to the
 // Prometheus text exposition format (see prom.go).
@@ -692,8 +1060,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"durability": s.mgr.DurabilityStats(),
 		"ooc":        s.mgr.OOCStats(),
 		"dist":       s.distStats(),
+		"stream":     s.streamStats(),
 		"jobs":       s.mgr.Reports(),
 	})
+}
+
+// streamStats builds the /metrics "stream" section. Like "dist", the schema
+// is always present — zeroed counters on a daemon that never saw an append —
+// so dashboards and smoke checks can rely on it.
+func (s *Server) streamStats() map[string]any {
+	st := s.stream.Stats()
+	return map[string]any{
+		"lineages":        st.Lineages,
+		"appends":         st.Appends,
+		"append_nnz":      st.AppendNNZ,
+		"pending_batches": st.PendingBatches,
+		"pending_nnz":     st.PendingNNZ,
+		"keep_versions":   s.mgr.cfg.KeepVersions,
+		"refit_triggers": map[string]int64{
+			stream.TriggerNNZ:       s.refitNNZ.Load(),
+			stream.TriggerStaleness: s.refitStaleness.Load(),
+			stream.TriggerManual:    s.refitManual.Load(),
+		},
+		"refit_commits":  s.refitCommits.Load(),
+		"refit_failures": s.refitFailures.Load(),
+		"versions_gced":  s.versionsGCed.Load(),
+	}
 }
 
 // distStats builds the /metrics "dist" section. The section is always

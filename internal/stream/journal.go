@@ -1,0 +1,259 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// batchLine is one journaled append: a full batch per JSONL line, so replay
+// and materialization decode one bounded batch at a time and never hold more
+// than MaxBatchNNZ records in memory.
+type batchLine struct {
+	V        int       `json:"v"`
+	Seq      int64     `json:"seq"`
+	UnixNano int64     `json:"unix_nano"`
+	Inds     [][]int32 `json:"inds"` // mode-major, order x nnz
+	Vals     []float64 `json:"vals"`
+}
+
+func (b *batchLine) check() error {
+	if b.V != 1 {
+		return fmt.Errorf("unsupported batch version %d", b.V)
+	}
+	if b.Seq <= 0 {
+		return fmt.Errorf("batch seq %d", b.Seq)
+	}
+	n := len(b.Vals)
+	if n == 0 {
+		return fmt.Errorf("batch %d is empty", b.Seq)
+	}
+	for m, col := range b.Inds {
+		if len(col) != n {
+			return fmt.Errorf("batch %d mode %d has %d indices for %d values", b.Seq, m, len(col), n)
+		}
+	}
+	return nil
+}
+
+// journalScanBudget sizes the line scanner: one line holds one batch, so the
+// cap bounds the largest replayable batch (a 1<<20-nnz batch is ~25 MB of
+// JSON for a 3-mode tensor).
+const (
+	journalScanInit = 1 << 20
+	journalScanMax  = 64 << 20
+)
+
+func newJournalScanner(f *os.File) *bufio.Scanner {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, journalScanInit), journalScanMax)
+	return sc
+}
+
+// replayResult summarizes a journal walk.
+type replayResult struct {
+	maxSeq            int64
+	pendingBatches    int
+	pendingNNZ        int64
+	oldestPendingNano int64
+	stale             int  // lines with seq <= appliedSeq (compaction due)
+	torn              bool // unparseable tail dropped
+}
+
+// replayJournal walks the delta journal counting batches newer than
+// appliedSeq. Mirroring the job journal's contract, an unparseable or
+// truncated final line is the torn tail of a crashed append and is dropped
+// silently by the following compaction; corruption before the tail is
+// reported the same way (the journal is append-only, so everything after a
+// torn line is unreachable anyway).
+func replayJournal(path string, appliedSeq int64) (*replayResult, error) {
+	res := &replayResult{maxSeq: appliedSeq}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return res, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	sc := newJournalScanner(f)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var line batchLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			res.torn = true
+			break
+		}
+		if err := line.check(); err != nil {
+			res.torn = true
+			break
+		}
+		if line.Seq > res.maxSeq {
+			res.maxSeq = line.Seq
+		}
+		if line.Seq <= appliedSeq {
+			res.stale++
+			continue
+		}
+		res.pendingBatches++
+		res.pendingNNZ += int64(len(line.Vals))
+		if res.oldestPendingNano == 0 || line.UnixNano < res.oldestPendingNano {
+			res.oldestPendingNano = line.UnixNano
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// An overlong or unreadable tail: treat like a torn line.
+		res.torn = true
+	}
+	return res, nil
+}
+
+// compactJournal rewrites the journal keeping only batches newer than
+// appliedSeq, fsyncs the replacement, and renames it into place.
+func compactJournal(path string, appliedSeq int64) error {
+	src, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer src.Close()
+	tmp := path + ".compact"
+	dst, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(dst, 1<<20)
+	sc := newJournalScanner(src)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var line batchLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			break // torn tail: drop
+		}
+		if err := line.check(); err != nil {
+			break
+		}
+		if line.Seq <= appliedSeq {
+			continue
+		}
+		if _, err := bw.Write(raw); err != nil {
+			dst.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			dst.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		dst.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := dst.Sync(); err != nil {
+		dst.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := dst.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// appendBatchLine writes and fsyncs one batch. On a write error the file is
+// truncated back to its pre-write length so the journal never carries an
+// interior torn line into subsequent appends.
+func appendBatchLine(f *os.File, line batchLine) error {
+	raw, err := json.Marshal(line)
+	if err != nil {
+		return err
+	}
+	off, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(raw, '\n')); err != nil {
+		_ = f.Truncate(off)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Truncate(off)
+		return err
+	}
+	return nil
+}
+
+// visitPending streams the journal's batches with seq in (afterSeq, upToSeq]
+// through fn, one decoded batch at a time.
+func visitPending(path string, afterSeq, upToSeq int64, fn func(batchLine) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	sc := newJournalScanner(f)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var line batchLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			break // torn tail (necessarily newer than upToSeq at call sites)
+		}
+		if err := line.check(); err != nil {
+			break
+		}
+		if line.Seq <= afterSeq || line.Seq > upToSeq {
+			continue
+		}
+		if err := fn(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// openJournal replays, compacts, and opens the lineage's journal for append,
+// restoring the in-memory counters. Called with no locks held (lineage not
+// yet published) and by Commit under l.mu.
+func (l *Lineage) openJournal() error {
+	path := filepath.Join(l.dir, JournalFileName)
+	res, err := replayJournal(path, l.st.AppliedSeq)
+	if err != nil {
+		return err
+	}
+	if res.stale > 0 || res.torn {
+		if err := compactJournal(path, l.st.AppliedSeq); err != nil {
+			return err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	l.jf = f
+	l.nextSeq = res.maxSeq + 1
+	l.pendingBatches = res.pendingBatches
+	l.pendingNNZ = res.pendingNNZ
+	l.oldestPendingNano = res.oldestPendingNano
+	return nil
+}

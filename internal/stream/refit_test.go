@@ -1,0 +1,97 @@
+package stream
+
+import (
+	"testing"
+
+	"aoadmm/internal/core"
+	"aoadmm/internal/tensor"
+)
+
+// TestWarmRefitBeatsColdRetrain is the PR's acceptance criterion: after a
+// ~5% nnz delta lands on a lineage, a refit warm-started from the previous
+// version's factors and duals must reach the cold retrain's fit (within
+// 1e-4 relative error) in at most a third of the cold run's outer
+// iterations.
+func TestWarmRefitBeatsColdRetrain(t *testing.T) {
+	dims := []int{30, 25, 20}
+	const rank = 4
+	full, _, err := tensor.PlantedLowRank(tensor.GenOptions{
+		Dims: dims, NNZ: 9000, Rank: rank, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split ~95/5: the first 95% trains v1, the tail arrives as the delta.
+	n := full.NNZ()
+	cut := n * 95 / 100
+	base := tensor.NewCOO(dims, cut)
+	for m := 0; m < 3; m++ {
+		base.Inds[m] = append(base.Inds[m], full.Inds[m][:cut]...)
+	}
+	base.Vals = append(base.Vals, full.Vals[:cut]...)
+
+	// v1: converge on the base tensor, keeping factors and duals.
+	v1, err := core.Factorize(base, core.Options{
+		Rank: rank, Tol: 1e-8, MaxOuterIters: 200, Seed: 1, Threads: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Duals == nil {
+		t.Fatal("v1 run returned no duals to warm-start from")
+	}
+
+	// Stream the delta and materialize the refit input (decay 1: the
+	// materialized tensor is exactly base + delta).
+	s := openTestStore(t, Config{})
+	if _, err := s.Ensure("m1", dims, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	delta := make([][]int32, 3)
+	for m := 0; m < 3; m++ {
+		delta[m] = full.Inds[m][cut:]
+	}
+	if _, err := s.Append("m1", delta, full.Vals[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	mat, err := s.Materialize("m1", COOSource{T: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.DeltaNNZ != int64(n-cut) {
+		t.Fatalf("delta nnz %d, want %d", mat.DeltaNNZ, n-cut)
+	}
+	if mat.BaseScale != 1 {
+		t.Fatalf("base scale %v, want 1 (decay disabled)", mat.BaseScale)
+	}
+
+	// Cold retrain on the materialized tensor, from scratch.
+	cold, err := core.FactorizeOOC(mat.Tensor, core.Options{
+		Rank: rank, Tol: 1e-8, MaxOuterIters: 200, Seed: 2, Threads: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.OuterIters < 9 {
+		t.Fatalf("cold retrain converged in %d iterations; too fast for the budget comparison to mean anything", cold.OuterIters)
+	}
+
+	// Warm refit: same input, a third of the iteration budget, no early
+	// stop — the fit it lands on is the measurement.
+	budget := cold.OuterIters / 3
+	warm, err := core.FactorizeOOC(mat.Tensor, core.Options{
+		Rank: rank, Tol: 1e-12, MaxOuterIters: budget, Threads: 1,
+		InitFactors: v1.Factors,
+		InitDuals:   v1.Duals,
+		DualScale:   mat.BaseScale,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.RelErr > cold.RelErr+1e-4 {
+		t.Fatalf("warm refit rel_err %.6g after %d iters; cold reached %.6g in %d iters (budget %d)",
+			warm.RelErr, warm.OuterIters, cold.RelErr, cold.OuterIters, budget)
+	}
+	t.Logf("cold: rel_err %.3g in %d iters; warm: rel_err %.3g in %d iters",
+		cold.RelErr, cold.OuterIters, warm.RelErr, warm.OuterIters)
+}
