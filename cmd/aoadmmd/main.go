@@ -62,6 +62,7 @@ func main() {
 		refitNNZ       = flag.Int64("refit-nnz", 0, "pending delta non-zeros that trigger an automatic refit (0 disables)")
 		refitStaleness = flag.Duration("refit-staleness", 0, "age of the oldest unapplied delta batch that triggers an automatic refit (0 disables)")
 		streamDecay    = flag.Float64("stream-decay", 1, "default sliding-window decay lambda in (0,1] for new lineages; older delta batches are down-weighted by lambda^age")
+		refitDrift     = flag.Float64("refit-drift", 0, "mean per-mode factor drift at which a lineage refits eagerly on the next append (0 disables the drift trigger; see docs/STREAMING.md)")
 
 		role       = flag.String("role", "standalone", "daemon role: standalone|coordinator|worker (see docs/DISTRIBUTED.md)")
 		coordAddr  = flag.String("coordinator-addr", "", "coordinator address a worker dials (role worker)")
@@ -102,6 +103,7 @@ func main() {
 		RefitNNZ:       *refitNNZ,
 		RefitStaleness: *refitStaleness,
 		StreamDecay:    *streamDecay,
+		RefitDrift:     *refitDrift,
 		Logger:         logger,
 	}
 

@@ -59,6 +59,16 @@ func streamInfo(path string) error {
 	if len(info.Gens) > 0 {
 		fmt.Printf("materialized generations: %v\n", info.Gens)
 	}
+	if len(info.Drift) > 0 {
+		fmt.Printf("factor drift per refit (0=unchanged up to permutation/scaling, 1=orthogonal; newest last):\n")
+		for _, d := range info.Drift {
+			perMode := make([]string, len(d.PerMode))
+			for m, v := range d.PerMode {
+				perMode[m] = fmt.Sprintf("%.4f", v)
+			}
+			fmt.Printf("  %s  as-of seq %-6d  [%s]\n", d.Version, d.AsOfSeq, strings.Join(perMode, " "))
+		}
+	}
 	return nil
 }
 

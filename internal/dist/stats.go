@@ -1,0 +1,84 @@
+package dist
+
+import "sync/atomic"
+
+// NodeStats accumulates node-local compute and shard-I/O counters on a
+// worker node. The networked worker (internal/distnet) updates one of these
+// around every shard load, partial MTTKRP, and blocked-ADMM call, snapshots
+// it on each heartbeat, and piggybacks the snapshot to the coordinator —
+// which federates the values as per-worker aoadmm_dist_worker_* metrics.
+// All fields are atomics so the heartbeat goroutine can snapshot while the
+// compute goroutine updates.
+type NodeStats struct {
+	// Epochs counts job epochs this node participated in to completion.
+	Epochs atomic.Int64
+	// EpochNanos is total wall time from accepting an assignment to the
+	// job's Done (or the epoch being superseded).
+	EpochNanos atomic.Int64
+	// ShardLoads / ShardLoadNanos / ShardBytes count blocking shard reads:
+	// time a worker stalls on storage instead of computing.
+	ShardLoads     atomic.Int64
+	ShardLoadNanos atomic.Int64
+	ShardBytes     atomic.Int64
+	// MTTKRPCalls / MTTKRPNanos time local partial-MTTKRP requests.
+	MTTKRPCalls atomic.Int64
+	MTTKRPNanos atomic.Int64
+	// ADMMCalls / ADMMNanos time local blocked-ADMM row-range solves.
+	ADMMCalls atomic.Int64
+	ADMMNanos atomic.Int64
+	// KernelCSF / KernelALTO count kernel instantiations by backend format,
+	// so format auto-selection skew across the cluster is visible.
+	KernelCSF  atomic.Int64
+	KernelALTO atomic.Int64
+}
+
+// CountKernel records one kernel instantiation of the given format
+// (LocalKernel.Format()).
+func (s *NodeStats) CountKernel(format string) {
+	if s == nil {
+		return
+	}
+	switch format {
+	case "alto":
+		s.KernelALTO.Add(1)
+	default:
+		s.KernelCSF.Add(1)
+	}
+}
+
+// NodeStatsSnapshot is a plain-value copy of NodeStats, safe to serialize
+// over the wire and compare across heartbeats.
+type NodeStatsSnapshot struct {
+	Epochs         int64
+	EpochNanos     int64
+	ShardLoads     int64
+	ShardLoadNanos int64
+	ShardBytes     int64
+	MTTKRPCalls    int64
+	MTTKRPNanos    int64
+	ADMMCalls      int64
+	ADMMNanos      int64
+	KernelCSF      int64
+	KernelALTO     int64
+}
+
+// Snapshot copies the current counter values. Safe to call concurrently
+// with updates; returns the zero snapshot on nil.
+func (s *NodeStats) Snapshot() NodeStatsSnapshot {
+	if s == nil {
+		return NodeStatsSnapshot{}
+	}
+	return NodeStatsSnapshot{
+		Epochs:         s.Epochs.Load(),
+		EpochNanos:     s.EpochNanos.Load(),
+		ShardLoads:     s.ShardLoads.Load(),
+		ShardLoadNanos: s.ShardLoadNanos.Load(),
+		ShardBytes:     s.ShardBytes.Load(),
+		MTTKRPCalls:    s.MTTKRPCalls.Load(),
+		MTTKRPNanos:    s.MTTKRPNanos.Load(),
+		ADMMCalls:      s.ADMMCalls.Load(),
+		ADMMNanos:      s.ADMMNanos.Load(),
+		KernelCSF:      s.KernelCSF.Load(),
+		KernelALTO:     s.KernelALTO.Load(),
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"aoadmm/internal/dense"
 	"aoadmm/internal/dist"
 	"aoadmm/internal/kruskal"
+	"aoadmm/internal/obs"
 	"aoadmm/internal/ooc"
 	"aoadmm/internal/prox"
 	"aoadmm/internal/stats"
@@ -65,14 +66,41 @@ type Stats struct {
 	Epochs            int64
 	WireBytesSent     int64
 	WireBytesReceived int64
-	Collectives       dist.CommStats
+	// TraceSpans counts span events merged into multi-process traces.
+	TraceSpans  int64
+	Collectives dist.CommStats
 }
 
-// WorkerInfo describes one connected worker.
+// WorkerInfo describes one connected worker: identity, liveness, and the
+// telemetry counters the worker last piggybacked on a heartbeat (cumulative
+// on the worker across reconnects). The serving layer federates these as
+// per-worker aoadmm_dist_worker_* metrics and the /healthz liveness table.
 type WorkerInfo struct {
 	ID   uint32 `json:"id"`
 	Name string `json:"name"`
 	Addr string `json:"addr"`
+	// LastSeenUnixNano is the coordinator-clock time of the last frame
+	// received from this worker; heartbeat age derives from it.
+	LastSeenUnixNano int64 `json:"last_seen_unix_nano"`
+	// HeartbeatRTTNanos is the worker's last measured heartbeat round trip;
+	// ClockOffsetNanos is the estimated worker-to-coordinator clock offset
+	// (recv_local - send - rtt/2) used to merge traces.
+	HeartbeatRTTNanos int64 `json:"heartbeat_rtt_nanos"`
+	ClockOffsetNanos  int64 `json:"clock_offset_nanos"`
+	// Node-local telemetry federated from the worker's last heartbeat.
+	Epochs          int64 `json:"epochs"`
+	EpochNanos      int64 `json:"epoch_nanos"`
+	ShardLoads      int64 `json:"shard_loads"`
+	ShardStallNanos int64 `json:"shard_stall_nanos"`
+	ShardBytes      int64 `json:"shard_bytes"`
+	MTTKRPCalls     int64 `json:"mttkrp_calls"`
+	MTTKRPNanos     int64 `json:"mttkrp_nanos"`
+	ADMMCalls       int64 `json:"admm_calls"`
+	ADMMNanos       int64 `json:"admm_nanos"`
+	KernelCSF       int64 `json:"kernel_csf"`
+	KernelALTO      int64 `json:"kernel_alto"`
+	WireSentBytes   int64 `json:"wire_sent_bytes"`
+	WireRecvBytes   int64 `json:"wire_recv_bytes"`
 }
 
 // errWorkerDead marks an epoch aborted by a worker failure: the job
@@ -95,6 +123,13 @@ type workerConn struct {
 	dead     chan struct{}
 	deadOnce sync.Once
 	lastSeen atomic.Int64
+
+	// Telemetry from the worker's last heartbeat, plus the clock offset
+	// derived from it. Guarded by tmu: heartbeats land on the read loop
+	// while metrics scrapes and trace merges read concurrently.
+	tmu         sync.Mutex
+	tel         heartbeat
+	clockOffset int64
 }
 
 func (w *workerConn) markDead(why string) {
@@ -144,8 +179,20 @@ func (w *workerConn) readLoop() {
 			return
 		}
 		w.c.wireRecv.Add(int64(n))
-		w.lastSeen.Store(time.Now().UnixNano())
+		now := time.Now().UnixNano()
+		w.lastSeen.Store(now)
 		if typ == msgHeartbeat {
+			// Telemetry piggybacks on the heartbeat; the ack echoes the send
+			// time so the worker can measure RTT for the next round. The
+			// offset estimate assumes a symmetric path: the worker's clock
+			// read happened ~rtt/2 before this frame landed.
+			if hb, err := decodeHeartbeat(payload); err == nil && hb.SendUnixNano != 0 {
+				w.tmu.Lock()
+				w.tel = hb
+				w.clockOffset = now - hb.SendUnixNano - hb.LastRTTNanos/2
+				w.tmu.Unlock()
+				_ = w.send(msgHeartbeatAck, heartbeatAck{EchoUnixNano: hb.SendUnixNano}.encode())
+			}
 			continue
 		}
 		select {
@@ -213,6 +260,7 @@ type Coordinator struct {
 	commGram        atomic.Int64
 	commADMM        atomic.Int64
 	commMsgs        atomic.Int64
+	traceSpans      atomic.Int64
 }
 
 // Listen starts a coordinator on cfg.Listen.
@@ -354,12 +402,38 @@ func (c *Coordinator) liveSorted() []*workerConn {
 	return out
 }
 
-// LiveWorkers lists the currently connected workers.
+// LiveWorkers lists the currently connected workers with their last
+// federated telemetry.
 func (c *Coordinator) LiveWorkers() []WorkerInfo {
 	ws := c.liveSorted()
 	out := make([]WorkerInfo, len(ws))
 	for i, w := range ws {
-		out[i] = WorkerInfo{ID: w.id, Name: w.name, Addr: w.conn.RemoteAddr().String()}
+		w.tmu.Lock()
+		tel, off := w.tel, w.clockOffset
+		w.tmu.Unlock()
+		out[i] = WorkerInfo{
+			ID:   w.id,
+			Name: w.name,
+			Addr: w.conn.RemoteAddr().String(),
+
+			LastSeenUnixNano:  w.lastSeen.Load(),
+			HeartbeatRTTNanos: tel.LastRTTNanos,
+			ClockOffsetNanos:  off,
+
+			Epochs:          tel.Node.Epochs,
+			EpochNanos:      tel.Node.EpochNanos,
+			ShardLoads:      tel.Node.ShardLoads,
+			ShardStallNanos: tel.Node.ShardLoadNanos,
+			ShardBytes:      tel.Node.ShardBytes,
+			MTTKRPCalls:     tel.Node.MTTKRPCalls,
+			MTTKRPNanos:     tel.Node.MTTKRPNanos,
+			ADMMCalls:       tel.Node.ADMMCalls,
+			ADMMNanos:       tel.Node.ADMMNanos,
+			KernelCSF:       tel.Node.KernelCSF,
+			KernelALTO:      tel.Node.KernelALTO,
+			WireSentBytes:   tel.WireSent,
+			WireRecvBytes:   tel.WireRecv,
+		}
 	}
 	return out
 }
@@ -377,6 +451,7 @@ func (c *Coordinator) Stats() Stats {
 		Epochs:            c.epochs.Load(),
 		WireBytesSent:     c.wireSent.Load(),
 		WireBytesReceived: c.wireRecv.Load(),
+		TraceSpans:        c.traceSpans.Load(),
 		Collectives: dist.CommStats{
 			MTTKRPBytes: c.commMTTKRP.Load(),
 			FactorBytes: c.commFactor.Load(),
@@ -434,6 +509,13 @@ type JobOptions struct {
 	Threads int
 	// Seed drives initialization, matching core.Factorize and dist.Run.
 	Seed int64
+	// Trace enables cluster-wide tracing: the coordinator runs a span
+	// tracer around the per-epoch collective phases, every worker traces
+	// its node-local work, and the batches merge into JobResult.Trace —
+	// one Chrome/Perfetto trace correlated by the job ID with per-worker
+	// clock offsets estimated from heartbeat RTTs. Off (the default) adds
+	// zero allocations to the epoch path.
+	Trace bool
 	// Workers is the maximum worker count to spread over (<= 0 means all
 	// currently live). WaitForWorkers blocks the first epoch until that
 	// many workers have joined (<= 0 means 1); recovery epochs only ever
@@ -478,6 +560,13 @@ type JobResult struct {
 	Workers       int
 	Epochs        int
 	Reassignments int
+	// Trace is the merged multi-process trace when JobOptions.Trace was
+	// set: the coordinator's process first, then one process per worker
+	// that survived to the job's final epoch, with every Start already on
+	// the coordinator's timeline (render with obs.WriteChromeProcesses).
+	// Workers that died mid-job, and jobs that end by context
+	// cancellation, lose their worker-side spans.
+	Trace []obs.ProcessTrace
 }
 
 // maxJobEpochs bounds recovery attempts so a pathological environment
@@ -531,6 +620,13 @@ func (c *Coordinator) RunJob(opts JobOptions) (*JobResult, error) {
 	xNormSq := st.NormSq()
 	started := time.Now()
 
+	// The coordinator's own tracer; nil when tracing is off, so every span
+	// below is a no-op nil check on the hot path.
+	var tracer *obs.Tracer
+	if opts.Trace {
+		tracer = obs.New(1)
+	}
+
 	// Replicated authoritative state. Recovery epochs re-enter here from a
 	// checkpoint or the epoch-start snapshot.
 	var model *kruskal.Tensor
@@ -577,6 +673,18 @@ func (c *Coordinator) RunJob(opts JobOptions) (*JobResult, error) {
 		res.Comm = pricer.Stats()
 		res.WireBytesSent = c.wireSent.Load() - wireSent0
 		res.WireBytesReceived = c.wireRecv.Load() - wireRecv0
+		if tracer != nil {
+			evs := tracer.Events()
+			c.traceSpans.Add(int64(len(evs)))
+			res.Trace = append([]obs.ProcessTrace{{
+				PID:       1,
+				Name:      "coordinator",
+				SortIndex: -1,
+				Workers:   tracer.Workers(),
+				Args:      map[string]any{"job_id": opts.JobID},
+				Events:    evs,
+			}}, res.Trace...)
+		}
 		syncComm()
 		return res, nil
 	}
@@ -629,6 +737,7 @@ func (c *Coordinator) RunJob(opts JobOptions) (*JobResult, error) {
 			model: model, duals: duals,
 			startIter: startIter, prevRelErr: prevRelErr,
 			pricer: pricer, syncComm: syncComm, res: res,
+			tracer: tracer,
 		})
 		if runErr == nil {
 			if completed {
@@ -697,6 +806,8 @@ type epochRun struct {
 	pricer   *dist.Pricer
 	syncComm func()
 	res      *JobResult
+	// tracer is the job's coordinator-side span tracer (nil = tracing off).
+	tracer *obs.Tracer
 }
 
 // runEpoch assigns the epoch to its slots and drives iterations until the
@@ -716,6 +827,11 @@ func (c *Coordinator) runEpoch(ctx context.Context, e epochRun) (bool, error) {
 
 	// Assign: ship job parameters, placement, and the full replicated
 	// state; wait for every slot to load its shard range.
+	asp := e.tracer.Begin("coord", "assign_epoch", -1, obs.TIDDriver, int64(e.epoch))
+	trace := uint32(0)
+	if e.tracer != nil {
+		trace = 1
+	}
 	for i, w := range e.slots {
 		a := assign{
 			JobID:         opts.JobID,
@@ -729,6 +845,7 @@ func (c *Coordinator) runEpoch(ctx context.Context, e epochRun) (bool, error) {
 			InnerMaxIters: uint32(opts.InnerMaxIters),
 			Threads:       uint32(opts.Threads),
 			InnerEps:      opts.InnerEps,
+			Trace:         trace,
 			Dims:          dims,
 			Mode0:         [2]int64{int64(e.ranges[i][0]), int64(e.ranges[i][1])},
 			Owned:         ownedFor(owned, i),
@@ -754,6 +871,7 @@ func (c *Coordinator) runEpoch(ctx context.Context, e epochRun) (bool, error) {
 	if totalNNZ != e.st.NNZ() {
 		return false, fmt.Errorf("distnet: placement covers %d non-zeros, tensor has %d", totalNNZ, e.st.NNZ())
 	}
+	asp.End()
 
 	// Replicated Gram state, recomputed from the epoch's factors.
 	grams := make([]*dense.Matrix, order)
@@ -763,6 +881,7 @@ func (c *Coordinator) runEpoch(ctx context.Context, e epochRun) (bool, error) {
 
 	prevRelErr := e.prevRelErr
 	for iter := e.startIter + 1; iter <= opts.MaxOuterIters; iter++ {
+		isp := e.tracer.Begin("outer", "outer_iter", -1, obs.TIDDriver, int64(iter))
 		var lastK *dense.Matrix
 		var lastMode int
 		for m := 0; m < order; m++ {
@@ -772,6 +891,7 @@ func (c *Coordinator) runEpoch(ctx context.Context, e epochRun) (bool, error) {
 			// only the non-zero rows of their partial; the reduction runs
 			// in slot order so summation order matches the simulator, and
 			// each non-owned row is priced exactly as the simulator does.
+			rsp := e.tracer.Begin("coord", "reduce_scatter", m, obs.TIDDriver, int64(iter))
 			req := modeReq{Epoch: e.epoch, Iter: uint32(iter), Mode: uint32(m)}.encode()
 			for _, w := range e.slots {
 				if err := w.send(msgMTTKRPReq, req); err != nil {
@@ -814,9 +934,11 @@ func (c *Coordinator) runEpoch(ctx context.Context, e epochRun) (bool, error) {
 					}
 				}
 			}
+			rsp.End()
 
 			// Phase 3: ship G + owned K rows; workers run the
 			// communication-free blocked ADMM on their owned spans.
+			osp := e.tracer.Begin("coord", "admm_rows", m, obs.TIDDriver, int64(iter))
 			for i, w := range e.slots {
 				ob, oe := owned[m][i][0], owned[m][i][1]
 				ar := admmReq{Epoch: e.epoch, Mode: uint32(m), G: g, K: k.RowBlock(ob, oe)}
@@ -846,8 +968,10 @@ func (c *Coordinator) runEpoch(ctx context.Context, e epochRun) (bool, error) {
 				// Phase 4a: the allgather of this slot's updated rows.
 				e.pricer.AllgatherNode(oe-ob, rank, n)
 			}
+			osp.End()
 
 			// Phase 4b: Gram allreduce, then replicate the full factor.
+			bsp := e.tracer.Begin("coord", "factor_bcast", m, obs.TIDDriver, int64(iter))
 			grams[m] = dense.Gram(e.model.Factors[m], 1)
 			e.pricer.GramAllreduce(rank, n)
 			fb := factorBcast{Epoch: e.epoch, Mode: uint32(m), Factor: e.model.Factors[m]}.encode()
@@ -856,8 +980,10 @@ func (c *Coordinator) runEpoch(ctx context.Context, e epochRun) (bool, error) {
 					return false, err
 				}
 			}
+			bsp.End()
 			lastK, lastMode = k, m
 		}
+		isp.End()
 
 		inner := kruskal.InnerWithMTTKRP(lastK, e.model.Factors[lastMode])
 		relErr := kruskal.RelErr(e.xNormSq, inner, kruskal.NormSqFromGrams(grams))
@@ -889,11 +1015,13 @@ func (c *Coordinator) runEpoch(ctx context.Context, e epochRun) (bool, error) {
 		}) {
 			e.res.Stopped = true
 			c.sendDone(e.slots, e.epoch)
+			c.collectSpans(ctx, &e)
 			return true, nil
 		}
 		if opts.Tol > 0 && prevRelErr-relErr < opts.Tol {
 			e.res.Converged = true
 			c.sendDone(e.slots, e.epoch)
+			c.collectSpans(ctx, &e)
 			return true, nil
 		}
 		prevRelErr = relErr
@@ -902,7 +1030,55 @@ func (c *Coordinator) runEpoch(ctx context.Context, e epochRun) (bool, error) {
 		}
 	}
 	c.sendDone(e.slots, e.epoch)
+	c.collectSpans(ctx, &e)
 	return true, nil
+}
+
+// collectSpans gathers one span batch per surviving slot after Done (the
+// worker pushes its batch on receiving msgDone), shifts each worker's
+// events onto the coordinator's timeline — absolute worker time from the
+// batch's tracer epoch, then the heartbeat-derived clock offset, then
+// rebased against the coordinator tracer's epoch — and appends one
+// ProcessTrace per worker to the job result. Workers that die during
+// collection just lose their spans; the job result is unaffected.
+func (c *Coordinator) collectSpans(ctx context.Context, e *epochRun) {
+	if e.tracer == nil {
+		return
+	}
+	cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	coordEpoch := e.tracer.EpochUnixNano()
+	for _, w := range e.slots {
+		pl, err := w.recv(cctx, e.epoch, msgSpans)
+		if err != nil {
+			c.cfg.Logger.Warn("distnet: span collection failed", "worker", w.id, "err", err)
+			continue
+		}
+		sb, err := decodeSpanBatch(pl)
+		if err != nil {
+			c.cfg.Logger.Warn("distnet: bad span batch", "worker", w.id, "err", err)
+			continue
+		}
+		w.tmu.Lock()
+		off := w.clockOffset
+		w.tmu.Unlock()
+		evs := sb.Events
+		for i := range evs {
+			evs[i].Start = sb.EpochUnixNano + evs[i].Start + off - coordEpoch
+		}
+		c.traceSpans.Add(int64(len(evs)))
+		if sb.Dropped > 0 {
+			c.cfg.Logger.Warn("distnet: worker trace dropped events", "worker", w.id, "dropped", sb.Dropped)
+		}
+		e.res.Trace = append(e.res.Trace, obs.ProcessTrace{
+			PID:       int(w.id) + 1,
+			Name:      "worker:" + w.name,
+			SortIndex: int(w.id),
+			Workers:   1,
+			Args:      map[string]any{"job_id": sb.JobID},
+			Events:    evs,
+		})
+	}
 }
 
 // sendDone tells every slot the job is over (best effort).

@@ -3,6 +3,8 @@ package distnet
 import (
 	"bytes"
 	"testing"
+
+	"aoadmm/internal/obs"
 )
 
 // FuzzWireFrame throws arbitrary bytes at the frame decoder and, when a
@@ -20,6 +22,13 @@ func FuzzWireFrame(f *testing.F) {
 		}
 	}
 	seed(msgHeartbeat, nil)
+	seed(msgHeartbeat, heartbeat{SendUnixNano: 1 << 40, LastRTTNanos: 12345,
+		WireSent: 99, WireRecv: 101}.encode())
+	seed(msgHeartbeatAck, heartbeatAck{EchoUnixNano: 1 << 40}.encode())
+	seed(msgSpans, spanBatch{Epoch: 1, JobID: "j1", EpochUnixNano: 1 << 40, Events: []obs.Event{
+		{Name: "mttkrp", Cat: "dist", Mode: 0, TID: obs.TIDDriver, Arg: 2, Start: 10, Dur: 20},
+		{Name: "shard_load", Cat: "dist", Mode: -1, TID: obs.TIDDriver, Arg: 4096, Start: 1, Dur: 5},
+	}}.encode())
 	seed(msgHello, hello{Name: "w0"}.encode())
 	seed(msgWelcome, welcome{WorkerID: 1, HeartbeatMs: 1000, MaxFrameBytes: 1 << 20}.encode())
 	seed(msgReady, ready{Epoch: 1, NNZ: 42, ShardBytes: 1024}.encode())
@@ -62,6 +71,12 @@ func FuzzWireFrame(f *testing.F) {
 			decodeFactorBcast(payload)
 		case msgError:
 			decodeErrMsg(payload)
+		case msgHeartbeat:
+			decodeHeartbeat(payload)
+		case msgHeartbeatAck:
+			decodeHeartbeatAck(payload)
+		case msgSpans:
+			decodeSpanBatch(payload)
 		}
 	})
 }

@@ -6,6 +6,8 @@ import (
 	"math"
 
 	"aoadmm/internal/dense"
+	"aoadmm/internal/dist"
+	"aoadmm/internal/obs"
 )
 
 // Message payload encodings, little-endian throughout. Strings are u32
@@ -175,11 +177,15 @@ type assign struct {
 	InnerMaxIters uint32
 	Threads       uint32
 	InnerEps      float64
-	Dims          []int
-	Mode0         [2]int64
-	Owned         [][2]int64
-	Factors       []*dense.Matrix
-	Duals         []*dense.Matrix
+	// Trace, when non-zero, asks the worker to run a per-job span tracer
+	// around shard loads, partial MTTKRPs, and local ADMM, and to push the
+	// completed batch back on Done (msgSpans).
+	Trace   uint32
+	Dims    []int
+	Mode0   [2]int64
+	Owned   [][2]int64
+	Factors []*dense.Matrix
+	Duals   []*dense.Matrix
 }
 
 func (m assign) encode() []byte {
@@ -195,6 +201,7 @@ func (m assign) encode() []byte {
 	e.u32(m.InnerMaxIters)
 	e.u32(m.Threads)
 	e.f64(m.InnerEps)
+	e.u32(m.Trace)
 	e.u32(uint32(len(m.Dims)))
 	for _, d := range m.Dims {
 		e.u64(uint64(d))
@@ -220,7 +227,7 @@ func decodeAssign(b []byte) (assign, error) {
 		JobID: d.str(), Epoch: d.u32(), Slot: d.u32(), Workers: d.u32(),
 		ShardDir: d.str(), Constraint: d.str(),
 		Rank: d.u32(), BlockSize: d.u32(), InnerMaxIters: d.u32(), Threads: d.u32(),
-		InnerEps: d.f64(),
+		InnerEps: d.f64(), Trace: d.u32(),
 	}
 	order := d.u32()
 	const maxOrder = 16
@@ -410,6 +417,153 @@ func (m factorBcast) encode() []byte {
 func decodeFactorBcast(b []byte) (factorBcast, error) {
 	d := &dec{b: b}
 	m := factorBcast{Epoch: d.u32(), Mode: d.u32(), Factor: d.mat()}
+	return m, d.finish()
+}
+
+// heartbeat carries worker liveness plus piggybacked telemetry: the
+// worker's wall-clock send time (echoed by msgHeartbeatAck so the worker
+// measures RTT and the coordinator estimates the clock offset as
+// recv_local - send - rtt/2), its last measured RTT, socket byte counters,
+// and the node-local compute/shard counters of dist.NodeStats. An empty
+// payload decodes to the zero heartbeat — a plain liveness ping from a
+// peer that has nothing to report — which also keeps pre-telemetry frames
+// valid.
+type heartbeat struct {
+	SendUnixNano int64
+	LastRTTNanos int64
+	WireSent     int64 // worker-side socket bytes written
+	WireRecv     int64 // worker-side socket bytes read
+	Node         dist.NodeStatsSnapshot
+}
+
+func (m heartbeat) encode() []byte {
+	e := &enc{}
+	e.i64(m.SendUnixNano)
+	e.i64(m.LastRTTNanos)
+	e.i64(m.WireSent)
+	e.i64(m.WireRecv)
+	e.i64(m.Node.Epochs)
+	e.i64(m.Node.EpochNanos)
+	e.i64(m.Node.ShardLoads)
+	e.i64(m.Node.ShardLoadNanos)
+	e.i64(m.Node.ShardBytes)
+	e.i64(m.Node.MTTKRPCalls)
+	e.i64(m.Node.MTTKRPNanos)
+	e.i64(m.Node.ADMMCalls)
+	e.i64(m.Node.ADMMNanos)
+	e.i64(m.Node.KernelCSF)
+	e.i64(m.Node.KernelALTO)
+	return e.b
+}
+
+func decodeHeartbeat(b []byte) (heartbeat, error) {
+	if len(b) == 0 {
+		return heartbeat{}, nil
+	}
+	d := &dec{b: b}
+	m := heartbeat{
+		SendUnixNano: d.i64(),
+		LastRTTNanos: d.i64(),
+		WireSent:     d.i64(),
+		WireRecv:     d.i64(),
+		Node: dist.NodeStatsSnapshot{
+			Epochs:         d.i64(),
+			EpochNanos:     d.i64(),
+			ShardLoads:     d.i64(),
+			ShardLoadNanos: d.i64(),
+			ShardBytes:     d.i64(),
+			MTTKRPCalls:    d.i64(),
+			MTTKRPNanos:    d.i64(),
+			ADMMCalls:      d.i64(),
+			ADMMNanos:      d.i64(),
+			KernelCSF:      d.i64(),
+			KernelALTO:     d.i64(),
+		},
+	}
+	return m, d.finish()
+}
+
+// heartbeatAck echoes a heartbeat's send time back to the worker.
+type heartbeatAck struct {
+	EchoUnixNano int64
+}
+
+func (m heartbeatAck) encode() []byte {
+	e := &enc{}
+	e.i64(m.EchoUnixNano)
+	return e.b
+}
+
+func decodeHeartbeatAck(b []byte) (heartbeatAck, error) {
+	d := &dec{b: b}
+	m := heartbeatAck{EchoUnixNano: d.i64()}
+	return m, d.finish()
+}
+
+// spanBatch ships a worker's completed tracer spans to the coordinator for
+// the merged multi-process trace. Epoch leads the payload so the
+// coordinator's stale-epoch filter applies; EpochUnixNano is the worker
+// tracer's epoch on the worker's own clock, which the coordinator shifts
+// onto its timeline via the heartbeat-derived clock offset.
+type spanBatch struct {
+	Epoch         uint32
+	JobID         string
+	EpochUnixNano int64
+	Dropped       int64
+	Events        []obs.Event
+}
+
+// spanEventMinBytes is the smallest encoding of one event (two empty
+// strings + five i64 fields); the decoder's pre-allocation bound.
+const spanEventMinBytes = 4 + 4 + 5*8
+
+func (m spanBatch) encode() []byte {
+	e := &enc{}
+	e.u32(m.Epoch)
+	e.str(m.JobID)
+	e.i64(m.EpochUnixNano)
+	e.i64(m.Dropped)
+	e.u32(uint32(len(m.Events)))
+	for _, ev := range m.Events {
+		e.str(ev.Name)
+		e.str(ev.Cat)
+		e.i64(int64(ev.Mode))
+		e.i64(int64(ev.TID))
+		e.i64(ev.Arg)
+		e.i64(ev.Start)
+		e.i64(ev.Dur)
+	}
+	return e.b
+}
+
+func decodeSpanBatch(b []byte) (spanBatch, error) {
+	d := &dec{b: b}
+	m := spanBatch{
+		Epoch:         d.u32(),
+		JobID:         d.str(),
+		EpochUnixNano: d.i64(),
+		Dropped:       d.i64(),
+	}
+	count := d.u32()
+	if d.err != nil {
+		return m, d.err
+	}
+	if need := int64(count) * spanEventMinBytes; need > int64(len(d.b)-d.off) {
+		return m, fmt.Errorf("distnet: span batch of %d events needs %d bytes, %d remain",
+			count, need, len(d.b)-d.off)
+	}
+	m.Events = make([]obs.Event, count)
+	for i := range m.Events {
+		m.Events[i] = obs.Event{
+			Name:  d.str(),
+			Cat:   d.str(),
+			Mode:  int32(d.i64()),
+			TID:   int32(d.i64()),
+			Arg:   d.i64(),
+			Start: d.i64(),
+			Dur:   d.i64(),
+		}
+	}
 	return m, d.finish()
 }
 

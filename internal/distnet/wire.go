@@ -71,6 +71,14 @@ const (
 	msgFactorBcast = 10 // coordinator -> worker: full updated factor
 	msgDone        = 11 // coordinator -> worker: job finished, drop state
 	msgError       = 12 // either: fatal condition, human-readable
+
+	// Telemetry / tracing extensions. Heartbeats carry a piggybacked
+	// telemetry payload (timestamp, counters); the ack echoes the
+	// timestamp so the worker measures round-trip time and the
+	// coordinator estimates per-worker clock offset. Span batches flow
+	// worker -> coordinator once per traced job, pushed on Done.
+	msgHeartbeatAck = 13 // coordinator -> worker: echo of heartbeat send time
+	msgSpans        = 14 // worker -> coordinator: completed tracer span batch
 )
 
 // WriteFrame writes one frame. It returns the total bytes written so

@@ -7,11 +7,13 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aoadmm/internal/admm"
 	"aoadmm/internal/dense"
 	"aoadmm/internal/dist"
+	"aoadmm/internal/obs"
 	"aoadmm/internal/ooc"
 	"aoadmm/internal/prox"
 )
@@ -61,6 +63,16 @@ func (c *WorkerConfig) fill() {
 // restart, converges to connected.
 type Worker struct {
 	cfg WorkerConfig
+
+	// stats accumulates the node-local compute/shard counters; together
+	// with the socket byte counters and last measured heartbeat RTT it is
+	// snapshotted into every heartbeat's telemetry payload, which the
+	// coordinator federates into per-worker metrics. Counters are
+	// cumulative across reconnects.
+	stats    dist.NodeStats
+	wireSent atomic.Int64
+	wireRecv atomic.Int64
+	lastRTT  atomic.Int64
 
 	mu     sync.Mutex
 	conn   net.Conn
@@ -132,6 +144,20 @@ type workerJob struct {
 	threads       int
 	innerEps      float64
 	shardBytes    int64
+	// tracer is non-nil when the assign asked for tracing; it is reused
+	// across recovery epochs of the same job so one batch covers the
+	// job's whole lifetime on this worker. assignedAt feeds the epoch
+	// wall-time telemetry counter.
+	tracer     *obs.Tracer
+	assignedAt time.Time
+}
+
+// span opens a tracer span for this job's node-local work. Nil-safe: with
+// tracing off (tracer == nil) it returns the zero Span, whose End no-ops —
+// the disabled path is one nil check and zero allocations
+// (TestNilTracerEpochPathZeroAlloc).
+func (j *workerJob) span(cat, name string, mode int, arg int64) obs.Span {
+	return j.tracer.Begin(cat, name, mode, obs.TIDDriver, arg)
 }
 
 // session runs one connection lifetime: handshake, heartbeats, dispatch.
@@ -167,7 +193,8 @@ func (w *Worker) session(ctx context.Context) error {
 	send := func(typ byte, payload []byte) error {
 		wmu.Lock()
 		defer wmu.Unlock()
-		_, err := WriteFrame(conn, typ, payload)
+		n, err := WriteFrame(conn, typ, payload)
+		w.wireSent.Add(int64(n))
 		return err
 	}
 
@@ -175,10 +202,11 @@ func (w *Worker) session(ctx context.Context) error {
 		return err
 	}
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-	typ, payload, _, err := ReadFrame(conn, w.cfg.MaxFrameLen)
+	typ, payload, nRead, err := ReadFrame(conn, w.cfg.MaxFrameLen)
 	if err != nil {
 		return fmt.Errorf("welcome: %w", err)
 	}
+	w.wireRecv.Add(int64(nRead))
 	if typ != msgWelcome {
 		return fmt.Errorf("expected welcome, got frame type %d", typ)
 	}
@@ -203,7 +231,14 @@ func (w *Worker) session(ctx context.Context) error {
 			case <-stop:
 				return
 			case <-t.C:
-				if err := send(msgHeartbeat, nil); err != nil {
+				hb := heartbeat{
+					SendUnixNano: time.Now().UnixNano(),
+					LastRTTNanos: w.lastRTT.Load(),
+					WireSent:     w.wireSent.Load(),
+					WireRecv:     w.wireRecv.Load(),
+					Node:         w.stats.Snapshot(),
+				}
+				if err := send(msgHeartbeat, hb.encode()); err != nil {
 					return
 				}
 			}
@@ -218,15 +253,26 @@ func (w *Worker) session(ctx context.Context) error {
 		return send(msgError, errMsg{Text: text}.encode())
 	}
 
+	// closeEpoch folds a finished (or superseded) assignment into the
+	// epoch telemetry counters.
+	closeEpoch := func(j *workerJob) {
+		if j == nil {
+			return
+		}
+		w.stats.Epochs.Add(1)
+		w.stats.EpochNanos.Add(int64(time.Since(j.assignedAt)))
+	}
+
 	var job *workerJob
 	for {
-		typ, payload, _, err := ReadFrame(conn, w.cfg.MaxFrameLen)
+		typ, payload, n, err := ReadFrame(conn, w.cfg.MaxFrameLen)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil
 			}
 			return fmt.Errorf("read: %w", err)
 		}
+		w.wireRecv.Add(int64(n))
 		switch typ {
 		case msgAssign:
 			a, err := decodeAssign(payload)
@@ -236,7 +282,10 @@ func (w *Worker) session(ctx context.Context) error {
 				}
 				continue
 			}
-			j, err := w.loadAssignment(a)
+			if job != nil {
+				closeEpoch(job)
+			}
+			j, err := w.loadAssignment(a, job)
 			if err != nil {
 				if err := sendErr("assign epoch %d: %v", a.Epoch, err); err != nil {
 					return err
@@ -267,7 +316,12 @@ func (w *Worker) session(ctx context.Context) error {
 				}
 				continue
 			}
+			t0 := time.Now()
+			sp := job.span("dist", "mttkrp", m, int64(req.Iter))
 			p := job.kernel.PartialMTTKRP(m, job.factors, job.dims[m], job.rank)
+			sp.End()
+			w.stats.MTTKRPCalls.Add(1)
+			w.stats.MTTKRPNanos.Add(int64(time.Since(t0)))
 			msg := sparsePartial(p, job.epoch, uint32(m))
 			if err := send(msgPartial, msg.encode(job.rank)); err != nil {
 				return err
@@ -305,7 +359,13 @@ func (w *Worker) session(ctx context.Context) error {
 				BlockSize: job.blockSize,
 				Threads:   job.threads,
 			}
-			if err := dist.LocalADMM(fb, db, ar.K, ar.G, cfg); err != nil {
+			t0 := time.Now()
+			sp := job.span("dist", "local_admm", m, int64(oe-ob))
+			err = dist.LocalADMM(fb, db, ar.K, ar.G, cfg)
+			sp.End()
+			w.stats.ADMMCalls.Add(1)
+			w.stats.ADMMNanos.Add(int64(time.Since(t0)))
+			if err != nil {
 				if err := sendErr("local admm mode %d: %v", m, err); err != nil {
 					return err
 				}
@@ -335,7 +395,31 @@ func (w *Worker) session(ctx context.Context) error {
 			job.factors[m].CopyFrom(bc.Factor)
 
 		case msgDone:
+			// Push the job's completed span batch before dropping state: the
+			// coordinator collects one msgSpans per slot when tracing is on.
+			// The rings are quiescent — this goroutine is their only writer.
+			if job != nil && job.tracer != nil {
+				sb := spanBatch{
+					Epoch:         job.epoch,
+					JobID:         job.jobID,
+					EpochUnixNano: job.tracer.EpochUnixNano(),
+					Dropped:       job.tracer.Dropped(),
+					Events:        job.tracer.Events(),
+				}
+				if err := send(msgSpans, sb.encode()); err != nil {
+					return err
+				}
+			}
+			closeEpoch(job)
 			job = nil
+
+		case msgHeartbeatAck:
+			ack, err := decodeHeartbeatAck(payload)
+			if err == nil {
+				if rtt := time.Now().UnixNano() - ack.EchoUnixNano; rtt > 0 {
+					w.lastRTT.Store(rtt)
+				}
+			}
 
 		case msgError:
 			em, _ := decodeErrMsg(payload)
@@ -352,10 +436,20 @@ func (w *Worker) session(ctx context.Context) error {
 
 // loadAssignment realizes one Assign: open the shard store, stream exactly
 // the shards covering this worker's mode-0 range, compile the configured
-// MTTKRP kernel over it, and adopt the replicated state.
-func (w *Worker) loadAssignment(a assign) (*workerJob, error) {
+// MTTKRP kernel over it, and adopt the replicated state. prev is the
+// assignment being superseded, if any: a traced job keeps its tracer across
+// recovery epochs so the final batch covers the whole job on this worker.
+func (w *Worker) loadAssignment(a assign, prev *workerJob) (*workerJob, error) {
 	if a.Rank < 1 {
 		return nil, fmt.Errorf("rank %d", a.Rank)
+	}
+	var tracer *obs.Tracer
+	if a.Trace != 0 {
+		if prev != nil && prev.jobID == a.JobID && prev.tracer != nil {
+			tracer = prev.tracer
+		} else {
+			tracer = obs.New(1)
+		}
 	}
 	st, err := ooc.Open(a.ShardDir)
 	if err != nil {
@@ -390,10 +484,16 @@ func (w *Worker) loadAssignment(a assign) (*workerJob, error) {
 			return nil, fmt.Errorf("dual %d shape mismatch", m)
 		}
 	}
+	t0 := time.Now()
 	part, bytesRead, err := st.LoadRange(int(a.Mode0[0]), int(a.Mode0[1]))
+	loadDur := time.Since(t0)
 	if err != nil {
 		return nil, err
 	}
+	tracer.Emit("dist", "shard_load", -1, obs.TIDDriver, bytesRead, t0, loadDur)
+	w.stats.ShardLoads.Add(1)
+	w.stats.ShardLoadNanos.Add(int64(loadDur))
+	w.stats.ShardBytes.Add(bytesRead)
 	cons, err := prox.ParseList(a.Constraint)
 	if err != nil {
 		return nil, err
@@ -406,10 +506,13 @@ func (w *Worker) loadAssignment(a assign) (*workerJob, error) {
 	if threads < 1 {
 		threads = 1
 	}
+	kt := time.Now()
 	kernel, err := dist.NewLocalKernel(part, w.cfg.KernelFormat, int(a.Rank))
 	if err != nil {
 		return nil, err
 	}
+	tracer.Emit("dist", "kernel_build", -1, obs.TIDDriver, int64(kernel.NNZ()), kt, time.Since(kt))
+	w.stats.CountKernel(kernel.Format())
 	return &workerJob{
 		epoch:         a.Epoch,
 		jobID:         a.JobID,
@@ -425,6 +528,8 @@ func (w *Worker) loadAssignment(a assign) (*workerJob, error) {
 		threads:       threads,
 		innerEps:      a.InnerEps,
 		shardBytes:    bytesRead,
+		tracer:        tracer,
+		assignedAt:    time.Now(),
 	}, nil
 }
 

@@ -44,6 +44,16 @@ func Split(x *tensor.COO, testFrac float64, seed int64) (train, test *tensor.COO
 	return train, test, nil
 }
 
+// FactorDrift measures, per mode, how far the factors of next moved
+// relative to prev, aligned over the CP permutation/scaling/sign
+// ambiguities (kruskal.AlignedDrift). The streaming layer calls this on
+// every refit commit to compare consecutive lineage versions; 0 means the
+// mode is unchanged up to those ambiguities, values near 1 mean the matched
+// components became near-orthogonal.
+func FactorDrift(prev, next *kruskal.Tensor) ([]float64, error) {
+	return kruskal.AlignedDrift(prev, next)
+}
+
 // Metrics summarizes a model's accuracy on held-out entries.
 type Metrics struct {
 	// RMSE is the root mean squared error over held-out entries.

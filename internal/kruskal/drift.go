@@ -1,0 +1,104 @@
+package kruskal
+
+import (
+	"fmt"
+	"math"
+)
+
+// AlignedDrift measures, per mode, how far b's factors moved relative to
+// a's, invariant to the permutation and per-mode column-scaling ambiguity
+// of the CP decomposition. Components are matched with the same greedy
+// product-congruence matching FMS uses; the mode-m drift is then
+//
+//	drift_m = 1 - mean over matched pairs of |cos(a_m[:,r], b_m[:,s])|
+//
+// so 0 means mode m's factor is unchanged up to permutation and column
+// scaling, and values near 1 mean the matched columns are close to
+// orthogonal. The streaming layer computes this between consecutive refit
+// versions of a lineage: it is the signal behind aoadmm_stream_drift and
+// the drift-based refit trigger.
+func AlignedDrift(a, b *Tensor) ([]float64, error) {
+	if a.Order() != b.Order() {
+		return nil, fmt.Errorf("kruskal: drift order mismatch %d vs %d", a.Order(), b.Order())
+	}
+	rank := a.Rank()
+	if rank != b.Rank() {
+		return nil, fmt.Errorf("kruskal: drift rank mismatch %d vs %d", rank, b.Rank())
+	}
+	if rank == 0 {
+		return nil, fmt.Errorf("kruskal: drift of empty tensors")
+	}
+	order := a.Order()
+	for m := 0; m < order; m++ {
+		if a.Factors[m].Rows != b.Factors[m].Rows {
+			return nil, fmt.Errorf("kruskal: drift mode %d length mismatch %d vs %d",
+				m, a.Factors[m].Rows, b.Factors[m].Rows)
+		}
+	}
+
+	// modeSim[m][r][s] = |cos(a_m[:,r], b_m[:,s])|; prod is the FMS-style
+	// product congruence used only to pick the matching.
+	modeSim := make([][][]float64, order)
+	prod := make([][]float64, rank)
+	for r := range prod {
+		prod[r] = make([]float64, rank)
+		for s := range prod[r] {
+			prod[r][s] = 1
+		}
+	}
+	for m := 0; m < order; m++ {
+		fa, fb := a.Factors[m], b.Factors[m]
+		na := columnNorms(fa)
+		nb := columnNorms(fb)
+		sim := make([][]float64, rank)
+		for r := 0; r < rank; r++ {
+			sim[r] = make([]float64, rank)
+			for s := 0; s < rank; s++ {
+				var dot float64
+				for i := 0; i < fa.Rows; i++ {
+					dot += fa.At(i, r) * fb.At(i, s)
+				}
+				den := na[r] * nb[s]
+				var c float64
+				if den != 0 {
+					c = math.Abs(dot) / den
+					if c > 1 { // guard rounding
+						c = 1
+					}
+				}
+				sim[r][s] = c
+				prod[r][s] *= c
+			}
+		}
+		modeSim[m] = sim
+	}
+
+	usedA := make([]bool, rank)
+	usedB := make([]bool, rank)
+	drift := make([]float64, order)
+	for k := 0; k < rank; k++ {
+		bestR, bestS, best := -1, -1, -1.0
+		for r := 0; r < rank; r++ {
+			if usedA[r] {
+				continue
+			}
+			for s := 0; s < rank; s++ {
+				if usedB[s] {
+					continue
+				}
+				if prod[r][s] > best {
+					best, bestR, bestS = prod[r][s], r, s
+				}
+			}
+		}
+		usedA[bestR] = true
+		usedB[bestS] = true
+		for m := 0; m < order; m++ {
+			drift[m] += 1 - modeSim[m][bestR][bestS]
+		}
+	}
+	for m := range drift {
+		drift[m] /= float64(rank)
+	}
+	return drift, nil
+}

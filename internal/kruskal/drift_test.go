@@ -1,0 +1,95 @@
+package kruskal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAlignedDriftIdenticalIsZero(t *testing.T) {
+	k := Random([]int{5, 6, 7}, 3, rand.New(rand.NewSource(220)))
+	d, err := AlignedDrift(k, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 3 {
+		t.Fatalf("drift length = %d, want 3", len(d))
+	}
+	for m, v := range d {
+		if math.Abs(v) > 1e-12 {
+			t.Fatalf("self drift mode %d = %v", m, v)
+		}
+	}
+}
+
+func TestAlignedDriftPermutationScaleSignInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(221))
+	a := Random([]int{5, 6, 7}, 3, rng)
+	// b = a with components permuted, rescaled per mode, and one column sign-
+	// flipped: all ambiguities drift must ignore.
+	b := a.Clone()
+	perm := []int{2, 0, 1}
+	for m, f := range a.Factors {
+		for i := 0; i < f.Rows; i++ {
+			for c := 0; c < 3; c++ {
+				scale := float64(m+1) * 0.5
+				if c == 1 {
+					scale = -scale
+				}
+				b.Factors[m].Set(i, c, f.At(i, perm[c])*scale)
+			}
+		}
+	}
+	d, err := AlignedDrift(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m, v := range d {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("drift under permutation+scale+sign mode %d = %v, want 0", m, v)
+		}
+	}
+}
+
+func TestAlignedDriftLocalizesToPerturbedMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(222))
+	a := Random([]int{40, 40, 40}, 3, rng)
+	b := a.Clone()
+	// Perturb only mode 1; modes 0 and 2 must report (near-)zero drift.
+	f := b.Factors[1]
+	for i := 0; i < f.Rows; i++ {
+		for c := 0; c < f.Cols; c++ {
+			f.Set(i, c, f.At(i, c)+0.5*rng.NormFloat64())
+		}
+	}
+	d, err := AlignedDrift(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] > 1e-9 || d[2] > 1e-9 {
+		t.Fatalf("unperturbed modes drifted: %v", d)
+	}
+	if d[1] <= 1e-6 {
+		t.Fatalf("perturbed mode reported no drift: %v", d)
+	}
+	for m, v := range d {
+		if v < 0 || v > 1 {
+			t.Fatalf("drift mode %d = %v outside [0,1]", m, v)
+		}
+	}
+}
+
+func TestAlignedDriftShapeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	a := Random([]int{4, 5}, 2, rng)
+	cases := []*Tensor{
+		Random([]int{4, 5, 6}, 2, rng), // order mismatch
+		Random([]int{4, 5}, 3, rng),    // rank mismatch
+		Random([]int{4, 6}, 2, rng),    // mode length mismatch
+	}
+	for i, b := range cases {
+		if _, err := AlignedDrift(a, b); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -10,7 +10,11 @@ import (
 // Chrome trace_event export. The output is the JSON-object flavour of the
 // Trace Event Format ({"traceEvents":[...]}), loadable in chrome://tracing
 // and https://ui.perfetto.dev. Complete spans use phase "X" with
-// microsecond ts/dur; instants use phase "i" with thread scope.
+// microsecond ts/dur; instants use phase "i" with thread scope. Metadata
+// rows (phase "M") label processes and threads: single-process exports use
+// PID 1, while merged multi-process exports (WriteChromeProcesses) assign
+// one PID per participating process so Perfetto renders coordinator and
+// workers as separate labelled tracks.
 
 type chromeEvent struct {
 	Name string         `json:"name"`
@@ -43,9 +47,114 @@ func chromeTID(workers int, tid int32) int {
 	}
 }
 
+// threadName labels a logical thread id for trace viewers.
+func threadName(tid int32) string {
+	switch tid {
+	case TIDDriver:
+		return "driver"
+	case TIDAux:
+		return "ooc-prefetch"
+	default:
+		return fmt.Sprintf("worker-%d", tid)
+	}
+}
+
+// ProcessTrace is one process's contribution to a merged multi-process
+// trace: the events it recorded — with Start values already shifted onto
+// the shared timeline by the caller — plus the metadata trace viewers use
+// to label and order its track.
+type ProcessTrace struct {
+	// PID distinguishes this process in the merged trace (>= 1).
+	PID int
+	// Name labels the process track ("coordinator", "worker:w1", ...).
+	Name string
+	// SortIndex orders process tracks top-to-bottom in Perfetto.
+	SortIndex int
+	// Workers is the worker-thread count the events' TIDs were sized for
+	// (the chromeTID mapping for driver/aux sentinels).
+	Workers int
+	// Args, when non-nil, adds extra keys to the process_name metadata row
+	// (e.g. the job/trace id every process shares).
+	Args map[string]any
+	// Events are the process's completed spans and instants, sorted by
+	// start time.
+	Events []Event
+}
+
+// WriteChromeProcesses merges per-process event sets into one Chrome
+// trace_event JSON document. The caller is responsible for placing every
+// process's Event.Start on a single shared timeline (the distnet
+// coordinator maps worker clocks onto its own via heartbeat-RTT offset
+// estimates before calling this). Thread-name rows are emitted only for
+// tids that actually recorded events, so a remote process that traced on
+// one logical thread doesn't render empty tracks.
+func WriteChromeProcesses(w io.Writer, procs []ProcessTrace, otherData map[string]any) error {
+	out := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, 64),
+		DisplayTimeUnit: "ms",
+		OtherData:       otherData,
+	}
+	for _, p := range procs {
+		out.TraceEvents = append(out.TraceEvents, processMetadata(p)...)
+		seen := map[int32]bool{}
+		for _, ev := range p.Events {
+			if !seen[ev.TID] {
+				seen[ev.TID] = true
+				out.TraceEvents = append(out.TraceEvents,
+					metadataEvent(p.PID, p.Workers, ev.TID, threadName(ev.TID)))
+			}
+			out.TraceEvents = append(out.TraceEvents, toChromeEvent(p.PID, p.Workers, ev))
+		}
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// processMetadata emits the process_name / process_sort_index metadata rows
+// that label one process's track in the merged trace.
+func processMetadata(p ProcessTrace) []chromeEvent {
+	args := map[string]any{"name": p.Name}
+	for k, v := range p.Args {
+		args[k] = v
+	}
+	return []chromeEvent{
+		{Name: "process_name", Ph: "M", PID: p.PID, Args: args},
+		{Name: "process_sort_index", Ph: "M", PID: p.PID, Args: map[string]any{"sort_index": p.SortIndex}},
+	}
+}
+
+func toChromeEvent(pid, workers int, ev Event) chromeEvent {
+	ce := chromeEvent{
+		Name: ev.Name,
+		Cat:  ev.Cat,
+		TS:   float64(ev.Start) / 1e3,
+		PID:  pid,
+		TID:  chromeTID(workers, ev.TID),
+	}
+	args := map[string]any{}
+	if ev.Mode >= 0 {
+		args["mode"] = ev.Mode
+	}
+	if ev.Arg >= 0 {
+		args["arg"] = ev.Arg
+	}
+	if len(args) > 0 {
+		ce.Args = args
+	}
+	if ev.Dur > 0 {
+		ce.Ph = "X"
+		ce.Dur = float64(ev.Dur) / 1e3
+	} else {
+		ce.Ph = "i"
+		ce.S = "t"
+	}
+	return ce
+}
+
 // WriteChrome serializes every retained event (see Events for the
 // quiescence requirement) as Chrome trace_event JSON. Thread-name metadata
-// rows label workers, the driver, and the OOC prefetcher.
+// rows label workers, the driver, and the OOC prefetcher; a process_name
+// row labels the single process so the export stays consistent with merged
+// multi-process traces.
 func (t *Tracer) WriteChrome(w io.Writer) error {
 	if t == nil {
 		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`+"\n")
@@ -53,64 +162,31 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 	}
 	events := t.Events()
 	out := chromeTrace{
-		TraceEvents:     make([]chromeEvent, 0, len(events)+t.workers+2),
+		TraceEvents:     make([]chromeEvent, 0, len(events)+t.workers+4),
 		DisplayTimeUnit: "ms",
 	}
 	if d := t.Dropped(); d > 0 {
 		out.OtherData = map[string]any{"dropped_events": d}
 	}
-	name := func(tid int32) string {
-		switch tid {
-		case TIDDriver:
-			return "driver"
-		case TIDAux:
-			return "ooc-prefetch"
-		default:
-			return fmt.Sprintf("worker-%d", tid)
-		}
-	}
+	out.TraceEvents = append(out.TraceEvents, processMetadata(ProcessTrace{PID: 1, Name: "aoadmm"})...)
 	for tid := int32(0); tid < int32(t.workers); tid++ {
-		out.TraceEvents = append(out.TraceEvents, metadataEvent(t.workers, tid, name(tid)))
+		out.TraceEvents = append(out.TraceEvents, metadataEvent(1, t.workers, tid, threadName(tid)))
 	}
 	out.TraceEvents = append(out.TraceEvents,
-		metadataEvent(t.workers, TIDDriver, name(TIDDriver)),
-		metadataEvent(t.workers, TIDAux, name(TIDAux)))
+		metadataEvent(1, t.workers, TIDDriver, threadName(TIDDriver)),
+		metadataEvent(1, t.workers, TIDAux, threadName(TIDAux)))
 	for _, ev := range events {
-		ce := chromeEvent{
-			Name: ev.Name,
-			Cat:  ev.Cat,
-			TS:   float64(ev.Start) / 1e3,
-			PID:  1,
-			TID:  chromeTID(t.workers, ev.TID),
-		}
-		args := map[string]any{}
-		if ev.Mode >= 0 {
-			args["mode"] = ev.Mode
-		}
-		if ev.Arg >= 0 {
-			args["arg"] = ev.Arg
-		}
-		if len(args) > 0 {
-			ce.Args = args
-		}
-		if ev.Dur > 0 {
-			ce.Ph = "X"
-			ce.Dur = float64(ev.Dur) / 1e3
-		} else {
-			ce.Ph = "i"
-			ce.S = "t"
-		}
-		out.TraceEvents = append(out.TraceEvents, ce)
+		out.TraceEvents = append(out.TraceEvents, toChromeEvent(1, t.workers, ev))
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
 }
 
-func metadataEvent(workers int, tid int32, threadName string) chromeEvent {
+func metadataEvent(pid, workers int, tid int32, threadName string) chromeEvent {
 	return chromeEvent{
 		Name: "thread_name",
 		Ph:   "M",
-		PID:  1,
+		PID:  pid,
 		TID:  chromeTID(workers, tid),
 		Args: map[string]any{"name": threadName},
 	}

@@ -12,7 +12,9 @@ import (
 
 // ValidateExposition parses Prometheus text exposition format 0.0.4 and
 // checks the structural invariants scrapers rely on: one HELP and one TYPE
-// per family (TYPE before any sample), valid metric/label names, parseable
+// per family (both before any of its samples), contiguous per-family sample
+// blocks (a family that reappears after another family's samples is a
+// duplicate exposition bug), valid metric/label names, parseable
 // values, no duplicate series, and — for histograms — le-ascending buckets
 // with non-decreasing cumulative counts terminated by +Inf whose count
 // equals _count. It is used by the registry's own tests, the daemon's
@@ -56,6 +58,11 @@ func ValidateExposition(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	lineNo := 0
+	// Contiguity tracking: once a family's sample block ends (a sample for a
+	// different family appears), any later sample for it means the family was
+	// exposed twice — scrapers keep only one block, silently dropping data.
+	current := ""
+	closed := map[string]bool{}
 	for sc.Scan() {
 		lineNo++
 		line := sc.Text()
@@ -76,6 +83,9 @@ func ValidateExposition(r io.Reader) error {
 			case "HELP":
 				if f.helped {
 					return fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				if len(f.series) > 0 {
+					return fmt.Errorf("line %d: HELP for %s after its samples", lineNo, name)
 				}
 				f.helped = true
 			case "TYPE":
@@ -106,6 +116,15 @@ func ValidateExposition(r io.Reader) error {
 		f := state(famName)
 		if !f.typed {
 			return fmt.Errorf("line %d: sample %s before TYPE", lineNo, name)
+		}
+		if famName != current {
+			if current != "" {
+				closed[current] = true
+			}
+			if closed[famName] {
+				return fmt.Errorf("line %d: non-contiguous samples for family %s (family exposed more than once)", lineNo, famName)
+			}
+			current = famName
 		}
 		key := name + "|" + canonicalLabels(labels)
 		if f.series[key] {

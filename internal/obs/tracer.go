@@ -174,6 +174,17 @@ func (t *Tracer) Instant(cat, name string, mode, tid int, arg int64) {
 	})
 }
 
+// EpochUnixNano returns the wall-clock unix time of the tracer's epoch —
+// the instant every Event.Start is relative to. Cross-process trace merging
+// (internal/distnet) uses it to place one tracer's events on another
+// process's timeline. Returns 0 on nil.
+func (t *Tracer) EpochUnixNano() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.epoch.UnixNano()
+}
+
 // Workers reports the worker-thread count the tracer was sized for.
 // Returns 0 on nil.
 func (t *Tracer) Workers() int {

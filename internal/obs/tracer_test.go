@@ -144,8 +144,10 @@ func TestWriteChromeSchema(t *testing.T) {
 	if spans != 1 || instants != 1 {
 		t.Fatalf("got %d spans, %d instants; want 1 and 1", spans, instants)
 	}
-	if meta != 4 { // worker-0, worker-1, driver, ooc-prefetch
-		t.Fatalf("got %d thread_name metadata events, want 4", meta)
+	// worker-0, worker-1, driver, ooc-prefetch thread names plus the
+	// process_name / process_sort_index rows.
+	if meta != 6 {
+		t.Fatalf("got %d metadata events, want 6", meta)
 	}
 
 	// Nil tracer still writes a loadable, empty document.

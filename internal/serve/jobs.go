@@ -19,8 +19,10 @@ import (
 	"aoadmm/internal/core"
 	"aoadmm/internal/datasets"
 	"aoadmm/internal/distnet"
+	"aoadmm/internal/eval"
 	"aoadmm/internal/faults"
 	"aoadmm/internal/kruskal"
+	"aoadmm/internal/obs"
 	"aoadmm/internal/ooc"
 	"aoadmm/internal/prox"
 	"aoadmm/internal/stats"
@@ -103,6 +105,12 @@ type JobSpec struct {
 	// Placement picks the distributed mode-0 decomposition: "even" row
 	// ranges (default) or "shards" (nnz-balanced whole-shard runs).
 	Placement string `json:"placement,omitempty"`
+	// Trace records a merged multi-process execution trace of a distributed
+	// job — coordinator phases plus every worker's shard loads and kernel
+	// calls, correlated by the job id and aligned onto the coordinator's
+	// clock — served as Chrome trace JSON at GET /jobs/{id}/trace.
+	// Requires dist_workers > 1.
+	Trace bool `json:"trace,omitempty"`
 	// TimeoutSec is this job's wall-clock budget per attempt in seconds,
 	// overriding the daemon-wide -job-timeout (0 = inherit the daemon
 	// default). A timed-out job fails terminally.
@@ -137,6 +145,8 @@ func (s *JobSpec) validate() error {
 			return fmt.Errorf("refits require algo aoadmm, got %q", s.Algo)
 		case s.DistWorkers > 1:
 			return fmt.Errorf("refits do not support dist_workers")
+		case s.Trace:
+			return fmt.Errorf("trace requires a distributed job (dist_workers > 1)")
 		}
 		if s.TimeoutSec < 0 {
 			return fmt.Errorf("timeout_sec must be >= 0, got %v", s.TimeoutSec)
@@ -234,6 +244,8 @@ func (s *JobSpec) validate() error {
 		}
 	} else if s.Placement != "" {
 		return fmt.Errorf("placement requires dist_workers > 1")
+	} else if s.Trace {
+		return fmt.Errorf("trace requires dist_workers > 1 (single-process jobs have no cluster trace to merge)")
 	}
 	return nil
 }
@@ -281,6 +293,10 @@ type Job struct {
 	cancel context.CancelFunc
 	report *stats.Report
 
+	// trace is the merged multi-process execution trace of a distributed
+	// job that ran with spec.Trace; served at GET /jobs/{id}/trace.
+	trace []obs.ProcessTrace
+
 	// resume holds checkpointed state recovered from disk; the next run of
 	// this job warm-restarts from it instead of random factors.
 	resume *kruskal.Checkpoint
@@ -325,6 +341,14 @@ type JobView struct {
 	SubmittedUnixNs int64 `json:"submitted_unix_ns,omitempty"`
 	StartedUnixNs   int64 `json:"started_unix_ns,omitempty"`
 	FinishedUnixNs  int64 `json:"finished_unix_ns,omitempty"`
+}
+
+// Trace returns the job's merged distributed execution trace, or nil when
+// the job did not run with spec.Trace (or has not finished an epoch yet).
+func (j *Job) Trace() []obs.ProcessTrace {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
 }
 
 // View snapshots the job for serialization.
@@ -1105,6 +1129,15 @@ func (m *Manager) runJob(job *Job) {
 		meta.AsOfSeq = rs.AsOfSeq
 		meta.DeltaBatches = rs.Batches
 		meta.DeltaNNZ = rs.DeltaNNZ
+		// Per-mode aligned drift against the parent version: how far this
+		// refit moved the factors, up to column permutation and scaling.
+		if parent, ok := m.reg.Get(rs.ParentID); ok {
+			if d, derr := eval.FactorDrift(parent.K, res.Factors); derr == nil {
+				meta.Drift = d
+			} else {
+				lg.Warn("factor drift unavailable", "parent", rs.ParentID, "error", derr)
+			}
+		}
 	}
 	model, regErr := m.reg.RegisterModel(meta, res.Factors, res.Duals, job.report)
 	if regErr != nil {
@@ -1351,11 +1384,19 @@ func (m *Manager) runDistSolver(ctx context.Context, jobID string, spec JobSpec,
 		CheckpointDir:   m.checkpointDir(jobID),
 		CheckpointEvery: every,
 		Resume:          resume,
+		Trace:           spec.Trace,
 		Ctx:             ctx,
 		OnIteration:     publish,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if spec.Trace {
+		if j, ok := m.Get(jobID); ok {
+			j.mu.Lock()
+			j.trace = res.Trace
+			j.mu.Unlock()
+		}
 	}
 	m.log.Info("distributed job finished", "job", jobID,
 		"workers", res.Workers, "epochs", res.Epochs,
@@ -1394,12 +1435,21 @@ type refitState struct {
 // m.mu nor job.mu itself.
 func (m *Manager) commitRefit(rs *refitState, model *Model) {
 	if m.stream != nil {
-		if _, err := m.stream.Commit(rs.Root, rs.AsOfSeq); err != nil {
+		advanced, err := m.stream.Commit(rs.Root, rs.AsOfSeq)
+		if err != nil {
 			// The model is registered and serving; a failed stream commit only
 			// means the folded batches stay pending and the next refit re-folds
 			// them (decay-weighted the same way). Log, don't fail the job.
 			m.log.Warn("stream commit failed", "lineage", rs.Root,
 				"as_of", rs.AsOfSeq, "error", err)
+		}
+		// Drift history rides the commit: only a commit that actually
+		// advanced records an entry, so a recovery re-commit of an adopted
+		// refit never duplicates one.
+		if advanced && len(model.Meta.Drift) > 0 {
+			if derr := m.stream.RecordDrift(rs.Root, model.Meta.ID, rs.AsOfSeq, model.Meta.Drift); derr != nil {
+				m.log.Warn("drift record failed", "lineage", rs.Root, "error", derr)
+			}
 		}
 	}
 	gced := m.reg.GCVersions(model.Meta.ID, m.cfg.KeepVersions)

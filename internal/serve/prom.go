@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"time"
 
 	"aoadmm/internal/distnet"
 	"aoadmm/internal/obs"
@@ -118,14 +119,32 @@ func (s *Server) promStream(reg *obs.Registry) {
 		{stream.TriggerNNZ, s.refitNNZ.Load()},
 		{stream.TriggerStaleness, s.refitStaleness.Load()},
 		{stream.TriggerManual, s.refitManual.Load()},
+		{stream.TriggerDrift, s.refitDrift.Load()},
 	} {
 		reg.CounterVal("aoadmm_stream_refits_total",
-			"Refit jobs submitted, by trigger (nnz threshold, staleness window, manual request).",
+			"Refit jobs submitted, by trigger (nnz threshold, staleness window, manual request, drift policy).",
 			float64(kv.n), obs.L("trigger", kv.trigger))
 	}
 	reg.CounterVal("aoadmm_stream_refit_commits_total", "Refits that registered a new lineage head.", float64(s.refitCommits.Load()))
 	reg.CounterVal("aoadmm_stream_refit_failures_total", "Refit jobs that failed terminally.", float64(s.refitFailures.Load()))
 	reg.CounterVal("aoadmm_stream_versions_gced_total", "Model versions removed by keep-last-N retention.", float64(s.versionsGCed.Load()))
+	reg.GaugeVal("aoadmm_stream_drift_threshold", "Configured -refit-drift eager-refit threshold (0 = drift trigger disabled).", s.cfg.RefitDrift)
+	// Per-lineage factor drift: the last committed refit's per-mode aligned
+	// drift. Series appear once a lineage has committed a drift-measured
+	// refit; one series per (lineage, mode).
+	drift := s.driftSnapshot()
+	roots := make([]string, 0, len(drift))
+	for root := range drift {
+		roots = append(roots, root)
+	}
+	sort.Strings(roots)
+	for _, root := range roots {
+		for mode, d := range drift[root] {
+			reg.GaugeVal("aoadmm_stream_drift",
+				"Per-mode aligned factor drift of the lineage's last committed refit (0 = unchanged up to permutation/scaling, 1 = orthogonal).",
+				d, obs.L("mode", strconv.Itoa(mode)), obs.L("model", root))
+		}
+	}
 }
 
 // promDist exposes the networked distributed engine's counters. The series
@@ -166,6 +185,73 @@ func (s *Server) promDist(reg *obs.Registry) {
 		reg.CounterVal("aoadmm_dist_wire_bytes_total",
 			"Physical TCP frame bytes at the coordinator, including control traffic.",
 			float64(kv.bytes), obs.L("direction", kv.dir))
+	}
+	reg.CounterVal("aoadmm_dist_trace_spans_total", "Worker trace spans merged into coordinator traces.", float64(st.TraceSpans))
+
+	// Worker telemetry federation: per-worker series from the counters each
+	// worker piggybacks on its heartbeats. Series exist only while the
+	// worker is connected (worker identity is the label, so there is no
+	// fixed schema to pre-declare).
+	var workers []distnet.WorkerInfo
+	if s.cfg.Dist != nil {
+		workers = s.cfg.Dist.LiveWorkers()
+	}
+	sort.Slice(workers, func(a, b int) bool { return workers[a].Name < workers[b].Name })
+	now := time.Now().UnixNano()
+	for _, wi := range workers {
+		wl := obs.L("worker", wi.Name)
+		if wi.LastSeenUnixNano > 0 {
+			reg.GaugeVal("aoadmm_dist_worker_last_heartbeat_age_seconds",
+				"Seconds since the coordinator last heard from the worker.",
+				float64(now-wi.LastSeenUnixNano)/1e9, wl)
+		}
+		reg.GaugeVal("aoadmm_dist_worker_heartbeat_rtt_seconds",
+			"The worker's last measured heartbeat round trip.",
+			float64(wi.HeartbeatRTTNanos)/1e9, wl)
+		reg.CounterVal("aoadmm_dist_worker_epochs_total",
+			"Assignment epochs the worker has completed.", float64(wi.Epochs), wl)
+		reg.CounterVal("aoadmm_dist_worker_epoch_seconds_total",
+			"Wall time the worker has spent inside assignment epochs.", float64(wi.EpochNanos)/1e9, wl)
+		reg.CounterVal("aoadmm_dist_worker_shard_loads_total",
+			"Shard-range loads the worker has performed.", float64(wi.ShardLoads), wl)
+		reg.CounterVal("aoadmm_dist_worker_shard_stall_seconds_total",
+			"Wall time the worker has spent blocked reading its shard range.",
+			float64(wi.ShardStallNanos)/1e9, wl)
+		reg.CounterVal("aoadmm_dist_worker_shard_bytes_total",
+			"Shard payload bytes the worker has read from disk.", float64(wi.ShardBytes), wl)
+		for _, dir := range []struct {
+			name  string
+			bytes int64
+		}{
+			{"sent", wi.WireSentBytes},
+			{"received", wi.WireRecvBytes},
+		} {
+			reg.CounterVal("aoadmm_dist_worker_wire_bytes_total",
+				"TCP frame bytes at the worker, by direction.",
+				float64(dir.bytes), wl, obs.L("direction", dir.name))
+		}
+		for _, k := range []struct {
+			format string
+			n      int64
+		}{
+			{"csf", wi.KernelCSF},
+			{"alto", wi.KernelALTO},
+		} {
+			reg.CounterVal("aoadmm_dist_worker_kernel_picks_total",
+				"Local kernels the worker built, by MTTKRP backend format.",
+				float64(k.n), wl, obs.L("format", k.format))
+		}
+		for _, ph := range []struct {
+			phase string
+			nanos int64
+		}{
+			{"mttkrp", wi.MTTKRPNanos},
+			{"admm", wi.ADMMNanos},
+		} {
+			reg.CounterVal("aoadmm_dist_worker_compute_seconds_total",
+				"Wall time the worker has spent in node-local compute, by phase.",
+				float64(ph.nanos)/1e9, wl, obs.L("phase", ph.phase))
+		}
 	}
 }
 

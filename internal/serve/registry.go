@@ -77,6 +77,10 @@ type ModelMeta struct {
 	AsOfSeq      int64 `json:"as_of_seq,omitempty"`
 	DeltaBatches int   `json:"delta_batches,omitempty"`
 	DeltaNNZ     int64 `json:"delta_nnz,omitempty"`
+	// Drift is the per-mode aligned factor drift between this refit's
+	// factors and its parent version's (eval.FactorDrift): 0 = identical up
+	// to permutation and scaling, 1 = orthogonal. Empty for fresh models.
+	Drift []float64 `json:"drift,omitempty"`
 }
 
 // Model is one registered model held in memory: metadata, the Kruskal

@@ -12,12 +12,14 @@ import (
 	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"aoadmm/internal/distnet"
 	"aoadmm/internal/faults"
 	"aoadmm/internal/kruskal"
+	obspkg "aoadmm/internal/obs"
 	"aoadmm/internal/prox"
 	"aoadmm/internal/stats"
 	"aoadmm/internal/stream"
@@ -79,6 +81,12 @@ type Config struct {
 	// is weighted by lambda^s (default 1 = no decay). A lineage may override
 	// it at creation via the first append's "decay" field.
 	StreamDecay float64
+	// RefitDrift enables the drift-aware refit trigger (0 disables it):
+	// when a committed refit's mean per-mode factor drift is at or above
+	// this threshold, the lineage is marked hot and the next append refits
+	// eagerly (trigger "drift") instead of waiting for the nnz/staleness
+	// policies; a low-drift lineage stays on the lazy policies.
+	RefitDrift float64
 }
 
 // Server wires the registry, the job manager, and the query engine behind an
@@ -105,9 +113,17 @@ type Server struct {
 	refitNNZ       atomic.Int64
 	refitStaleness atomic.Int64
 	refitManual    atomic.Int64
+	refitDrift     atomic.Int64
 	refitCommits   atomic.Int64
 	refitFailures  atomic.Int64
 	versionsGCed   atomic.Int64
+
+	// Factor-drift state per lineage root: the last committed refit's
+	// per-mode drift (the aoadmm_stream_drift gauge) and whether it crossed
+	// the Config.RefitDrift threshold (the eager-refit mark).
+	driftMu     sync.Mutex
+	driftLatest map[string][]float64
+	driftHot    map[string]bool
 }
 
 // New opens (or creates) the data dir, reloads every persisted model,
@@ -148,11 +164,13 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		reg:     reg,
-		started: time.Now(),
-		cache:   newQueryCache(cfg.QueryCacheSize),
-		batcher: newTopKBatcher(),
+		cfg:         cfg,
+		reg:         reg,
+		started:     time.Now(),
+		cache:       newQueryCache(cfg.QueryCacheSize),
+		batcher:     newTopKBatcher(),
+		driftLatest: make(map[string][]float64),
+		driftHot:    make(map[string]bool),
 	}
 	for _, w := range warns {
 		s.warnings = append(s.warnings, w.Error())
@@ -209,6 +227,40 @@ func (s *Server) onRefitCommit(root, oldHeadID, newHeadID string, gced []string)
 	}
 	s.refitCommits.Add(1)
 	s.versionsGCed.Add(int64(len(gced)))
+	// Record the new head's factor drift: it feeds the per-lineage gauge
+	// and, against the RefitDrift threshold, the eager-refit mark the next
+	// append consults.
+	if nm, ok := s.reg.Get(newHeadID); ok && len(nm.Meta.Drift) > 0 {
+		mean := 0.0
+		for _, d := range nm.Meta.Drift {
+			mean += d
+		}
+		mean /= float64(len(nm.Meta.Drift))
+		s.driftMu.Lock()
+		s.driftLatest[root] = append([]float64(nil), nm.Meta.Drift...)
+		s.driftHot[root] = s.cfg.RefitDrift > 0 && mean >= s.cfg.RefitDrift
+		s.driftMu.Unlock()
+	}
+}
+
+// driftSnapshot copies the per-lineage latest-drift map for the metrics
+// exporters.
+func (s *Server) driftSnapshot() map[string][]float64 {
+	s.driftMu.Lock()
+	defer s.driftMu.Unlock()
+	out := make(map[string][]float64, len(s.driftLatest))
+	for root, d := range s.driftLatest {
+		out[root] = append([]float64(nil), d...)
+	}
+	return out
+}
+
+// lineageHot reports whether the lineage's last committed refit crossed the
+// drift threshold.
+func (s *Server) lineageHot(root string) bool {
+	s.driftMu.Lock()
+	defer s.driftMu.Unlock()
+	return s.driftHot[root]
 }
 
 // triggerRefit is the policy engine's submission path: dedupe against an
@@ -243,6 +295,8 @@ func (s *Server) countTrigger(reason string) {
 		s.refitNNZ.Add(1)
 	case stream.TriggerStaleness:
 		s.refitStaleness.Add(1)
+	case stream.TriggerDrift:
+		s.refitDrift.Add(1)
 	default:
 		s.refitManual.Add(1)
 	}
@@ -301,6 +355,10 @@ func (s *Server) Handler() http.Handler {
 	timed := http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
 	outer := http.NewServeMux()
 	outer.HandleFunc("GET /jobs/{id}/progress", s.handleProgress)
+	// The merged trace of a large distributed job can outgrow the timeout
+	// wrapper's buffered writer; it streams straight to the client like the
+	// progress feed does.
+	outer.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	outer.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		// TimeoutHandler writes its timeout body with no Content-Type; the
 		// wrapper defaults it to JSON, matching every endpoint behind it.
@@ -360,7 +418,36 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"journal": map[string]any{
 			"path": path, "appends": appends, "append_failures": fails,
 		},
+		"dist": s.distHealth(),
 	})
+}
+
+// distHealth is the /healthz cluster-liveness section: one entry per
+// connected worker with its last-heartbeat age, so an operator (or probe)
+// sees a wedged worker before a job does. Always present; enabled=false on
+// a standalone daemon.
+func (s *Server) distHealth() map[string]any {
+	out := map[string]any{"enabled": s.cfg.Dist != nil}
+	if s.cfg.Dist == nil {
+		return out
+	}
+	now := time.Now().UnixNano()
+	workers := []map[string]any{}
+	for _, wi := range s.cfg.Dist.LiveWorkers() {
+		entry := map[string]any{
+			"id":    wi.ID,
+			"name":  wi.Name,
+			"addr":  wi.Addr,
+			"alive": true,
+		}
+		if wi.LastSeenUnixNano > 0 {
+			entry["last_heartbeat_age_seconds"] = float64(now-wi.LastSeenUnixNano) / 1e9
+		}
+		workers = append(workers, entry)
+	}
+	out["workers_live"] = len(workers)
+	out["workers"] = workers
+	return out
 }
 
 // vcsRevision reports the commit the binary was built from, when the build
@@ -408,6 +495,27 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.View())
+}
+
+// handleTrace serves the merged multi-process Chrome trace recorded by a
+// distributed job submitted with "trace": true — coordinator phases plus
+// every worker's local spans, aligned onto the coordinator's clock. Load it
+// in chrome://tracing or Perfetto.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.mgr.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %s", id))
+		return
+	}
+	procs := j.Trace()
+	if len(procs) == 0 {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("job %s has no recorded trace (submit with \"trace\": true and dist_workers > 1)", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = obspkg.WriteChromeProcesses(w, procs, map[string]any{"job_id": id})
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -890,6 +998,13 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		"pending_nnz":     res.PendingNNZ,
 		"triggered":       res.Triggered,
 	}
+	// Drift-aware policy: a lineage whose last refit moved the factors past
+	// the threshold refits eagerly on new data; a low-drift lineage keeps
+	// accumulating under the lazy nnz/staleness policies.
+	if s.cfg.RefitDrift > 0 && s.lineageHot(root) {
+		s.triggerRefit(root, stream.TriggerDrift)
+		resp["drift_triggered"] = true
+	}
 	if req.Refit {
 		s.triggerRefit(root, stream.TriggerManual)
 		if jobID, busy := s.mgr.RefitInFlight(root); busy {
@@ -990,13 +1105,17 @@ func (s *Server) handleLineage(w http.ResponseWriter, r *http.Request) {
 		resp["head"] = head.Meta.ID
 	}
 	if snap, err := s.stream.Snapshot(root); err == nil {
-		resp["stream"] = map[string]any{
+		st := map[string]any{
 			"decay":           snap.Decay,
 			"applied_seq":     snap.AppliedSeq,
 			"latest_seq":      snap.LatestSeq,
 			"pending_batches": snap.PendingBatches,
 			"pending_nnz":     snap.PendingNNZ,
 		}
+		if hist, err := s.stream.DriftHistory(root); err == nil && len(hist) > 0 {
+			st["drift"] = hist
+		}
+		resp["stream"] = st
 	}
 	if jobID, busy := s.mgr.RefitInFlight(root); busy {
 		resp["refit_in_flight"] = jobID
@@ -1081,10 +1200,13 @@ func (s *Server) streamStats() map[string]any {
 			stream.TriggerNNZ:       s.refitNNZ.Load(),
 			stream.TriggerStaleness: s.refitStaleness.Load(),
 			stream.TriggerManual:    s.refitManual.Load(),
+			stream.TriggerDrift:     s.refitDrift.Load(),
 		},
-		"refit_commits":  s.refitCommits.Load(),
-		"refit_failures": s.refitFailures.Load(),
-		"versions_gced":  s.versionsGCed.Load(),
+		"refit_commits":   s.refitCommits.Load(),
+		"refit_failures":  s.refitFailures.Load(),
+		"versions_gced":   s.versionsGCed.Load(),
+		"drift_threshold": s.cfg.RefitDrift,
+		"drift":           s.driftSnapshot(),
 	}
 }
 

@@ -89,6 +89,11 @@ type lineageView struct {
 		LatestSeq      int64   `json:"latest_seq"`
 		PendingBatches int     `json:"pending_batches"`
 		PendingNNZ     int64   `json:"pending_nnz"`
+		Drift          []struct {
+			Version string    `json:"version"`
+			AsOfSeq int64     `json:"as_of_seq"`
+			PerMode []float64 `json:"per_mode"`
+		} `json:"drift"`
 	} `json:"stream"`
 	RefitInFlight string `json:"refit_in_flight"`
 }
@@ -708,5 +713,95 @@ func TestStreamChaosRefitCrashAfterCommitAdopts(t *testing.T) {
 	}
 	if snap.PendingBatches != 0 || snap.AppliedSeq != snap.LatestSeq {
 		t.Fatalf("delta journal not reconciled by adoption: %+v", snap)
+	}
+}
+
+// TestStreamDriftMetricsAndTrigger covers the factor-drift surface end to
+// end: a committed refit records permutation/scale-aligned per-mode drift in
+// the new head's meta and in the lineage's durable drift history, the drift
+// shows up in both metrics views, and with -refit-drift set a hot lineage
+// refits eagerly on the very next append.
+func TestStreamDriftMetricsAndTrigger(t *testing.T) {
+	_, ts := newStreamServer(t, t.TempDir(), func(c *Config) { c.RefitDrift = 1e-9 })
+	v1 := trainModel(t, ts.URL, quickSpec(t, 57))
+
+	// A cold lineage has no recorded drift yet, so the first append must not
+	// drift-trigger regardless of the threshold.
+	inds, vals := deltaBatch(2)
+	code, resp := appendDelta(t, ts.URL, v1, inds, vals, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("first append: %d %v", code, resp)
+	}
+	if hot, _ := resp["drift_triggered"].(bool); hot {
+		t.Fatalf("drift trigger fired before any refit recorded drift: %v", resp)
+	}
+	v2 := refitAndWait(t, ts.URL, v1, nil)
+
+	// The committed refit carries per-mode aligned drift in [0,1] on its meta
+	// and appends one entry to the lineage's durable drift history.
+	lv := getLineage(t, ts.URL, v1)
+	if len(lv.Versions) != 2 || lv.Versions[1].ID != v2 {
+		t.Fatalf("lineage after refit %+v", lv)
+	}
+	drift := lv.Versions[1].Drift
+	if len(drift) != 3 {
+		t.Fatalf("v2 meta drift: want 3 modes, got %v", drift)
+	}
+	for m, d := range drift {
+		if d < 0 || d > 1 {
+			t.Fatalf("mode %d drift %v outside [0,1]", m, d)
+		}
+	}
+	if lv.Stream == nil || len(lv.Stream.Drift) != 1 {
+		t.Fatalf("lineage drift history %+v", lv.Stream)
+	}
+	if h := lv.Stream.Drift[0]; h.Version != v2 || len(h.PerMode) != 3 {
+		t.Fatalf("drift history entry %+v (head %s)", h, v2)
+	}
+
+	// Both metrics views expose the drift series.
+	_, prom := doJSON(t, http.MethodGet, ts.URL+"/metrics?format=prometheus", nil, nil)
+	for _, want := range []string{
+		"aoadmm_stream_drift_threshold",
+		`aoadmm_stream_drift{mode="0"`,
+		`aoadmm_stream_refits_total{trigger="drift"} 0`,
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("prometheus export missing %q", want)
+		}
+	}
+
+	// Any real refit drifts by far more than 1e-9, so the lineage is now hot:
+	// the next append refits eagerly instead of waiting for lazy policies.
+	inds, vals = deltaBatch(5)
+	code, resp = appendDelta(t, ts.URL, v1, inds, vals, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("hot append: %d %v", code, resp)
+	}
+	if hot, _ := resp["drift_triggered"].(bool); !hot {
+		t.Fatalf("hot lineage did not drift-trigger: %v", resp)
+	}
+	v3 := pollHead(t, ts.URL, v1, v2, 120*time.Second)
+
+	var metrics struct {
+		Stream struct {
+			Triggers struct {
+				Drift int64 `json:"drift"`
+			} `json:"refit_triggers"`
+			DriftThreshold float64 `json:"drift_threshold"`
+		} `json:"stream"`
+	}
+	doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &metrics)
+	if metrics.Stream.Triggers.Drift < 1 || metrics.Stream.DriftThreshold != 1e-9 {
+		t.Fatalf("drift trigger not counted: %+v", metrics.Stream)
+	}
+	_, prom = doJSON(t, http.MethodGet, ts.URL+"/metrics?format=prometheus", nil, nil)
+	if !strings.Contains(string(prom), `aoadmm_stream_refits_total{trigger="drift"} 1`) {
+		t.Errorf("prometheus export missing drift trigger count:\n%s", prom)
+	}
+
+	lv = getLineage(t, ts.URL, v1)
+	if lv.Head != v3 || lv.Stream == nil || len(lv.Stream.Drift) != 2 || lv.Stream.Drift[1].Version != v3 {
+		t.Fatalf("lineage after drift refit %+v", lv)
 	}
 }

@@ -22,6 +22,9 @@ type Info struct {
 	JournalBytes   int64   `json:"journal_bytes"`
 	// Gens lists the materialized generation seqs present on disk.
 	Gens []int64 `json:"gens,omitempty"`
+	// Drift is the recorded per-refit aligned factor-drift history,
+	// newest last.
+	Drift []DriftEntry `json:"drift,omitempty"`
 }
 
 // IsStreamDir reports whether dir holds a stream lineage (a stream.json
@@ -45,6 +48,7 @@ func ReadInfo(dir string) (*Info, error) {
 		Decay:      st.Decay,
 		AppliedSeq: st.AppliedSeq,
 		BaseGen:    st.BaseGen,
+		Drift:      st.Drift,
 	}
 	jpath := filepath.Join(dir, JournalFileName)
 	if fi, err := os.Stat(jpath); err == nil {

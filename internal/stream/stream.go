@@ -30,6 +30,7 @@ const (
 	TriggerNNZ       = "nnz"
 	TriggerStaleness = "staleness"
 	TriggerManual    = "manual"
+	TriggerDrift     = "drift"
 )
 
 // Sentinel errors the serving layer maps onto HTTP statuses.
@@ -105,7 +106,28 @@ type State struct {
 	// table.
 	SourceSpec      json.RawMessage `json:"source_spec,omitempty"`
 	CreatedUnixNano int64           `json:"created_unix_nano"`
+	// Drift is the newest-last history of per-mode aligned factor drift
+	// between consecutive committed refit versions, capped at
+	// maxDriftHistory entries.
+	Drift []DriftEntry `json:"drift,omitempty"`
 }
+
+// DriftEntry records the aligned factor drift one committed refit introduced
+// relative to the version it warm-started from (see eval.FactorDrift).
+type DriftEntry struct {
+	// Version is the refit model id whose factors were compared against its
+	// parent's.
+	Version string `json:"version"`
+	// AsOfSeq is the batch seq the refit folded in.
+	AsOfSeq int64 `json:"as_of_seq"`
+	// PerMode is the drift per tensor mode, each in [0, 1].
+	PerMode  []float64 `json:"per_mode"`
+	UnixNano int64     `json:"unix_nano"`
+}
+
+// maxDriftHistory bounds the drift records kept in stream.json so the state
+// file stays O(1) over a long-lived lineage.
+const maxDriftHistory = 32
 
 const stateVersion = 1
 
@@ -358,6 +380,51 @@ func (s *Store) Append(root string, inds [][]int32, vals []float64) (*AppendResu
 		}
 	}
 	return res, nil
+}
+
+// RecordDrift durably appends one refit's aligned factor-drift record to the
+// lineage's bounded history. Called by the serving layer after it registers a
+// refit version; a failure here is reported but must not unwind the already
+// committed refit, so callers log rather than abort.
+func (s *Store) RecordDrift(root, version string, asOf int64, perMode []float64) error {
+	l, ok := s.Get(root)
+	if !ok {
+		return ErrNoLineage
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	next := l.st
+	entry := DriftEntry{
+		Version:  version,
+		AsOfSeq:  asOf,
+		PerMode:  append([]float64(nil), perMode...),
+		UnixNano: time.Now().UnixNano(),
+	}
+	// Copy-on-write so a failed state swap leaves the in-memory history
+	// untouched and no caller ever sees a shared backing array mutate.
+	hist := make([]DriftEntry, 0, len(l.st.Drift)+1)
+	hist = append(hist, l.st.Drift...)
+	hist = append(hist, entry)
+	if len(hist) > maxDriftHistory {
+		hist = hist[len(hist)-maxDriftHistory:]
+	}
+	next.Drift = hist
+	if err := writeStateFile(l.dir, next); err != nil {
+		return err
+	}
+	l.st = next
+	return nil
+}
+
+// DriftHistory returns the lineage's recorded drift entries, newest last.
+func (s *Store) DriftHistory(root string) ([]DriftEntry, error) {
+	l, ok := s.Get(root)
+	if !ok {
+		return nil, ErrNoLineage
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]DriftEntry(nil), l.st.Drift...), nil
 }
 
 // Snapshot returns a consistent view of the root's lineage.
